@@ -1,0 +1,173 @@
+//! Equilibrium harvesting and instance search.
+//!
+//! Two workhorses for the experiments: collecting distinct equilibria by
+//! running best-response dynamics from many seeded starting points (the way
+//! the paper's §4.3 experiments explore the landscape), and searching small
+//! random games for no-equilibrium witnesses (used to pin down Theorem 7's
+//! BBC-max claim with a concrete, machine-checkable instance).
+
+use std::collections::HashSet;
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+use bbc_core::{enumerate, Configuration, CostModel, GameSpec, Result, Walk, WalkOutcome};
+
+/// Outcome of a seeded dynamics harvest.
+#[derive(Clone, Debug, Default)]
+pub struct Harvest {
+    /// Distinct equilibria found, in first-discovery order.
+    pub equilibria: Vec<Configuration>,
+    /// Seeds whose walk ended in a detected best-response cycle.
+    pub cycling_seeds: Vec<u64>,
+    /// Seeds whose walk hit the step limit.
+    pub exhausted_seeds: Vec<u64>,
+}
+
+/// Runs round-robin best-response walks from `seeds` random starting
+/// configurations and collects the distinct equilibria reached.
+///
+/// # Errors
+///
+/// Propagates best-response search failures (oversized strategy spaces).
+pub fn harvest_equilibria(
+    spec: &GameSpec,
+    seeds: std::ops::Range<u64>,
+    max_steps: u64,
+) -> Result<Harvest> {
+    let mut seen: HashSet<Configuration> = HashSet::new();
+    let mut harvest = Harvest::default();
+    for seed in seeds {
+        let start = Configuration::random(spec, seed);
+        let mut walk = Walk::new(spec, start);
+        match walk.run(max_steps)? {
+            WalkOutcome::Equilibrium { .. } => {
+                let cfg = walk.into_config();
+                if seen.insert(cfg.clone()) {
+                    harvest.equilibria.push(cfg);
+                }
+            }
+            WalkOutcome::Cycle { .. } => harvest.cycling_seeds.push(seed),
+            WalkOutcome::StepLimit { .. } => harvest.exhausted_seeds.push(seed),
+        }
+    }
+    Ok(harvest)
+}
+
+/// Searches for a round-robin best-response *loop* (Figure 4's artifact) in
+/// the `(n,k)`-uniform game: walks from seeded random configurations until
+/// one provably cycles, returning the seed and the cycle parameters.
+///
+/// # Errors
+///
+/// Propagates best-response search failures.
+pub fn find_best_response_loop(
+    spec: &GameSpec,
+    seeds: std::ops::Range<u64>,
+    max_steps: u64,
+) -> Result<Option<(u64, u64, u64)>> {
+    for seed in seeds {
+        let start = Configuration::random(spec, seed);
+        let mut walk = Walk::new(spec, start);
+        if let WalkOutcome::Cycle {
+            first_seen_step,
+            period,
+        } = walk.run(max_steps)?
+        {
+            return Ok(Some((seed, first_seen_step, period)));
+        }
+    }
+    Ok(None)
+}
+
+/// A seeded random non-uniform game: unit lengths and costs, budget 1,
+/// preference weights drawn uniformly from `0..=max_weight`.
+pub fn random_preference_game(
+    n: usize,
+    seed: u64,
+    max_weight: u64,
+    cost_model: CostModel,
+) -> GameSpec {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GameSpec::builder(n)
+        .default_budget(1)
+        .cost_model(cost_model);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                b = b.weight(u, v, rng.gen_range(0..=max_weight));
+            }
+        }
+    }
+    b.build().expect("random preference game is valid")
+}
+
+/// Exhaustively decides whether a small game has any pure Nash equilibrium.
+///
+/// # Errors
+///
+/// Returns [`bbc_core::Error::SearchBudgetExceeded`] when the joint space
+/// exceeds `max_profiles`.
+pub fn has_pure_equilibrium(spec: &GameSpec, max_profiles: u64) -> Result<bool> {
+    let space = enumerate::ProfileSpace::full(spec, max_profiles)?;
+    let result = enumerate::find_equilibria(spec, &space, max_profiles)?;
+    Ok(!result.equilibria.is_empty())
+}
+
+/// Scans seeds for a random preference game with **no** pure Nash
+/// equilibrium; returns the first witness seed.
+///
+/// # Errors
+///
+/// Propagates enumeration failures for oversized instances.
+pub fn search_no_equilibrium_game(
+    n: usize,
+    seeds: std::ops::Range<u64>,
+    max_weight: u64,
+    cost_model: CostModel,
+    max_profiles: u64,
+) -> Result<Option<u64>> {
+    for seed in seeds {
+        let spec = random_preference_game(n, seed, max_weight, cost_model);
+        if !has_pure_equilibrium(&spec, max_profiles)? {
+            return Ok(Some(seed));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbc_core::StabilityChecker;
+
+    #[test]
+    fn harvest_finds_multiple_equilibria() {
+        let spec = GameSpec::uniform(6, 1);
+        let harvest = harvest_equilibria(&spec, 0..20, 50_000).unwrap();
+        assert!(!harvest.equilibria.is_empty());
+        let checker = StabilityChecker::new(&spec);
+        for eq in &harvest.equilibria {
+            assert!(checker.is_stable(eq).unwrap());
+        }
+        // Different seeds typically land on different cycles/orientations.
+        assert!(
+            harvest.equilibria.len() >= 2,
+            "expected equilibrium diversity"
+        );
+    }
+
+    #[test]
+    fn random_preference_game_is_seed_deterministic() {
+        let a = random_preference_game(5, 9, 3, CostModel::SumDistance);
+        let b = random_preference_game(5, 9, 3, CostModel::SumDistance);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_tiny_games_always_have_equilibria() {
+        for n in 2..=4 {
+            let spec = GameSpec::uniform(n, 1);
+            assert!(has_pure_equilibrium(&spec, 1_000_000).unwrap(), "n={n}");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Fairness of stable graphs (Lemma 1).
+//!
+//! In any stable `(n,k)`-uniform graph, every node's cost is within an
+//! additive `n + n·⌊log_k n⌋` and a multiplicative `2 + 1/k + o(1)` of every
+//! other node's. E4 measures both quantities on every equilibrium the other
+//! experiments produce.
+
+use serde::{Deserialize, Serialize};
+
+use bbc_core::{Configuration, Evaluator, GameSpec};
+
+use crate::social::floor_log;
+
+/// Measured cost spread of a configuration, with the paper's Lemma 1 bounds
+/// evaluated alongside.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FairnessReport {
+    /// Smallest node cost.
+    pub min_cost: u64,
+    /// Largest node cost.
+    pub max_cost: u64,
+    /// `max_cost − min_cost`.
+    pub additive_gap: u64,
+    /// `max_cost / min_cost` (`inf` if some node has zero cost).
+    pub ratio: f64,
+    /// Lemma 1's additive bound `n + n·⌊log_k n⌋`.
+    pub additive_bound: u64,
+    /// Lemma 1's leading multiplicative constant `2 + 1/k`.
+    pub multiplicative_bound: f64,
+}
+
+impl FairnessReport {
+    /// `true` when the measured additive gap respects Lemma 1's bound.
+    pub fn within_additive_bound(&self) -> bool {
+        self.additive_gap <= self.additive_bound
+    }
+}
+
+/// Measures the fairness of `config` under a uniform game.
+///
+/// # Panics
+///
+/// Panics if the game is not uniform (Lemma 1 is a uniform-game statement).
+pub fn fairness(spec: &GameSpec, config: &Configuration) -> FairnessReport {
+    let k = spec
+        .uniform_k()
+        .expect("fairness bounds apply to uniform games");
+    let n = spec.node_count() as u64;
+    let costs = Evaluator::new(spec).node_costs(config);
+    let min_cost = costs.iter().copied().min().unwrap_or(0);
+    let max_cost = costs.iter().copied().max().unwrap_or(0);
+    let additive_bound = n + n * u64::from(floor_log(k.max(2), n));
+    FairnessReport {
+        min_cost,
+        max_cost,
+        additive_gap: max_cost - min_cost,
+        ratio: if min_cost == 0 {
+            f64::INFINITY
+        } else {
+            max_cost as f64 / min_cost as f64
+        },
+        additive_bound,
+        multiplicative_bound: 2.0 + 1.0 / k.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbc_core::NodeId;
+
+    #[test]
+    fn cycle_is_perfectly_fair() {
+        let n = 6;
+        let spec = GameSpec::uniform(n, 1);
+        let cfg = Configuration::from_strategies(
+            &spec,
+            (0..n).map(|i| vec![NodeId::new((i + 1) % n)]).collect(),
+        )
+        .unwrap();
+        let report = fairness(&spec, &cfg);
+        assert_eq!(report.additive_gap, 0);
+        assert!((report.ratio - 1.0).abs() < 1e-12);
+        assert!(report.within_additive_bound());
+    }
+
+    #[test]
+    fn bound_values_match_lemma() {
+        let spec = GameSpec::uniform(16, 2);
+        let cfg = Configuration::random(&spec, 1);
+        let report = fairness(&spec, &cfg);
+        // n + n·⌊log₂ 16⌋ = 16 + 16·4 = 80.
+        assert_eq!(report.additive_bound, 80);
+        assert!((report.multiplicative_bound - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfair_configuration_detected() {
+        // A path: the head is far from everyone, the tail disconnected.
+        let spec = GameSpec::uniform(5, 1);
+        let mut cfg = Configuration::empty(5);
+        for i in 0..4 {
+            cfg.set_strategy(&spec, NodeId::new(i), vec![NodeId::new(i + 1)])
+                .unwrap();
+        }
+        let report = fairness(&spec, &cfg);
+        assert!(report.additive_gap > 0);
+        assert!(
+            !report.within_additive_bound(),
+            "a non-equilibrium may violate Lemma 1"
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Measurement layer for BBC games: social cost and PoA/PoS ratios,
+//! fairness (Lemma 1), equilibrium harvesting by dynamics, no-equilibrium
+//! instance search, and the table/report plumbing shared by the experiment
+//! binaries.
+
+pub mod equilibria;
+pub mod fairness;
+pub mod report;
+pub mod social;
+pub mod table;
+
+pub use equilibria::{harvest_equilibria, Harvest};
+pub use fairness::{fairness, FairnessReport};
+pub use report::ExperimentReport;
+pub use social::{price_ratio, social_cost, uniform_social_lower_bound};
+pub use table::Table;

@@ -1,0 +1,125 @@
+//! Structured experiment records.
+//!
+//! Each experiment binary emits one [`ExperimentReport`]: the paper's claim,
+//! what was measured, and whether they agree. EXPERIMENTS.md is assembled
+//! from these records; the JSON artifacts live under `target/experiments/`
+//! so reruns are diffable.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// One experiment's outcome record.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment id, e.g. `"E5"`.
+    pub id: String,
+    /// The paper artifact being reproduced, e.g. `"Lemma 6 / Figure 3"`.
+    pub paper_artifact: String,
+    /// The paper's claim, in one sentence.
+    pub claim: String,
+    /// What this run measured, in one sentence.
+    pub measured: String,
+    /// Whether the measurement supports the claim.
+    pub agrees: bool,
+    /// Free-form caveats (reconstruction notes, deviations, runtimes).
+    pub notes: Vec<String>,
+    /// The data rows behind the verdict (CSV text, for diffing).
+    pub csv: String,
+}
+
+impl ExperimentReport {
+    /// Creates a report shell; fill `measured`/`agrees`/`csv` before saving.
+    pub fn new(id: &str, paper_artifact: &str, claim: &str) -> Self {
+        Self {
+            id: id.to_string(),
+            paper_artifact: paper_artifact.to_string(),
+            claim: claim.to_string(),
+            measured: String::new(),
+            agrees: false,
+            notes: Vec::new(),
+            csv: String::new(),
+        }
+    }
+
+    /// Default artifact path: `target/experiments/<id>.json` relative to the
+    /// workspace root (detected via `CARGO_MANIFEST_DIR`'s ancestors, falling
+    /// back to the current directory).
+    pub fn default_path(&self) -> PathBuf {
+        let base = std::env::var_os("CARGO_TARGET_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target"));
+        base.join("experiments").join(format!("{}.json", self.id))
+    }
+
+    /// Serializes to pretty JSON at `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let json = serde_json::to_string_pretty(self).expect("report serializes");
+        fs::write(path, json)
+    }
+
+    /// Loads a previously saved report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; malformed JSON maps to
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = fs::read_to_string(path)?;
+        serde_json::from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Renders the human-readable header block the binaries print.
+    pub fn banner(&self) -> String {
+        format!(
+            "[{}] {}\n  claim:    {}\n  measured: {}\n  verdict:  {}\n",
+            self.id,
+            self.paper_artifact,
+            self.claim,
+            self.measured,
+            if self.agrees {
+                "AGREES with the paper"
+            } else {
+                "DISAGREES (see notes)"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut r = ExperimentReport::new("E0", "Test", "testing works");
+        r.measured = "it did".into();
+        r.agrees = true;
+        r.csv = "a,b\n1,2\n".into();
+        r.notes.push("note".into());
+        let dir = std::env::temp_dir().join("bbc-report-test");
+        let path = dir.join("E0.json");
+        r.save(&path).unwrap();
+        let loaded = ExperimentReport::load(&path).unwrap();
+        assert_eq!(r, loaded);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn banner_mentions_verdict() {
+        let mut r = ExperimentReport::new("E1", "Thm 1", "no NE");
+        r.agrees = true;
+        assert!(r.banner().contains("AGREES"));
+        r.agrees = false;
+        assert!(r.banner().contains("DISAGREES"));
+    }
+}

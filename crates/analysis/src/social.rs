@@ -1,0 +1,176 @@
+//! Social cost and the structural lower bounds behind PoA/PoS claims.
+//!
+//! Theorem 4's accounting rests on two facts about any `(n,k)`-uniform
+//! configuration: a node with out-degree ≤ k can see at most `k^d` nodes at
+//! distance `d`, so its cost is at least the "greedy BFS" bound
+//! ([`uniform_min_node_cost`]); and a Forest of Willows with `l = 0` gets
+//! within a constant of that bound, pinning the price of stability at Θ(1).
+
+use bbc_core::{Configuration, CostModel, Evaluator, GameSpec};
+
+/// `⌊log_k x⌋` for `k ≥ 2`, with `floor_log(k, 0) = 0`.
+pub fn floor_log(k: u64, x: u64) -> u32 {
+    assert!(k >= 2, "logarithm base must be at least 2");
+    let mut pow = 1u64;
+    let mut e = 0u32;
+    while pow <= x / k {
+        pow *= k;
+        e += 1;
+    }
+    if pow <= x && x > 0 {
+        // pow = k^e ≤ x < k^{e+1}.
+        e
+    } else {
+        0
+    }
+}
+
+/// The minimum possible sum-of-distances cost of a single node in any graph
+/// with maximum out-degree `k`: `k` nodes at distance 1, `k²` at 2, and so
+/// on until all `n−1` targets are packed.
+///
+/// # Examples
+///
+/// ```
+/// use bbc_analysis::social::uniform_min_node_cost;
+///
+/// // n=7, k=2: two at distance 1, four at 2: 2 + 8 = 10.
+/// assert_eq!(uniform_min_node_cost(7, 2), 10);
+/// ```
+pub fn uniform_min_node_cost(n: usize, k: u64) -> u64 {
+    assert!(k >= 1, "degree bound must be positive");
+    let mut remaining = (n as u64).saturating_sub(1);
+    let mut level_capacity = k;
+    let mut depth = 1u64;
+    let mut cost = 0u64;
+    while remaining > 0 {
+        let here = remaining.min(level_capacity);
+        cost += here * depth;
+        remaining -= here;
+        level_capacity = level_capacity.saturating_mul(k);
+        depth += 1;
+    }
+    cost
+}
+
+/// The minimum possible eccentricity of a node in a max-out-degree-`k`
+/// graph: the smallest `D` with `1 + k + … + k^D ≥ n`.
+pub fn uniform_min_node_eccentricity(n: usize, k: u64) -> u64 {
+    assert!(k >= 1);
+    let mut covered = 1u64;
+    let mut level_capacity = k;
+    let mut depth = 0u64;
+    while covered < n as u64 {
+        covered = covered.saturating_add(level_capacity);
+        level_capacity = level_capacity.saturating_mul(k);
+        depth += 1;
+    }
+    depth
+}
+
+/// Lower bound on the social cost of *any* `(n,k)`-uniform configuration,
+/// under the spec's cost model (sum: `n · uniform_min_node_cost`; max:
+/// `n · uniform_min_node_eccentricity`).
+pub fn uniform_social_lower_bound(spec: &GameSpec) -> u64 {
+    let n = spec.node_count();
+    let k = spec
+        .uniform_k()
+        .expect("lower bound applies to uniform games");
+    match spec.cost_model() {
+        CostModel::SumDistance => n as u64 * uniform_min_node_cost(n, k),
+        CostModel::MaxDistance => n as u64 * uniform_min_node_eccentricity(n, k),
+    }
+}
+
+/// Social cost of a configuration (sum of node costs).
+pub fn social_cost(spec: &GameSpec, config: &Configuration) -> u64 {
+    Evaluator::new(spec).social_cost(config)
+}
+
+/// Ratio of a measured social cost to the structural lower bound; the
+/// empirical stand-in for "price" quantities.
+pub fn price_ratio(spec: &GameSpec, config: &Configuration) -> f64 {
+    social_cost(spec, config) as f64 / uniform_social_lower_bound(spec) as f64
+}
+
+/// The paper's PoA lower-bound curve `√(n/k) / log_k n` (Theorem 4),
+/// evaluated as a float for plotting against measured ratios.
+pub fn poa_lower_bound_curve(n: usize, k: u64) -> f64 {
+    let log = (n as f64).ln() / (k.max(2) as f64).ln();
+    ((n as f64) / k as f64).sqrt() / log
+}
+
+/// The paper's BBC-max PoA lower-bound curve `n / (k·log_k n)` (Theorem 8).
+pub fn max_poa_lower_bound_curve(n: usize, k: u64) -> f64 {
+    let log = (n as f64).ln() / (k.max(2) as f64).ln();
+    n as f64 / (k as f64 * log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbc_core::NodeId;
+
+    #[test]
+    fn floor_log_values() {
+        assert_eq!(floor_log(2, 1), 0);
+        assert_eq!(floor_log(2, 2), 1);
+        assert_eq!(floor_log(2, 7), 2);
+        assert_eq!(floor_log(2, 8), 3);
+        assert_eq!(floor_log(3, 26), 2);
+        assert_eq!(floor_log(3, 27), 3);
+        assert_eq!(floor_log(10, 0), 0);
+    }
+
+    #[test]
+    fn min_node_cost_small_cases() {
+        // n=2, k=1: one node at distance 1.
+        assert_eq!(uniform_min_node_cost(2, 1), 1);
+        // k=1: path distances 1+2+...+(n-1).
+        assert_eq!(uniform_min_node_cost(5, 1), 10);
+        // k >= n-1: everyone at distance 1.
+        assert_eq!(uniform_min_node_cost(5, 10), 4);
+    }
+
+    #[test]
+    fn min_eccentricity_small_cases() {
+        assert_eq!(uniform_min_node_eccentricity(2, 1), 1);
+        assert_eq!(uniform_min_node_eccentricity(4, 3), 1);
+        assert_eq!(uniform_min_node_eccentricity(5, 2), 2);
+        assert_eq!(uniform_min_node_eccentricity(8, 2), 3);
+    }
+
+    #[test]
+    fn lower_bound_is_actually_lower() {
+        // Compare against real configurations.
+        for (n, k) in [(8usize, 1u64), (9, 2), (12, 3)] {
+            let spec = GameSpec::uniform(n, k);
+            for seed in 0..5 {
+                let cfg = Configuration::random(&spec, seed);
+                assert!(
+                    social_cost(&spec, &cfg) >= uniform_social_lower_bound(&spec),
+                    "n={n} k={k} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_achieves_k1_lower_bound() {
+        let n = 7;
+        let spec = GameSpec::uniform(n, 1);
+        let cfg = Configuration::from_strategies(
+            &spec,
+            (0..n).map(|i| vec![NodeId::new((i + 1) % n)]).collect(),
+        )
+        .unwrap();
+        assert_eq!(social_cost(&spec, &cfg), uniform_social_lower_bound(&spec));
+        assert!((price_ratio(&spec, &cfg) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poa_curves_are_monotone_in_n() {
+        assert!(poa_lower_bound_curve(1000, 2) > poa_lower_bound_curve(100, 2));
+        assert!(max_poa_lower_bound_curve(1000, 2) > max_poa_lower_bound_curve(100, 2));
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the measurement layer.
+
+use bbc_analysis::{equilibria, fairness, social};
+use bbc_core::{Configuration, GameSpec, NodeId, StabilityChecker};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn social_lower_bound_is_sound(n in 2usize..=14, k in 1u64..=3, seed in any::<u64>()) {
+        let spec = GameSpec::uniform(n, k);
+        let cfg = Configuration::random(&spec, seed);
+        prop_assert!(social::social_cost(&spec, &cfg) >= social::uniform_social_lower_bound(&spec));
+        prop_assert!(social::price_ratio(&spec, &cfg) >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn min_node_cost_matches_direct_simulation(n in 2usize..=40, k in 1u64..=5) {
+        // Re-derive the packing bound by explicit level filling.
+        let mut remaining = n as u64 - 1;
+        let mut level = k;
+        let mut d = 1u64;
+        let mut expect = 0u64;
+        while remaining > 0 {
+            let here = remaining.min(level);
+            expect += here * d;
+            remaining -= here;
+            level = level.saturating_mul(k);
+            d += 1;
+        }
+        prop_assert_eq!(social::uniform_min_node_cost(n, k), expect);
+    }
+
+    #[test]
+    fn floor_log_brackets_powers(k in 2u64..=5, x in 1u64..=100_000) {
+        let e = social::floor_log(k, x);
+        prop_assert!(k.pow(e) <= x);
+        // k^(e+1) > x unless it overflows the check range.
+        if let Some(next) = k.checked_pow(e + 1) {
+            prop_assert!(next > x);
+        }
+    }
+
+    #[test]
+    fn fairness_report_is_internally_consistent(
+        n in 2usize..=12,
+        k in 1u64..=3,
+        seed in any::<u64>(),
+    ) {
+        let spec = GameSpec::uniform(n, k);
+        let cfg = Configuration::random(&spec, seed);
+        let f = fairness::fairness(&spec, &cfg);
+        prop_assert!(f.min_cost <= f.max_cost);
+        prop_assert_eq!(f.additive_gap, f.max_cost - f.min_cost);
+        if f.min_cost > 0 {
+            prop_assert!((f.ratio - f.max_cost as f64 / f.min_cost as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn eccentricity_lower_bound_is_sound(n in 2usize..=14, k in 1u64..=3, seed in any::<u64>()) {
+        use bbc_core::CostModel;
+        let spec = GameSpec::uniform(n, k).with_cost_model(CostModel::MaxDistance);
+        let cfg = Configuration::random(&spec, seed);
+        prop_assert!(
+            social::social_cost(&spec, &cfg) >= social::uniform_social_lower_bound(&spec)
+        );
+    }
+}
+
+#[test]
+fn harvested_equilibria_are_all_exactly_stable() {
+    let spec = GameSpec::uniform(8, 2);
+    let harvest = equilibria::harvest_equilibria(&spec, 0..8, 100_000).unwrap();
+    let checker = StabilityChecker::new(&spec);
+    for eq in &harvest.equilibria {
+        assert!(checker.is_stable(eq).unwrap());
+        for u in NodeId::all(8) {
+            assert!(spec.validate_strategy(u, eq.strategy(u)).is_ok());
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Best-response and stability benchmarks: the inner loop of every
+//! equilibrium experiment (E1, E5, E7, E10, E11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bbc_constructions::ForestOfWillows;
+use bbc_core::{
+    best_response, BestResponseOptions, Configuration, GameSpec, NodeId, StabilityChecker,
+};
+
+fn bench_exact_best_response(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_best_response");
+    group.sample_size(20);
+    for &(n, k) in &[(50usize, 1u64), (50, 2), (100, 2), (60, 3)] {
+        let spec = GameSpec::uniform(n, k);
+        let cfg = Configuration::random(&spec, 5);
+        let options = BestResponseOptions::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}k{k}")),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    best_response::exact(&spec, cfg, NodeId::new(0), &options)
+                        .expect("search fits")
+                        .best_cost
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_greedy_best_response(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_best_response");
+    group.sample_size(20);
+    for &(n, k) in &[(100usize, 4u64), (200, 4)] {
+        let spec = GameSpec::uniform(n, k);
+        let cfg = Configuration::random(&spec, 5);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}k{k}")),
+            &cfg,
+            |b, cfg| b.iter(|| best_response::greedy(&spec, cfg, NodeId::new(0)).best_cost),
+        );
+    }
+    group.finish();
+}
+
+fn bench_willow_stability(c: &mut Criterion) {
+    // E5's unit of work: a full exact stability check of a Forest of
+    // Willows instance.
+    let mut group = c.benchmark_group("willow_stability");
+    group.sample_size(10);
+    for &(k, h, l) in &[(2u64, 3u32, 0u32), (3, 2, 0)] {
+        let fow = ForestOfWillows::new(k, h, l).expect("valid willow");
+        let spec = fow.spec();
+        let cfg = fow.configuration();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}h{h}l{l}n{}", fow.node_count())),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    StabilityChecker::new(&spec)
+                        .is_stable(cfg)
+                        .expect("check fits")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact_best_response,
+    bench_greedy_best_response,
+    bench_willow_stability
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Best-response dynamics benchmarks (E8, E9): walk throughput and the
+//! convergence workloads of Theorem 6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bbc_constructions::RingWithPath;
+use bbc_core::{Configuration, GameSpec, Walk};
+
+fn bench_walk_from_empty(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walk_from_empty");
+    group.sample_size(10);
+    for &(n, k) in &[(12usize, 1u64), (12, 2), (20, 2)] {
+        let spec = GameSpec::uniform(n, k);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}k{k}")),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    let mut walk = Walk::new(spec, Configuration::empty(n)).detect_cycles(false);
+                    walk.run(100_000).expect("walk fits").clone()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ring_with_path(c: &mut Criterion) {
+    // E8's Ω(n²) instance: full convergence run.
+    let mut group = c.benchmark_group("ring_with_path_convergence");
+    group.sample_size(10);
+    for &(ring, path) in &[(12usize, 6usize), (24, 12)] {
+        let inst = RingWithPath::new(ring, path).expect("valid instance");
+        let spec = inst.spec();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("r{ring}p{path}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let n = inst.node_count() as u64;
+                    let mut walk = Walk::new(&spec, inst.configuration())
+                        .with_scheduler(inst.round_order())
+                        .detect_cycles(false);
+                    walk.run(n * n + n).expect("walk fits");
+                    walk.stats().steps_to_strong_connectivity
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_loop_detection(c: &mut Criterion) {
+    // E9's unit of work: a (7,2) walk with exact-state cycle detection.
+    let spec = GameSpec::uniform(7, 2);
+    let mut group = c.benchmark_group("loop_detection");
+    group.sample_size(20);
+    group.bench_function("walk_72_seed13", |b| {
+        b.iter(|| {
+            let mut walk = Walk::new(&spec, Configuration::random(&spec, 13));
+            walk.run(50_000).expect("walk fits").clone()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_walk_from_empty,
+    bench_ring_with_path,
+    bench_loop_detection
+);
+criterion_main!(benches);

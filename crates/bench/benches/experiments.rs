@@ -1,0 +1,124 @@
+//! Per-experiment benchmarks: the core computation behind each figure-level
+//! experiment (E1–E12), sized for repeatable timing rather than full sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bbc_analysis::social;
+use bbc_constructions::{
+    gadget, ForestOfWillows, Gadget, GadgetVariant, MaxPoaGraph, SatReduction,
+};
+use bbc_core::{enumerate, StabilityChecker};
+use bbc_fractional::{br, FractionalBrOptions, FractionalConfig, FractionalGame};
+use bbc_sat::{dpll, Cnf, Lit};
+
+fn bench_e01_gadget_scan(c: &mut Criterion) {
+    let g = Gadget::new(GadgetVariant::Restricted);
+    let spec = g.spec();
+    let space = g.candidate_space(&spec).expect("tiny space");
+    let mut group = c.benchmark_group("e01_gadget_scan");
+    group.sample_size(10);
+    group.bench_function("restricted_11664", |b| {
+        b.iter(|| {
+            enumerate::find_equilibria(&spec, &space, 1_000_000)
+                .expect("scan fits")
+                .equilibria
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_e01_witness_scan(c: &mut Criterion) {
+    let spec = gadget::minimal_no_ne_witness();
+    let space = enumerate::ProfileSpace::full(&spec, 1 << 14).expect("tiny space");
+    let mut group = c.benchmark_group("e01_witness_scan");
+    group.sample_size(20);
+    group.bench_function("witness_3125", |b| {
+        b.iter(|| {
+            enumerate::find_equilibria(&spec, &space, 1_000_000)
+                .expect("scan fits")
+                .equilibria
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_e02_reduction(c: &mut Criterion) {
+    // Reduction build + canonical equilibrium stability for the SAT fixture.
+    let cnf = Cnf::new(1, vec![vec![Lit::pos(0)]]);
+    let mut group = c.benchmark_group("e02_reduction");
+    group.sample_size(10);
+    group.bench_function("build_and_check_sat_x", |b| {
+        b.iter(|| {
+            let assignment = dpll::solve(&cnf).expect("satisfiable");
+            let r = SatReduction::new(cnf.clone());
+            let spec = r.spec();
+            let canonical = r.canonical_equilibrium(&spec, &assignment);
+            StabilityChecker::new(&spec)
+                .is_stable(&canonical)
+                .expect("check fits")
+        })
+    });
+    group.finish();
+}
+
+fn bench_e03_fractional(c: &mut Criterion) {
+    let spec = gadget::minimal_no_ne_witness();
+    let mut group = c.benchmark_group("e03_fractional");
+    group.sample_size(10);
+    group.bench_function("averaged_play_D2", |b| {
+        b.iter(|| {
+            let game = FractionalGame::new(&spec, 2);
+            br::averaged_play_regret(
+                &game,
+                FractionalConfig::empty(5),
+                10,
+                &FractionalBrOptions::default(),
+            )
+            .expect("search fits")
+            .1
+        })
+    });
+    group.finish();
+}
+
+fn bench_e06_poa_pricing(c: &mut Criterion) {
+    // The E6 unit of work: price a large worst-case willow.
+    let fow = ForestOfWillows::new(2, 4, 49).expect("valid willow");
+    let spec = fow.spec();
+    let cfg = fow.configuration();
+    let mut group = c.benchmark_group("e06_poa_pricing");
+    group.sample_size(10);
+    group.bench_function("social_cost_n1630", |b| {
+        b.iter(|| social::social_cost(&spec, &cfg))
+    });
+    group.finish();
+}
+
+fn bench_e10_max_stability(c: &mut Criterion) {
+    let g = MaxPoaGraph::new(3, 5).expect("valid");
+    let spec = g.spec();
+    let cfg = g.configuration();
+    let mut group = c.benchmark_group("e10_max_stability");
+    group.sample_size(10);
+    group.bench_function("stable_check_n26", |b| {
+        b.iter(|| {
+            StabilityChecker::new(&spec)
+                .is_stable(&cfg)
+                .expect("check fits")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e01_gadget_scan,
+    bench_e01_witness_scan,
+    bench_e02_reduction,
+    bench_e03_fractional,
+    bench_e06_poa_pricing,
+    bench_e10_max_stability
+);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benchmarks for the BBC workspace (see benches/).

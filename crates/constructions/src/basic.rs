@@ -1,0 +1,99 @@
+//! Elementary named configurations for uniform games.
+
+use bbc_core::{Configuration, GameSpec, NodeId};
+
+/// The directed cycle `0 → 1 → … → n−1 → 0` — the canonical stable graph of
+/// the `(n,1)`-uniform game (§4.2).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the spec has fewer nodes than `n`.
+pub fn directed_cycle(spec: &GameSpec, n: usize) -> Configuration {
+    assert!(n >= 2, "cycle needs at least two nodes");
+    assert!(spec.node_count() >= n);
+    let mut cfg = Configuration::empty(spec.node_count());
+    for i in 0..n {
+        cfg.set_strategy(spec, NodeId::new(i), vec![NodeId::new((i + 1) % n)])
+            .expect("cycle strategy is within budget");
+    }
+    cfg
+}
+
+/// A bidirectional star centred on node 0: the hub buys links to its first
+/// `k` neighbours, every other node links the hub. A cheap "good" network
+/// for social-cost comparisons.
+pub fn star(spec: &GameSpec) -> Configuration {
+    let n = spec.node_count();
+    let k = spec.budget(NodeId::new(0)) as usize;
+    let mut cfg = Configuration::empty(n);
+    let hub_targets: Vec<NodeId> = (1..n).take(k).map(NodeId::new).collect();
+    cfg.set_strategy(spec, NodeId::new(0), hub_targets)
+        .expect("hub strategy within budget");
+    for i in 1..n {
+        cfg.set_strategy(spec, NodeId::new(i), vec![NodeId::new(0)])
+            .expect("leaf strategy within budget");
+    }
+    cfg
+}
+
+/// A "greedy BFS tree" configuration rooted at node 0 plus back-links: node
+/// 0 links `1..=k`, node `i` links its `k` children `i·k+1 …` where they
+/// exist, and every leaf links back to the root. Approximates the
+/// social-optimum shape (`Θ(n log_k n)` per-node cost) used as the
+/// denominator in price-of-anarchy estimates.
+pub fn balanced_tree_with_backlinks(spec: &GameSpec) -> Configuration {
+    let n = spec.node_count();
+    let k = spec.budget(NodeId::new(0)).max(1) as usize;
+    let mut cfg = Configuration::empty(n);
+    for i in 0..n {
+        let mut targets: Vec<NodeId> = (1..=k)
+            .map(|c| i * k + c)
+            .filter(|&c| c < n)
+            .map(NodeId::new)
+            .collect();
+        if targets.is_empty() && i != 0 {
+            targets.push(NodeId::new(0));
+        }
+        cfg.set_strategy(spec, NodeId::new(i), targets)
+            .expect("tree strategy within budget");
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbc_core::Evaluator;
+    use bbc_graph::scc::is_strongly_connected;
+
+    #[test]
+    fn cycle_is_strongly_connected() {
+        let spec = GameSpec::uniform(6, 1);
+        let cfg = directed_cycle(&spec, 6);
+        assert!(is_strongly_connected(&cfg.to_graph(&spec)));
+        assert_eq!(cfg.link_count(), 6);
+    }
+
+    #[test]
+    fn star_reaches_everyone_when_k_covers_leaves() {
+        let spec = GameSpec::uniform(5, 4);
+        let cfg = star(&spec);
+        assert!(is_strongly_connected(&cfg.to_graph(&spec)));
+        let mut eval = Evaluator::new(&spec);
+        // Hub at distance 1 from all; leaves at ≤ 2.
+        assert_eq!(eval.node_cost(&cfg, NodeId::new(0)), 4);
+        assert_eq!(eval.node_cost(&cfg, NodeId::new(1)), 1 + 3 * 2);
+    }
+
+    #[test]
+    fn tree_with_backlinks_is_strongly_connected() {
+        for (n, k) in [(10usize, 2u64), (30, 3), (7, 1)] {
+            let spec = GameSpec::uniform(n, k);
+            let cfg = balanced_tree_with_backlinks(&spec);
+            assert!(is_strongly_connected(&cfg.to_graph(&spec)), "n={n} k={k}");
+            for u in NodeId::all(n) {
+                assert!(cfg.out_degree(u) <= k as usize);
+            }
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Abelian Cayley graphs: circulants, hypercubes, and general products of
+//! cyclic groups (§4.2).
+//!
+//! A Cayley graph `G(H, S)` over an Abelian group `H` with generator set `S`
+//! links every element `x` to `x·a` for each `a ∈ S`. These are exactly the
+//! "regular" overlay topologies a P2P designer would deploy: every node
+//! imitates the same buying pattern. Theorem 5 shows that for `k ≥ 2` and
+//! `n ≥ c·2^k` no such graph is a pure Nash equilibrium of the
+//! `(n,k)`-uniform game, and the proof exhibits the concrete deviation of
+//! replacing the edge `(r, r·a_i)` by `(r, r·a_i·a_i)`
+//! ([`CayleyGraph::paper_deviation`]). Lemma 8 counters that for
+//! `k > (n−2)/2` every Abelian Cayley graph *is* stable.
+
+use serde::{Deserialize, Serialize};
+
+use bbc_core::{Configuration, GameSpec, NodeId};
+
+/// A finite Abelian group presented as `Z_{m1} × Z_{m2} × … × Z_{mr}`.
+///
+/// Elements are mixed-radix vectors, addressed densely by index.
+///
+/// # Examples
+///
+/// ```
+/// use bbc_constructions::cayley::AbelianGroup;
+///
+/// let g = AbelianGroup::new(vec![2, 3]).expect("Z2 × Z3");
+/// assert_eq!(g.order(), 6);
+/// let a = g.element_index(&[1, 2]);
+/// let b = g.element_index(&[1, 1]);
+/// assert_eq!(g.add(a, b), g.element_index(&[0, 0]));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AbelianGroup {
+    moduli: Vec<u64>,
+}
+
+impl AbelianGroup {
+    /// Creates the product group; every modulus must be at least 1 and the
+    /// order must stay below `2²⁰`.
+    pub fn new(moduli: Vec<u64>) -> Option<Self> {
+        if moduli.is_empty() || moduli.contains(&0) {
+            return None;
+        }
+        let mut order: u64 = 1;
+        for &m in &moduli {
+            order = order.checked_mul(m)?;
+            if order > 1 << 20 {
+                return None;
+            }
+        }
+        Some(Self { moduli })
+    }
+
+    /// The cyclic group `Z_n`.
+    pub fn cyclic(n: u64) -> Option<Self> {
+        Self::new(vec![n])
+    }
+
+    /// The Boolean cube group `Z_2^d`.
+    pub fn boolean_cube(d: u32) -> Option<Self> {
+        Self::new(vec![2; d as usize])
+    }
+
+    /// Number of elements.
+    pub fn order(&self) -> usize {
+        self.moduli.iter().product::<u64>() as usize
+    }
+
+    /// The moduli of the factors.
+    pub fn moduli(&self) -> &[u64] {
+        &self.moduli
+    }
+
+    /// Dense index of a coordinate vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector has the wrong arity or a coordinate exceeds its
+    /// modulus.
+    pub fn element_index(&self, coords: &[u64]) -> usize {
+        assert_eq!(coords.len(), self.moduli.len(), "arity mismatch");
+        let mut idx = 0u64;
+        for (c, &m) in coords.iter().zip(&self.moduli) {
+            assert!(*c < m, "coordinate {c} out of range for modulus {m}");
+            idx = idx * m + c;
+        }
+        idx as usize
+    }
+
+    /// Coordinate vector of a dense index.
+    pub fn element_coords(&self, mut idx: usize) -> Vec<u64> {
+        let mut coords = vec![0u64; self.moduli.len()];
+        for (c, &m) in coords.iter_mut().zip(&self.moduli).rev() {
+            *c = (idx as u64) % m;
+            idx /= m as usize;
+        }
+        coords
+    }
+
+    /// Group addition on dense indices.
+    pub fn add(&self, a: usize, b: usize) -> usize {
+        let ca = self.element_coords(a);
+        let cb = self.element_coords(b);
+        let sum: Vec<u64> = ca
+            .iter()
+            .zip(&cb)
+            .zip(&self.moduli)
+            .map(|((&x, &y), &m)| (x + y) % m)
+            .collect();
+        self.element_index(&sum)
+    }
+
+    /// The identity element's index (always 0).
+    pub fn identity(&self) -> usize {
+        0
+    }
+}
+
+/// An Abelian Cayley graph: a group plus a set of non-identity, distinct
+/// generators. Realizes the configuration in which every node `x` buys the
+/// links `x → x·a_i`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CayleyGraph {
+    group: AbelianGroup,
+    /// Generator element indices.
+    generators: Vec<usize>,
+}
+
+impl CayleyGraph {
+    /// Creates the graph. Generators must be distinct and none may be the
+    /// identity (self-loops buy nothing in a BBC game).
+    pub fn new(group: AbelianGroup, generators: Vec<usize>) -> Option<Self> {
+        let mut sorted = generators.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != generators.len() || generators.iter().any(|&g| g == group.identity()) {
+            return None;
+        }
+        if generators.is_empty() || generators.iter().any(|&g| g >= group.order()) {
+            return None;
+        }
+        Some(Self { group, generators })
+    }
+
+    /// The circulant ("regular") graph on `Z_n` with the given offsets —
+    /// the paper's §4.2 motivating family: the `i`-th edge from node `x`
+    /// goes to `x + a_i (mod n)`.
+    pub fn circulant(n: u64, offsets: &[u64]) -> Option<Self> {
+        let group = AbelianGroup::cyclic(n)?;
+        let gens = offsets.iter().map(|&o| (o % n) as usize).collect();
+        Self::new(group, gens)
+    }
+
+    /// The directed `2^d`-node hypercube: `Z_2^d` with the unit generators
+    /// (Corollary 1's instance, with `k = d`).
+    pub fn hypercube(d: u32) -> Option<Self> {
+        let group = AbelianGroup::boolean_cube(d)?;
+        let gens = (0..d)
+            .map(|i| {
+                let mut coords = vec![0u64; d as usize];
+                coords[i as usize] = 1;
+                group.element_index(&coords)
+            })
+            .collect();
+        Self::new(group, gens)
+    }
+
+    /// The underlying group.
+    pub fn group(&self) -> &AbelianGroup {
+        &self.group
+    }
+
+    /// The generator indices.
+    pub fn generators(&self) -> &[usize] {
+        &self.generators
+    }
+
+    /// Degree `k` (number of generators).
+    pub fn degree(&self) -> usize {
+        self.generators.len()
+    }
+
+    /// The `(n, k)`-uniform game this graph lives in.
+    pub fn spec(&self) -> GameSpec {
+        GameSpec::uniform(self.group.order(), self.degree() as u64)
+    }
+
+    /// The configuration in which every node buys its Cayley links.
+    pub fn configuration(&self) -> Configuration {
+        let n = self.group.order();
+        let strategies = (0..n)
+            .map(|x| {
+                let mut targets: Vec<NodeId> = self
+                    .generators
+                    .iter()
+                    .map(|&a| NodeId::new(self.group.add(x, a)))
+                    .collect();
+                targets.sort_unstable();
+                targets
+            })
+            .collect();
+        Configuration::from_strategies(&self.spec(), strategies)
+            .expect("cayley construction is within budget")
+    }
+
+    /// The deviation Theorem 5's proof analyzes: at the root `r = identity`,
+    /// replace the `i`-th link `r → a_i` by `r → a_i·a_i`. Returns the new
+    /// strategy for node 0, or `None` when `a_i·a_i` collides with the
+    /// identity or another link (the move is undefined there).
+    pub fn paper_deviation(&self, i: usize) -> Option<Vec<NodeId>> {
+        let ai = self.generators[i];
+        let doubled = self.group.add(ai, ai);
+        if doubled == self.group.identity() {
+            return None;
+        }
+        let mut targets: Vec<usize> = self
+            .generators
+            .iter()
+            .enumerate()
+            .map(|(j, &a)| if j == i { doubled } else { a })
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        if targets.len() != self.generators.len() {
+            return None;
+        }
+        Some(targets.into_iter().map(NodeId::new).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbc_core::{Evaluator, StabilityChecker};
+    use bbc_graph::scc::is_strongly_connected;
+
+    #[test]
+    fn group_arithmetic_round_trips() {
+        let g = AbelianGroup::new(vec![3, 4]).unwrap();
+        assert_eq!(g.order(), 12);
+        for idx in 0..12 {
+            assert_eq!(g.element_index(&g.element_coords(idx)), idx);
+        }
+        assert_eq!(g.add(g.element_index(&[2, 3]), g.element_index(&[1, 1])), 0);
+    }
+
+    #[test]
+    fn invalid_groups_and_generators_rejected() {
+        assert!(AbelianGroup::new(vec![]).is_none());
+        assert!(AbelianGroup::new(vec![0]).is_none());
+        let g = AbelianGroup::cyclic(5).unwrap();
+        assert!(
+            CayleyGraph::new(g.clone(), vec![0]).is_none(),
+            "identity generator"
+        );
+        assert!(
+            CayleyGraph::new(g.clone(), vec![1, 1]).is_none(),
+            "duplicate generator"
+        );
+        assert!(CayleyGraph::new(g, vec![]).is_none(), "no generators");
+    }
+
+    #[test]
+    fn circulant_structure() {
+        let c = CayleyGraph::circulant(7, &[1, 2]).unwrap();
+        let cfg = c.configuration();
+        assert_eq!(
+            cfg.strategy(NodeId::new(0)),
+            &[NodeId::new(1), NodeId::new(2)]
+        );
+        assert_eq!(
+            cfg.strategy(NodeId::new(6)),
+            &[NodeId::new(0), NodeId::new(1)]
+        );
+        assert!(is_strongly_connected(&cfg.to_graph(&c.spec())));
+    }
+
+    #[test]
+    fn hypercube_has_expected_shape() {
+        let h = CayleyGraph::hypercube(3).unwrap();
+        assert_eq!(h.group().order(), 8);
+        assert_eq!(h.degree(), 3);
+        let cfg = h.configuration();
+        // Node 000 links 100, 010, 001 = indices 4, 2, 1.
+        assert_eq!(
+            cfg.strategy(NodeId::new(0)),
+            &[NodeId::new(1), NodeId::new(2), NodeId::new(4)]
+        );
+        assert!(is_strongly_connected(&cfg.to_graph(&h.spec())));
+    }
+
+    #[test]
+    fn directed_cycle_is_the_k1_cayley_graph_and_stable() {
+        // §4.2: "for k = 1 ... the simple directed cycle is an Abelian
+        // Cayley graph and is stable."
+        let c = CayleyGraph::circulant(6, &[1]).unwrap();
+        let spec = c.spec();
+        assert!(StabilityChecker::new(&spec)
+            .is_stable(&c.configuration())
+            .unwrap());
+    }
+
+    #[test]
+    fn lemma8_large_degree_cayley_graphs_are_stable() {
+        // Lemma 8: for k > (n−2)/2 every Abelian Cayley graph is stable.
+        // n=6, k=3 > 2: offsets {1,2,3}.
+        let c = CayleyGraph::circulant(6, &[1, 2, 3]).unwrap();
+        let spec = c.spec();
+        assert!(StabilityChecker::new(&spec)
+            .is_stable(&c.configuration())
+            .unwrap());
+    }
+
+    #[test]
+    fn paper_deviation_doubles_one_generator() {
+        let c = CayleyGraph::circulant(9, &[1, 3]).unwrap();
+        let dev = c.paper_deviation(0).unwrap();
+        assert_eq!(dev, vec![NodeId::new(2), NodeId::new(3)]);
+        // Doubling offset 3 gives 6.
+        let dev = c.paper_deviation(1).unwrap();
+        assert_eq!(dev, vec![NodeId::new(1), NodeId::new(6)]);
+    }
+
+    #[test]
+    fn paper_deviation_collisions_return_none() {
+        // Z_4 with offset 2: doubling gives identity.
+        let c = CayleyGraph::circulant(4, &[2]).unwrap();
+        assert!(c.paper_deviation(0).is_none());
+        // Z_8 with offsets {2, 4}: doubling 2 collides with generator 4.
+        let c = CayleyGraph::circulant(8, &[2, 4]).unwrap();
+        assert!(c.paper_deviation(0).is_none());
+    }
+
+    #[test]
+    fn paper_deviation_improves_on_a_long_circulant() {
+        // Theorem 5's move should strictly help on a sparse circulant where
+        // many nodes have label coordinate ≥ 2 in some generator.
+        let c = CayleyGraph::circulant(64, &[1, 8]).unwrap();
+        let spec = c.spec();
+        let cfg = c.configuration();
+        let mut eval = Evaluator::new(&spec);
+        let before = eval.node_cost(&cfg, NodeId::new(0));
+        let mut improved = false;
+        for i in 0..c.degree() {
+            if let Some(strategy) = c.paper_deviation(i) {
+                let mut moved = cfg.clone();
+                moved.set_strategy(&spec, NodeId::new(0), strategy).unwrap();
+                if eval.node_cost(&moved, NodeId::new(0)) < before {
+                    improved = true;
+                }
+            }
+        }
+        assert!(improved, "doubling some generator should pay off");
+    }
+}

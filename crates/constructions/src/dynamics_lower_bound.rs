@@ -1,0 +1,130 @@
+//! The Ω(n²) convergence lower bound instance (§4.3, after Theorem 6).
+//!
+//! A `(n,1)`-uniform game whose initial configuration is a directed ring
+//! over `r ≥ n/2` nodes with a directed path of `p = n − r` nodes feeding
+//! into it. With the round order the paper prescribes — start at the tail of
+//! the path, proceed along the path, then around the ring in ring direction
+//! — each round extends the ring by exactly one node, so reaching strong
+//! connectivity takes Ω(n²) best-response steps.
+
+use bbc_core::{Configuration, GameSpec, NodeId, Scheduler};
+
+/// The ring-plus-path instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RingWithPath {
+    ring: usize,
+    path: usize,
+}
+
+impl RingWithPath {
+    /// Creates the instance with `ring` nodes on the cycle and `path` nodes
+    /// on the feeding path. The paper requires `ring ≥ path` (i.e.
+    /// `r ≥ n/2`); we enforce `ring ≥ 2` and `path ≥ 1`.
+    pub fn new(ring: usize, path: usize) -> Option<Self> {
+        (ring >= 2 && path >= 1 && ring >= path).then_some(Self { ring, path })
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.ring + self.path
+    }
+
+    /// The `(n,1)`-uniform game.
+    pub fn spec(&self) -> GameSpec {
+        GameSpec::uniform(self.node_count(), 1)
+    }
+
+    /// Initial configuration: nodes `0..ring` form the cycle
+    /// (`i → (i+1) mod ring`); path nodes `ring..n` chain toward the cycle
+    /// (`ring+j → ring+j−1`, with `ring` linking node 0).
+    ///
+    /// Node `ring + path − 1` is the tail `T` that every node can reach from.
+    pub fn configuration(&self) -> Configuration {
+        let spec = self.spec();
+        let n = self.node_count();
+        let mut lists: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+        for i in 0..self.ring {
+            lists.push(vec![NodeId::new((i + 1) % self.ring)]);
+        }
+        for j in 0..self.path {
+            let node = self.ring + j;
+            let target = if j == 0 { 0 } else { node - 1 };
+            lists.push(vec![NodeId::new(target)]);
+        }
+        Configuration::from_strategies(&spec, lists).expect("within budget")
+    }
+
+    /// The paper's round order: the tail of the path first, then along the
+    /// path toward the ring, then around the ring in ring direction.
+    pub fn round_order(&self) -> Scheduler {
+        let mut order: Vec<NodeId> = Vec::with_capacity(self.node_count());
+        // Path from tail inward: n−1, n−2, …, ring.
+        for j in (0..self.path).rev() {
+            order.push(NodeId::new(self.ring + j));
+        }
+        // Ring in ring direction starting at the junction node 0.
+        for i in 0..self.ring {
+            order.push(NodeId::new(i));
+        }
+        Scheduler::RoundRobinOrder(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbc_core::{Walk, WalkOutcome};
+    use bbc_graph::scc::is_strongly_connected;
+
+    #[test]
+    fn initial_configuration_shape() {
+        let inst = RingWithPath::new(4, 3).unwrap();
+        let cfg = inst.configuration();
+        assert_eq!(
+            cfg.strategy(NodeId::new(3)),
+            &[NodeId::new(0)],
+            "ring closes"
+        );
+        assert_eq!(
+            cfg.strategy(NodeId::new(4)),
+            &[NodeId::new(0)],
+            "path head joins ring"
+        );
+        assert_eq!(
+            cfg.strategy(NodeId::new(6)),
+            &[NodeId::new(5)],
+            "tail chains inward"
+        );
+        assert!(!is_strongly_connected(&cfg.to_graph(&inst.spec())));
+    }
+
+    #[test]
+    fn parameters_validated() {
+        assert!(RingWithPath::new(1, 1).is_none());
+        assert!(RingWithPath::new(3, 4).is_none(), "ring must dominate");
+        assert!(RingWithPath::new(4, 4).is_some());
+    }
+
+    #[test]
+    fn convergence_takes_quadratically_many_steps() {
+        // The heart of the Ω(n²) claim: each round absorbs one ring node.
+        let inst = RingWithPath::new(8, 4).unwrap();
+        let spec = inst.spec();
+        let mut walk = Walk::new(&spec, inst.configuration())
+            .with_scheduler(inst.round_order())
+            .detect_cycles(false);
+        let outcome = walk.run(100_000).unwrap();
+        assert!(!matches!(outcome, WalkOutcome::StepLimit { .. }));
+        let steps = walk
+            .stats()
+            .steps_to_strong_connectivity
+            .expect("must connect");
+        let n = inst.node_count() as u64;
+        // Ω(n²/c): with p = n/3 path nodes and ~p rounds of n steps each.
+        assert!(steps >= n * n / 8, "steps {steps} not quadratic for n {n}");
+        assert!(
+            steps <= n * n,
+            "Theorem 6's n² upper bound violated: {steps}"
+        );
+    }
+}

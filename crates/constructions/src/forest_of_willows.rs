@@ -1,0 +1,357 @@
+//! The "Forest of Willows" stable graphs (Definition 1, Figure 3).
+//!
+//! `k` directed complete `k`-ary trees of height `h`, rooted at
+//! `r_1 … r_k`. Beneath each leaf hangs a tail of `l` nodes. The last node
+//! of each tail links to all `k` roots; the second-to-last links to every
+//! root but its own; above that, nodes alternate between "own root plus any
+//! `k−2` others" and "all roots except their own". Lemma 6 proves every such
+//! graph is a pure Nash equilibrium of the `(n,k)`-uniform game; sweeping
+//! the tail length `l` from `0` to `Θ(√(n/k))` sweeps the social cost from
+//! `O(n² log_k n)` to `Ω(n²·√(n/k))`, which is what drives the paper's price
+//! of anarchy lower bound (Theorem 4).
+
+use serde::{Deserialize, Serialize};
+
+use bbc_core::{Configuration, GameSpec, NodeId};
+
+/// Parameters of a Forest of Willows graph.
+///
+/// # Examples
+///
+/// ```
+/// use bbc_constructions::ForestOfWillows;
+///
+/// let fow = ForestOfWillows::new(2, 3, 1).expect("valid parameters");
+/// assert_eq!(fow.node_count(), 2 * (15 + 8)); // 2·((2⁴−1)/(2−1) + 2³·1)
+/// let spec = fow.spec();
+/// let config = fow.configuration();
+/// assert_eq!(config.node_count(), fow.node_count());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ForestOfWillows {
+    k: u64,
+    h: u32,
+    l: u32,
+}
+
+/// Which structural role a node plays; used to pick symmetry-class
+/// representatives for stability checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WillowRole {
+    /// Tree node at the given depth (`0` = root, `h` = leaf).
+    Tree {
+        /// Depth below the root.
+        depth: u32,
+    },
+    /// Tail node at the given position below its leaf (`0` = just below the
+    /// leaf, `l−1` = last node of the tail).
+    Tail {
+        /// Position within the tail.
+        position: u32,
+    },
+}
+
+impl ForestOfWillows {
+    /// Creates the parameter set. Requires `k ≥ 2` (for `k = 1` the paper's
+    /// stable graph is the directed cycle — see
+    /// [`crate::basic::directed_cycle`]) and `h ≥ 1`.
+    ///
+    /// Returns `None` when `k < 2`, `h < 1`, or the node count overflows
+    /// practical sizes (`> 2²⁰` nodes).
+    pub fn new(k: u64, h: u32, l: u32) -> Option<Self> {
+        if k < 2 || h < 1 {
+            return None;
+        }
+        let fow = Self { k, h, l };
+        (fow.checked_node_count()? <= 1 << 20).then_some(fow)
+    }
+
+    fn checked_node_count(&self) -> Option<u64> {
+        // Per section: tree of (k^{h+1}−1)/(k−1) nodes + k^h tails of l.
+        let k = self.k;
+        let mut pow = 1u64; // k^h
+        for _ in 0..self.h {
+            pow = pow.checked_mul(k)?;
+        }
+        let tree = (pow.checked_mul(k)? - 1) / (k - 1);
+        let per_section = tree.checked_add(pow.checked_mul(self.l as u64)?)?;
+        per_section.checked_mul(k)
+    }
+
+    /// Budget per node (`k`).
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// Tree height.
+    pub fn h(&self) -> u32 {
+        self.h
+    }
+
+    /// Tail length.
+    pub fn l(&self) -> u32 {
+        self.l
+    }
+
+    /// Number of nodes in one section (tree plus its tails).
+    pub fn section_size(&self) -> usize {
+        self.tree_size() + self.leaves() * self.l as usize
+    }
+
+    /// Total node count `n = k · section_size`.
+    pub fn node_count(&self) -> usize {
+        self.section_size() * self.k as usize
+    }
+
+    fn tree_size(&self) -> usize {
+        let k = self.k as usize;
+        (k.pow(self.h + 1) - 1) / (k - 1)
+    }
+
+    fn leaves(&self) -> usize {
+        (self.k as usize).pow(self.h)
+    }
+
+    fn internal(&self) -> usize {
+        self.tree_size() - self.leaves()
+    }
+
+    /// The paper's parameter restriction `(h+l)²/4 + h + 2l + 1 < n/k`
+    /// (checked exactly, scaling by 4 to stay in integers).
+    pub fn satisfies_paper_constraint(&self) -> bool {
+        let (h, l) = (self.h as u64, self.l as u64);
+        let n_over_k = self.section_size() as u64;
+        (h + l) * (h + l) + 4 * h + 8 * l + 4 < 4 * n_over_k
+    }
+
+    /// The `(n, k)`-uniform game this graph lives in.
+    pub fn spec(&self) -> GameSpec {
+        GameSpec::uniform(self.node_count(), self.k)
+    }
+
+    /// Builds the initial configuration of Definition 1.
+    ///
+    /// Node layout: sections `0..k` in order; within a section, tree nodes in
+    /// BFS order (`0` = root), then the tails leaf-by-leaf.
+    pub fn configuration(&self) -> Configuration {
+        let k = self.k as usize;
+        let n = self.node_count();
+        let section = self.section_size();
+        let tree = self.tree_size();
+        let internal = self.internal();
+        let leaves = self.leaves();
+        let l = self.l as usize;
+
+        let roots: Vec<NodeId> = (0..k).map(|s| NodeId::new(s * section)).collect();
+        let mut strategies: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+
+        for s in 0..k {
+            let base = s * section;
+            // Internal tree nodes (BFS indexing): children of j are
+            // j·k + 1 ... j·k + k.
+            for j in 0..internal {
+                strategies[base + j] = (1..=k).map(|c| NodeId::new(base + j * k + c)).collect();
+            }
+            // Leaves and tails.
+            for b in 0..leaves {
+                let leaf = base + internal + b;
+                let tail_base = base + tree + b * l;
+                if l == 0 {
+                    // Leaves are the "last nodes": link to every root.
+                    strategies[leaf] = roots.clone();
+                    continue;
+                }
+                // Leaf: down-edge plus the root set dictated by alternation
+                // relative to tail position 0.
+                strategies[leaf] = self.spine_strategy(s, &roots, NodeId::new(tail_base), -1);
+                for p in 0..l {
+                    let node = tail_base + p;
+                    if p == l - 1 {
+                        strategies[node] = roots.clone();
+                    } else {
+                        strategies[node] =
+                            self.spine_strategy(s, &roots, NodeId::new(node + 1), p as i64);
+                    }
+                }
+            }
+        }
+        Configuration::from_strategies(&self.spec(), strategies)
+            .expect("forest of willows construction is within budget")
+    }
+
+    /// Strategy of a spine node (leaf or mid-tail): one down edge plus `k−1`
+    /// root edges chosen by the alternation rule.
+    ///
+    /// `position` is the tail position (−1 for the leaf itself). Counting up
+    /// from the bottom: the last node (position `l−1`) has its own root, and
+    /// ownership alternates each step up.
+    fn spine_strategy(
+        &self,
+        s: usize,
+        roots: &[NodeId],
+        down: NodeId,
+        position: i64,
+    ) -> Vec<NodeId> {
+        let k = self.k as usize;
+        let l = self.l as i64;
+        let steps_from_bottom = (l - 1) - position;
+        let has_own_root = steps_from_bottom % 2 == 0;
+        let mut targets = vec![down];
+        if has_own_root {
+            // Own root plus any k−2 others; deterministically omit the next
+            // root cyclically (the paper allows an arbitrary choice).
+            let omit = (s + 1) % k;
+            targets.extend((0..k).filter(|&j| j != omit || j == s).map(|j| roots[j]));
+        } else {
+            targets.extend((0..k).filter(|&j| j != s).map(|j| roots[j]));
+        }
+        targets
+    }
+
+    /// One representative node per symmetry class: the root, one internal
+    /// node per depth, one leaf, and every position along one tail. Checking
+    /// these suffices for stability of the whole graph because all sections
+    /// and all subtrees at equal depth are isomorphic (including the
+    /// deterministic root-omission pattern).
+    pub fn representative_nodes(&self) -> Vec<(WillowRole, NodeId)> {
+        let mut reps = Vec::new();
+        // Leftmost path of the first section's tree: depth d node has BFS
+        // index (k^d − 1)/(k − 1) ... take the first node at each depth.
+        let k = self.k as usize;
+        let mut first_at_depth = 0usize;
+        for d in 0..=self.h {
+            reps.push((WillowRole::Tree { depth: d }, NodeId::new(first_at_depth)));
+            first_at_depth = first_at_depth * k + 1;
+        }
+        let tree = self.tree_size();
+        for p in 0..self.l {
+            reps.push((
+                WillowRole::Tail { position: p },
+                NodeId::new(tree + p as usize),
+            ));
+        }
+        reps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbc_core::StabilityChecker;
+    use bbc_graph::scc::is_strongly_connected;
+
+    #[test]
+    fn node_count_matches_formula() {
+        // k=2, h=2, l=0: 2·(7) = 14. l=3: 2·(7+12) = 38.
+        assert_eq!(ForestOfWillows::new(2, 2, 0).unwrap().node_count(), 14);
+        assert_eq!(ForestOfWillows::new(2, 2, 3).unwrap().node_count(), 38);
+        // k=3, h=1, l=2: 3·(4 + 3·2) = 30.
+        assert_eq!(ForestOfWillows::new(3, 1, 2).unwrap().node_count(), 30);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(
+            ForestOfWillows::new(1, 3, 0).is_none(),
+            "k=1 is the cycle, not a willow"
+        );
+        assert!(ForestOfWillows::new(2, 0, 0).is_none());
+        assert!(ForestOfWillows::new(2, 25, 1).is_none(), "overflow guard");
+    }
+
+    #[test]
+    fn every_node_spends_exactly_k() {
+        for (k, h, l) in [
+            (2u64, 2u32, 0u32),
+            (2, 2, 3),
+            (3, 1, 2),
+            (2, 3, 1),
+            (4, 1, 1),
+        ] {
+            let fow = ForestOfWillows::new(k, h, l).unwrap();
+            let cfg = fow.configuration();
+            for u in NodeId::all(fow.node_count()) {
+                assert_eq!(
+                    cfg.out_degree(u),
+                    k as usize,
+                    "(k={k},h={h},l={l}) node {u} has wrong degree"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn graph_is_strongly_connected() {
+        for (k, h, l) in [(2u64, 2u32, 0u32), (2, 3, 2), (3, 1, 1), (3, 2, 1)] {
+            let fow = ForestOfWillows::new(k, h, l).unwrap();
+            let g = fow.configuration().to_graph(&fow.spec());
+            assert!(is_strongly_connected(&g), "(k={k},h={h},l={l})");
+        }
+    }
+
+    #[test]
+    fn paper_constraint_evaluates() {
+        assert!(ForestOfWillows::new(2, 2, 0)
+            .unwrap()
+            .satisfies_paper_constraint());
+        // Enormous tails relative to n/k violate it.
+        let fow = ForestOfWillows::new(2, 1, 20).unwrap();
+        assert!(!fow.satisfies_paper_constraint());
+    }
+
+    #[test]
+    fn last_tail_nodes_link_all_roots() {
+        let fow = ForestOfWillows::new(3, 1, 2).unwrap();
+        let cfg = fow.configuration();
+        let section = fow.section_size();
+        let roots: Vec<NodeId> = (0..3).map(|s| NodeId::new(s * section)).collect();
+        // First section: tree nodes 0..4 (root 0, leaves 1..3), tails at 4..10.
+        // Leaf 1's tail occupies nodes 4,5; node 5 is the last.
+        let last = NodeId::new(5);
+        assert_eq!(cfg.strategy(last), &roots[..]);
+    }
+
+    #[test]
+    fn second_to_last_omits_own_root() {
+        let fow = ForestOfWillows::new(3, 1, 2).unwrap();
+        let cfg = fow.configuration();
+        let section = fow.section_size();
+        // Node 4 = first tail node of section 0 = second-to-last (l=2).
+        let s = cfg.strategy(NodeId::new(4));
+        assert!(s.contains(&NodeId::new(5)), "down edge");
+        assert!(!s.contains(&NodeId::new(0)), "own root omitted");
+        assert!(s.contains(&NodeId::new(section)), "other roots present");
+        assert!(s.contains(&NodeId::new(2 * section)));
+    }
+
+    #[test]
+    fn small_willows_are_stable() {
+        // Lemma 6 smoke check (full exact verification lives in E5 and the
+        // integration suite). Lemma 2's proof needs h ≥ 3 when k = 2, so use
+        // the smallest parameters the paper's argument covers.
+        let fow = ForestOfWillows::new(2, 3, 0).unwrap();
+        assert!(fow.satisfies_paper_constraint());
+        let spec = fow.spec();
+        assert!(StabilityChecker::new(&spec)
+            .is_stable(&fow.configuration())
+            .unwrap());
+    }
+
+    #[test]
+    fn representatives_cover_each_depth_and_tail_position() {
+        let fow = ForestOfWillows::new(2, 3, 2).unwrap();
+        let reps = fow.representative_nodes();
+        assert_eq!(reps.len(), (3 + 1) + 2);
+        assert_eq!(reps[0], (WillowRole::Tree { depth: 0 }, NodeId::new(0)));
+        // Depth-1 representative is the root's first child (BFS index 1).
+        assert_eq!(reps[1], (WillowRole::Tree { depth: 1 }, NodeId::new(1)));
+        // Tail representatives immediately follow the tree block.
+        assert_eq!(
+            reps[4],
+            (
+                WillowRole::Tail { position: 0 },
+                NodeId::new(fow.tree_size())
+            )
+        );
+    }
+}

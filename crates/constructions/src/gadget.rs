@@ -1,0 +1,530 @@
+//! The matching-pennies gadgets behind the no-equilibrium theorems.
+//!
+//! Theorem 1 builds an 11-node non-uniform BBC game with no pure Nash
+//! equilibrium by wiring two five-node sub-gadgets into a matching-pennies
+//! payoff structure, plus an anchor node `X`. Figure 1's exact edge set is
+//! not recoverable from the paper's text, so this module reconstructs it
+//! from the proof's case analysis (every sentence of which pins down an
+//! edge — see the comments on [`SHOWN_LINKS`]), and exposes three variants:
+//!
+//! * [`GadgetVariant::Restricted`] — "omitted" links are unaffordable
+//!   (non-uniform link *costs*). This makes the paper's implicit restriction
+//!   to drawn links exact, and the no-equilibrium scan over the full joint
+//!   strategy space is unconditionally exhaustive.
+//! * [`GadgetVariant::UniformLengths`] — Theorem 1's actual statement
+//!   (uniform costs, lengths, budgets; non-uniform preferences), with the
+//!   `α/β/γ/ζ/ξ` preference construction of the proof.
+//! * [`GadgetVariant::NonuniformLengths`] — the proof's warm-up instance
+//!   with omitted links of length `L`.
+//!
+//! The experiments (E1) enumerate candidate profiles for each variant and
+//! check every candidate against the full deviation space; discrepancies
+//! between variants are reported rather than hidden (see EXPERIMENTS.md).
+
+use bbc_core::{
+    enumerate::{all_strategies, ProfileSpace},
+    Configuration, CostModel, GameSpec, NodeId, Result,
+};
+
+/// Node indices of the Theorem 1 gadget.
+///
+/// `0C/1C` are the sub-gadget centers, `*LT/*RT` the tops, `*LB/*RB` the
+/// bottoms, `X` the anchor the bottoms fall back to.
+pub mod node {
+    use bbc_core::NodeId;
+
+    /// Center of sub-gadget 0.
+    pub const C0: NodeId = NodeId::from_const(0);
+    /// Left top of sub-gadget 0.
+    pub const LT0: NodeId = NodeId::from_const(1);
+    /// Right top of sub-gadget 0.
+    pub const RT0: NodeId = NodeId::from_const(2);
+    /// Left bottom of sub-gadget 0.
+    pub const LB0: NodeId = NodeId::from_const(3);
+    /// Right bottom of sub-gadget 0.
+    pub const RB0: NodeId = NodeId::from_const(4);
+    /// Center of sub-gadget 1.
+    pub const C1: NodeId = NodeId::from_const(5);
+    /// Left top of sub-gadget 1.
+    pub const LT1: NodeId = NodeId::from_const(6);
+    /// Right top of sub-gadget 1.
+    pub const RT1: NodeId = NodeId::from_const(7);
+    /// Left bottom of sub-gadget 1.
+    pub const LB1: NodeId = NodeId::from_const(8);
+    /// Right bottom of sub-gadget 1.
+    pub const RB1: NodeId = NodeId::from_const(9);
+    /// The anchor node.
+    pub const X: NodeId = NodeId::from_const(10);
+}
+
+/// Human-readable node names, indexed by node id.
+pub const NODE_NAMES: [&str; 11] = [
+    "0C", "0LT", "0RT", "0LB", "0RB", "1C", "1LT", "1RT", "1LB", "1RB", "X",
+];
+
+/// The drawn ("shown") links of Figure 1, as reconstructed from the proof of
+/// Theorem 1. Each group is forced by a sentence of the case analysis:
+///
+/// * centers offer both tops (`0C→0LT`, `0C→0RT`, …) — the "switch";
+/// * tops couple the gadgets: *"0C does not have a path to 1C"* after
+///   `0C→0LT, 1RB→X` forces `0LT→1RB`; *"1C sets its link to 1RT"* (to reach
+///   `0C` through `0RB`) forces `1RT→0RB`, and symmetrically `0RT→1LB`,
+///   `1LT→0LB`. Note the deliberate asymmetry — gadget 0's tops cross
+///   left-to-right, gadget 1's straight — which encodes one player matching
+///   and the other mismatching (the pennies);
+/// * bottoms can reach their center (*"0RB sets its link to 0C"*) and the
+///   anchor (`w(u, X) = 1` plus the length-1 links `(·B, X)` the proof sets
+///   explicitly).
+pub const SHOWN_LINKS: [(usize, usize); 16] = [
+    // Center switches.
+    (0, 1),
+    (0, 2),
+    (5, 6),
+    (5, 7),
+    // Cross-gadget coupling via the tops.
+    (1, 9), // 0LT -> 1RB
+    (2, 8), // 0RT -> 1LB
+    (6, 3), // 1LT -> 0LB
+    (7, 4), // 1RT -> 0RB
+    // Bottoms to their centers.
+    (3, 0),
+    (4, 0),
+    (8, 5),
+    (9, 5),
+    // Bottoms to the anchor.
+    (3, 10),
+    (4, 10),
+    (8, 10),
+    (9, 10),
+];
+
+/// Which flavour of the Theorem 1 instance to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GadgetVariant {
+    /// Omitted links cost more than the budget: the strategy space is
+    /// exactly the drawn links. Non-uniform link costs; `X` cannot buy
+    /// (pure sink). The headline no-equilibrium certificate.
+    Restricted,
+    /// Theorem 1's statement: uniform link costs, lengths and budgets;
+    /// non-uniform preferences only (`α=8, β=6, γ=4, ζ=10, ξ=1`, satisfying
+    /// the proof's inequalities for any `M ≥ 4`).
+    UniformLengths,
+    /// The proof's warm-up: omitted links exist but have length `L`.
+    NonuniformLengths {
+        /// Length of every omitted link (the proof's `L`).
+        omitted_length: u64,
+    },
+}
+
+/// Builder for Theorem 1 gadget instances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Gadget {
+    variant: GadgetVariant,
+}
+
+impl Gadget {
+    /// Number of nodes (11).
+    pub const NODE_COUNT: usize = 11;
+
+    /// Creates a gadget of the given variant.
+    pub fn new(variant: GadgetVariant) -> Self {
+        Self { variant }
+    }
+
+    /// The variant.
+    pub fn variant(&self) -> GadgetVariant {
+        self.variant
+    }
+
+    /// Builds the game specification.
+    pub fn spec(&self) -> GameSpec {
+        let n = Self::NODE_COUNT;
+        let shown = |u: usize, v: usize| SHOWN_LINKS.contains(&(u, v));
+        let mut b = GameSpec::builder(n).default_weight(0).default_budget(1);
+
+        match self.variant {
+            GadgetVariant::Restricted => {
+                // Drawn links cost 1, everything else is unaffordable. X is a
+                // pure sink: all its links are priced out.
+                for u in 0..n {
+                    for v in 0..n {
+                        if u == v {
+                            continue;
+                        }
+                        let affordable = shown(u, v) && u != node::X.index();
+                        b = b.link_cost(u, v, if affordable { 1 } else { 2 });
+                    }
+                }
+            }
+            GadgetVariant::UniformLengths => {
+                // Everything uniform except preferences.
+            }
+            GadgetVariant::NonuniformLengths { omitted_length } => {
+                assert!(
+                    omitted_length >= 2,
+                    "omitted links must be longer than drawn ones"
+                );
+                for u in 0..n {
+                    for v in 0..n {
+                        if u != v && !shown(u, v) {
+                            b = b.link_length(u, v, omitted_length);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Preferences. Tops want their cross-coupled bottom (the drawn
+        // solid edge), weight 1.
+        b = b
+            .weight(node::LT0.index(), node::RB1.index(), 1)
+            .weight(node::RT0.index(), node::LB1.index(), 1)
+            .weight(node::LT1.index(), node::LB0.index(), 1)
+            .weight(node::RT1.index(), node::RB0.index(), 1);
+
+        match self.variant {
+            GadgetVariant::UniformLengths => {
+                // The proof's switch weights: ζ on own tops, ξ < ζ on the
+                // other center; bottoms use α > β, γ with
+                // α(M−1) < β(M−1) + γ(M−2).
+                let (zeta, xi) = (10, 1);
+                let (alpha, beta, gamma) = (8, 6, 4);
+                for (c, lt, rt) in [
+                    (node::C0, node::LT0, node::RT0),
+                    (node::C1, node::LT1, node::RT1),
+                ] {
+                    b = b
+                        .weight(c.index(), lt.index(), zeta)
+                        .weight(c.index(), rt.index(), zeta);
+                }
+                b = b.weight(node::C0.index(), node::C1.index(), xi).weight(
+                    node::C1.index(),
+                    node::C0.index(),
+                    xi,
+                );
+                for (bot, center, cross) in [
+                    (node::LB0, node::C0, node::RT0),
+                    (node::RB0, node::C0, node::LT0),
+                    (node::LB1, node::C1, node::RT1),
+                    (node::RB1, node::C1, node::LT1),
+                ] {
+                    b = b
+                        .weight(bot.index(), node::X.index(), alpha)
+                        .weight(bot.index(), center.index(), beta)
+                        .weight(bot.index(), cross.index(), gamma);
+                }
+            }
+            GadgetVariant::Restricted | GadgetVariant::NonuniformLengths { .. } => {
+                // Theorem 1's original weights: solid center→top edges carry
+                // weight 1, the centers want each other, bottoms weight their
+                // crossover top 2 and X 1.
+                for (c, lt, rt) in [
+                    (node::C0, node::LT0, node::RT0),
+                    (node::C1, node::LT1, node::RT1),
+                ] {
+                    b = b
+                        .weight(c.index(), lt.index(), 1)
+                        .weight(c.index(), rt.index(), 1);
+                }
+                b = b.weight(node::C0.index(), node::C1.index(), 1).weight(
+                    node::C1.index(),
+                    node::C0.index(),
+                    1,
+                );
+                for (bot, cross) in [
+                    (node::LB0, node::RT0),
+                    (node::RB0, node::LT0),
+                    (node::LB1, node::RT1),
+                    (node::RB1, node::LT1),
+                ] {
+                    b = b.weight(bot.index(), cross.index(), 2).weight(
+                        bot.index(),
+                        node::X.index(),
+                        1,
+                    );
+                }
+            }
+        }
+
+        b.build().expect("gadget spec is valid")
+    }
+
+    /// The candidate profile space for the no-equilibrium scan.
+    ///
+    /// For [`GadgetVariant::Restricted`] this is the *full* joint strategy
+    /// space (affordability already restricts it), so the scan is
+    /// unconditionally exhaustive. For the other variants, the four top
+    /// nodes are pinned to their unique positive-weight target — provably
+    /// their strictly dominant strategy, since a direct drawn link achieves
+    /// the minimum possible distance 1 while any other strategy leaves the
+    /// target at distance ≥ 2 or unreachable — and every remaining node
+    /// ranges over its full strategy space.
+    ///
+    /// # Errors
+    ///
+    /// Propagates strategy-enumeration failures (cannot happen for the
+    /// gadget's budget of 1).
+    pub fn candidate_space(&self, spec: &GameSpec) -> Result<ProfileSpace> {
+        match self.variant {
+            GadgetVariant::Restricted => ProfileSpace::full(spec, 1 << 12),
+            _ => {
+                let pinned: [(NodeId, NodeId); 4] = [
+                    (node::LT0, node::RB1),
+                    (node::RT0, node::LB1),
+                    (node::LT1, node::LB0),
+                    (node::RT1, node::RB0),
+                ];
+                let mut per_node = Vec::with_capacity(Self::NODE_COUNT);
+                for u in NodeId::all(Self::NODE_COUNT) {
+                    if let Some((_, target)) = pinned.iter().find(|(top, _)| *top == u) {
+                        per_node.push(vec![vec![*target]]);
+                    } else {
+                        per_node.push(all_strategies(spec, u, 1 << 12)?);
+                    }
+                }
+                ProfileSpace::from_candidates(spec, per_node)
+            }
+        }
+    }
+
+    /// The two "matching pennies" states of the proof's case analysis
+    /// (everyone best-responding to `0C→0LT` and `0C→0RT` respectively),
+    /// with `X` buying nothing. Useful as dynamics starting points.
+    pub fn pennies_states(&self, spec: &GameSpec) -> (Configuration, Configuration) {
+        let mk = |links: &[(NodeId, NodeId)]| {
+            let mut lists = vec![Vec::new(); Self::NODE_COUNT];
+            for &(u, v) in links {
+                lists[u.index()].push(v);
+            }
+            Configuration::from_strategies(spec, lists).expect("pennies state is valid")
+        };
+        let tops = [
+            (node::LT0, node::RB1),
+            (node::RT0, node::LB1),
+            (node::LT1, node::LB0),
+            (node::RT1, node::RB0),
+        ];
+        // State A: 0C→0LT; 0RB→0C, 0LB→X; 1C→1RT, 1RB→X, 1LB→1C.
+        let mut a = tops.to_vec();
+        a.extend([
+            (node::C0, node::LT0),
+            (node::RB0, node::C0),
+            (node::LB0, node::X),
+            (node::C1, node::RT1),
+            (node::RB1, node::X),
+            (node::LB1, node::C1),
+        ]);
+        // State B: 0C→0RT; 0LB→0C, 0RB→X; 1C→1LT, 1LB→X, 1RB→1C.
+        let mut bstate = tops.to_vec();
+        bstate.extend([
+            (node::C0, node::RT0),
+            (node::LB0, node::C0),
+            (node::RB0, node::X),
+            (node::C1, node::LT1),
+            (node::LB1, node::X),
+            (node::RB1, node::C1),
+        ]);
+        (mk(&a), mk(&bstate))
+    }
+}
+
+/// A *minimal* no-equilibrium BBC game: 5 nodes, budget 1, uniform link
+/// costs and lengths, non-uniform preferences only — found by exhaustive
+/// seeded search and frozen here. Strengthens Theorem 1's `n ≥ 11`
+/// construction: non-uniform preferences already break equilibrium existence
+/// at `n = 5`. Verified no-NE over all `5⁵ = 3125` profiles in tests and E1.
+pub fn minimal_no_ne_witness() -> GameSpec {
+    // Row u = weights w(u, ·); discovered at search seed 26245.
+    const W: [[u64; 5]; 5] = [
+        [0, 2, 2, 0, 0],
+        [2, 0, 0, 0, 1],
+        [0, 2, 0, 1, 0],
+        [0, 3, 1, 0, 3],
+        [0, 1, 2, 3, 0],
+    ];
+    let mut b = GameSpec::builder(5).default_budget(1);
+    for (u, row) in W.iter().enumerate() {
+        for (v, &w) in row.iter().enumerate() {
+            if u != v {
+                b = b.weight(u, v, w);
+            }
+        }
+    }
+    b.build().expect("witness spec is valid")
+}
+
+/// The Theorem 1 restricted gadget re-read as a BBC-**max** game — the most
+/// direct adaptation of Figure 1 toward Theorem 7's claim.
+///
+/// **Finding (E12):** this instance *does* admit pure Nash equilibria — 225
+/// of them — all of the "mutual surrender" shape: once a sub-gadget's
+/// crossover links die, every remaining option of the starved nodes costs
+/// the full penalty `M`, and under max-cost a node indifferent at `M` is
+/// stable. The matching-pennies engine that powers Theorem 1 therefore
+/// stalls under the max model; Figure 5's sink chains are the paper's
+/// countermeasure, but its 16-node wiring is not recoverable from the text
+/// (see DESIGN.md) and every reconstruction we tried admits surrender
+/// equilibria as well. E12 reports this as a reproduction discrepancy and
+/// quantifies it.
+pub fn max_gadget_spec() -> GameSpec {
+    // Reuse the restricted Theorem-1 topology under the max-distance model,
+    // with bottom weights per Theorem 7's switch: each bottom weighs its
+    // crossover top and X equally (the proof's `a`), so its *max* distance
+    // flips between "crossover reachable via center" and "anchor direct".
+    let sum_spec = Gadget::new(GadgetVariant::Restricted).spec();
+    let n = sum_spec.node_count();
+    let mut b = GameSpec::builder(n).default_weight(0).default_budget(1);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                b = b.link_cost(u, v, sum_spec.link_cost(NodeId::new(u), NodeId::new(v)));
+                b = b.weight(u, v, sum_spec.weight(NodeId::new(u), NodeId::new(v)));
+            }
+        }
+    }
+    b.cost_model(CostModel::MaxDistance)
+        .build()
+        .expect("max gadget spec is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbc_core::StabilityChecker;
+
+    #[test]
+    fn shown_links_have_expected_counts() {
+        // 16 drawn links; every node except X and the tops has out-degree 2
+        // available, tops 1, X 0.
+        let mut out = [0usize; 11];
+        for &(u, _) in &SHOWN_LINKS {
+            out[u] += 1;
+        }
+        assert_eq!(out[node::C0.index()], 2);
+        assert_eq!(out[node::LT0.index()], 1);
+        assert_eq!(out[node::RB0.index()], 2);
+        assert_eq!(out[node::X.index()], 0);
+    }
+
+    #[test]
+    fn restricted_spec_prices_out_omitted_links() {
+        let spec = Gadget::new(GadgetVariant::Restricted).spec();
+        assert_eq!(spec.link_cost(node::C0, node::LT0), 1);
+        assert_eq!(
+            spec.link_cost(node::C0, node::C1),
+            2,
+            "omitted link unaffordable"
+        );
+        assert!(spec.affordable_targets(node::X).is_empty(), "X is a sink");
+        assert_eq!(
+            spec.affordable_targets(node::C0),
+            vec![node::LT0, node::RT0]
+        );
+    }
+
+    #[test]
+    fn uniform_variant_is_actually_uniform_in_costs_and_lengths() {
+        let spec = Gadget::new(GadgetVariant::UniformLengths).spec();
+        for u in NodeId::all(11) {
+            assert_eq!(spec.budget(u), 1);
+            for v in NodeId::all(11) {
+                if u != v {
+                    assert_eq!(spec.link_cost(u, v), 1);
+                    assert_eq!(spec.link_length(u, v), 1);
+                }
+            }
+        }
+        // Proof inequalities: α > γ, α > β, α(M−1) < β(M−1) + γ(M−2).
+        let (alpha, beta, gamma) = (8u64, 6u64, 4u64);
+        let m = spec.penalty();
+        assert!(alpha > gamma && alpha > beta);
+        assert!(alpha * (m - 1) < beta * (m - 1) + gamma * (m - 2));
+    }
+
+    #[test]
+    fn nonuniform_lengths_variant_sets_omitted_length() {
+        let spec = Gadget::new(GadgetVariant::NonuniformLengths { omitted_length: 50 }).spec();
+        assert_eq!(spec.link_length(node::C0, node::LT0), 1);
+        assert_eq!(spec.link_length(node::C0, node::C1), 50);
+        assert!(spec.penalty() > 11 * 50, "M ≫ n·L");
+    }
+
+    #[test]
+    fn restricted_candidate_space_is_small_and_full() {
+        let g = Gadget::new(GadgetVariant::Restricted);
+        let spec = g.spec();
+        let space = g.candidate_space(&spec).unwrap();
+        // Centers/bottoms: {}, two singletons = 3 each; tops: 2; X: 1.
+        // 3^2 · 2^4 · 3^4 · 1 = 11664.
+        assert_eq!(space.profile_count(), 11_664);
+    }
+
+    #[test]
+    fn restricted_gadget_has_no_pure_nash_equilibrium() {
+        // The headline Theorem 1 certificate, exhaustively.
+        let g = Gadget::new(GadgetVariant::Restricted);
+        let spec = g.spec();
+        let space = g.candidate_space(&spec).unwrap();
+        let result = bbc_core::enumerate::find_equilibria(&spec, &space, 100_000).unwrap();
+        assert_eq!(result.profiles_checked, 11_664);
+        assert!(
+            result.equilibria.is_empty(),
+            "found unexpected equilibria: {:?}",
+            result.equilibria
+        );
+    }
+
+    #[test]
+    fn pennies_states_are_mutually_escaping() {
+        // In state A the center 0C must want to deviate (the proof's "will
+        // switch its link to 0RT"), and symmetrically in state B.
+        let g = Gadget::new(GadgetVariant::Restricted);
+        let spec = g.spec();
+        let (a, bstate) = g.pennies_states(&spec);
+        let checker = StabilityChecker::new(&spec).collect_all_deviations(true);
+        let report_a = checker.check(&a).unwrap();
+        assert!(!report_a.stable);
+        assert!(
+            report_a.deviations.iter().any(|d| d.node == node::C0),
+            "0C deviates in state A: {:?}",
+            report_a.deviations
+        );
+        let report_b = checker.check(&bstate).unwrap();
+        assert!(!report_b.stable);
+        assert!(report_b.deviations.iter().any(|d| d.node == node::C0));
+    }
+
+    #[test]
+    fn max_gadget_spec_uses_max_model() {
+        let spec = max_gadget_spec();
+        assert_eq!(spec.cost_model(), CostModel::MaxDistance);
+        assert_eq!(spec.node_count(), 11);
+    }
+
+    #[test]
+    fn minimal_witness_has_no_equilibrium_over_full_space() {
+        let spec = minimal_no_ne_witness();
+        let space = bbc_core::enumerate::ProfileSpace::full(&spec, 1 << 14).unwrap();
+        assert_eq!(
+            space.profile_count(),
+            3125,
+            "5 strategies per node, 5 nodes"
+        );
+        let result = bbc_core::enumerate::find_equilibria(&spec, &space, 10_000).unwrap();
+        assert!(result.equilibria.is_empty());
+    }
+
+    #[test]
+    fn minimal_witness_is_uniform_except_preferences() {
+        let spec = minimal_no_ne_witness();
+        for u in NodeId::all(5) {
+            assert_eq!(spec.budget(u), 1);
+            for v in NodeId::all(5) {
+                if u != v {
+                    assert_eq!(spec.link_cost(u, v), 1);
+                    assert_eq!(spec.link_length(u, v), 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Explicit instance families from the BBC games paper.
+//!
+//! Every graph or game instance the paper constructs in a proof is built
+//! here, exactly parameterized and unit-tested against the paper's counting
+//! formulas:
+//!
+//! * [`ForestOfWillows`] — the stable-graph family of Definition 1/Figure 3
+//!   whose tail parameter sweeps social cost across the whole PoA spectrum;
+//! * [`cayley`] — circulants, hypercubes and general Abelian Cayley graphs
+//!   (§4.2), including Theorem 5's generator-doubling deviation;
+//! * [`gadget`] — the Theorem 1 matching-pennies gadget in three variants,
+//!   plus the BBC-max no-equilibrium instance for Theorem 7;
+//! * [`SatReduction`] — the Theorem 2 reduction from 3SAT;
+//! * [`MaxPoaGraph`] — the Theorem 8/Figure 6 high-cost BBC-max equilibrium;
+//! * [`RingWithPath`] — the Ω(n²) best-response convergence instance (§4.3);
+//! * [`basic`] — directed cycles, stars and near-optimal trees used as
+//!   baselines.
+
+pub mod basic;
+pub mod cayley;
+pub mod dynamics_lower_bound;
+pub mod forest_of_willows;
+pub mod gadget;
+pub mod max_poa;
+pub mod sat_reduction;
+
+pub use cayley::{AbelianGroup, CayleyGraph};
+pub use dynamics_lower_bound::RingWithPath;
+pub use forest_of_willows::{ForestOfWillows, WillowRole};
+pub use gadget::{max_gadget_spec, minimal_no_ne_witness, Gadget, GadgetVariant};
+pub use max_poa::MaxPoaGraph;
+pub use sat_reduction::SatReduction;

@@ -1,0 +1,201 @@
+//! The high-cost BBC-max equilibrium of Theorem 8 (Figure 6).
+//!
+//! For `k ≥ 3`: `2k−1` tails of `l` nodes each and one root `r`. The root
+//! links the first node of tails `1..k` (segment `S1`); each remaining tail
+//! is its own segment. The last node of every tail links the head of every
+//! segment; every other tail node spends its budget on its successor, the
+//! root, and the last node of a tail. The sum of max-distances is
+//! `Ω(n²/k)`, while the social optimum is `O(n log_k n)` — the price of
+//! anarchy lower bound `Ω(n / (k log_k n))`.
+//!
+//! The paper sketches a `k = 2` adjustment (three paths plus one extra
+//! node); this module implements `k ≥ 3` and exposes the parameters so the
+//! experiment can sweep them. Stability is verified *computationally* in E10
+//! rather than assumed.
+
+use serde::{Deserialize, Serialize};
+
+use bbc_core::{Configuration, GameSpec, NodeId};
+
+/// Parameters of the Figure 6 construction.
+///
+/// # Examples
+///
+/// ```
+/// use bbc_constructions::MaxPoaGraph;
+///
+/// let g = MaxPoaGraph::new(3, 4).expect("valid");
+/// assert_eq!(g.node_count(), 1 + 5 * 4); // root + (2k−1)·l
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MaxPoaGraph {
+    k: u64,
+    l: usize,
+}
+
+impl MaxPoaGraph {
+    /// Creates the construction with `2k−1` tails of length `l`. Requires
+    /// `k ≥ 3` (the paper's main case) and `l ≥ 2`.
+    pub fn new(k: u64, l: usize) -> Option<Self> {
+        (k >= 3 && l >= 2 && (2 * k as usize - 1) * l < (1 << 18)).then_some(Self { k, l })
+    }
+
+    /// Budget per node.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// Tail length.
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// Number of tails, `2k−1`.
+    pub fn tail_count(&self) -> usize {
+        2 * self.k as usize - 1
+    }
+
+    /// Total node count `n = (2k−1)·l + 1`.
+    pub fn node_count(&self) -> usize {
+        self.tail_count() * self.l + 1
+    }
+
+    /// The root node `r`.
+    pub fn root(&self) -> NodeId {
+        NodeId::new(0)
+    }
+
+    /// The `p`-th node of tail `t` (both 0-based; `p = 0` is the head).
+    pub fn tail_node(&self, t: usize, p: usize) -> NodeId {
+        assert!(
+            t < self.tail_count() && p < self.l,
+            "tail index out of range"
+        );
+        NodeId::new(1 + t * self.l + p)
+    }
+
+    /// Heads of the `k` segments: `S1`'s head is the root; segment `j ≥ 2`
+    /// is the single tail `k−1+j−1` and its head is that tail's first node.
+    pub fn segment_heads(&self) -> Vec<NodeId> {
+        let k = self.k as usize;
+        let mut heads = vec![self.root()];
+        for t in k..self.tail_count() {
+            heads.push(self.tail_node(t, 0));
+        }
+        heads
+    }
+
+    /// The `(n,k)`-uniform BBC-max game this graph lives in.
+    pub fn spec(&self) -> GameSpec {
+        GameSpec::uniform(self.node_count(), self.k)
+            .with_cost_model(bbc_core::CostModel::MaxDistance)
+    }
+
+    /// Builds the equilibrium configuration.
+    pub fn configuration(&self) -> Configuration {
+        let spec = self.spec();
+        let k = self.k as usize;
+        let heads = self.segment_heads();
+        let mut lists: Vec<Vec<NodeId>> = vec![Vec::new(); self.node_count()];
+
+        // Root links the first node of tails 0..k (its own segment's tails).
+        lists[self.root().index()] = (0..k).map(|t| self.tail_node(t, 0)).collect();
+
+        for t in 0..self.tail_count() {
+            for p in 0..self.l {
+                let node = self.tail_node(t, p);
+                let mut targets = Vec::with_capacity(k);
+                if p == self.l - 1 {
+                    // Last node: the head of every segment.
+                    targets.extend(heads.iter().copied());
+                } else {
+                    // Mid node: successor, root, and the last node of the
+                    // next tail (deterministic choice of the paper's
+                    // "a tail"); remaining budget filled with further
+                    // last-nodes, whose placement "doesn't matter".
+                    targets.push(self.tail_node(t, p + 1));
+                    if !targets.contains(&self.root()) {
+                        targets.push(self.root());
+                    }
+                    let mut fill = 0usize;
+                    while targets.len() < k {
+                        let other = (t + 1 + fill) % self.tail_count();
+                        let last = self.tail_node(other, self.l - 1);
+                        if !targets.contains(&last) && last != node {
+                            targets.push(last);
+                        }
+                        fill += 1;
+                    }
+                }
+                targets.sort_unstable();
+                targets.dedup();
+                lists[node.index()] = targets;
+            }
+        }
+        Configuration::from_strategies(&spec, lists).expect("construction is within budget")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbc_core::Evaluator;
+    use bbc_graph::scc::is_strongly_connected;
+
+    #[test]
+    fn parameters_validated() {
+        assert!(
+            MaxPoaGraph::new(2, 4).is_none(),
+            "k=2 is the paper's separate case"
+        );
+        assert!(MaxPoaGraph::new(3, 1).is_none());
+        assert!(MaxPoaGraph::new(3, 2).is_some());
+    }
+
+    #[test]
+    fn counts_match_formula() {
+        let g = MaxPoaGraph::new(4, 5).unwrap();
+        assert_eq!(g.tail_count(), 7);
+        assert_eq!(g.node_count(), 36);
+        assert_eq!(g.segment_heads().len(), 4);
+    }
+
+    #[test]
+    fn all_degrees_within_budget_and_graph_connected() {
+        for (k, l) in [(3u64, 3usize), (3, 5), (4, 3)] {
+            let g = MaxPoaGraph::new(k, l).unwrap();
+            let spec = g.spec();
+            let cfg = g.configuration();
+            for u in NodeId::all(g.node_count()) {
+                assert!(cfg.out_degree(u) <= k as usize, "(k={k},l={l}) node {u}");
+            }
+            assert!(
+                is_strongly_connected(&cfg.to_graph(&spec)),
+                "(k={k},l={l}) must be strongly connected"
+            );
+        }
+    }
+
+    #[test]
+    fn last_tail_nodes_link_every_segment_head() {
+        let g = MaxPoaGraph::new(3, 3).unwrap();
+        let cfg = g.configuration();
+        let mut heads = g.segment_heads();
+        heads.sort_unstable();
+        for t in 0..g.tail_count() {
+            assert_eq!(cfg.strategy(g.tail_node(t, 2)), &heads[..]);
+        }
+    }
+
+    #[test]
+    fn total_max_cost_scales_like_n_squared_over_k() {
+        // The sum of max distances should be Θ(n·l) = Θ(n²/k).
+        let g = MaxPoaGraph::new(3, 8).unwrap();
+        let spec = g.spec();
+        let mut eval = Evaluator::new(&spec);
+        let total = eval.social_cost(&g.configuration());
+        let n = g.node_count() as u64;
+        assert!(total >= n * (g.l() as u64) / 2, "total {total} too small");
+        assert!(total <= n * 3 * (g.l() as u64), "total {total} too large");
+    }
+}

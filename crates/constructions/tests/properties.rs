@@ -1,0 +1,112 @@
+//! Property-based tests for the paper's constructions.
+
+use bbc_constructions::{CayleyGraph, ForestOfWillows, MaxPoaGraph, RingWithPath};
+use bbc_core::{Evaluator, NodeId};
+use bbc_graph::scc::is_strongly_connected;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn willow_structure_invariants(k in 2u64..=4, h in 1u32..=3, l in 0u32..=3) {
+        prop_assume!(ForestOfWillows::new(k, h, l).is_some());
+        let fow = ForestOfWillows::new(k, h, l).unwrap();
+        let spec = fow.spec();
+        let cfg = fow.configuration();
+        // Counting formula: n = k·((k^{h+1}−1)/(k−1) + k^h·l).
+        let kk = k as usize;
+        let tree = (kk.pow(h + 1) - 1) / (kk - 1);
+        prop_assert_eq!(fow.node_count(), kk * (tree + kk.pow(h) * l as usize));
+        // Every node spends its whole budget; the graph is strongly
+        // connected.
+        for u in NodeId::all(fow.node_count()) {
+            prop_assert_eq!(cfg.out_degree(u), kk);
+            prop_assert!(spec.validate_strategy(u, cfg.strategy(u)).is_ok());
+        }
+        prop_assert!(is_strongly_connected(&cfg.to_graph(&spec)));
+    }
+
+    #[test]
+    fn willow_sections_are_cost_isomorphic(k in 2u64..=3, h in 1u32..=3, l in 0u32..=2) {
+        // Symmetry that E5's class-exact mode relies on: node costs repeat
+        // across sections with period section_size.
+        prop_assume!(ForestOfWillows::new(k, h, l).is_some());
+        let fow = ForestOfWillows::new(k, h, l).unwrap();
+        let spec = fow.spec();
+        let cfg = fow.configuration();
+        let costs = Evaluator::new(&spec).node_costs(&cfg);
+        let section = fow.section_size();
+        for u in 0..fow.node_count() {
+            prop_assert_eq!(costs[u], costs[u % section], "node {} vs {}", u, u % section);
+        }
+    }
+
+    #[test]
+    fn cayley_graphs_are_vertex_transitive_in_cost(
+        n in 5u64..=40,
+        off1 in 1u64..=10,
+        off2 in 1u64..=10,
+    ) {
+        prop_assume!(off1 % n != 0 && off2 % n != 0 && off1 % n != off2 % n);
+        let c = CayleyGraph::circulant(n, &[off1, off2]).expect("valid circulant");
+        let spec = c.spec();
+        let cfg = c.configuration();
+        let costs = Evaluator::new(&spec).node_costs(&cfg);
+        // Every node sees an isomorphic view: all costs equal.
+        for &cost in &costs {
+            prop_assert_eq!(cost, costs[0]);
+        }
+    }
+
+    #[test]
+    fn cayley_group_addition_is_commutative_and_cyclic(
+        m1 in 2u64..=5,
+        m2 in 2u64..=5,
+        a in 0usize..=24,
+        b in 0usize..=24,
+    ) {
+        let g = bbc_constructions::AbelianGroup::new(vec![m1, m2]).unwrap();
+        let a = a % g.order();
+        let b = b % g.order();
+        prop_assert_eq!(g.add(a, b), g.add(b, a));
+        prop_assert_eq!(g.add(a, g.identity()), a);
+        // Adding the generator `order` times cycles back.
+        let mut x = g.identity();
+        for _ in 0..g.order() {
+            x = g.add(x, a);
+        }
+        // x = order·a; in a group of this order, order·a = identity only if
+        // the element order divides the group order — which it always does.
+        prop_assert_eq!(x, g.identity());
+    }
+
+    #[test]
+    fn max_poa_graph_invariants(k in 3u64..=5, l in 2usize..=6) {
+        prop_assume!(MaxPoaGraph::new(k, l).is_some());
+        let g = MaxPoaGraph::new(k, l).unwrap();
+        let spec = g.spec();
+        let cfg = g.configuration();
+        prop_assert_eq!(g.node_count(), (2 * k as usize - 1) * l + 1);
+        for u in NodeId::all(g.node_count()) {
+            prop_assert!(cfg.out_degree(u) <= k as usize);
+            prop_assert!(spec.validate_strategy(u, cfg.strategy(u)).is_ok());
+        }
+        prop_assert!(is_strongly_connected(&cfg.to_graph(&spec)));
+    }
+
+    #[test]
+    fn ring_with_path_reaches_connectivity_within_bound(ring in 3usize..=10, path in 1usize..=6) {
+        prop_assume!(ring >= path);
+        let inst = RingWithPath::new(ring, path).unwrap();
+        let spec = inst.spec();
+        let n = inst.node_count() as u64;
+        let mut walk = bbc_core::Walk::new(&spec, inst.configuration())
+            .with_scheduler(inst.round_order())
+            .detect_cycles(false);
+        let _ = walk.run(n * n + n).unwrap();
+        let steps = walk.stats().steps_to_strong_connectivity;
+        prop_assert!(steps.is_some(), "never connected");
+        prop_assert!(steps.unwrap() <= n * n, "Theorem 6 bound violated");
+    }
+}

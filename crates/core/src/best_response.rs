@@ -1,0 +1,730 @@
+//! Single-node best response via the deviation oracle.
+//!
+//! The key structural fact (also behind Lemmas 3–5 of the paper): a shortest
+//! path from `u` never revisits `u`, so with `u`'s out-links removed from the
+//! graph (`G∖u`), the distance achieved by any strategy `S` is
+//!
+//! ```text
+//! d_S(u, v) = min_{s ∈ S} ( ℓ(u,s) + d_{G∖u}(s, v) )
+//! ```
+//!
+//! where `d_{G∖u}` is independent of `S`. One shortest-path run per candidate
+//! target therefore prices *every* strategy, and best response reduces to an
+//! asymmetric k-median-style subset search over precomputed rows. We solve it
+//! exactly by branch-and-bound ([`exact`]) with an optimistic elementwise-min
+//! bound, or approximately by greedy-plus-swaps ([`greedy`]) for instances
+//! where the exact search is out of reach.
+
+use bbc_graph::{BfsBuffer, DijkstraBuffer, UNREACHABLE};
+
+use crate::{Configuration, CostModel, Error, GameSpec, NodeId, Result};
+
+/// Tuning knobs for the exact best-response search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BestResponseOptions {
+    /// Maximum number of strategy-cost evaluations before the search aborts
+    /// with [`Error::SearchBudgetExceeded`]. Each evaluated subset counts
+    /// once.
+    pub evaluation_limit: u64,
+    /// Stop as soon as any strategy strictly cheaper than the node's current
+    /// cost is found. The reported `best_*` fields then describe the first
+    /// improvement, not the global optimum.
+    pub stop_at_first_improvement: bool,
+}
+
+impl Default for BestResponseOptions {
+    fn default() -> Self {
+        Self {
+            evaluation_limit: 20_000_000,
+            stop_at_first_improvement: false,
+        }
+    }
+}
+
+/// Result of a best-response computation for one node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BestResponseOutcome {
+    /// The deviating node.
+    pub node: NodeId,
+    /// Cost of the node's current strategy (computed through the same oracle
+    /// as the alternatives, so comparisons are exact).
+    pub current_cost: u64,
+    /// Cost of the best strategy found.
+    pub best_cost: u64,
+    /// The best strategy found (sorted target list).
+    pub best_strategy: Vec<NodeId>,
+    /// Number of strategies whose cost was evaluated.
+    pub evaluations: u64,
+    /// `true` when the search provably examined the whole strategy space
+    /// (no early exit): `best_cost` is then the node's exact optimum.
+    pub optimal: bool,
+}
+
+impl BestResponseOutcome {
+    /// `true` when the node can strictly lower its cost by switching.
+    pub fn improves(&self) -> bool {
+        self.best_cost < self.current_cost
+    }
+}
+
+/// Precomputed per-candidate distance rows for one deviating node.
+///
+/// Exposes [`DeviationOracle::strategy_cost`] so tests and heuristics can
+/// price arbitrary strategies in `O(|S|·n)` without touching the graph.
+#[derive(Debug)]
+pub struct DeviationOracle<'a> {
+    spec: &'a GameSpec,
+    node: NodeId,
+    /// Candidate targets, ascending by id.
+    candidates: Vec<NodeId>,
+    /// `rows[i][v] = ℓ(u, c_i) + d_{G∖u}(c_i, v)`, `UNREACHABLE`-preserving.
+    rows: Vec<Vec<u64>>,
+    /// Link cost of each candidate.
+    prices: Vec<u64>,
+    /// `(v, w(u,v))` for positive-weight targets `v ≠ u`.
+    weighted_targets: Vec<(u32, u64)>,
+    budget: u64,
+}
+
+impl<'a> DeviationOracle<'a> {
+    /// Builds the oracle for node `u` under `config`: strips `u`'s links and
+    /// runs one shortest-path traversal per affordable candidate target.
+    pub fn build(spec: &'a GameSpec, config: &Configuration, u: NodeId) -> Self {
+        let n = spec.node_count();
+        let mut graph = config.to_graph(spec);
+        graph.take_out_arcs(u.index());
+
+        let candidates = spec.affordable_targets(u);
+        let mut rows = Vec::with_capacity(candidates.len());
+        let mut prices = Vec::with_capacity(candidates.len());
+        if spec.has_unit_lengths() {
+            let mut bfs = BfsBuffer::new(n);
+            for &c in &candidates {
+                bfs.run(&graph, c.index());
+                rows.push(through_row(bfs.distances(), spec.link_length(u, c)));
+                prices.push(spec.link_cost(u, c));
+            }
+        } else {
+            let mut dij = DijkstraBuffer::new(n);
+            for &c in &candidates {
+                dij.run(&graph, c.index());
+                rows.push(through_row(dij.distances(), spec.link_length(u, c)));
+                prices.push(spec.link_cost(u, c));
+            }
+        }
+
+        let weighted_targets = NodeId::all(n)
+            .filter(|&v| v != u)
+            .filter_map(|v| {
+                let w = spec.weight(u, v);
+                (w > 0).then_some((v.index() as u32, w))
+            })
+            .collect();
+
+        Self {
+            spec,
+            node: u,
+            candidates,
+            rows,
+            prices,
+            weighted_targets,
+            budget: spec.budget(u),
+        }
+    }
+
+    /// The deviating node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Candidate targets the node can afford individually.
+    pub fn candidates(&self) -> &[NodeId] {
+        &self.candidates
+    }
+
+    /// Cost the node would pay with strategy `targets`, priced through the
+    /// oracle rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some target is not an oracle candidate (i.e. not affordable
+    /// or equal to the node itself).
+    pub fn strategy_cost(&self, targets: &[NodeId]) -> u64 {
+        let n = self.spec.node_count();
+        let mut row = vec![UNREACHABLE; n];
+        for &t in targets {
+            let i = self
+                .candidates
+                .binary_search(&t)
+                .unwrap_or_else(|_| panic!("{t} is not a candidate target of {}", self.node));
+            min_into(&mut row, &self.rows[i]);
+        }
+        self.aggregate(&row)
+    }
+
+    /// Aggregates a distance row into a cost under the spec's model.
+    fn aggregate(&self, row: &[u64]) -> u64 {
+        let m = self.spec.penalty();
+        match self.spec.cost_model() {
+            CostModel::SumDistance => self
+                .weighted_targets
+                .iter()
+                .map(|&(v, w)| {
+                    let d = row[v as usize];
+                    w * if d == UNREACHABLE { m } else { d }
+                })
+                .sum(),
+            CostModel::MaxDistance => self
+                .weighted_targets
+                .iter()
+                .map(|&(v, w)| {
+                    let d = row[v as usize];
+                    w * if d == UNREACHABLE { m } else { d }
+                })
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// `row[v] = link_len + d[v]`, preserving `UNREACHABLE`.
+fn through_row(dist: &[u64], link_len: u64) -> Vec<u64> {
+    dist.iter()
+        .map(|&d| {
+            if d == UNREACHABLE {
+                UNREACHABLE
+            } else {
+                link_len + d
+            }
+        })
+        .collect()
+}
+
+/// `dst[v] = min(dst[v], src[v])` elementwise.
+fn min_into(dst: &mut [u64], src: &[u64]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        if s < *d {
+            *d = s;
+        }
+    }
+}
+
+/// Exact best response for node `u` under `config`.
+///
+/// Enumerates every budget-feasible strategy by branch-and-bound over the
+/// oracle rows. Deterministic: with equal costs, the first strategy in the
+/// search order (candidates ascending, include-before-exclude) wins.
+///
+/// # Errors
+///
+/// [`Error::SearchBudgetExceeded`] if more than
+/// `options.evaluation_limit` strategies would need evaluating; fall back to
+/// [`greedy`] in that case.
+///
+/// # Examples
+///
+/// ```
+/// use bbc_core::{best_response, BestResponseOptions, Configuration, GameSpec, NodeId};
+///
+/// // Path 0->1->2 in a (3,1)-uniform game; node 2 is disconnected and its
+/// // best response is to link back, say to node 0.
+/// let spec = GameSpec::uniform(3, 1);
+/// let cfg = Configuration::from_strategies(&spec, vec![
+///     vec![NodeId::new(1)], vec![NodeId::new(2)], vec![],
+/// ])?;
+/// let out = best_response::exact(&spec, &cfg, NodeId::new(2), &BestResponseOptions::default())?;
+/// assert!(out.improves());
+/// assert_eq!(out.best_strategy, vec![NodeId::new(0)]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn exact(
+    spec: &GameSpec,
+    config: &Configuration,
+    u: NodeId,
+    options: &BestResponseOptions,
+) -> Result<BestResponseOutcome> {
+    let oracle = DeviationOracle::build(spec, config, u);
+    exact_with_oracle(&oracle, config, options)
+}
+
+/// Exact best response reusing a prebuilt oracle.
+pub fn exact_with_oracle(
+    oracle: &DeviationOracle<'_>,
+    config: &Configuration,
+    options: &BestResponseOptions,
+) -> Result<BestResponseOutcome> {
+    let u = oracle.node();
+    let current_cost = oracle.strategy_cost(config.strategy(u));
+    let n = oracle.spec.node_count();
+    let m = oracle.candidates.len();
+
+    // Optimistic completion rows: suffix[i] = elementwise min of rows[i..].
+    // suffix[m] is all-UNREACHABLE.
+    let mut suffix = vec![vec![UNREACHABLE; n]; m + 1];
+    for i in (0..m).rev() {
+        let (head, tail) = suffix.split_at_mut(i + 1);
+        head[i].copy_from_slice(&tail[0]);
+        min_into(&mut head[i], &oracle.rows[i]);
+    }
+
+    let mut search = Search {
+        oracle,
+        options,
+        suffix,
+        levels: vec![vec![UNREACHABLE; n]; m + 1],
+        selection: Vec::new(),
+        best_cost: u64::MAX,
+        best_strategy: Vec::new(),
+        evaluations: 0,
+        current_cost,
+        done: false,
+    };
+
+    // The empty strategy is always feasible; evaluate it as the baseline.
+    search.evaluate(0)?;
+    search.dfs(0, 0, 0)?;
+
+    Ok(BestResponseOutcome {
+        node: u,
+        current_cost,
+        best_cost: search.best_cost,
+        best_strategy: search.best_strategy,
+        evaluations: search.evaluations,
+        optimal: !search.done,
+    })
+}
+
+struct Search<'o, 'a> {
+    oracle: &'o DeviationOracle<'a>,
+    options: &'o BestResponseOptions,
+    suffix: Vec<Vec<u64>>,
+    levels: Vec<Vec<u64>>,
+    selection: Vec<usize>,
+    best_cost: u64,
+    best_strategy: Vec<NodeId>,
+    evaluations: u64,
+    current_cost: u64,
+    /// Set when stop_at_first_improvement has triggered.
+    done: bool,
+}
+
+impl Search<'_, '_> {
+    /// Evaluates the selection whose min-row sits at `level`.
+    fn evaluate(&mut self, level: usize) -> Result<()> {
+        self.evaluations += 1;
+        if self.evaluations > self.options.evaluation_limit {
+            return Err(Error::SearchBudgetExceeded {
+                limit: self.options.evaluation_limit,
+            });
+        }
+        let cost = self.oracle.aggregate(&self.levels[level]);
+        if cost < self.best_cost {
+            self.best_cost = cost;
+            self.best_strategy = self
+                .selection
+                .iter()
+                .map(|&i| self.oracle.candidates[i])
+                .collect();
+            self.best_strategy.sort_unstable();
+            if self.options.stop_at_first_improvement && cost < self.current_cost {
+                self.done = true;
+            }
+        }
+        Ok(())
+    }
+
+    fn dfs(&mut self, i: usize, level: usize, spent: u64) -> Result<()> {
+        if self.done || i == self.oracle.candidates.len() {
+            return Ok(());
+        }
+        // Optimistic bound: even taking every remaining candidate for free
+        // cannot beat the incumbent -> prune.
+        let bound = {
+            let m = self.oracle.spec.penalty();
+            let cur = &self.levels[level];
+            let suf = &self.suffix[i];
+            match self.oracle.spec.cost_model() {
+                CostModel::SumDistance => self
+                    .oracle
+                    .weighted_targets
+                    .iter()
+                    .map(|&(v, w)| {
+                        let d = cur[v as usize].min(suf[v as usize]);
+                        w * if d == UNREACHABLE { m } else { d }
+                    })
+                    .sum(),
+                CostModel::MaxDistance => self
+                    .oracle
+                    .weighted_targets
+                    .iter()
+                    .map(|&(v, w)| {
+                        let d = cur[v as usize].min(suf[v as usize]);
+                        w * if d == UNREACHABLE { m } else { d }
+                    })
+                    .max()
+                    .unwrap_or(0),
+            }
+        };
+        if bound >= self.best_cost {
+            return Ok(());
+        }
+
+        // Include candidate i if affordable.
+        let price = self.oracle.prices[i];
+        if spent + price <= self.oracle.budget {
+            let (cur_levels, next_levels) = self.levels.split_at_mut(level + 1);
+            next_levels[0].copy_from_slice(&cur_levels[level]);
+            min_into(&mut next_levels[0], &self.oracle.rows[i]);
+            self.selection.push(i);
+            self.evaluate(level + 1)?;
+            self.dfs(i + 1, level + 1, spent + price)?;
+            self.selection.pop();
+        }
+        // Exclude candidate i.
+        self.dfs(i + 1, level, spent)
+    }
+}
+
+/// Greedy-plus-swaps heuristic best response.
+///
+/// Builds a strategy by repeatedly adding the candidate with the largest
+/// marginal cost reduction, then applies single-link swaps until no swap
+/// improves. Always returns a strategy at least as good as the node's
+/// current one *or* the node's current strategy itself; `optimal` is `false`
+/// unless the strategy space was trivially small.
+pub fn greedy(spec: &GameSpec, config: &Configuration, u: NodeId) -> BestResponseOutcome {
+    let oracle = DeviationOracle::build(spec, config, u);
+    greedy_with_oracle(&oracle, config)
+}
+
+/// Greedy heuristic reusing a prebuilt oracle.
+pub fn greedy_with_oracle(
+    oracle: &DeviationOracle<'_>,
+    config: &Configuration,
+) -> BestResponseOutcome {
+    let u = oracle.node();
+    let n = oracle.spec.node_count();
+    let current_cost = oracle.strategy_cost(config.strategy(u));
+    let mut evaluations = 0u64;
+
+    let mut selected: Vec<usize> = Vec::new();
+    let mut row = vec![UNREACHABLE; n];
+    let mut spent = 0u64;
+
+    // Greedy additions.
+    loop {
+        let mut best: Option<(u64, usize)> = None;
+        for (i, r) in oracle.rows.iter().enumerate() {
+            if selected.contains(&i) || spent + oracle.prices[i] > oracle.budget {
+                continue;
+            }
+            let mut trial = row.clone();
+            min_into(&mut trial, r);
+            let cost = oracle.aggregate(&trial);
+            evaluations += 1;
+            if best.is_none_or(|(bc, _)| cost < bc) {
+                best = Some((cost, i));
+            }
+        }
+        let Some((cost, i)) = best else { break };
+        // Adding a link can never increase cost (the min-row only shrinks),
+        // so keep adding while budget lasts; stop when nothing is affordable.
+        let _ = cost;
+        min_into(&mut row, &oracle.rows[i]);
+        spent += oracle.prices[i];
+        selected.push(i);
+    }
+
+    // 1-swap local search.
+    let mut improved = true;
+    while improved {
+        improved = false;
+        let base_cost = oracle.aggregate(&row);
+        'swaps: for si in 0..selected.len() {
+            let out = selected[si];
+            for (i, r) in oracle.rows.iter().enumerate() {
+                if selected.contains(&i) {
+                    continue;
+                }
+                if spent - oracle.prices[out] + oracle.prices[i] > oracle.budget {
+                    continue;
+                }
+                // Rebuild the row without `out`, with `i`.
+                let mut trial = vec![UNREACHABLE; n];
+                for &sj in &selected {
+                    if sj != out {
+                        min_into(&mut trial, &oracle.rows[sj]);
+                    }
+                }
+                min_into(&mut trial, r);
+                let cost = oracle.aggregate(&trial);
+                evaluations += 1;
+                if cost < base_cost {
+                    spent = spent - oracle.prices[out] + oracle.prices[i];
+                    selected[si] = i;
+                    row = trial;
+                    improved = true;
+                    break 'swaps;
+                }
+            }
+        }
+    }
+
+    let best_cost = oracle.aggregate(&row);
+    let mut best_strategy: Vec<NodeId> = selected.iter().map(|&i| oracle.candidates[i]).collect();
+    best_strategy.sort_unstable();
+
+    // Never report a "best" worse than what the node already has.
+    if best_cost >= current_cost {
+        return BestResponseOutcome {
+            node: u,
+            current_cost,
+            best_cost: current_cost,
+            best_strategy: config.strategy(u).to_vec(),
+            evaluations,
+            optimal: false,
+        };
+    }
+    BestResponseOutcome {
+        node: u,
+        current_cost,
+        best_cost,
+        best_strategy,
+        evaluations,
+        optimal: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Configuration, Evaluator};
+
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn opts() -> BestResponseOptions {
+        BestResponseOptions::default()
+    }
+
+    /// Brute-force best response: evaluate every feasible subset through a
+    /// full Evaluator re-evaluation.
+    fn brute_force(spec: &GameSpec, config: &Configuration, u: NodeId) -> u64 {
+        let mut eval = Evaluator::new(spec);
+        let pool = spec.affordable_targets(u);
+        let mut best = u64::MAX;
+        for mask in 0u32..(1 << pool.len()) {
+            let targets: Vec<NodeId> = pool
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &t)| t)
+                .collect();
+            if spec.validate_strategy(u, &targets).is_err() {
+                continue;
+            }
+            let mut trial = config.clone();
+            trial.set_strategy(spec, u, targets).unwrap();
+            best = best.min(eval.node_cost(&trial, u));
+        }
+        best
+    }
+
+    #[test]
+    fn oracle_cost_matches_evaluator_on_current_strategy() {
+        let spec = GameSpec::uniform(6, 2);
+        for seed in 0..10 {
+            let cfg = Configuration::random(&spec, seed);
+            let mut eval = Evaluator::new(&spec);
+            for u in NodeId::all(6) {
+                let oracle = DeviationOracle::build(&spec, &cfg, u);
+                assert_eq!(
+                    oracle.strategy_cost(cfg.strategy(u)),
+                    eval.node_cost(&cfg, u),
+                    "seed {seed} node {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_matches_brute_force_uniform() {
+        let spec = GameSpec::uniform(6, 2);
+        for seed in 0..10 {
+            let cfg = Configuration::random(&spec, seed);
+            for u in NodeId::all(6) {
+                let out = exact(&spec, &cfg, u, &opts()).unwrap();
+                assert!(out.optimal);
+                assert_eq!(
+                    out.best_cost,
+                    brute_force(&spec, &cfg, u),
+                    "seed {seed} node {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_matches_brute_force_weighted() {
+        let spec = GameSpec::builder(6)
+            .default_budget(3)
+            .weight(0, 3, 9)
+            .weight(1, 4, 5)
+            .link_length(0, 1, 4)
+            .link_length(2, 3, 6)
+            .link_cost(0, 2, 2)
+            .build()
+            .unwrap();
+        for seed in 0..10 {
+            let cfg = Configuration::random(&spec, seed);
+            for u in NodeId::all(6) {
+                let out = exact(&spec, &cfg, u, &opts()).unwrap();
+                assert_eq!(
+                    out.best_cost,
+                    brute_force(&spec, &cfg, u),
+                    "seed {seed} node {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_matches_brute_force_max_model() {
+        let spec = GameSpec::uniform(6, 2).with_cost_model(CostModel::MaxDistance);
+        for seed in 0..10 {
+            let cfg = Configuration::random(&spec, seed);
+            for u in NodeId::all(6) {
+                let out = exact(&spec, &cfg, u, &opts()).unwrap();
+                assert_eq!(
+                    out.best_cost,
+                    brute_force(&spec, &cfg, u),
+                    "seed {seed} node {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_strategy_actually_achieves_best_cost() {
+        let spec = GameSpec::uniform(7, 2);
+        let cfg = Configuration::random(&spec, 3);
+        let mut eval = Evaluator::new(&spec);
+        for u in NodeId::all(7) {
+            let out = exact(&spec, &cfg, u, &opts()).unwrap();
+            let mut applied = cfg.clone();
+            applied
+                .set_strategy(&spec, u, out.best_strategy.clone())
+                .unwrap();
+            assert_eq!(eval.node_cost(&applied, u), out.best_cost);
+        }
+    }
+
+    #[test]
+    fn applying_best_response_makes_node_stable() {
+        let spec = GameSpec::uniform(7, 2);
+        let mut cfg = Configuration::random(&spec, 9);
+        let u = v(3);
+        let out = exact(&spec, &cfg, u, &opts()).unwrap();
+        cfg.set_strategy(&spec, u, out.best_strategy).unwrap();
+        let again = exact(&spec, &cfg, u, &opts()).unwrap();
+        assert!(
+            !again.improves(),
+            "best response must be a fixpoint for the mover"
+        );
+        assert_eq!(again.best_cost, out.best_cost);
+    }
+
+    #[test]
+    fn evaluation_limit_is_enforced() {
+        let spec = GameSpec::uniform(12, 4);
+        let cfg = Configuration::random(&spec, 1);
+        let tight = BestResponseOptions {
+            evaluation_limit: 10,
+            stop_at_first_improvement: false,
+        };
+        let err = exact(&spec, &cfg, v(0), &tight).unwrap_err();
+        assert_eq!(err, Error::SearchBudgetExceeded { limit: 10 });
+    }
+
+    #[test]
+    fn first_improvement_mode_stops_early() {
+        let spec = GameSpec::uniform(10, 2);
+        // Disconnected node: almost anything improves.
+        let mut cfg = Configuration::random(&spec, 5);
+        cfg.set_strategy(&spec, v(0), vec![]).unwrap();
+        let first = BestResponseOptions {
+            stop_at_first_improvement: true,
+            ..opts()
+        };
+        let out = exact(&spec, &cfg, v(0), &first).unwrap();
+        assert!(out.improves());
+        assert!(!out.optimal, "early exit must not claim optimality");
+        let full = exact(&spec, &cfg, v(0), &opts()).unwrap();
+        assert!(out.evaluations <= full.evaluations);
+    }
+
+    #[test]
+    fn greedy_never_worse_than_current() {
+        let spec = GameSpec::uniform(9, 3);
+        for seed in 0..10 {
+            let cfg = Configuration::random(&spec, seed);
+            for u in NodeId::all(9) {
+                let out = greedy(&spec, &cfg, u);
+                assert!(out.best_cost <= out.current_cost);
+                assert!(spec.validate_strategy(u, &out.best_strategy).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_easy_instances() {
+        // k=1: greedy with swaps is exact (single link, swaps scan all).
+        let spec = GameSpec::uniform(8, 1);
+        for seed in 0..10 {
+            let cfg = Configuration::random(&spec, seed);
+            for u in NodeId::all(8) {
+                let g = greedy(&spec, &cfg, u);
+                let e = exact(&spec, &cfg, u, &opts()).unwrap();
+                assert_eq!(g.best_cost, e.best_cost, "seed {seed} node {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_node_best_response_is_empty() {
+        let spec = GameSpec::builder(4).budget(0, 0).build().unwrap();
+        let cfg = Configuration::empty(4);
+        let out = exact(&spec, &cfg, v(0), &opts()).unwrap();
+        assert!(out.best_strategy.is_empty());
+        assert_eq!(out.best_cost, 3 * spec.penalty());
+        assert!(!out.improves());
+    }
+
+    #[test]
+    fn single_node_game() {
+        let spec = GameSpec::uniform(1, 1);
+        let cfg = Configuration::empty(1);
+        let out = exact(&spec, &cfg, v(0), &opts()).unwrap();
+        assert_eq!(out.best_cost, 0);
+        assert!(out.best_strategy.is_empty());
+    }
+
+    #[test]
+    fn nonuniform_link_costs_constrain_subsets() {
+        // Node 0 can afford {1} or {2} or {3,4} (cost 2+2 > 3? no: 1+1=2 <= 3)
+        // but not {1,2} (3+3=6 > 3).
+        let spec = GameSpec::builder(5)
+            .default_budget(3)
+            .link_cost(0, 1, 3)
+            .link_cost(0, 2, 3)
+            .build()
+            .unwrap();
+        let cfg = Configuration::empty(5);
+        let out = exact(&spec, &cfg, v(0), &opts()).unwrap();
+        assert!(spec.strategy_cost(v(0), &out.best_strategy) <= 3);
+        // Best is linking the two cheap targets 3,4 (2 reachable) over one
+        // expensive target (1 reachable).
+        assert_eq!(out.best_strategy, vec![v(3), v(4)]);
+    }
+}

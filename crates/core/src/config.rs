@@ -1,0 +1,303 @@
+//! Strategy configurations: one strategy (set of bought links) per node.
+//!
+//! A [`Configuration`] is the joint strategy profile `S = {S_u}` of §2. The
+//! network it forms, `G(S)`, is materialized on demand with
+//! [`Configuration::to_graph`]. Configurations are `Eq + Hash` so the
+//! dynamics engine can detect best-response cycles by exact state
+//! comparison — no fingerprint collisions to reason about.
+
+use rand::{rngs::SmallRng, seq::SliceRandom, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use bbc_graph::{Arc, DiGraph};
+
+use crate::{GameSpec, NodeId, Result};
+
+/// A joint strategy profile: for each node, the sorted list of link targets
+/// it buys.
+///
+/// # Examples
+///
+/// ```
+/// use bbc_core::{Configuration, GameSpec, NodeId};
+///
+/// let spec = GameSpec::uniform(4, 1);
+/// let mut c = Configuration::empty(4);
+/// c.set_strategy(&spec, NodeId::new(0), vec![NodeId::new(1)])?;
+/// assert!(c.has_link(NodeId::new(0), NodeId::new(1)));
+/// assert_eq!(c.out_degree(NodeId::new(0)), 1);
+/// # Ok::<(), bbc_core::Error>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Configuration {
+    strategies: Vec<Vec<NodeId>>,
+}
+
+impl Configuration {
+    /// The configuration in which nobody buys anything.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            strategies: vec![Vec::new(); n],
+        }
+    }
+
+    /// Builds a configuration from per-node target lists, validating each
+    /// strategy against `spec` and sorting it into canonical order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first strategy-validation failure (see
+    /// [`GameSpec::validate_strategy`]), or a dimension mismatch if
+    /// `lists.len() != spec.node_count()`.
+    pub fn from_strategies(spec: &GameSpec, lists: Vec<Vec<NodeId>>) -> Result<Self> {
+        if lists.len() != spec.node_count() {
+            return Err(crate::Error::DimensionMismatch {
+                expected: spec.node_count(),
+                actual: lists.len(),
+            });
+        }
+        let mut cfg = Self::empty(spec.node_count());
+        for (u, targets) in lists.into_iter().enumerate() {
+            cfg.set_strategy(spec, NodeId::new(u), targets)?;
+        }
+        Ok(cfg)
+    }
+
+    /// A seeded random configuration: every node spends its budget greedily
+    /// on a random shuffle of its affordable targets.
+    ///
+    /// Deterministic for a given `(spec, seed)` pair.
+    pub fn random(spec: &GameSpec, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = spec.node_count();
+        let mut strategies = Vec::with_capacity(n);
+        for u in NodeId::all(n) {
+            let mut pool = spec.affordable_targets(u);
+            pool.shuffle(&mut rng);
+            let mut remaining = spec.budget(u);
+            let mut picks = Vec::new();
+            for v in pool {
+                let c = spec.link_cost(u, v);
+                if c <= remaining {
+                    remaining -= c;
+                    picks.push(v);
+                }
+            }
+            picks.sort_unstable();
+            strategies.push(picks);
+        }
+        Self { strategies }
+    }
+
+    /// A seeded random configuration where each node buys at most
+    /// `max_links` links (useful for sparse starting points).
+    pub fn random_sparse(spec: &GameSpec, seed: u64, max_links: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = spec.node_count();
+        let mut strategies = Vec::with_capacity(n);
+        for u in NodeId::all(n) {
+            let mut pool = spec.affordable_targets(u);
+            pool.shuffle(&mut rng);
+            let count = if pool.is_empty() {
+                0
+            } else {
+                rng.gen_range(0..=max_links.min(pool.len()))
+            };
+            let mut remaining = spec.budget(u);
+            let mut picks = Vec::new();
+            for v in pool.into_iter().take(count) {
+                let c = spec.link_cost(u, v);
+                if c <= remaining {
+                    remaining -= c;
+                    picks.push(v);
+                }
+            }
+            picks.sort_unstable();
+            strategies.push(picks);
+        }
+        Self { strategies }
+    }
+
+    /// Number of players.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.strategies.len()
+    }
+
+    /// `u`'s current strategy (sorted target list).
+    #[inline]
+    pub fn strategy(&self, u: NodeId) -> &[NodeId] {
+        &self.strategies[u.index()]
+    }
+
+    /// Replaces `u`'s strategy after validating it against `spec`. The list
+    /// is sorted into canonical order.
+    ///
+    /// # Errors
+    ///
+    /// See [`GameSpec::validate_strategy`].
+    pub fn set_strategy(
+        &mut self,
+        spec: &GameSpec,
+        u: NodeId,
+        mut targets: Vec<NodeId>,
+    ) -> Result<()> {
+        spec.validate_strategy(u, &targets)?;
+        targets.sort_unstable();
+        self.strategies[u.index()] = targets;
+        Ok(())
+    }
+
+    /// `true` iff `u` currently buys the link `(u, v)`.
+    pub fn has_link(&self, u: NodeId, v: NodeId) -> bool {
+        self.strategies[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// Out-degree of `u` (number of bought links).
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.strategies[u.index()].len()
+    }
+
+    /// Total number of links in the profile.
+    pub fn link_count(&self) -> usize {
+        self.strategies.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates over all links as `(buyer, target)` pairs.
+    pub fn iter_links(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.strategies
+            .iter()
+            .enumerate()
+            .flat_map(|(u, ts)| ts.iter().map(move |&v| (NodeId::new(u), v)))
+    }
+
+    /// Materializes the network `G(S)` with arc lengths from `spec`.
+    pub fn to_graph(&self, spec: &GameSpec) -> DiGraph {
+        let mut g = DiGraph::new(self.node_count());
+        for (u, targets) in self.strategies.iter().enumerate() {
+            let un = NodeId::new(u);
+            for &v in targets {
+                g.add_arc(u, Arc::new(v.index(), spec.link_length(un, v)));
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Error;
+
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn empty_configuration_has_no_links() {
+        let c = Configuration::empty(3);
+        assert_eq!(c.link_count(), 0);
+        assert_eq!(c.node_count(), 3);
+        assert!(!c.has_link(v(0), v(1)));
+    }
+
+    #[test]
+    fn set_strategy_sorts_canonically() {
+        let spec = GameSpec::uniform(4, 3);
+        let mut c = Configuration::empty(4);
+        c.set_strategy(&spec, v(0), vec![v(3), v(1), v(2)]).unwrap();
+        assert_eq!(c.strategy(v(0)), &[v(1), v(2), v(3)]);
+    }
+
+    #[test]
+    fn equal_profiles_hash_equal_regardless_of_input_order() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let spec = GameSpec::uniform(4, 2);
+        let mut a = Configuration::empty(4);
+        a.set_strategy(&spec, v(0), vec![v(1), v(2)]).unwrap();
+        let mut b = Configuration::empty(4);
+        b.set_strategy(&spec, v(0), vec![v(2), v(1)]).unwrap();
+        assert_eq!(a, b);
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn from_strategies_validates_dimensions() {
+        let spec = GameSpec::uniform(3, 1);
+        let err = Configuration::from_strategies(&spec, vec![vec![], vec![]]).unwrap_err();
+        assert_eq!(
+            err,
+            Error::DimensionMismatch {
+                expected: 3,
+                actual: 2
+            }
+        );
+    }
+
+    #[test]
+    fn from_strategies_validates_each_node() {
+        let spec = GameSpec::uniform(3, 1);
+        let err = Configuration::from_strategies(&spec, vec![vec![v(1), v(2)], vec![], vec![]])
+            .unwrap_err();
+        assert!(matches!(err, Error::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn random_is_deterministic_and_budget_respecting() {
+        let spec = GameSpec::uniform(10, 3);
+        let a = Configuration::random(&spec, 42);
+        let b = Configuration::random(&spec, 42);
+        assert_eq!(a, b);
+        let c = Configuration::random(&spec, 43);
+        assert_ne!(a, c, "different seeds should differ for n=10,k=3");
+        for u in NodeId::all(10) {
+            assert_eq!(a.out_degree(u), 3, "uniform game spends whole budget");
+            assert!(spec.validate_strategy(u, a.strategy(u)).is_ok());
+        }
+    }
+
+    #[test]
+    fn random_respects_nonuniform_budgets() {
+        let spec = GameSpec::builder(6)
+            .default_budget(4)
+            .link_cost(0, 1, 3)
+            .link_cost(0, 2, 3)
+            .budget(5, 0)
+            .build()
+            .unwrap();
+        for seed in 0..20 {
+            let c = Configuration::random(&spec, seed);
+            for u in NodeId::all(6) {
+                assert!(spec.validate_strategy(u, c.strategy(u)).is_ok());
+            }
+            assert_eq!(c.out_degree(v(5)), 0, "budget-0 node buys nothing");
+        }
+    }
+
+    #[test]
+    fn to_graph_uses_spec_lengths() {
+        let spec = GameSpec::builder(3).link_length(0, 1, 7).build().unwrap();
+        let mut c = Configuration::empty(3);
+        c.set_strategy(&spec, v(0), vec![v(1)]).unwrap();
+        c.set_strategy(&spec, v(1), vec![v(2)]).unwrap();
+        let g = c.to_graph(&spec);
+        assert_eq!(g.arc_count(), 2);
+        assert_eq!(g.out_arcs(0)[0].len, 7);
+        assert_eq!(g.out_arcs(1)[0].len, 1);
+    }
+
+    #[test]
+    fn iter_links_yields_all_pairs() {
+        let spec = GameSpec::uniform(3, 2);
+        let mut c = Configuration::empty(3);
+        c.set_strategy(&spec, v(0), vec![v(1), v(2)]).unwrap();
+        c.set_strategy(&spec, v(2), vec![v(0)]).unwrap();
+        let links: Vec<_> = c.iter_links().collect();
+        assert_eq!(links, vec![(v(0), v(1)), (v(0), v(2)), (v(2), v(0))]);
+    }
+}

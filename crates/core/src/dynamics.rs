@@ -1,0 +1,525 @@
+//! Best-response dynamics: walks over the configuration space (§4.3).
+//!
+//! In each step one node tests its stability and, if unstable, moves all its
+//! links to a cost-optimal set (ties favour staying put, so walks are
+//! deterministic for deterministic schedulers). The engine tracks:
+//!
+//! * convergence to a pure Nash equilibrium ([`WalkOutcome::Equilibrium`]),
+//! * exact revisits of a `(configuration, scheduler)` state, which certify a
+//!   best-response *loop* ([`WalkOutcome::Cycle`]) — the paper's Figure 4
+//!   evidence that uniform BBC games are not ordinal potential games,
+//! * the first step at which the network becomes strongly connected, the
+//!   quantity bounded by `n²` in Theorem 6.
+
+use std::collections::HashMap;
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use bbc_graph::scc::is_strongly_connected;
+
+use crate::{
+    best_response::{self, BestResponseOptions},
+    Configuration, GameSpec, NodeId, Result,
+};
+
+/// Which node moves next.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scheduler {
+    /// Nodes take turns in id order, `v0, v1, …, v(n−1), v0, …`.
+    RoundRobin,
+    /// Nodes take turns in the given fixed order (must be a permutation of
+    /// all nodes). Used by the Ω(n²) lower-bound instance, whose round order
+    /// the paper prescribes explicitly.
+    RoundRobinOrder(Vec<NodeId>),
+    /// Among currently-unstable nodes, the one with the maximum cost moves
+    /// (ties broken by lowest id). The §4.3 "max-cost first" policy.
+    MaxCostFirst,
+    /// A uniformly random node is offered the move each step (seeded).
+    Random {
+        /// RNG seed; identical seeds replay identical walks.
+        seed: u64,
+    },
+}
+
+/// One applied move in a walk trace.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MoveRecord {
+    /// Step index at which the move happened (0-based).
+    pub step: u64,
+    /// The node that rewired.
+    pub node: NodeId,
+    /// Strategy before the move.
+    pub old_strategy: Vec<NodeId>,
+    /// Strategy after the move.
+    pub new_strategy: Vec<NodeId>,
+    /// Cost before the move.
+    pub old_cost: u64,
+    /// Cost after the move.
+    pub new_cost: u64,
+}
+
+/// How a walk ended.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WalkOutcome {
+    /// Reached a pure Nash equilibrium.
+    Equilibrium {
+        /// Total best-response steps taken (stability tests, not only moves).
+        steps: u64,
+    },
+    /// Revisited an exact `(configuration, scheduler-position)` state: the
+    /// walk loops forever. Certifies that the game is not an ordinal
+    /// potential game.
+    Cycle {
+        /// Step at which the repeated state was first seen.
+        first_seen_step: u64,
+        /// Steps between the two visits (the loop length).
+        period: u64,
+    },
+    /// The step limit expired first.
+    StepLimit {
+        /// The limit that was hit.
+        steps: u64,
+    },
+}
+
+/// Statistics accumulated along a walk.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkStats {
+    /// Best-response steps executed (every stability test counts).
+    pub steps: u64,
+    /// Steps that actually changed a strategy.
+    pub moves: u64,
+    /// First step index after which the network was strongly connected
+    /// (0 if it started that way); `None` while never observed.
+    pub steps_to_strong_connectivity: Option<u64>,
+}
+
+/// A best-response walk in progress.
+///
+/// # Examples
+///
+/// ```
+/// use bbc_core::{Configuration, GameSpec, Scheduler, Walk, WalkOutcome};
+///
+/// let spec = GameSpec::uniform(6, 1);
+/// let mut walk = Walk::new(&spec, Configuration::empty(6));
+/// let outcome = walk.run(10_000)?;
+/// // From the empty graph, round-robin best response reaches an equilibrium
+/// // (§4.3 reports exactly this observation).
+/// assert!(matches!(outcome, WalkOutcome::Equilibrium { .. }));
+/// # Ok::<(), bbc_core::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct Walk<'a> {
+    spec: &'a GameSpec,
+    config: Configuration,
+    scheduler: Scheduler,
+    options: BestResponseOptions,
+    stats: WalkStats,
+    /// Position in the round-robin order (meaningless for other schedulers).
+    pos: usize,
+    order: Vec<NodeId>,
+    /// Consecutive steps without a move (equilibrium detector for
+    /// round-robin/random).
+    stable_streak: usize,
+    rng: Option<SmallRng>,
+    history: Option<HashMap<(Configuration, usize), u64>>,
+    trace: Option<Vec<MoveRecord>>,
+}
+
+impl<'a> Walk<'a> {
+    /// Starts a round-robin walk from `config` with cycle detection on and
+    /// tracing off.
+    pub fn new(spec: &'a GameSpec, config: Configuration) -> Self {
+        assert_eq!(
+            config.node_count(),
+            spec.node_count(),
+            "configuration size mismatch"
+        );
+        let order: Vec<NodeId> = NodeId::all(spec.node_count()).collect();
+        Self {
+            spec,
+            config,
+            scheduler: Scheduler::RoundRobin,
+            options: BestResponseOptions::default(),
+            stats: WalkStats::default(),
+            pos: 0,
+            order,
+            stable_streak: 0,
+            rng: None,
+            history: Some(HashMap::new()),
+            trace: None,
+        }
+    }
+
+    /// Replaces the scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Scheduler::RoundRobinOrder`] is not a permutation of all
+    /// nodes.
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        if let Scheduler::RoundRobinOrder(order) = &scheduler {
+            let mut seen = vec![false; self.spec.node_count()];
+            assert_eq!(
+                order.len(),
+                self.spec.node_count(),
+                "order must cover every node"
+            );
+            for &v in order {
+                assert!(!seen[v.index()], "order repeats {v}");
+                seen[v.index()] = true;
+            }
+            self.order = order.clone();
+        }
+        if let Scheduler::Random { seed } = scheduler {
+            self.rng = Some(SmallRng::seed_from_u64(seed));
+            // Random walks are not deterministic state machines; a revisited
+            // configuration does not imply a loop, so disable detection.
+            self.history = None;
+        }
+        self.scheduler = scheduler;
+        self.pos = 0;
+        self
+    }
+
+    /// Overrides best-response search options.
+    pub fn with_options(mut self, options: BestResponseOptions) -> Self {
+        self.options = BestResponseOptions {
+            stop_at_first_improvement: false,
+            ..options
+        };
+        self
+    }
+
+    /// Enables or disables exact-state cycle detection (on by default; the
+    /// history grows by one configuration per step).
+    pub fn detect_cycles(mut self, yes: bool) -> Self {
+        let deterministic = !matches!(self.scheduler, Scheduler::Random { .. });
+        self.history = (yes && deterministic).then(HashMap::new);
+        self
+    }
+
+    /// Enables recording of every applied move.
+    pub fn record_trace(mut self, yes: bool) -> Self {
+        self.trace = yes.then(Vec::new);
+        self
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &Configuration {
+        &self.config
+    }
+
+    /// Consumes the walk, returning the final configuration.
+    pub fn into_config(self) -> Configuration {
+        self.config
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &WalkStats {
+        &self.stats
+    }
+
+    /// Recorded moves (empty unless [`Walk::record_trace`] was enabled).
+    pub fn trace(&self) -> &[MoveRecord] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Runs until equilibrium, a detected cycle, or `max_steps`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::Error::SearchBudgetExceeded`] from the per-node
+    /// best-response search.
+    pub fn run(&mut self, max_steps: u64) -> Result<WalkOutcome> {
+        let n = self.spec.node_count();
+        if n <= 1 {
+            return Ok(WalkOutcome::Equilibrium { steps: 0 });
+        }
+        self.note_connectivity();
+        while self.stats.steps < max_steps {
+            // Cycle detection on the pre-step state.
+            if let Some(history) = &mut self.history {
+                let key = (self.config.clone(), self.pos);
+                if let Some(&first) = history.get(&key) {
+                    return Ok(WalkOutcome::Cycle {
+                        first_seen_step: first,
+                        period: self.stats.steps - first,
+                    });
+                }
+                history.insert(key, self.stats.steps);
+            }
+
+            match self.scheduler {
+                Scheduler::RoundRobin | Scheduler::RoundRobinOrder(_) => {
+                    let u = self.order[self.pos];
+                    self.pos = (self.pos + 1) % n;
+                    let moved = self.step_node(u)?;
+                    if self.bump_streak(moved, n) {
+                        return Ok(WalkOutcome::Equilibrium {
+                            steps: self.stats.steps,
+                        });
+                    }
+                }
+                Scheduler::Random { .. } => {
+                    let u = NodeId::new(
+                        self.rng
+                            .as_mut()
+                            .expect("random scheduler has rng")
+                            .gen_range(0..n),
+                    );
+                    let moved = self.step_node(u)?;
+                    // A random walk can dawdle; confirm apparent convergence
+                    // with a full exact scan once the streak is long enough.
+                    if self.bump_streak(moved, 2 * n) && self.exact_scan_stable()? {
+                        return Ok(WalkOutcome::Equilibrium {
+                            steps: self.stats.steps,
+                        });
+                    }
+                }
+                Scheduler::MaxCostFirst => {
+                    if !self.step_max_cost_first()? {
+                        return Ok(WalkOutcome::Equilibrium {
+                            steps: self.stats.steps,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(WalkOutcome::StepLimit {
+            steps: self.stats.steps,
+        })
+    }
+
+    /// Offers `u` a best-response step; returns whether it moved.
+    fn step_node(&mut self, u: NodeId) -> Result<bool> {
+        let out = best_response::exact(self.spec, &self.config, u, &self.options)?;
+        self.stats.steps += 1;
+        if !out.improves() {
+            return Ok(false);
+        }
+        self.apply_move(u, out.best_strategy, out.current_cost, out.best_cost);
+        Ok(true)
+    }
+
+    /// One max-cost-first step; returns `false` when every node is stable
+    /// (equilibrium).
+    fn step_max_cost_first(&mut self) -> Result<bool> {
+        let n = self.spec.node_count();
+        let mut eval = crate::Evaluator::new(self.spec);
+        let mut by_cost: Vec<(u64, NodeId)> = {
+            let costs = eval.node_costs(&self.config);
+            NodeId::all(n).map(|u| (costs[u.index()], u)).collect()
+        };
+        // Max cost first; ties by lowest id.
+        by_cost.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for (_, u) in by_cost {
+            let out = best_response::exact(self.spec, &self.config, u, &self.options)?;
+            if out.improves() {
+                self.stats.steps += 1;
+                self.apply_move(u, out.best_strategy, out.current_cost, out.best_cost);
+                return Ok(true);
+            }
+        }
+        // Full scan found no mover: equilibrium. Count the scan as a step.
+        self.stats.steps += 1;
+        Ok(false)
+    }
+
+    fn apply_move(&mut self, u: NodeId, new: Vec<NodeId>, old_cost: u64, new_cost: u64) {
+        let old = self.config.strategy(u).to_vec();
+        if let Some(trace) = &mut self.trace {
+            trace.push(MoveRecord {
+                step: self.stats.steps - 1,
+                node: u,
+                old_strategy: old,
+                new_strategy: new.clone(),
+                old_cost,
+                new_cost,
+            });
+        }
+        self.config
+            .set_strategy(self.spec, u, new)
+            .expect("best response produced an invalid strategy");
+        self.stats.moves += 1;
+        self.note_connectivity();
+    }
+
+    /// Updates the no-move streak; returns `true` when it certifies
+    /// equilibrium for streak target `target`.
+    fn bump_streak(&mut self, moved: bool, target: usize) -> bool {
+        if moved {
+            self.stable_streak = 0;
+            false
+        } else {
+            self.stable_streak += 1;
+            self.stable_streak >= target
+        }
+    }
+
+    fn exact_scan_stable(&self) -> Result<bool> {
+        crate::StabilityChecker::new(self.spec).is_stable(&self.config)
+    }
+
+    fn note_connectivity(&mut self) {
+        if self.stats.steps_to_strong_connectivity.is_none()
+            && is_strongly_connected(&self.config.to_graph(self.spec))
+        {
+            self.stats.steps_to_strong_connectivity = Some(self.stats.steps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StabilityChecker;
+
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn round_robin_from_empty_reaches_equilibrium() {
+        for n in [3usize, 5, 7] {
+            let spec = GameSpec::uniform(n, 1);
+            let mut walk = Walk::new(&spec, Configuration::empty(n));
+            let outcome = walk.run(100_000).unwrap();
+            assert!(
+                matches!(outcome, WalkOutcome::Equilibrium { .. }),
+                "n={n}: {outcome:?}"
+            );
+            assert!(StabilityChecker::new(&spec)
+                .is_stable(walk.config())
+                .unwrap());
+        }
+    }
+
+    #[test]
+    fn equilibrium_start_terminates_in_one_round() {
+        let n = 5;
+        let spec = GameSpec::uniform(n, 1);
+        let ring =
+            Configuration::from_strategies(&spec, (0..n).map(|i| vec![v((i + 1) % n)]).collect())
+                .unwrap();
+        let mut walk = Walk::new(&spec, ring.clone());
+        let outcome = walk.run(1000).unwrap();
+        assert_eq!(outcome, WalkOutcome::Equilibrium { steps: n as u64 });
+        assert_eq!(walk.config(), &ring, "nobody should have moved");
+        assert_eq!(walk.stats().moves, 0);
+    }
+
+    #[test]
+    fn strong_connectivity_reached_within_n_squared_steps() {
+        // Theorem 6: at most n² steps to strong connectivity (round-robin).
+        for seed in 0..5 {
+            let n = 12;
+            let spec = GameSpec::uniform(n, 2);
+            let start = Configuration::random_sparse(&spec, seed, 1);
+            let mut walk = Walk::new(&spec, start).detect_cycles(false);
+            let _ = walk.run((n * n) as u64 + 10).unwrap();
+            let sc = walk.stats().steps_to_strong_connectivity;
+            assert!(sc.is_some(), "seed {seed}: never strongly connected");
+            assert!(sc.unwrap() <= (n * n) as u64, "seed {seed}: took {sc:?}");
+        }
+    }
+
+    #[test]
+    fn reach_never_decreases_along_walk() {
+        // Lemma 9's invariant, checked on a traced walk.
+        let n = 10;
+        let spec = GameSpec::uniform(n, 1);
+        let start = Configuration::random_sparse(&spec, 77, 1);
+        let mut walk = Walk::new(&spec, start.clone()).record_trace(true);
+        let _ = walk.run(2_000).unwrap();
+
+        // Replay moves, watching the mover's reach.
+        let mut cfg = start;
+        for mv in walk.trace() {
+            let before = bbc_graph::reach::reach_of(&cfg.to_graph(&spec), mv.node.index());
+            cfg.set_strategy(&spec, mv.node, mv.new_strategy.clone())
+                .unwrap();
+            let after = bbc_graph::reach::reach_of(&cfg.to_graph(&spec), mv.node.index());
+            assert!(after >= before, "move at step {} decreased reach", mv.step);
+        }
+        assert_eq!(
+            &cfg,
+            walk.config(),
+            "trace replay reproduces the final configuration"
+        );
+    }
+
+    #[test]
+    fn max_cost_first_reaches_equilibrium_from_empty() {
+        let spec = GameSpec::uniform(6, 1);
+        let mut walk =
+            Walk::new(&spec, Configuration::empty(6)).with_scheduler(Scheduler::MaxCostFirst);
+        let outcome = walk.run(10_000).unwrap();
+        assert!(matches!(outcome, WalkOutcome::Equilibrium { .. }));
+        assert!(StabilityChecker::new(&spec)
+            .is_stable(walk.config())
+            .unwrap());
+    }
+
+    #[test]
+    fn random_scheduler_is_reproducible_and_converges() {
+        let spec = GameSpec::uniform(6, 1);
+        let run = |seed| {
+            let mut walk = Walk::new(&spec, Configuration::empty(6))
+                .with_scheduler(Scheduler::Random { seed });
+            let outcome = walk.run(100_000).unwrap();
+            (outcome, walk.into_config())
+        };
+        let (o1, c1) = run(5);
+        let (o2, c2) = run(5);
+        assert_eq!(o1, o2);
+        assert_eq!(c1, c2);
+        assert!(matches!(o1, WalkOutcome::Equilibrium { .. }));
+        assert!(StabilityChecker::new(&spec).is_stable(&c1).unwrap());
+    }
+
+    #[test]
+    fn explicit_order_is_respected() {
+        let n = 4;
+        let spec = GameSpec::uniform(n, 1);
+        let order = vec![v(3), v(2), v(1), v(0)];
+        let mut walk = Walk::new(&spec, Configuration::empty(n))
+            .with_scheduler(Scheduler::RoundRobinOrder(order))
+            .record_trace(true);
+        let _ = walk.run(1000).unwrap();
+        assert_eq!(
+            walk.trace()[0].node,
+            v(3),
+            "first mover follows the explicit order"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "order repeats")]
+    fn duplicate_order_rejected() {
+        let spec = GameSpec::uniform(3, 1);
+        let _ = Walk::new(&spec, Configuration::empty(3))
+            .with_scheduler(Scheduler::RoundRobinOrder(vec![v(0), v(0), v(1)]));
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let spec = GameSpec::uniform(8, 2);
+        let mut walk = Walk::new(&spec, Configuration::empty(8));
+        let outcome = walk.run(3).unwrap();
+        assert_eq!(outcome, WalkOutcome::StepLimit { steps: 3 });
+    }
+
+    #[test]
+    fn trace_records_costs_consistently() {
+        let spec = GameSpec::uniform(6, 2);
+        let mut walk = Walk::new(&spec, Configuration::empty(6)).record_trace(true);
+        let _ = walk.run(10_000).unwrap();
+        for mv in walk.trace() {
+            assert!(mv.new_cost < mv.old_cost, "recorded moves strictly improve");
+        }
+        assert_eq!(walk.stats().moves as usize, walk.trace().len());
+    }
+}

@@ -1,0 +1,395 @@
+//! Exhaustive equilibrium enumeration over joint strategy spaces.
+//!
+//! The no-equilibrium results (Theorems 1, 2, 7) are *universal* statements:
+//! no profile in an exponentially large product space is stable. For the
+//! gadget instances the per-node strategy spaces collapse to small candidate
+//! sets, and the product becomes enumerable. [`ProfileSpace`] describes such
+//! a product; [`find_equilibria`] scans it, checking every profile for
+//! stability against the **full, unrestricted** deviation space — the
+//! restriction only limits which profiles are *candidates*, never what they
+//! may deviate to.
+
+use crate::{Configuration, Error, GameSpec, NodeId, Result, StabilityChecker};
+
+/// Every feasible strategy for node `u`: all subsets of affordable targets
+/// whose total link cost is within budget, in deterministic order (by size,
+/// then lexicographically).
+///
+/// # Errors
+///
+/// Returns [`Error::SearchBudgetExceeded`] if more than `cap` strategies
+/// exist; the subset lattice grows as `2^n` and callers must opt in to large
+/// enumerations explicitly.
+pub fn all_strategies(spec: &GameSpec, u: NodeId, cap: u64) -> Result<Vec<Vec<NodeId>>> {
+    let pool = spec.affordable_targets(u);
+    let budget = spec.budget(u);
+    let mut out: Vec<Vec<NodeId>> = Vec::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        spec: &GameSpec,
+        u: NodeId,
+        pool: &[NodeId],
+        from: usize,
+        spent: u64,
+        budget: u64,
+        stack: &mut Vec<NodeId>,
+        out: &mut Vec<Vec<NodeId>>,
+        cap: u64,
+    ) -> Result<()> {
+        if out.len() as u64 >= cap {
+            return Err(Error::SearchBudgetExceeded { limit: cap });
+        }
+        out.push(stack.clone());
+        for i in from..pool.len() {
+            let price = spec.link_cost(u, pool[i]);
+            if spent + price <= budget {
+                stack.push(pool[i]);
+                rec(spec, u, pool, i + 1, spent + price, budget, stack, out, cap)?;
+                stack.pop();
+            }
+        }
+        Ok(())
+    }
+    rec(spec, u, &pool, 0, 0, budget, &mut stack, &mut out, cap)?;
+    out.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    Ok(out)
+}
+
+/// A product of per-node candidate strategy sets.
+#[derive(Clone, Debug)]
+pub struct ProfileSpace {
+    per_node: Vec<Vec<Vec<NodeId>>>,
+}
+
+impl ProfileSpace {
+    /// The full joint strategy space of the game.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the per-node cap from [`all_strategies`].
+    pub fn full(spec: &GameSpec, per_node_cap: u64) -> Result<Self> {
+        let per_node = NodeId::all(spec.node_count())
+            .map(|u| all_strategies(spec, u, per_node_cap))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { per_node })
+    }
+
+    /// A restricted space from explicit per-node candidate strategy lists.
+    ///
+    /// Each strategy is validated against `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation failure, or a dimension mismatch.
+    pub fn from_candidates(spec: &GameSpec, candidates: Vec<Vec<Vec<NodeId>>>) -> Result<Self> {
+        if candidates.len() != spec.node_count() {
+            return Err(Error::DimensionMismatch {
+                expected: spec.node_count(),
+                actual: candidates.len(),
+            });
+        }
+        for (u, strategies) in candidates.iter().enumerate() {
+            assert!(
+                !strategies.is_empty(),
+                "node v{u} has no candidate strategies"
+            );
+            for s in strategies {
+                spec.validate_strategy(NodeId::new(u), s)?;
+            }
+        }
+        let per_node = candidates
+            .into_iter()
+            .map(|mut ss| {
+                for s in &mut ss {
+                    s.sort_unstable();
+                }
+                ss
+            })
+            .collect();
+        Ok(Self { per_node })
+    }
+
+    /// Candidate strategies of one node.
+    pub fn candidates(&self, u: NodeId) -> &[Vec<NodeId>] {
+        &self.per_node[u.index()]
+    }
+
+    /// Number of joint profiles in the product.
+    pub fn profile_count(&self) -> u128 {
+        self.per_node.iter().map(|s| s.len() as u128).product()
+    }
+}
+
+/// Result of an exhaustive equilibrium scan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnumerationResult {
+    /// Every stable profile found, in enumeration order.
+    pub equilibria: Vec<Configuration>,
+    /// Profiles examined (equals the space size unless an error aborted).
+    pub profiles_checked: u64,
+}
+
+/// Scans every profile of `space`, returning all pure Nash equilibria.
+///
+/// Stability is checked against the full deviation space via the exact
+/// best-response search, regardless of how `space` was restricted.
+///
+/// # Errors
+///
+/// - [`Error::SearchBudgetExceeded`] if `space` holds more than
+///   `max_profiles` profiles (checked up front) or some node's deviation
+///   search overruns its internal limit.
+pub fn find_equilibria(
+    spec: &GameSpec,
+    space: &ProfileSpace,
+    max_profiles: u64,
+) -> Result<EnumerationResult> {
+    if space.profile_count() > max_profiles as u128 {
+        return Err(Error::SearchBudgetExceeded {
+            limit: max_profiles,
+        });
+    }
+    let checker = StabilityChecker::new(spec);
+    let mut result = EnumerationResult {
+        equilibria: Vec::new(),
+        profiles_checked: 0,
+    };
+    scan_range(
+        spec,
+        space,
+        &checker,
+        0,
+        space.per_node[0].len(),
+        &mut result,
+    )?;
+    Ok(result)
+}
+
+/// Parallel variant of [`find_equilibria`]: splits the first node's
+/// candidate list across `threads` OS threads.
+///
+/// Deterministic: results are merged in first-index order.
+///
+/// # Errors
+///
+/// Same conditions as [`find_equilibria`].
+pub fn find_equilibria_parallel(
+    spec: &GameSpec,
+    space: &ProfileSpace,
+    max_profiles: u64,
+    threads: usize,
+) -> Result<EnumerationResult> {
+    if space.profile_count() > max_profiles as u128 {
+        return Err(Error::SearchBudgetExceeded {
+            limit: max_profiles,
+        });
+    }
+    let first_len = space.per_node[0].len();
+    let threads = threads.max(1).min(first_len);
+    let chunk = first_len.div_ceil(threads);
+    let results: Vec<Result<EnumerationResult>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(first_len);
+            handles.push(scope.spawn(move || {
+                let checker = StabilityChecker::new(spec);
+                let mut result = EnumerationResult {
+                    equilibria: Vec::new(),
+                    profiles_checked: 0,
+                };
+                scan_range(spec, space, &checker, lo, hi, &mut result)?;
+                Ok(result)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("enumeration thread panicked"))
+            .collect()
+    });
+    let mut merged = EnumerationResult {
+        equilibria: Vec::new(),
+        profiles_checked: 0,
+    };
+    for r in results {
+        let r = r?;
+        merged.equilibria.extend(r.equilibria);
+        merged.profiles_checked += r.profiles_checked;
+    }
+    Ok(merged)
+}
+
+/// Scans profiles whose first-node strategy index lies in `[first_lo,
+/// first_hi)`.
+fn scan_range(
+    spec: &GameSpec,
+    space: &ProfileSpace,
+    checker: &StabilityChecker<'_>,
+    first_lo: usize,
+    first_hi: usize,
+    result: &mut EnumerationResult,
+) -> Result<()> {
+    let n = spec.node_count();
+    let sizes: Vec<usize> = space.per_node.iter().map(Vec::len).collect();
+    let mut idx = vec![0usize; n];
+    idx[0] = first_lo;
+    if first_lo >= first_hi {
+        return Ok(());
+    }
+    loop {
+        let lists: Vec<Vec<NodeId>> = (0..n).map(|u| space.per_node[u][idx[u]].clone()).collect();
+        let config = Configuration::from_strategies(spec, lists).expect("candidates pre-validated");
+        result.profiles_checked += 1;
+        if checker.is_stable(&config)? {
+            result.equilibria.push(config);
+        }
+        // Odometer increment, most-significant digit = node 0 bounded by
+        // [first_lo, first_hi).
+        let mut d = n;
+        loop {
+            if d == 0 {
+                return Ok(());
+            }
+            d -= 1;
+            idx[d] += 1;
+            let limit = if d == 0 { first_hi } else { sizes[d] };
+            if idx[d] < limit {
+                break;
+            }
+            idx[d] = if d == 0 { first_hi } else { 0 };
+            if d == 0 {
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn all_strategies_uniform_counts() {
+        // (4,1): empty + 3 singletons.
+        let spec = GameSpec::uniform(4, 1);
+        let s = all_strategies(&spec, v(0), 1000).unwrap();
+        assert_eq!(s.len(), 4);
+        // (4,2): empty + 3 singletons + 3 pairs.
+        let spec = GameSpec::uniform(4, 2);
+        let s = all_strategies(&spec, v(0), 1000).unwrap();
+        assert_eq!(s.len(), 7);
+        assert_eq!(s[0], Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn all_strategies_respects_nonuniform_costs() {
+        let spec = GameSpec::builder(4)
+            .default_budget(3)
+            .link_cost(0, 1, 3)
+            .link_cost(0, 2, 2)
+            .build()
+            .unwrap();
+        let s = all_strategies(&spec, v(0), 1000).unwrap();
+        // Affordable subsets of {1:3, 2:2, 3:1}: {}, {1}, {2}, {3}, {2,3}.
+        assert_eq!(s.len(), 5);
+        assert!(s.contains(&vec![v(2), v(3)]));
+        assert!(!s.contains(&vec![v(1), v(3)]));
+    }
+
+    #[test]
+    fn all_strategies_cap_enforced() {
+        let spec = GameSpec::uniform(20, 10);
+        assert!(matches!(
+            all_strategies(&spec, v(0), 100),
+            Err(Error::SearchBudgetExceeded { limit: 100 })
+        ));
+    }
+
+    #[test]
+    fn full_space_counts_profiles() {
+        let spec = GameSpec::uniform(3, 1);
+        let space = ProfileSpace::full(&spec, 100).unwrap();
+        // Each node: empty + 2 singletons = 3 strategies; 3^3 = 27 profiles.
+        assert_eq!(space.profile_count(), 27);
+    }
+
+    #[test]
+    fn finds_all_equilibria_of_tiny_uniform_game() {
+        // (3,1)-uniform: stable graphs are exactly the two directed
+        // triangles (each node must buy its one affordable useful link, and
+        // the graph must be strongly connected with out-degree 1).
+        let spec = GameSpec::uniform(3, 1);
+        let space = ProfileSpace::full(&spec, 100).unwrap();
+        let result = find_equilibria(&spec, &space, 1000).unwrap();
+        assert_eq!(result.profiles_checked, 27);
+        assert_eq!(
+            result.equilibria.len(),
+            2,
+            "two orientations of the triangle"
+        );
+        for eq in &result.equilibria {
+            assert!(bbc_graph::scc::is_strongly_connected(&eq.to_graph(&spec)));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let spec = GameSpec::uniform(4, 1);
+        let space = ProfileSpace::full(&spec, 1000).unwrap();
+        let seq = find_equilibria(&spec, &space, 100_000).unwrap();
+        for threads in [1, 2, 4, 7] {
+            let par = find_equilibria_parallel(&spec, &space, 100_000, threads).unwrap();
+            assert_eq!(par.profiles_checked, seq.profiles_checked);
+            let mut a = par.equilibria.clone();
+            let mut b = seq.equilibria.clone();
+            a.sort_by_key(|c| format!("{c:?}"));
+            b.sort_by_key(|c| format!("{c:?}"));
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn profile_limit_enforced_up_front() {
+        let spec = GameSpec::uniform(4, 1);
+        let space = ProfileSpace::full(&spec, 1000).unwrap();
+        assert!(matches!(
+            find_equilibria(&spec, &space, 10),
+            Err(Error::SearchBudgetExceeded { limit: 10 })
+        ));
+    }
+
+    #[test]
+    fn restricted_space_validates_candidates() {
+        let spec = GameSpec::uniform(3, 1);
+        let bad = ProfileSpace::from_candidates(
+            &spec,
+            vec![vec![vec![v(0)]], vec![vec![]], vec![vec![]]],
+        );
+        assert!(matches!(bad, Err(Error::SelfLink { .. })));
+    }
+
+    #[test]
+    fn restricted_space_scan_checks_full_deviations() {
+        // Restrict node 0 to the empty strategy only; in a (3,1) game that
+        // profile is NOT stable because node 0's full deviation space lets
+        // it link out. The scan must therefore report no equilibria.
+        let spec = GameSpec::uniform(3, 1);
+        let space = ProfileSpace::from_candidates(
+            &spec,
+            vec![
+                vec![vec![]],
+                vec![vec![v(0)], vec![v(2)]],
+                vec![vec![v(0)], vec![v(1)]],
+            ],
+        )
+        .unwrap();
+        let result = find_equilibria(&spec, &space, 1000).unwrap();
+        assert_eq!(result.profiles_checked, 4);
+        assert!(result.equilibria.is_empty());
+    }
+}

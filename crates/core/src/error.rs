@@ -1,0 +1,129 @@
+//! Error types for game construction and analysis.
+
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced by the BBC game layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A game was declared with zero nodes.
+    EmptyGame,
+    /// A strategy referenced a node outside `0..n`.
+    NodeOutOfBounds {
+        /// The offending node.
+        node: NodeId,
+        /// The game size.
+        n: usize,
+    },
+    /// A strategy contained a self-link, which the model forbids (a self-link
+    /// never shortens any distance and wastes budget).
+    SelfLink {
+        /// The node attempting to link to itself.
+        node: NodeId,
+    },
+    /// A strategy listed the same target twice.
+    DuplicateTarget {
+        /// The buying node.
+        node: NodeId,
+        /// The repeated target.
+        target: NodeId,
+    },
+    /// A strategy's total link cost exceeds the node's budget.
+    BudgetExceeded {
+        /// The overspending node.
+        node: NodeId,
+        /// Total cost of the attempted strategy.
+        spent: u64,
+        /// The node's budget.
+        budget: u64,
+    },
+    /// The disconnection penalty is too small to dominate in-graph distances,
+    /// which breaks the paper's standing assumption `M ≫ n·max ℓ`.
+    PenaltyTooSmall {
+        /// The configured penalty.
+        penalty: u64,
+        /// The smallest acceptable value.
+        minimum: u64,
+    },
+    /// An exact search (best response or equilibrium enumeration) would
+    /// exceed its configured evaluation budget. Raise the limit or use a
+    /// heuristic mode.
+    SearchBudgetExceeded {
+        /// The configured evaluation limit.
+        limit: u64,
+    },
+    /// A matrix argument had the wrong dimensions.
+    DimensionMismatch {
+        /// Expected dimension (game size).
+        expected: usize,
+        /// Provided dimension.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyGame => write!(f, "game must have at least one node"),
+            Error::NodeOutOfBounds { node, n } => {
+                write!(f, "node {node} out of bounds for game of size {n}")
+            }
+            Error::SelfLink { node } => write!(f, "node {node} may not link to itself"),
+            Error::DuplicateTarget { node, target } => {
+                write!(f, "node {node} lists target {target} more than once")
+            }
+            Error::BudgetExceeded {
+                node,
+                spent,
+                budget,
+            } => {
+                write!(f, "node {node} spends {spent} but has budget {budget}")
+            }
+            Error::PenaltyTooSmall { penalty, minimum } => {
+                write!(
+                    f,
+                    "disconnection penalty {penalty} below required minimum {minimum}"
+                )
+            }
+            Error::SearchBudgetExceeded { limit } => {
+                write!(f, "exact search exceeded its evaluation limit of {limit}")
+            }
+            Error::DimensionMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "matrix dimension {actual} does not match game size {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = Error::BudgetExceeded {
+            node: NodeId::new(2),
+            spent: 5,
+            budget: 3,
+        };
+        assert_eq!(e.to_string(), "node v2 spends 5 but has budget 3");
+        let e = Error::SearchBudgetExceeded { limit: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,97 @@
+//! Node identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a player/node in a BBC game.
+///
+/// A thin newtype over a dense `0..n` index. Keeping it distinct from plain
+/// `usize` prevents mixing node ids with counts, costs, or subset indices in
+/// the best-response machinery.
+///
+/// # Examples
+///
+/// ```
+/// use bbc_core::NodeId;
+///
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.to_string(), "v3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` (games that large are far beyond
+    /// anything this library evaluates).
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        assert!(index <= u32::MAX as usize, "node index {index} too large");
+        Self(index as u32)
+    }
+
+    /// The dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Const-friendly constructor for node ids known at compile time (e.g.
+    /// the named gadget nodes in `bbc-constructions`).
+    pub const fn from_const(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Iterator over the first `n` node ids, `v0..vn`.
+    pub fn all(n: usize) -> impl Iterator<Item = NodeId> {
+        (0..n).map(NodeId::new)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(v: NodeId) -> usize {
+        v.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_index() {
+        assert_eq!(NodeId::new(7).index(), 7);
+        assert_eq!(usize::from(NodeId::new(7)), 7);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        let all: Vec<_> = NodeId::all(3).collect();
+        assert_eq!(all, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", NodeId::new(5)), "v5");
+        assert_eq!(format!("{:?}", NodeId::new(5)), "v5");
+    }
+}

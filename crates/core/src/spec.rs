@@ -1,0 +1,588 @@
+//! Game specifications: the tuple `⟨V, w, c, ℓ, b⟩` of the paper's §2.
+//!
+//! A [`GameSpec`] fixes everything about a BBC game except the strategies:
+//! node count, preference weights `w(u,v)`, link costs `c(u,v)`, link lengths
+//! `ℓ(u,v)`, budgets `b(u)`, the disconnection penalty `M`, and whether node
+//! cost aggregates distances by sum (BBC) or by max (BBC-max, §5).
+//!
+//! Uniform `(n,k)` games get a dedicated constant-space representation —
+//! dynamics experiments run thousands of steps on graphs where `n²` matrices
+//! would dominate memory and cache traffic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, NodeId, Result};
+
+/// How a node aggregates its preference-weighted distances into a cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostModel {
+    /// `cost(u) = Σ_v w(u,v)·d(u,v)` — the BBC game of §2.
+    #[default]
+    SumDistance,
+    /// `cost(u) = max_v w(u,v)·d(u,v)` — the BBC-max game of §5.
+    MaxDistance,
+}
+
+/// Dense row-major `n × n` matrix of `u64` entries.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct Square {
+    n: usize,
+    data: Vec<u64>,
+}
+
+impl Square {
+    fn filled(n: usize, value: u64) -> Self {
+        Self {
+            n,
+            data: vec![value; n * n],
+        }
+    }
+
+    #[inline]
+    fn get(&self, u: usize, v: usize) -> u64 {
+        self.data[u * self.n + v]
+    }
+
+    #[inline]
+    fn set(&mut self, u: usize, v: usize, value: u64) {
+        self.data[u * self.n + v] = value;
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+enum SpecKind {
+    /// All weights, costs and lengths are 1; every budget is `k`.
+    Uniform { k: u64 },
+    /// Explicit matrices.
+    General {
+        weights: Square,
+        link_costs: Square,
+        lengths: Square,
+        budgets: Vec<u64>,
+    },
+}
+
+/// An immutable BBC game specification.
+///
+/// Construct uniform games with [`GameSpec::uniform`] and everything else
+/// through [`GameSpec::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use bbc_core::{CostModel, GameSpec};
+///
+/// let g = GameSpec::uniform(16, 2);
+/// assert_eq!(g.node_count(), 16);
+/// assert_eq!(g.budget(bbc_core::NodeId::new(0)), 2);
+/// assert!(g.is_uniform());
+///
+/// let max_game = g.with_cost_model(CostModel::MaxDistance);
+/// assert_eq!(max_game.cost_model(), CostModel::MaxDistance);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GameSpec {
+    n: usize,
+    kind: SpecKind,
+    penalty: u64,
+    cost_model: CostModel,
+    unit_lengths: bool,
+    max_length: u64,
+}
+
+impl GameSpec {
+    /// The `(n, k)`-uniform game of §4: unit weights, costs and lengths, and
+    /// budget `k` everywhere.
+    ///
+    /// The disconnection penalty defaults to `n²`, which exceeds the largest
+    /// possible finite distance sum `(n−1)²` and therefore makes best
+    /// responses reach-monotone (the property Lemma 9 relies on; the paper
+    /// assumes `M > n` but the dynamics argument needs the stronger bound to
+    /// be airtight — see DESIGN.md). Override with [`GameSpec::with_penalty`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`; `k` may exceed `n−1` (budget simply goes unspent),
+    /// and `k == 0` is legal (an empty game where everyone is trivially
+    /// stable), matching the model's "spend at most `b(u)`" constraint.
+    pub fn uniform(n: usize, k: u64) -> Self {
+        assert!(n > 0, "game must have at least one node");
+        let n64 = n as u64;
+        Self {
+            n,
+            kind: SpecKind::Uniform { k },
+            penalty: (n64 * n64).max(n64 + 1),
+            cost_model: CostModel::SumDistance,
+            unit_lengths: true,
+            max_length: 1,
+        }
+    }
+
+    /// Starts building a non-uniform game on `n` nodes.
+    pub fn builder(n: usize) -> GameSpecBuilder {
+        GameSpecBuilder::new(n)
+    }
+
+    /// Number of players.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// `u`'s preference weight for reaching `v`; `0` on the diagonal.
+    #[inline]
+    pub fn weight(&self, u: NodeId, v: NodeId) -> u64 {
+        if u == v {
+            return 0;
+        }
+        match &self.kind {
+            SpecKind::Uniform { .. } => 1,
+            SpecKind::General { weights, .. } => weights.get(u.index(), v.index()),
+        }
+    }
+
+    /// Cost for `u` to establish the link `(u, v)`.
+    #[inline]
+    pub fn link_cost(&self, u: NodeId, v: NodeId) -> u64 {
+        match &self.kind {
+            SpecKind::Uniform { .. } => 1,
+            SpecKind::General { link_costs, .. } => link_costs.get(u.index(), v.index()),
+        }
+    }
+
+    /// Length of the link `(u, v)` if established.
+    #[inline]
+    pub fn link_length(&self, u: NodeId, v: NodeId) -> u64 {
+        match &self.kind {
+            SpecKind::Uniform { .. } => 1,
+            SpecKind::General { lengths, .. } => lengths.get(u.index(), v.index()),
+        }
+    }
+
+    /// `u`'s budget for buying outgoing links.
+    #[inline]
+    pub fn budget(&self, u: NodeId) -> u64 {
+        match &self.kind {
+            SpecKind::Uniform { k } => *k,
+            SpecKind::General { budgets, .. } => budgets[u.index()],
+        }
+    }
+
+    /// The disconnection penalty `M` charged as the "distance" to an
+    /// unreachable node.
+    #[inline]
+    pub fn penalty(&self) -> u64 {
+        self.penalty
+    }
+
+    /// How node costs aggregate distances.
+    #[inline]
+    pub fn cost_model(&self) -> CostModel {
+        self.cost_model
+    }
+
+    /// `true` for `(n,k)`-uniform games (constant-space representation).
+    pub fn is_uniform(&self) -> bool {
+        matches!(self.kind, SpecKind::Uniform { .. })
+    }
+
+    /// The shared budget `k` of a uniform game, or `None` for general games.
+    pub fn uniform_k(&self) -> Option<u64> {
+        match &self.kind {
+            SpecKind::Uniform { k } => Some(*k),
+            SpecKind::General { .. } => None,
+        }
+    }
+
+    /// `true` when every link length is 1 (shortest paths reduce to BFS).
+    #[inline]
+    pub fn has_unit_lengths(&self) -> bool {
+        self.unit_lengths
+    }
+
+    /// The largest link length in the game.
+    #[inline]
+    pub fn max_link_length(&self) -> u64 {
+        self.max_length
+    }
+
+    /// Replaces the disconnection penalty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::PenaltyTooSmall`] unless `penalty > n·max ℓ`, the
+    /// standing assumption `M ≫ n·max ℓ` of §2 (we enforce the weak
+    /// inequality that keeps every finite distance strictly below `M`).
+    pub fn with_penalty(mut self, penalty: u64) -> Result<Self> {
+        let minimum = (self.n as u64) * self.max_length + 1;
+        if penalty < minimum {
+            return Err(Error::PenaltyTooSmall { penalty, minimum });
+        }
+        self.penalty = penalty;
+        Ok(self)
+    }
+
+    /// Switches between BBC (sum) and BBC-max aggregation.
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Total link cost of a strategy for `u`.
+    pub fn strategy_cost(&self, u: NodeId, targets: &[NodeId]) -> u64 {
+        targets.iter().map(|&v| self.link_cost(u, v)).sum()
+    }
+
+    /// Checks that `targets` is a legal strategy for `u`: in-bounds, no
+    /// self-link, no duplicates, within budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as an [`Error`].
+    pub fn validate_strategy(&self, u: NodeId, targets: &[NodeId]) -> Result<()> {
+        if u.index() >= self.n {
+            return Err(Error::NodeOutOfBounds { node: u, n: self.n });
+        }
+        let mut seen = vec![false; self.n];
+        let mut spent = 0u64;
+        for &v in targets {
+            if v.index() >= self.n {
+                return Err(Error::NodeOutOfBounds { node: v, n: self.n });
+            }
+            if v == u {
+                return Err(Error::SelfLink { node: u });
+            }
+            if seen[v.index()] {
+                return Err(Error::DuplicateTarget { node: u, target: v });
+            }
+            seen[v.index()] = true;
+            spent += self.link_cost(u, v);
+        }
+        let budget = self.budget(u);
+        if spent > budget {
+            return Err(Error::BudgetExceeded {
+                node: u,
+                spent,
+                budget,
+            });
+        }
+        Ok(())
+    }
+
+    /// Targets `u` can afford individually: `{v ≠ u : c(u,v) ≤ b(u)}`.
+    ///
+    /// This is the candidate pool every best-response search draws from.
+    pub fn affordable_targets(&self, u: NodeId) -> Vec<NodeId> {
+        let budget = self.budget(u);
+        NodeId::all(self.n)
+            .filter(|&v| v != u && self.link_cost(u, v) <= budget)
+            .collect()
+    }
+}
+
+/// Builder for non-uniform games. Defaults: weight 1, link cost 1, link
+/// length 1, budget 1, sum-distance cost model.
+///
+/// # Examples
+///
+/// ```
+/// use bbc_core::{GameSpec, NodeId};
+///
+/// let spec = GameSpec::builder(3)
+///     .default_budget(1)
+///     .weight(0, 1, 5)
+///     .link_length(0, 2, 9)
+///     .budget(2, 0)
+///     .build()?;
+/// assert_eq!(spec.weight(NodeId::new(0), NodeId::new(1)), 5);
+/// assert_eq!(spec.budget(NodeId::new(2)), 0);
+/// # Ok::<(), bbc_core::Error>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct GameSpecBuilder {
+    n: usize,
+    weights: Square,
+    link_costs: Square,
+    lengths: Square,
+    budgets: Vec<u64>,
+    penalty: Option<u64>,
+    cost_model: CostModel,
+}
+
+impl GameSpecBuilder {
+    fn new(n: usize) -> Self {
+        Self {
+            n,
+            weights: Square::filled(n, 1),
+            link_costs: Square::filled(n, 1),
+            lengths: Square::filled(n, 1),
+            budgets: vec![1; n],
+            penalty: None,
+            cost_model: CostModel::SumDistance,
+        }
+    }
+
+    /// Sets every preference weight to `w`.
+    pub fn default_weight(mut self, w: u64) -> Self {
+        self.weights = Square::filled(self.n, w);
+        self
+    }
+
+    /// Sets every link cost to `c`.
+    pub fn default_link_cost(mut self, c: u64) -> Self {
+        self.link_costs = Square::filled(self.n, c);
+        self
+    }
+
+    /// Sets every link length to `l`.
+    pub fn default_link_length(mut self, l: u64) -> Self {
+        self.lengths = Square::filled(self.n, l);
+        self
+    }
+
+    /// Sets every budget to `b`.
+    pub fn default_budget(mut self, b: u64) -> Self {
+        self.budgets = vec![b; self.n];
+        self
+    }
+
+    /// Sets `w(u, v)`.
+    pub fn weight(mut self, u: usize, v: usize, w: u64) -> Self {
+        self.weights.set(u, v, w);
+        self
+    }
+
+    /// Sets `c(u, v)`.
+    pub fn link_cost(mut self, u: usize, v: usize, c: u64) -> Self {
+        self.link_costs.set(u, v, c);
+        self
+    }
+
+    /// Sets `ℓ(u, v)`.
+    pub fn link_length(mut self, u: usize, v: usize, l: u64) -> Self {
+        self.lengths.set(u, v, l);
+        self
+    }
+
+    /// Sets `b(u)`.
+    pub fn budget(mut self, u: usize, b: u64) -> Self {
+        self.budgets[u] = b;
+        self
+    }
+
+    /// Sets the disconnection penalty explicitly (validated in
+    /// [`GameSpecBuilder::build`]).
+    pub fn penalty(mut self, m: u64) -> Self {
+        self.penalty = Some(m);
+        self
+    }
+
+    /// Sets the cost model.
+    pub fn cost_model(mut self, cm: CostModel) -> Self {
+        self.cost_model = cm;
+        self
+    }
+
+    /// Finalizes the spec.
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::EmptyGame`] if `n == 0`.
+    /// - [`Error::PenaltyTooSmall`] if an explicit penalty does not exceed
+    ///   `n·max ℓ`. Without an explicit penalty, `n·max ℓ + 1` is used —
+    ///   callers that rely on reach-monotone dynamics should raise it.
+    pub fn build(self) -> Result<GameSpec> {
+        if self.n == 0 {
+            return Err(Error::EmptyGame);
+        }
+        let mut max_length = 1u64;
+        let mut unit_lengths = true;
+        for u in 0..self.n {
+            for v in 0..self.n {
+                if u == v {
+                    continue;
+                }
+                let l = self.lengths.get(u, v);
+                assert!(l > 0, "link length ({u},{v}) must be positive");
+                max_length = max_length.max(l);
+                unit_lengths &= l == 1;
+            }
+        }
+        let minimum = (self.n as u64) * max_length + 1;
+        let penalty = self.penalty.unwrap_or(minimum);
+        if penalty < minimum {
+            return Err(Error::PenaltyTooSmall { penalty, minimum });
+        }
+        Ok(GameSpec {
+            n: self.n,
+            kind: SpecKind::General {
+                weights: self.weights,
+                link_costs: self.link_costs,
+                lengths: self.lengths,
+                budgets: self.budgets,
+            },
+            penalty,
+            cost_model: self.cost_model,
+            unit_lengths,
+            max_length,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn uniform_game_accessors() {
+        let g = GameSpec::uniform(10, 3);
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.uniform_k(), Some(3));
+        assert_eq!(g.weight(v(0), v(1)), 1);
+        assert_eq!(g.weight(v(4), v(4)), 0, "diagonal weight is zero");
+        assert_eq!(g.link_cost(v(0), v(1)), 1);
+        assert_eq!(g.link_length(v(0), v(1)), 1);
+        assert_eq!(g.budget(v(9)), 3);
+        assert_eq!(g.penalty(), 100);
+        assert!(g.has_unit_lengths());
+        assert_eq!(g.cost_model(), CostModel::SumDistance);
+    }
+
+    #[test]
+    fn uniform_small_n_penalty_still_dominates() {
+        let g = GameSpec::uniform(1, 1);
+        assert!(g.penalty() > 1);
+    }
+
+    #[test]
+    fn builder_sets_individual_entries() {
+        let g = GameSpec::builder(4)
+            .weight(0, 3, 7)
+            .link_cost(1, 2, 4)
+            .link_length(2, 0, 9)
+            .budget(3, 0)
+            .build()
+            .unwrap();
+        assert_eq!(g.weight(v(0), v(3)), 7);
+        assert_eq!(g.link_cost(v(1), v(2)), 4);
+        assert_eq!(g.link_length(v(2), v(0)), 9);
+        assert_eq!(g.budget(v(3)), 0);
+        assert!(!g.has_unit_lengths());
+        assert_eq!(g.max_link_length(), 9);
+        assert!(!g.is_uniform());
+        assert_eq!(g.uniform_k(), None);
+    }
+
+    #[test]
+    fn default_penalty_exceeds_n_times_max_length() {
+        let g = GameSpec::builder(5)
+            .default_link_length(10)
+            .build()
+            .unwrap();
+        assert_eq!(g.penalty(), 51);
+    }
+
+    #[test]
+    fn explicit_penalty_validated() {
+        let err = GameSpec::builder(5)
+            .default_link_length(10)
+            .penalty(50)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            Error::PenaltyTooSmall {
+                penalty: 50,
+                minimum: 51
+            }
+        );
+        assert!(GameSpec::builder(5)
+            .default_link_length(10)
+            .penalty(51)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn with_penalty_validates_minimum() {
+        let g = GameSpec::uniform(4, 1);
+        assert!(g.clone().with_penalty(4).is_err());
+        assert_eq!(g.with_penalty(1000).unwrap().penalty(), 1000);
+    }
+
+    #[test]
+    fn empty_game_rejected() {
+        assert_eq!(GameSpec::builder(0).build().unwrap_err(), Error::EmptyGame);
+    }
+
+    #[test]
+    fn validate_strategy_catches_each_violation() {
+        let g = GameSpec::uniform(5, 2);
+        let u = v(0);
+        assert!(g.validate_strategy(u, &[v(1), v(2)]).is_ok());
+        assert!(
+            g.validate_strategy(u, &[]).is_ok(),
+            "buying nothing is legal"
+        );
+        assert_eq!(
+            g.validate_strategy(u, &[v(9)]),
+            Err(Error::NodeOutOfBounds { node: v(9), n: 5 })
+        );
+        assert_eq!(
+            g.validate_strategy(u, &[v(0)]),
+            Err(Error::SelfLink { node: u })
+        );
+        assert_eq!(
+            g.validate_strategy(u, &[v(1), v(1)]),
+            Err(Error::DuplicateTarget {
+                node: u,
+                target: v(1)
+            })
+        );
+        assert_eq!(
+            g.validate_strategy(u, &[v(1), v(2), v(3)]),
+            Err(Error::BudgetExceeded {
+                node: u,
+                spent: 3,
+                budget: 2
+            })
+        );
+    }
+
+    #[test]
+    fn nonuniform_budget_validation_uses_link_costs() {
+        let g = GameSpec::builder(4)
+            .default_budget(5)
+            .link_cost(0, 1, 3)
+            .link_cost(0, 2, 3)
+            .build()
+            .unwrap();
+        assert!(g.validate_strategy(v(0), &[v(1), v(3)]).is_ok()); // 3 + 1 = 4
+        assert!(g.validate_strategy(v(0), &[v(1), v(2)]).is_err()); // 3 + 3 = 6
+    }
+
+    #[test]
+    fn affordable_targets_respects_budget_and_self() {
+        let g = GameSpec::builder(4)
+            .default_budget(2)
+            .link_cost(0, 2, 3)
+            .build()
+            .unwrap();
+        assert_eq!(g.affordable_targets(v(0)), vec![v(1), v(3)]);
+        assert_eq!(g.affordable_targets(v(1)), vec![v(0), v(2), v(3)]);
+    }
+
+    #[test]
+    fn strategy_cost_sums_link_costs() {
+        let g = GameSpec::builder(3)
+            .link_cost(0, 1, 2)
+            .link_cost(0, 2, 5)
+            .build()
+            .unwrap();
+        assert_eq!(g.strategy_cost(v(0), &[v(1), v(2)]), 7);
+    }
+}

@@ -1,0 +1,4 @@
+//! Binary wrapper for experiment E1. Pass --full for the heavy sweeps.
+fn main() {
+    bbc_experiments::e01::cli();
+}

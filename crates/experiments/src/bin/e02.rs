@@ -1,0 +1,4 @@
+//! Binary wrapper for experiment E2. Pass --full for the heavy sweeps.
+fn main() {
+    bbc_experiments::e02::cli();
+}

@@ -1,0 +1,4 @@
+//! Binary wrapper for experiment E3. Pass --full for the heavy sweeps.
+fn main() {
+    bbc_experiments::e03::cli();
+}

@@ -1,0 +1,4 @@
+//! Binary wrapper for experiment E4. Pass --full for the heavy sweeps.
+fn main() {
+    bbc_experiments::e04::cli();
+}

@@ -1,0 +1,4 @@
+//! Binary wrapper for experiment E5. Pass --full for the heavy sweeps.
+fn main() {
+    bbc_experiments::e05::cli();
+}

@@ -1,0 +1,4 @@
+//! Binary wrapper for experiment E8. Pass --full for the heavy sweeps.
+fn main() {
+    bbc_experiments::e08::cli();
+}

@@ -1,0 +1,4 @@
+//! Binary wrapper for experiment E9. Pass --full for the heavy sweeps.
+fn main() {
+    bbc_experiments::e09::cli();
+}

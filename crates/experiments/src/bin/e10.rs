@@ -1,0 +1,4 @@
+//! Binary wrapper for experiment E10. Pass --full for the heavy sweeps.
+fn main() {
+    bbc_experiments::e10::cli();
+}

@@ -1,0 +1,4 @@
+//! Binary wrapper for experiment E11. Pass --full for the heavy sweeps.
+fn main() {
+    bbc_experiments::e11::cli();
+}

@@ -1,0 +1,11 @@
+//! Runs every experiment (E1–E12) in order. Pass --full for heavy sweeps.
+use bbc_experiments::{run_all, RunOptions};
+
+fn main() {
+    let outcomes = run_all(&RunOptions::from_env());
+    let agreeing = outcomes.iter().filter(|o| o.report.agrees).count();
+    println!(
+        "==> {agreeing}/{} experiments agree with the paper",
+        outcomes.len()
+    );
+}

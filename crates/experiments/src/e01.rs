@@ -1,0 +1,149 @@
+//! E1 — Theorem 1 / Figure 1: non-uniform BBC games with no pure Nash
+//! equilibrium.
+//!
+//! The theorem's *claim* is certified twice over, exhaustively:
+//!
+//! 1. the **restricted-topology gadget** (omitted links unaffordable): the
+//!    paper's matching-pennies engine, scanned over all 11 664 profiles —
+//!    zero equilibria;
+//! 2. the **minimal 5-node witness**: uniform link costs, lengths and
+//!    budgets, non-uniform preferences only — exactly the theorem
+//!    statement's hypothesis — scanned over all 3 125 profiles — zero
+//!    equilibria. This also strengthens the paper: `n = 5` suffices, not
+//!    `n ≥ 11`.
+//!
+//! The paper's two *specific* gadget parameterizations, reconstructed from
+//! the proof text (Figure 1 itself is lost), turn out to **admit**
+//! equilibria: with uniform lengths (or omitted links of finite length `L`),
+//! long routes through the opposite sub-gadget keep crossover tops and the
+//! anchor reachable in ways the proof's case analysis does not account for,
+//! and the pennies engine stalls. Those rows are reported as reconstruction
+//! findings; they do not affect the theorem's verdict.
+
+use bbc_analysis::{ExperimentReport, Table};
+use bbc_constructions::{gadget, Gadget, GadgetVariant};
+use bbc_core::{enumerate, Configuration, GameSpec, Walk, WalkOutcome};
+
+use crate::{finish, Outcome, RunOptions};
+
+/// Runs the experiment.
+pub fn run(opts: &RunOptions) -> Outcome {
+    let report = ExperimentReport::new(
+        "E1",
+        "Theorem 1 / Figure 1",
+        "there exist non-uniform BBC games (uniform costs/lengths/budgets, non-uniform \
+         preferences) with no pure Nash equilibrium",
+    );
+    let mut table = Table::new(&["instance", "n", "evidence", "equilibria", "method"]);
+    let mut notes = Vec::new();
+
+    // 1. Restricted gadget: exhaustive, must be empty.
+    let restricted_empty = {
+        let g = Gadget::new(GadgetVariant::Restricted);
+        let spec = g.spec();
+        let space = g.candidate_space(&spec).expect("restricted space is tiny");
+        let result =
+            enumerate::find_equilibria(&spec, &space, 1_000_000).expect("scan fits budget");
+        table.row(&[
+            "gadget/restricted".to_string(),
+            spec.node_count().to_string(),
+            format!("{} profiles", result.profiles_checked),
+            result.equilibria.len().to_string(),
+            "exhaustive".to_string(),
+        ]);
+        result.equilibria.is_empty()
+    };
+
+    // 2. Minimal 5-node witness: exhaustive, must be empty.
+    let witness_empty = {
+        let spec = gadget::minimal_no_ne_witness();
+        let space = enumerate::ProfileSpace::full(&spec, 1 << 14).expect("tiny space");
+        let result =
+            enumerate::find_equilibria(&spec, &space, 1_000_000).expect("scan fits budget");
+        table.row(&[
+            "minimal-witness".to_string(),
+            "5".to_string(),
+            format!("{} profiles", result.profiles_checked),
+            result.equilibria.len().to_string(),
+            "exhaustive".to_string(),
+        ]);
+        result.equilibria.is_empty()
+    };
+    notes.push(
+        "the 5-node witness satisfies the theorem statement's exact hypothesis (uniform \
+         costs, lengths, budgets; non-uniform preferences) and strengthens n≥11 to n=5"
+            .to_string(),
+    );
+
+    // 3+4. The reconstructed Figure 1 parameterizations: report findings.
+    for (label, variant) in [
+        ("gadget/uniform-lengths", GadgetVariant::UniformLengths),
+        (
+            "gadget/lengths-L",
+            GadgetVariant::NonuniformLengths { omitted_length: 50 },
+        ),
+    ] {
+        let g = Gadget::new(variant);
+        let spec = g.spec();
+        if opts.full {
+            let space = g.candidate_space(&spec).expect("candidate space builds");
+            let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+            let result = enumerate::find_equilibria_parallel(&spec, &space, 60_000_000, threads)
+                .expect("parallel scan fits budget");
+            table.row(&[
+                label.to_string(),
+                spec.node_count().to_string(),
+                format!("{} profiles", result.profiles_checked),
+                result.equilibria.len().to_string(),
+                "exhaustive(pinned tops)".to_string(),
+            ]);
+        } else {
+            let (walks, converged) = convergence_census(&spec, 40);
+            table.row(&[
+                label.to_string(),
+                spec.node_count().to_string(),
+                format!("{walks} walks, {converged} converged"),
+                if converged > 0 { "≥1" } else { "0 found" }.to_string(),
+                "dynamics-census".to_string(),
+            ]);
+        }
+    }
+    notes.push(
+        "reconstruction finding: the uniform-length and length-L parameterizations of the \
+         Figure 1 gadget DO admit equilibria — long routes through the opposite sub-gadget \
+         defeat the proof's α/β/γ dominance accounting; the restricted-topology variant \
+         realizes the intended matching pennies exactly"
+            .to_string(),
+    );
+
+    let agrees = restricted_empty && witness_empty;
+    let measured = format!(
+        "restricted gadget: {} equilibria; 5-node theorem-statement witness: {} equilibria \
+         (both exhaustive)",
+        if restricted_empty { 0 } else { 1 },
+        if witness_empty { 0 } else { 1 },
+    );
+    let mut outcome = finish(report, table, measured, agrees);
+    outcome.report.notes = notes;
+    outcome
+}
+
+/// Runs `walks` seeded best-response walks; returns (walks, #converged).
+/// Convergences are equilibrium witnesses; all-cycling is (non-exhaustive)
+/// evidence of non-existence.
+fn convergence_census(spec: &GameSpec, walks: u64) -> (u64, u64) {
+    let mut converged = 0;
+    for seed in 0..walks {
+        let mut walk = Walk::new(spec, Configuration::random(spec, seed));
+        if let Ok(WalkOutcome::Equilibrium { .. }) = walk.run(20_000) {
+            converged += 1;
+        }
+    }
+    (walks, converged)
+}
+
+/// CLI entry point.
+pub fn cli() {
+    let outcome = run(&RunOptions::from_env());
+    crate::emit(&outcome);
+}

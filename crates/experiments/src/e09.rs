@@ -1,0 +1,174 @@
+//! E9 — Figure 4 / §4.3: best-response loops and scheduler behaviour.
+//!
+//! Three parts:
+//!
+//! 1. **Loop search** in the (7,2)-uniform game: deterministic round-robin
+//!    walks from seeded starts until one revisits an exact state — a
+//!    certificate that uniform BBC games are not ordinal potential games.
+//!    The found loop is printed in the paper's "node v rewires to [...]"
+//!    format.
+//! 2. **Max-cost-first** scheduling: §4.3 reports it "does not always
+//!    converge" — we count converging vs cycling seeds.
+//! 3. **Empty-start** round-robin: §4.3 observes convergence — swept across
+//!    `(n, k)`.
+
+use bbc_analysis::{ExperimentReport, Table};
+use bbc_core::{Configuration, Evaluator, GameSpec, Scheduler, Walk, WalkOutcome};
+
+use crate::{finish, Outcome, RunOptions};
+
+/// Finds a round-robin loop in the (7,2) game and renders it like Figure 4.
+fn loop_certificate(max_seeds: u64) -> Option<(u64, u64, String)> {
+    let spec = GameSpec::uniform(7, 2);
+    for seed in 0..max_seeds {
+        let start = Configuration::random(&spec, seed);
+        let mut walk = Walk::new(&spec, start).record_trace(true);
+        if let Ok(WalkOutcome::Cycle {
+            first_seen_step,
+            period,
+        }) = walk.run(50_000)
+        {
+            // Render the moves inside the cycle window.
+            let mut eval = Evaluator::new(&spec);
+            let mut lines = Vec::new();
+            for mv in walk.trace().iter().filter(|m| m.step >= first_seen_step) {
+                let targets: Vec<String> = mv
+                    .new_strategy
+                    .iter()
+                    .map(|t| t.index().to_string())
+                    .collect();
+                lines.push(format!(
+                    "  step {:>4}: node {} rewires to [{}]  (cost {} -> {})",
+                    mv.step,
+                    mv.node.index(),
+                    targets.join(" "),
+                    mv.old_cost,
+                    mv.new_cost
+                ));
+            }
+            let _ = &mut eval;
+            return Some((seed, period, lines.join("\n")));
+        }
+    }
+    None
+}
+
+/// Runs the experiment.
+pub fn run(opts: &RunOptions) -> Outcome {
+    let report = ExperimentReport::new(
+        "E9",
+        "Figure 4 / §4.3",
+        "round-robin best response can loop (uniform BBC is not a potential game); \
+         max-cost-first can fail to converge; empty starts converge",
+    );
+    let mut table = Table::new(&["part", "game", "seeds", "converged", "cycled", "verdict"]);
+    let mut notes = Vec::new();
+
+    // Part 1: the (7,2) loop.
+    let seeds = if opts.full { 2000 } else { 400 };
+    let loop_found = loop_certificate(seeds);
+    let loop_ok = loop_found.is_some();
+    match &loop_found {
+        Some((seed, period, rendering)) => {
+            table.row(&[
+                "rr-loop".to_string(),
+                "(7,2)".to_string(),
+                format!("≤{seed}"),
+                "-".to_string(),
+                format!("period {period}"),
+                "loop found".to_string(),
+            ]);
+            notes.push(format!("figure-4-style loop (seed {seed}):\n{rendering}"));
+        }
+        None => {
+            table.row(&[
+                "rr-loop".to_string(),
+                "(7,2)".to_string(),
+                seeds.to_string(),
+                "-".to_string(),
+                "0".to_string(),
+                "no loop found".to_string(),
+            ]);
+        }
+    }
+
+    // Part 2: max-cost-first from random starts.
+    let mcf_seeds = if opts.full { 60 } else { 25 };
+    let spec = GameSpec::uniform(7, 2);
+    let (mut mcf_conv, mut mcf_cycle) = (0u64, 0u64);
+    for seed in 0..mcf_seeds {
+        let mut walk = Walk::new(&spec, Configuration::random(&spec, seed))
+            .with_scheduler(Scheduler::MaxCostFirst);
+        match walk.run(20_000).expect("walk fits budget") {
+            WalkOutcome::Equilibrium { .. } => mcf_conv += 1,
+            WalkOutcome::Cycle { .. } => mcf_cycle += 1,
+            WalkOutcome::StepLimit { .. } => {}
+        }
+    }
+    table.row(&[
+        "max-cost-first".to_string(),
+        "(7,2)".to_string(),
+        mcf_seeds.to_string(),
+        mcf_conv.to_string(),
+        mcf_cycle.to_string(),
+        if mcf_cycle > 0 {
+            "non-convergence seen"
+        } else {
+            "all converged"
+        }
+        .to_string(),
+    ]);
+
+    // Part 3: empty starts converge.
+    let mut empty_all = true;
+    let grids: &[(usize, u64)] = if opts.full {
+        &[(5, 1), (7, 1), (9, 1), (7, 2), (9, 2), (11, 2), (9, 3)]
+    } else {
+        &[(5, 1), (7, 2), (9, 2)]
+    };
+    let mut empty_conv = 0u64;
+    for &(n, k) in grids {
+        let spec = GameSpec::uniform(n, k);
+        let mut walk = Walk::new(&spec, Configuration::empty(n));
+        match walk.run(200_000).expect("walk fits budget") {
+            WalkOutcome::Equilibrium { .. } => empty_conv += 1,
+            _ => empty_all = false,
+        }
+    }
+    table.row(&[
+        "empty-start".to_string(),
+        format!("{} games", grids.len()),
+        grids.len().to_string(),
+        empty_conv.to_string(),
+        (grids.len() as u64 - empty_conv).to_string(),
+        if empty_all {
+            "all converged"
+        } else {
+            "NOT all converged"
+        }
+        .to_string(),
+    ]);
+
+    let agrees = loop_ok && empty_all;
+    let measured = format!(
+        "loop in (7,2): {}; max-cost-first cycling seeds: {}/{}; empty starts converged: {}",
+        if loop_ok { "found" } else { "not found" },
+        mcf_cycle,
+        mcf_seeds,
+        empty_all
+    );
+    let mut outcome = finish(report, table, measured, agrees);
+    outcome.report.notes = notes;
+    outcome.report.notes.push(
+        "Figure 4's exact initial configuration is not recoverable from the paper; the loop \
+         above is a fresh certificate found by seeded search (see DESIGN.md substitutions)"
+            .to_string(),
+    );
+    outcome
+}
+
+/// CLI entry point.
+pub fn cli() {
+    let outcome = run(&RunOptions::from_env());
+    crate::emit(&outcome);
+}

@@ -1,0 +1,76 @@
+//! E11 — Theorem 9: the BBC-max price of stability is Θ(1).
+//!
+//! Forest of Willows graphs with `l = 0` should remain stable under the
+//! max-distance cost model and sit within a constant of the eccentricity
+//! lower bound `n · ⌈log-ish⌉`.
+
+use bbc_analysis::{social, ExperimentReport, Table};
+use bbc_constructions::ForestOfWillows;
+use bbc_core::{CostModel, StabilityChecker};
+
+use crate::{finish, Outcome, RunOptions};
+
+/// Runs the experiment.
+pub fn run(opts: &RunOptions) -> Outcome {
+    let report = ExperimentReport::new(
+        "E11",
+        "Theorem 9",
+        "Forest of Willows graphs with l = 0 are stable under max-cost and within a \
+         constant of the optimum (PoS Θ(1))",
+    );
+    let mut table = Table::new(&[
+        "k",
+        "h",
+        "n",
+        "stable(max)",
+        "social-cost",
+        "lower-bound",
+        "ratio",
+    ]);
+    let mut all_stable = true;
+    let mut ratios = Vec::new();
+
+    let params: &[(u64, u32)] = if opts.full {
+        &[(2, 3), (2, 4), (3, 2), (3, 3), (4, 2)]
+    } else {
+        &[(2, 3), (3, 2), (2, 4)]
+    };
+    for &(k, h) in params {
+        let Some(fow) = ForestOfWillows::new(k, h, 0) else {
+            continue;
+        };
+        let spec = fow.spec().with_cost_model(CostModel::MaxDistance);
+        let cfg = fow.configuration();
+        let stable = StabilityChecker::new(&spec)
+            .is_stable(&cfg)
+            .expect("exact max-model check fits budget");
+        all_stable &= stable;
+        let cost = social::social_cost(&spec, &cfg);
+        let lb = social::uniform_social_lower_bound(&spec);
+        let ratio = cost as f64 / lb as f64;
+        ratios.push(ratio);
+        table.row(&[
+            k.to_string(),
+            h.to_string(),
+            fow.node_count().to_string(),
+            if stable { "✓" } else { "✗" }.to_string(),
+            cost.to_string(),
+            lb.to_string(),
+            format!("{ratio:.3}"),
+        ]);
+    }
+
+    let max_ratio = ratios.iter().cloned().fold(0.0, f64::max);
+    let agrees = all_stable && max_ratio < 4.0;
+    let measured = format!(
+        "all l=0 willows stable under max-cost: {all_stable}; cost/lower-bound ≤ {max_ratio:.2} \
+         (constant)"
+    );
+    finish(report, table, measured, agrees)
+}
+
+/// CLI entry point.
+pub fn cli() {
+    let outcome = run(&RunOptions::from_env());
+    crate::emit(&outcome);
+}

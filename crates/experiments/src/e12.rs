@@ -1,0 +1,105 @@
+//! E12 — Theorem 7 / Figure 5: the BBC-max no-equilibrium gadget.
+//!
+//! **This is the workspace's one documented reproduction discrepancy.**
+//! Figure 5's 16-node wiring is not recoverable from the paper's text, and
+//! every reconstruction we tried — including the direct max-model re-reading
+//! of the Theorem 1 gadget scanned here — *does* admit pure Nash equilibria.
+//! The blocker is a max-cost-specific phenomenon the paper's proof sketch
+//! does not address: **mutual surrender**. Once a sub-gadget's crossover
+//! links die, every remaining option of the starved nodes costs the full
+//! penalty `M`, and a node indifferent at `M` is stable; whole profiles of
+//! this shape are self-consistent equilibria. Large seeded searches over
+//! random max-model preference games (4.5M instances, n ≤ 8, k ≤ 2, decided
+//! exhaustively after a dynamics filter) found no no-equilibrium instance
+//! either, consistent with the structural observation that with k = 1 every
+//! switch's "through" costs move with the same sign, which permits
+//! coordination but not matching-pennies.
+//!
+//! The experiment quantifies the surrender equilibria and re-runs a slice of
+//! the search so the negative finding is reproducible.
+
+use bbc_analysis::{equilibria, ExperimentReport, Table};
+use bbc_constructions::{gadget, Gadget, GadgetVariant};
+use bbc_core::{enumerate, CostModel};
+
+use crate::{finish, Outcome, RunOptions};
+
+/// Runs the experiment.
+pub fn run(opts: &RunOptions) -> Outcome {
+    let report = ExperimentReport::new(
+        "E12",
+        "Theorem 7 / Figure 5",
+        "there exist non-uniform BBC-max games with no pure Nash equilibrium",
+    );
+    let mut table = Table::new(&["instance", "n", "profiles/seeds", "equilibria", "note"]);
+
+    // 1. The max-model re-reading of the restricted Theorem 1 gadget.
+    let spec = gadget::max_gadget_spec();
+    let g = Gadget::new(GadgetVariant::Restricted);
+    let space = g.candidate_space(&spec).expect("restricted space is tiny");
+    let result = enumerate::find_equilibria(&spec, &space, 1_000_000).expect("scan fits");
+    table.row(&[
+        "gadget/max-restricted".to_string(),
+        spec.node_count().to_string(),
+        result.profiles_checked.to_string(),
+        result.equilibria.len().to_string(),
+        "mutual-surrender equilibria".to_string(),
+    ]);
+
+    // 2. The sum-model control: identical topology and scan under the sum
+    // model has zero equilibria, isolating the cost model as the difference.
+    let sum_spec = g.spec();
+    let sum_space = g
+        .candidate_space(&sum_spec)
+        .expect("restricted space is tiny");
+    let sum_result =
+        enumerate::find_equilibria(&sum_spec, &sum_space, 1_000_000).expect("scan fits");
+    table.row(&[
+        "gadget/sum-control".to_string(),
+        sum_spec.node_count().to_string(),
+        sum_result.profiles_checked.to_string(),
+        sum_result.equilibria.len().to_string(),
+        "same topology, sum model".to_string(),
+    ]);
+
+    // 3. A reproducible slice of the random no-NE search under max.
+    let seeds = if opts.full { 40_000 } else { 5_000 };
+    let witness =
+        equilibria::search_no_equilibrium_game(5, 0..seeds, 3, CostModel::MaxDistance, 200_000)
+            .expect("search fits budget");
+    table.row(&[
+        "random-search/max(n=5,k=1)".to_string(),
+        "5".to_string(),
+        seeds.to_string(),
+        match witness {
+            Some(seed) => format!("witness@{seed}"),
+            None => "none found".to_string(),
+        },
+        "exhaustive per seed".to_string(),
+    ]);
+
+    let discrepancy = !result.equilibria.is_empty() && witness.is_none();
+    let measured = format!(
+        "max-model gadget has {} equilibria (sum-model control: {}); random search over {} \
+         max games found {} no-equilibrium instance",
+        result.equilibria.len(),
+        sum_result.equilibria.len(),
+        seeds,
+        if witness.is_some() { "a" } else { "no" },
+    );
+    // agrees = false: we could NOT reproduce Theorem 7's no-NE claim.
+    let mut outcome = finish(report, table, measured, !discrepancy);
+    outcome.report.notes.push(
+        "NOT REPRODUCED: every Figure-5 reconstruction admits 'mutual surrender' \
+         equilibria (all-M indifference is stable under max-cost); see module docs and \
+         EXPERIMENTS.md for the structural argument and search evidence"
+            .to_string(),
+    );
+    outcome
+}
+
+/// CLI entry point.
+pub fn cli() {
+    let outcome = run(&RunOptions::from_env());
+    crate::emit(&outcome);
+}

@@ -1,0 +1,111 @@
+//! Experiment harness: one module per figure/claim of the BBC paper.
+//!
+//! Each experiment exposes `run(&RunOptions) -> Outcome` so the binaries,
+//! `run_all`, and the integration tests share one code path. Binaries live
+//! in `src/bin/` and are thin wrappers; `--full` enables the heavier sweeps.
+//!
+//! | module | paper artifact | claim |
+//! |--------|----------------|-------|
+//! | [`e01`] | Thm 1 / Fig 1 | non-uniform games may lack pure NE |
+//! | [`e02`] | Thm 2 / Fig 2 | SAT ⇔ NE through the reduction |
+//! | [`e03`] | Thm 3 | fractional games approach zero regret |
+//! | [`e04`] | Lemma 1 | stable graphs are essentially fair |
+//! | [`e05`] | Lemma 6 / Fig 3 | Forest of Willows graphs are stable |
+//! | [`e06`] | Thm 4 | PoS Θ(1); PoA grows like √(n/k)/log_k n |
+//! | [`e07`] | Thm 5 / Cor 1 / Lemma 8 | Abelian Cayley graphs unstable (small k), stable (huge k) |
+//! | [`e08`] | Thm 6 | strong connectivity within n² steps; Ω(n²) instance |
+//! | [`e09`] | Fig 4 / §4.3 | best-response loops exist; empty-start converges |
+//! | [`e10`] | Thm 8 / Fig 6 | BBC-max PoA is Ω(n/(k·log_k n)) |
+//! | [`e11`] | Thm 9 | BBC-max PoS is Θ(1) |
+//! | [`e12`] | Thm 7 / Fig 5 | BBC-max no-NE gadget (reproduction discrepancy) |
+
+use bbc_analysis::{ExperimentReport, Table};
+
+pub mod e01;
+pub mod e02;
+pub mod e03;
+pub mod e04;
+pub mod e05;
+pub mod e06;
+pub mod e07;
+pub mod e08;
+pub mod e09;
+pub mod e10;
+pub mod e11;
+pub mod e12;
+
+/// Shared experiment options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunOptions {
+    /// Enable the heavier parameter sweeps (`--full` on the CLI).
+    pub full: bool,
+}
+
+impl RunOptions {
+    /// Parses the process arguments (`--full` is the only flag).
+    pub fn from_env() -> Self {
+        Self {
+            full: std::env::args().any(|a| a == "--full"),
+        }
+    }
+}
+
+/// What every experiment returns.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// The claim/measured/verdict record.
+    pub report: ExperimentReport,
+    /// The data table behind it.
+    pub table: Table,
+}
+
+/// Prints an outcome and persists its JSON record under
+/// `target/experiments/`.
+pub fn emit(outcome: &Outcome) {
+    println!("{}", outcome.report.banner());
+    println!("{}", outcome.table.to_text());
+    for note in &outcome.report.notes {
+        println!("note: {note}");
+    }
+    let path = outcome.report.default_path();
+    match outcome.report.save(&path) {
+        Ok(()) => println!("record: {}", path.display()),
+        Err(e) => eprintln!("could not save record to {}: {e}", path.display()),
+    }
+    println!();
+}
+
+/// Runs every experiment in order (the `run_all` binary).
+pub fn run_all(opts: &RunOptions) -> Vec<Outcome> {
+    let outcomes = vec![
+        e01::run(opts),
+        e02::run(opts),
+        e03::run(opts),
+        e04::run(opts),
+        e05::run(opts),
+        e06::run(opts),
+        e07::run(opts),
+        e08::run(opts),
+        e09::run(opts),
+        e10::run(opts),
+        e11::run(opts),
+        e12::run(opts),
+    ];
+    for o in &outcomes {
+        emit(o);
+    }
+    outcomes
+}
+
+/// Finalizes a report: stamps the measured sentence, verdict and CSV.
+pub(crate) fn finish(
+    mut report: ExperimentReport,
+    table: Table,
+    measured: String,
+    agrees: bool,
+) -> Outcome {
+    report.measured = measured;
+    report.agrees = agrees;
+    report.csv = table.to_csv();
+    Outcome { report, table }
+}

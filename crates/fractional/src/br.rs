@@ -1,0 +1,423 @@
+//! Discretized fractional best response and regret.
+//!
+//! Exact over the `1/D` lattice: enumerate every allocation of budget units
+//! across affordable targets (a bounded-knapsack composition search), price
+//! each through the flow oracle, and keep the cheapest. The *regret* of a
+//! node is how much it could save; the maximum regret over nodes measures
+//! how far a profile is from equilibrium. Theorem 3 predicts regret → 0 as
+//! `D → ∞`; E3 plots exactly that.
+
+use bbc_core::{Error, NodeId, Result};
+
+use crate::game::{Allocation, FractionalConfig, FractionalGame};
+
+/// Options for the lattice search.
+#[derive(Clone, Copy, Debug)]
+pub struct FractionalBrOptions {
+    /// Abort after evaluating this many allocations.
+    pub allocation_limit: u64,
+}
+
+impl Default for FractionalBrOptions {
+    fn default() -> Self {
+        Self {
+            allocation_limit: 5_000_000,
+        }
+    }
+}
+
+/// Result of a fractional best-response search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FractionalOutcome {
+    /// The deviating node.
+    pub node: NodeId,
+    /// Scaled cost of the current allocation.
+    pub current_cost: u64,
+    /// Scaled cost of the best allocation found.
+    pub best_cost: u64,
+    /// The best allocation found.
+    pub best_allocation: Allocation,
+    /// Allocations priced.
+    pub evaluated: u64,
+}
+
+impl FractionalOutcome {
+    /// Scaled regret: how much the node could save by redeploying.
+    pub fn regret(&self) -> u64 {
+        self.current_cost.saturating_sub(self.best_cost)
+    }
+}
+
+/// Exact best response of `u` over the `1/D` lattice.
+///
+/// # Errors
+///
+/// [`Error::SearchBudgetExceeded`] when the composition space outgrows
+/// `options.allocation_limit`.
+pub fn best_response(
+    game: &FractionalGame<'_>,
+    config: &FractionalConfig,
+    u: NodeId,
+    options: &FractionalBrOptions,
+) -> Result<FractionalOutcome> {
+    let current_cost = game.node_cost_scaled(config, u);
+    let targets = game.spec().affordable_targets(u);
+    let budget = game.budget_units(u);
+
+    let mut best_cost = u64::MAX;
+    let mut best_allocation = Vec::new();
+    let mut evaluated = 0u64;
+    let mut scratch = config.clone();
+    let mut current: Allocation = Vec::new();
+
+    // DFS over unit assignments target-by-target. Units are only meaningful
+    // in multiples that the budget supports; we enumerate every split.
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        game: &FractionalGame<'_>,
+        u: NodeId,
+        targets: &[NodeId],
+        idx: usize,
+        remaining: u64,
+        current: &mut Allocation,
+        scratch: &mut FractionalConfig,
+        best_cost: &mut u64,
+        best_allocation: &mut Allocation,
+        evaluated: &mut u64,
+        limit: u64,
+    ) -> Result<()> {
+        if idx == targets.len() {
+            *evaluated += 1;
+            if *evaluated > limit {
+                return Err(Error::SearchBudgetExceeded { limit });
+            }
+            scratch
+                .set_allocation(game, u, current.clone())
+                .expect("enumerated allocation is valid");
+            let cost = game.node_cost_scaled(scratch, u);
+            if cost < *best_cost {
+                *best_cost = cost;
+                *best_allocation = current.clone();
+            }
+            return Ok(());
+        }
+        let t = targets[idx];
+        let price = game.spec().link_cost(u, t).max(1);
+        let max_units = (remaining / price).min(game.resolution());
+        for units in 0..=max_units {
+            if units > 0 {
+                current.push((t, units));
+            }
+            rec(
+                game,
+                u,
+                targets,
+                idx + 1,
+                remaining - units * price,
+                current,
+                scratch,
+                best_cost,
+                best_allocation,
+                evaluated,
+                limit,
+            )?;
+            if units > 0 {
+                current.pop();
+            }
+        }
+        Ok(())
+    }
+
+    rec(
+        game,
+        u,
+        &targets,
+        0,
+        budget,
+        &mut current,
+        &mut scratch,
+        &mut best_cost,
+        &mut best_allocation,
+        &mut evaluated,
+        options.allocation_limit,
+    )?;
+
+    Ok(FractionalOutcome {
+        node: u,
+        current_cost,
+        best_cost: best_cost.min(current_cost),
+        best_allocation,
+        evaluated,
+    })
+}
+
+/// Maximum scaled regret over all nodes: `0` certifies an exact lattice
+/// equilibrium.
+///
+/// # Errors
+///
+/// Propagates [`best_response`] failures.
+pub fn max_regret(
+    game: &FractionalGame<'_>,
+    config: &FractionalConfig,
+    options: &FractionalBrOptions,
+) -> Result<u64> {
+    let mut worst = 0u64;
+    for u in NodeId::all(config.node_count()) {
+        worst = worst.max(best_response(game, config, u, options)?.regret());
+    }
+    Ok(worst)
+}
+
+/// Iterates fractional best responses (round-robin) until a full quiet round
+/// or `max_rounds`; returns the final profile and its max regret.
+///
+/// # Errors
+///
+/// Propagates [`best_response`] failures.
+pub fn iterate_best_responses(
+    game: &FractionalGame<'_>,
+    mut config: FractionalConfig,
+    max_rounds: usize,
+    options: &FractionalBrOptions,
+) -> Result<(FractionalConfig, u64)> {
+    for _ in 0..max_rounds {
+        let mut moved = false;
+        for u in NodeId::all(config.node_count()) {
+            let out = best_response(game, &config, u, options)?;
+            if out.regret() > 0 {
+                config
+                    .set_allocation(game, u, out.best_allocation)
+                    .expect("best response allocation is valid");
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    let regret = max_regret(game, &config, options)?;
+    Ok((config, regret))
+}
+
+/// Runs round-robin fractional best responses from `config`, measuring the
+/// max regret of every profile visited (including the start); returns the
+/// smallest regret seen and the profile achieving it.
+///
+/// Best-response *dynamics* need not converge on matching-pennies-like
+/// instances — play orbits the mixed equilibrium — so the right measure of
+/// "the lattice admits an (approximate) equilibrium" is the minimum regret
+/// along the orbit, not the final regret.
+///
+/// # Errors
+///
+/// Propagates [`best_response`] failures.
+pub fn min_regret_along_dynamics(
+    game: &FractionalGame<'_>,
+    mut config: FractionalConfig,
+    rounds: usize,
+    options: &FractionalBrOptions,
+) -> Result<(FractionalConfig, u64)> {
+    let mut best_profile = config.clone();
+    let mut best_regret = max_regret(game, &config, options)?;
+    for _ in 0..rounds {
+        if best_regret == 0 {
+            break;
+        }
+        let mut moved = false;
+        for u in NodeId::all(config.node_count()) {
+            let out = best_response(game, &config, u, options)?;
+            if out.regret() > 0 {
+                config
+                    .set_allocation(game, u, out.best_allocation)
+                    .expect("best response allocation is valid");
+                moved = true;
+            }
+        }
+        let regret = max_regret(game, &config, options)?;
+        if regret < best_regret {
+            best_regret = regret;
+            best_profile = config.clone();
+        }
+        if !moved {
+            break;
+        }
+    }
+    Ok((best_profile, best_regret))
+}
+
+/// Fictitious-play-style averaging: runs best-response dynamics and, after
+/// each round, rounds the *time-average* allocation onto the lattice and
+/// measures its regret; returns the lowest-regret averaged profile seen.
+///
+/// Rationale: the lattice best response is always "pure" (flow cost is
+/// convex in a node's own capacities, so concentrating units on the cheapest
+/// routes is optimal against fixed opponents), which means raw dynamics
+/// never visits mixed profiles. On matching-pennies-like instances the
+/// orbit's time-average approaches the mixed equilibrium instead — the
+/// classical fictitious-play phenomenon — and its regret is the right
+/// yardstick for Theorem 3's existence claim on the lattice.
+///
+/// # Errors
+///
+/// Propagates [`best_response`] failures.
+pub fn averaged_play_regret(
+    game: &FractionalGame<'_>,
+    start: FractionalConfig,
+    rounds: usize,
+    options: &FractionalBrOptions,
+) -> Result<(FractionalConfig, u64)> {
+    let n = start.node_count();
+    let total = game.spec().node_count();
+    // Cumulative unit counts per (node, target).
+    let mut sums: Vec<Vec<u64>> = vec![vec![0; total]; n];
+    let mut config = start;
+    let mut best: Option<(FractionalConfig, u64)> = None;
+
+    for round in 1..=rounds {
+        for u in NodeId::all(n) {
+            let out = best_response(game, &config, u, options)?;
+            if out.regret() > 0 {
+                config
+                    .set_allocation(game, u, out.best_allocation)
+                    .expect("best response allocation is valid");
+            }
+        }
+        for (u, sum_row) in sums.iter_mut().enumerate() {
+            for &(v, units) in config.allocation(NodeId::new(u)) {
+                sum_row[v.index()] += units;
+            }
+        }
+        // Round the running average onto the lattice.
+        let mut averaged = FractionalConfig::empty(n);
+        for (u, sum_row) in sums.iter().enumerate() {
+            let alloc = round_average_to_lattice(game, NodeId::new(u), sum_row, round as u64);
+            averaged
+                .set_allocation(game, NodeId::new(u), alloc)
+                .expect("rounded average respects the budget");
+        }
+        let regret = max_regret(game, &averaged, options)?;
+        if best.as_ref().is_none_or(|(_, b)| regret < *b) {
+            best = Some((averaged, regret));
+        }
+        if matches!(best, Some((_, 0))) {
+            break;
+        }
+    }
+    Ok(best.expect("at least one round ran"))
+}
+
+/// Rounds `sums/rounds` to a feasible lattice allocation: floor every entry,
+/// then hand remaining affordable units to the largest remainders.
+fn round_average_to_lattice(
+    game: &FractionalGame<'_>,
+    u: NodeId,
+    sums: &[u64],
+    rounds: u64,
+) -> Allocation {
+    let mut alloc: Vec<(NodeId, u64)> = Vec::new();
+    let mut remainders: Vec<(u64, NodeId)> = Vec::new();
+    let mut spent = 0u64;
+    for (v, &s) in sums.iter().enumerate() {
+        if v == u.index() || s == 0 {
+            continue;
+        }
+        let vv = NodeId::new(v);
+        let floor = s / rounds;
+        let rem = s % rounds;
+        if floor > 0 {
+            spent += floor * game.spec().link_cost(u, vv);
+            alloc.push((vv, floor));
+        }
+        if rem > 0 {
+            remainders.push((rem, vv));
+        }
+    }
+    remainders.sort_by(|a, b| b.cmp(a));
+    let budget = game.budget_units(u);
+    for (_, v) in remainders {
+        let price = game.spec().link_cost(u, v);
+        if spent + price <= budget {
+            spent += price;
+            match alloc.iter_mut().find(|(t, _)| *t == v) {
+                Some((_, units)) => *units += 1,
+                None => alloc.push((v, 1)),
+            }
+        }
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbc_core::{Configuration, GameSpec};
+
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn opts() -> FractionalBrOptions {
+        FractionalBrOptions::default()
+    }
+
+    #[test]
+    fn disconnected_node_buys_links() {
+        let spec = GameSpec::uniform(3, 1);
+        let game = FractionalGame::new(&spec, 2);
+        let mut cfg = FractionalConfig::empty(3);
+        cfg.set_allocation(&game, v(1), vec![(v(2), 2)]).unwrap();
+        cfg.set_allocation(&game, v(2), vec![(v(0), 2)]).unwrap();
+        let out = best_response(&game, &cfg, v(0), &opts()).unwrap();
+        assert!(out.regret() > 0);
+        assert!(!out.best_allocation.is_empty());
+        // Best: all units toward 1 (reaching 1 at 1 and 2 at 2).
+        assert_eq!(out.best_allocation, vec![(v(1), 2)]);
+    }
+
+    #[test]
+    fn integral_equilibrium_has_zero_regret_on_lattice() {
+        // A directed 3-cycle is a pure NE of the integral game; its lift
+        // should have zero regret for D = 1 (same strategy space).
+        let spec = GameSpec::uniform(3, 1);
+        let cfg = Configuration::from_strategies(&spec, vec![vec![v(1)], vec![v(2)], vec![v(0)]])
+            .unwrap();
+        let game = FractionalGame::new(&spec, 1);
+        let fcfg = FractionalConfig::from_integral(&game, &cfg);
+        assert_eq!(max_regret(&game, &fcfg, &opts()).unwrap(), 0);
+    }
+
+    #[test]
+    fn best_response_never_reports_negative_gain() {
+        let spec = GameSpec::uniform(4, 1);
+        let game = FractionalGame::new(&spec, 2);
+        let cfg = FractionalConfig::from_integral(&game, &Configuration::random(&spec, 3));
+        for u in NodeId::all(4) {
+            let out = best_response(&game, &cfg, u, &opts()).unwrap();
+            assert!(out.best_cost <= out.current_cost);
+        }
+    }
+
+    #[test]
+    fn iteration_reaches_zero_regret_on_uniform_games() {
+        let spec = GameSpec::uniform(4, 1);
+        let game = FractionalGame::new(&spec, 2);
+        let (final_cfg, regret) =
+            iterate_best_responses(&game, FractionalConfig::empty(4), 50, &opts()).unwrap();
+        assert_eq!(regret, 0, "final profile: {final_cfg:?}");
+    }
+
+    #[test]
+    fn allocation_limit_enforced() {
+        let spec = GameSpec::uniform(12, 6);
+        let game = FractionalGame::new(&spec, 8);
+        let cfg = FractionalConfig::empty(12);
+        let tight = FractionalBrOptions {
+            allocation_limit: 50,
+        };
+        assert!(matches!(
+            best_response(&game, &cfg, v(0), &tight),
+            Err(Error::SearchBudgetExceeded { limit: 50 })
+        ));
+    }
+}

@@ -1,0 +1,36 @@
+//! Fractional BBC games (§3.2 of the paper) on an exact min-cost-flow
+//! substrate.
+//!
+//! Theorem 3 shows that allowing nodes to buy *fractions* of links restores
+//! the existence of pure Nash equilibria that integral non-uniform games
+//! lack: strategy spaces become convex polytopes and the min-cost-flow
+//! pricing is quasi-convex. This crate discretizes the polytope to a `1/D`
+//! lattice so every quantity stays an exact integer:
+//!
+//! * [`flow`] — successive-shortest-path min-cost flow with signed residual
+//!   costs and Johnson potentials;
+//! * [`game`] — the discretized fractional game and its flow-priced costs;
+//! * [`br`] — exact lattice best response, regret, and iterated dynamics.
+//!
+//! # Examples
+//!
+//! ```
+//! use bbc_core::GameSpec;
+//! use bbc_fractional::{br, FractionalConfig, FractionalGame};
+//!
+//! let spec = GameSpec::uniform(4, 1);
+//! let game = FractionalGame::new(&spec, 2); // half-link resolution
+//! let start = FractionalConfig::empty(4);
+//! let (profile, regret) =
+//!     br::iterate_best_responses(&game, start, 50, &Default::default())?;
+//! assert_eq!(regret, 0, "lattice equilibrium reached: {profile:?}");
+//! # Ok::<(), bbc_core::Error>(())
+//! ```
+
+pub mod br;
+pub mod flow;
+pub mod game;
+
+pub use br::{best_response, max_regret, FractionalBrOptions, FractionalOutcome};
+pub use flow::{FlowNetwork, FlowResult};
+pub use game::{Allocation, FractionalConfig, FractionalGame};

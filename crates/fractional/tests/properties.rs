@@ -1,0 +1,170 @@
+//! Property-based tests for the flow substrate and the fractional game.
+
+use bbc_core::{Configuration, Evaluator, GameSpec, NodeId};
+use bbc_fractional::{br, FlowNetwork, FractionalBrOptions, FractionalConfig, FractionalGame};
+use proptest::prelude::*;
+
+/// `(from, to, capacity, cost)` quadruple.
+type ArcSpec = (usize, usize, u64, u64);
+
+/// Arbitrary small flow network plus a (source, sink, amount) query.
+fn arb_network() -> impl Strategy<Value = (usize, Vec<ArcSpec>, u64)> {
+    (2usize..=6).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n, 1u64..=3, 0u64..=5), 1..(2 * n)),
+            1u64..=4,
+        )
+    })
+}
+
+/// Brute-force min-cost flow by enumerating per-unit path assignments:
+/// repeatedly push single units along the cheapest *remaining* path found by
+/// exhaustive path search. (Successive-shortest-paths on unit augmentations
+/// is exact, so this is an independent reference as long as paths are found
+/// exhaustively.)
+fn reference_min_cost_flow(
+    n: usize,
+    arcs: &[ArcSpec],
+    s: usize,
+    t: usize,
+    amount: u64,
+) -> (u64, u64) {
+    // Residual graph as capacity/cost maps over arc indices (with reverse).
+    let mut cap: Vec<i64> = Vec::new();
+    let mut cost: Vec<i64> = Vec::new();
+    let mut ends: Vec<(usize, usize)> = Vec::new();
+    for &(u, v, c, w) in arcs {
+        if u == v {
+            continue;
+        }
+        ends.push((u, v));
+        cap.push(c as i64);
+        cost.push(w as i64);
+        ends.push((v, u));
+        cap.push(0);
+        cost.push(-(w as i64));
+    }
+    let mut sent = 0u64;
+    let mut total = 0i64;
+    while sent < amount {
+        // Bellman-Ford for the cheapest augmenting path (handles negative
+        // residual costs).
+        let mut dist = vec![i64::MAX; n];
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        dist[s] = 0;
+        for _ in 0..n {
+            let mut changed = false;
+            for (i, &(u, v)) in ends.iter().enumerate() {
+                if cap[i] > 0 && dist[u] != i64::MAX && dist[u] + cost[i] < dist[v] {
+                    dist[v] = dist[u] + cost[i];
+                    parent[v] = Some(i);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        if dist[t] == i64::MAX {
+            break;
+        }
+        // Push one unit.
+        let mut v = t;
+        while let Some(i) = parent[v] {
+            cap[i] -= 1;
+            cap[i ^ 1] += 1;
+            total += cost[i];
+            v = ends[i].0;
+        }
+        sent += 1;
+    }
+    (sent, total as u64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn flow_matches_unit_augmentation_reference((n, arcs, amount) in arb_network()) {
+        let s = 0;
+        let t = n - 1;
+        let mut net = FlowNetwork::new(n);
+        for &(u, v, c, w) in &arcs {
+            if u != v {
+                net.add_arc(u, v, c, w);
+            }
+        }
+        let got = net.min_cost_flow(s, t, amount);
+        let (ref_sent, ref_cost) = reference_min_cost_flow(n, &arcs, s, t, amount);
+        prop_assert_eq!(got.sent, ref_sent);
+        prop_assert_eq!(got.cost, ref_cost);
+    }
+
+    #[test]
+    fn integral_lift_matches_evaluator(
+        n in 3usize..=6,
+        k in 1u64..=2,
+        seed in any::<u64>(),
+        d in 1u64..=4,
+    ) {
+        let spec = GameSpec::uniform(n, k);
+        let cfg = Configuration::random(&spec, seed);
+        let game = FractionalGame::new(&spec, d);
+        let fcfg = FractionalConfig::from_integral(&game, &cfg);
+        let mut eval = Evaluator::new(&spec);
+        for u in NodeId::all(n) {
+            prop_assert_eq!(game.node_cost_scaled(&fcfg, u), d * eval.node_cost(&cfg, u));
+        }
+    }
+
+    #[test]
+    fn fractional_best_response_never_hurts(
+        n in 3usize..=5,
+        seed in any::<u64>(),
+        d in 1u64..=3,
+    ) {
+        let spec = GameSpec::uniform(n, 1);
+        let game = FractionalGame::new(&spec, d);
+        let fcfg = FractionalConfig::from_integral(&game, &Configuration::random(&spec, seed));
+        let opts = FractionalBrOptions::default();
+        for u in NodeId::all(n) {
+            let out = br::best_response(&game, &fcfg, u, &opts).unwrap();
+            prop_assert!(out.best_cost <= out.current_cost);
+            // Applying the reported allocation reproduces the reported cost.
+            let mut applied = fcfg.clone();
+            applied.set_allocation(&game, u, out.best_allocation.clone()).unwrap();
+            prop_assert_eq!(game.node_cost_scaled(&applied, u), out.best_cost);
+        }
+    }
+
+    #[test]
+    fn refining_the_lattice_never_increases_min_regret_at_equilibria(
+        n in 3usize..=5,
+        seed in any::<u64>(),
+    ) {
+        // A zero-regret D=1 profile stays zero-regret when lifted to D=2:
+        // the D=1 strategy space embeds into the D=2 one.
+        let spec = GameSpec::uniform(n, 1);
+        let game1 = FractionalGame::new(&spec, 1);
+        let opts = FractionalBrOptions::default();
+        let (profile, regret) = br::iterate_best_responses(
+            &game1,
+            FractionalConfig::from_integral(&game1, &Configuration::random(&spec, seed)),
+            60,
+            &opts,
+        ).unwrap();
+        prop_assume!(regret == 0);
+        // Re-express the D=1 equilibrium on the D=2 lattice.
+        let game2 = FractionalGame::new(&spec, 2);
+        let mut lifted = FractionalConfig::empty(n);
+        for u in NodeId::all(n) {
+            let doubled: Vec<_> =
+                profile.allocation(u).iter().map(|&(v, units)| (v, 2 * units)).collect();
+            lifted.set_allocation(&game2, u, doubled).unwrap();
+        }
+        // Its regret on the finer lattice may only shrink relative to scale:
+        // a uniform-game integral equilibrium stays exactly stable.
+        prop_assert_eq!(br::max_regret(&game2, &lifted, &opts).unwrap(), 0);
+    }
+}

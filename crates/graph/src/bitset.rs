@@ -1,0 +1,223 @@
+//! A plain fixed-capacity bitset.
+//!
+//! Used by [`crate::reach`] to propagate reachable-sets through the
+//! condensation DAG in words rather than node-at-a-time, and by the game
+//! layer to fingerprint strategy sets.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed-capacity set of `usize` values below a bound given at construction.
+///
+/// # Examples
+///
+/// ```
+/// use bbc_graph::BitSet;
+///
+/// let mut s = BitSet::new(70);
+/// s.insert(3);
+/// s.insert(69);
+/// assert!(s.contains(3));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 69]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set that can hold values in `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Upper bound (exclusive) on storable values.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `v`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, v: usize) -> bool {
+        assert!(
+            v < self.capacity,
+            "value {v} exceeds bitset capacity {}",
+            self.capacity
+        );
+        let (w, b) = (v / 64, v % 64);
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Removes `v`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, v: usize) -> bool {
+        if v >= self.capacity {
+            return false;
+        }
+        let (w, b) = (v / 64, v % 64);
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// `true` if `v` is in the set.
+    #[inline]
+    pub fn contains(&self, v: usize) -> bool {
+        v < self.capacity && self.words[v / 64] & (1 << (v % 64)) != 0
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// In-place union; returns `true` if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let merged = *a | b;
+            changed |= merged != *a;
+            *a = merged;
+        }
+        changed
+    }
+
+    /// Iterates over elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &w)| BitIter { word: w }.map(move |b| wi * 64 + b))
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects values into a set sized to the maximum value seen.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let values: Vec<usize> = iter.into_iter().collect();
+        let cap = values.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for v in values {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+struct BitIter {
+    word: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let b = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(100);
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(99));
+        assert!(!s.insert(63), "double insert reports false");
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(64));
+        assert!(!s.contains(65));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn iter_yields_sorted_elements() {
+        let mut s = BitSet::new(200);
+        for v in [150, 3, 64, 127, 128] {
+            s.insert(v);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64, 127, 128, 150]);
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = BitSet::new(70);
+        a.insert(1);
+        let mut b = BitSet::new(70);
+        b.insert(1);
+        assert!(!a.union_with(&b), "union with subset is a no-op");
+        b.insert(69);
+        assert!(a.union_with(&b));
+        assert!(a.contains(69));
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let s: BitSet = [5usize, 2, 9].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert_eq!(s.len(), 3);
+        let empty: BitSet = std::iter::empty::<usize>().collect();
+        assert!(empty.is_empty());
+        assert_eq!(empty.capacity(), 0);
+    }
+
+    #[test]
+    fn clear_empties_the_set() {
+        let mut s = BitSet::new(10);
+        s.extend([1, 2, 3]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds bitset capacity")]
+    fn insert_beyond_capacity_panics() {
+        BitSet::new(4).insert(4);
+    }
+}

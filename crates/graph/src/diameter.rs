@@ -1,0 +1,155 @@
+//! Eccentricities and diameter.
+//!
+//! Lemma 7 of the paper bounds the diameter of any uniform stable graph by
+//! `O(√(n log_k n))`; experiment E6 measures diameters of Forest-of-Willows
+//! equilibria against that bound. Directed diameter here is the maximum
+//! finite shortest-path distance over ordered pairs, with an explicit flag
+//! for disconnected graphs rather than a fake infinite value.
+
+use crate::{bfs::BfsBuffer, dijkstra::DijkstraBuffer, DiGraph, UNREACHABLE};
+
+/// Per-node eccentricities plus connectivity information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Eccentricities {
+    /// `ecc[v]` = max over reachable `w` of `d(v, w)`; `0` for an isolated
+    /// node.
+    pub ecc: Vec<u64>,
+    /// `true` iff every ordered pair is connected.
+    pub all_pairs_connected: bool,
+}
+
+impl Eccentricities {
+    /// The diameter: maximum eccentricity. `None` when some ordered pair is
+    /// disconnected (the paper would charge it the penalty `M`; we surface
+    /// the condition instead).
+    pub fn diameter(&self) -> Option<u64> {
+        if self.all_pairs_connected {
+            self.ecc.iter().copied().max()
+        } else {
+            None
+        }
+    }
+
+    /// The radius: minimum eccentricity over nodes that reach everyone, i.e.
+    /// the best "central" node of Lemma 7's second claim. `None` if no node
+    /// reaches all others.
+    pub fn radius(&self) -> Option<u64> {
+        if self.all_pairs_connected {
+            self.ecc.iter().copied().min()
+        } else {
+            None
+        }
+    }
+}
+
+/// Computes all eccentricities with one shortest-path run per node.
+pub fn eccentricity(g: &DiGraph) -> Eccentricities {
+    let n = g.node_count();
+    let mut ecc = vec![0u64; n];
+    let mut all_connected = true;
+    if g.is_unit_length() {
+        let mut buf = BfsBuffer::new(n);
+        for (v, slot) in ecc.iter_mut().enumerate() {
+            buf.run(g, v);
+            let (e, conn) = max_finite(buf.distances());
+            *slot = e;
+            all_connected &= conn;
+        }
+    } else {
+        let mut buf = DijkstraBuffer::new(n);
+        for (v, slot) in ecc.iter_mut().enumerate() {
+            buf.run(g, v);
+            let (e, conn) = max_finite(buf.distances());
+            *slot = e;
+            all_connected &= conn;
+        }
+    }
+    Eccentricities {
+        ecc,
+        all_pairs_connected: all_connected,
+    }
+}
+
+/// Directed diameter of `g`, or `None` if any ordered pair is disconnected.
+///
+/// # Examples
+///
+/// ```
+/// use bbc_graph::{diameter, DiGraph};
+///
+/// let ring = DiGraph::from_unit_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// assert_eq!(diameter(&ring), Some(3));
+/// let path = DiGraph::from_unit_edges(2, [(0, 1)]);
+/// assert_eq!(diameter(&path), None); // 1 cannot reach 0
+/// ```
+pub fn diameter(g: &DiGraph) -> Option<u64> {
+    eccentricity(g).diameter()
+}
+
+fn max_finite(dist: &[u64]) -> (u64, bool) {
+    let mut max = 0;
+    let mut connected = true;
+    for &d in dist {
+        if d == UNREACHABLE {
+            connected = false;
+        } else if d > max {
+            max = d;
+        }
+    }
+    (max, connected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_diameter_is_n_minus_1() {
+        for n in 2..8 {
+            let g = DiGraph::from_unit_edges(n, (0..n).map(|i| (i, (i + 1) % n)));
+            assert_eq!(diameter(&g), Some(n as u64 - 1));
+        }
+    }
+
+    #[test]
+    fn complete_graph_diameter_is_1() {
+        let n = 5;
+        let edges = (0..n).flat_map(|u| (0..n).filter(move |&v| v != u).map(move |v| (u, v)));
+        let g = DiGraph::from_unit_edges(n, edges);
+        let e = eccentricity(&g);
+        assert_eq!(e.diameter(), Some(1));
+        assert_eq!(e.radius(), Some(1));
+    }
+
+    #[test]
+    fn disconnected_graph_has_no_diameter() {
+        let g = DiGraph::from_unit_edges(3, [(0, 1), (1, 0)]);
+        let e = eccentricity(&g);
+        assert!(!e.all_pairs_connected);
+        assert_eq!(e.diameter(), None);
+        assert_eq!(e.radius(), None);
+    }
+
+    #[test]
+    fn weighted_diameter_uses_lengths() {
+        let g = DiGraph::from_edges(3, [(0, 1, 10), (1, 2, 10), (2, 0, 10)]);
+        assert_eq!(diameter(&g), Some(20));
+    }
+
+    #[test]
+    fn radius_identifies_central_node() {
+        // Star with hub 0 <-> leaves: hub eccentricity 1, leaves 2.
+        let edges = (1..5).flat_map(|v| [(0, v), (v, 0)]);
+        let g = DiGraph::from_unit_edges(5, edges);
+        let e = eccentricity(&g);
+        assert_eq!(e.radius(), Some(1));
+        assert_eq!(e.diameter(), Some(2));
+        assert_eq!(e.ecc[0], 1);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let e = eccentricity(&DiGraph::new(1));
+        assert_eq!(e.diameter(), Some(0));
+    }
+}

@@ -1,0 +1,310 @@
+//! Compact directed graph with per-arc lengths.
+//!
+//! [`DiGraph`] is the representation every algorithm in this crate operates
+//! on: an adjacency list of `(target, length)` arcs. It tracks whether all
+//! lengths are `1` so shortest-path callers can transparently pick BFS over
+//! Dijkstra.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{bfs::BfsBuffer, dijkstra::DijkstraBuffer};
+
+/// A directed arc: destination node plus a positive length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Arc {
+    /// Destination node index.
+    pub to: u32,
+    /// Arc length; must be at least 1.
+    pub len: u64,
+}
+
+impl Arc {
+    /// Creates an arc to `to` with length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`; zero-length arcs would let "shortest paths" cycle
+    /// for free and are meaningless in a BBC game (§2 of the paper assumes
+    /// positive lengths).
+    #[inline]
+    pub fn new(to: usize, len: u64) -> Self {
+        assert!(len > 0, "arc length must be positive");
+        Self { to: to as u32, len }
+    }
+
+    /// Creates a unit-length arc to `to`.
+    #[inline]
+    pub fn unit(to: usize) -> Self {
+        Self {
+            to: to as u32,
+            len: 1,
+        }
+    }
+
+    /// Destination node index as `usize`.
+    #[inline]
+    pub fn to(&self) -> usize {
+        self.to as usize
+    }
+}
+
+/// A directed graph with `n` nodes and weighted arcs, stored adjacency-list
+/// style.
+///
+/// Nodes are indices `0..n`. The graph remembers whether every arc has length
+/// exactly `1` ([`DiGraph::is_unit_length`]); [`DiGraph::distances_from`] uses
+/// that to dispatch between BFS and Dijkstra.
+///
+/// # Examples
+///
+/// ```
+/// use bbc_graph::{Arc, DiGraph};
+///
+/// let mut g = DiGraph::new(4);
+/// g.add_arc(0, Arc::unit(1));
+/// g.add_arc(1, Arc::new(2, 5));
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.arc_count(), 2);
+/// assert!(!g.is_unit_length());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiGraph {
+    adj: Vec<Vec<Arc>>,
+    arc_count: usize,
+    non_unit_arcs: usize,
+}
+
+impl DiGraph {
+    /// Creates an empty graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+            arc_count: 0,
+            non_unit_arcs: 0,
+        }
+    }
+
+    /// Builds a graph from an iterator of `(source, target)` unit-length
+    /// edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_unit_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut g = Self::new(n);
+        for (u, v) in edges {
+            g.add_arc(u, Arc::unit(v));
+        }
+        g
+    }
+
+    /// Builds a graph from an iterator of `(source, target, length)` edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n` or any length is zero.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize, u64)>) -> Self {
+        let mut g = Self::new(n);
+        for (u, v, len) in edges {
+            g.add_arc(u, Arc::new(v, len));
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of arcs.
+    #[inline]
+    pub fn arc_count(&self) -> usize {
+        self.arc_count
+    }
+
+    /// `true` when every arc has length exactly 1.
+    ///
+    /// An empty graph is unit-length by convention.
+    #[inline]
+    pub fn is_unit_length(&self) -> bool {
+        self.non_unit_arcs == 0
+    }
+
+    /// Adds an arc out of `from`.
+    ///
+    /// Parallel arcs and self-loops are allowed at this layer (shortest-path
+    /// routines simply never use a self-loop); the game layer forbids them in
+    /// strategies where the paper does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` or `arc.to` is out of bounds.
+    pub fn add_arc(&mut self, from: usize, arc: Arc) {
+        assert!(from < self.adj.len(), "source {from} out of bounds");
+        assert!(
+            (arc.to as usize) < self.adj.len(),
+            "target {} out of bounds",
+            arc.to
+        );
+        if arc.len != 1 {
+            self.non_unit_arcs += 1;
+        }
+        self.adj[from].push(arc);
+        self.arc_count += 1;
+    }
+
+    /// Removes all arcs out of `from`, returning them.
+    ///
+    /// This is the primitive behind the game layer's *deviation oracle*: to
+    /// evaluate node `u`'s candidate strategies we strip `u`'s out-arcs once
+    /// and reuse the remaining graph for every candidate.
+    pub fn take_out_arcs(&mut self, from: usize) -> Vec<Arc> {
+        let arcs = std::mem::take(&mut self.adj[from]);
+        self.arc_count -= arcs.len();
+        self.non_unit_arcs -= arcs.iter().filter(|a| a.len != 1).count();
+        arcs
+    }
+
+    /// Restores arcs previously removed with [`DiGraph::take_out_arcs`].
+    pub fn put_out_arcs(&mut self, from: usize, arcs: Vec<Arc>) {
+        debug_assert!(self.adj[from].is_empty(), "putting arcs over existing ones");
+        self.arc_count += arcs.len();
+        self.non_unit_arcs += arcs.iter().filter(|a| a.len != 1).count();
+        self.adj[from] = arcs;
+    }
+
+    /// Out-arcs of `u`.
+    #[inline]
+    pub fn out_arcs(&self, u: usize) -> &[Arc] {
+        &self.adj[u]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Maximum out-degree over all nodes; 0 for an empty graph.
+    pub fn max_out_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterates over all arcs as `(source, Arc)` pairs.
+    pub fn iter_arcs(&self) -> impl Iterator<Item = (usize, Arc)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, arcs)| arcs.iter().map(move |&a| (u, a)))
+    }
+
+    /// The reverse graph (every arc flipped, lengths preserved).
+    pub fn reversed(&self) -> DiGraph {
+        let mut g = DiGraph::new(self.node_count());
+        for (u, a) in self.iter_arcs() {
+            g.add_arc(
+                a.to(),
+                Arc {
+                    to: u as u32,
+                    len: a.len,
+                },
+            );
+        }
+        g
+    }
+
+    /// Shortest-path distances from `source` to every node.
+    ///
+    /// Dispatches to BFS when the graph is unit-length and to Dijkstra
+    /// otherwise. Unreachable nodes get [`crate::UNREACHABLE`]. Allocates
+    /// fresh buffers; hot loops should hold a [`BfsBuffer`] or
+    /// [`DijkstraBuffer`] instead.
+    pub fn distances_from(&self, source: usize) -> Vec<u64> {
+        if self.is_unit_length() {
+            let mut buf = BfsBuffer::new(self.node_count());
+            buf.run(self, source);
+            buf.distances().to_vec()
+        } else {
+            let mut buf = DijkstraBuffer::new(self.node_count());
+            buf.run(self, source);
+            buf.distances().to_vec()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UNREACHABLE;
+
+    #[test]
+    fn empty_graph_is_unit_length() {
+        let g = DiGraph::new(5);
+        assert!(g.is_unit_length());
+        assert_eq!(g.arc_count(), 0);
+        assert_eq!(g.max_out_degree(), 0);
+    }
+
+    #[test]
+    fn add_and_count_arcs() {
+        let mut g = DiGraph::new(3);
+        g.add_arc(0, Arc::unit(1));
+        g.add_arc(0, Arc::unit(2));
+        g.add_arc(1, Arc::new(2, 7));
+        assert_eq!(g.arc_count(), 3);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.max_out_degree(), 2);
+        assert!(!g.is_unit_length());
+    }
+
+    #[test]
+    fn take_and_put_out_arcs_round_trips() {
+        let mut g = DiGraph::from_edges(4, [(0, 1, 1), (0, 2, 3), (1, 3, 1)]);
+        let before = g.clone();
+        let arcs = g.take_out_arcs(0);
+        assert_eq!(arcs.len(), 2);
+        assert_eq!(g.arc_count(), 1);
+        assert!(g.is_unit_length(), "remaining arc is unit-length");
+        g.put_out_arcs(0, arcs);
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn reversed_flips_arcs() {
+        let g = DiGraph::from_edges(3, [(0, 1, 2), (1, 2, 5)]);
+        let r = g.reversed();
+        assert_eq!(r.out_arcs(1), &[Arc { to: 0, len: 2 }]);
+        assert_eq!(r.out_arcs(2), &[Arc { to: 1, len: 5 }]);
+        assert_eq!(r.out_degree(0), 0);
+    }
+
+    #[test]
+    fn distances_dispatch_unit_and_weighted() {
+        let unit = DiGraph::from_unit_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(unit.distances_from(0), vec![0, 1, 2, 3]);
+
+        // Weighted: direct arc 0->2 of length 10 loses to 0->1->2 of length 3.
+        let w = DiGraph::from_edges(3, [(0, 2, 10), (0, 1, 1), (1, 2, 2)]);
+        assert_eq!(w.distances_from(0), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn unreachable_reported_with_sentinel() {
+        let g = DiGraph::from_unit_edges(3, [(0, 1)]);
+        assert_eq!(g.distances_from(0), vec![0, 1, UNREACHABLE]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_arc_rejected() {
+        let _ = Arc::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_target_rejected() {
+        let mut g = DiGraph::new(2);
+        g.add_arc(0, Arc::unit(5));
+    }
+}

@@ -1,0 +1,94 @@
+//! Graphviz DOT export.
+//!
+//! Network-formation results are graphs people want to look at; every
+//! example and experiment can dump its configurations via
+//! [`to_dot`]/[`to_dot_labeled`] and render them with `dot -Tsvg`.
+
+use std::fmt::Write as _;
+
+use crate::DiGraph;
+
+/// Renders the graph in DOT format with numeric node names. Unit-length
+/// arcs are unlabeled; other lengths become edge labels.
+///
+/// # Examples
+///
+/// ```
+/// use bbc_graph::{dot::to_dot, DiGraph};
+///
+/// let g = DiGraph::from_unit_edges(2, [(0, 1)]);
+/// let text = to_dot(&g, "pair");
+/// assert!(text.contains("digraph pair"));
+/// assert!(text.contains("\"v0\" -> \"v1\""));
+/// ```
+pub fn to_dot(g: &DiGraph, name: &str) -> String {
+    to_dot_labeled(g, name, |v| format!("v{v}"))
+}
+
+/// Renders the graph in DOT format with caller-supplied node labels.
+///
+/// Labels are quoted verbatim; callers are responsible for avoiding the
+/// quote character in labels.
+pub fn to_dot_labeled(g: &DiGraph, name: &str, label: impl Fn(usize) -> String) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+    for v in 0..g.node_count() {
+        let _ = writeln!(out, "  \"{}\";", label(v));
+    }
+    for (u, arc) in g.iter_arcs() {
+        if arc.len == 1 {
+            let _ = writeln!(out, "  \"{}\" -> \"{}\";", label(u), label(arc.to()));
+        } else {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [label=\"{}\"];",
+                label(u),
+                label(arc.to()),
+                arc.len
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Arc;
+
+    #[test]
+    fn includes_every_node_and_arc() {
+        let g = DiGraph::from_unit_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let text = to_dot(&g, "ring");
+        for v in 0..3 {
+            assert!(text.contains(&format!("\"v{v}\";")));
+        }
+        assert_eq!(text.matches(" -> ").count(), 3);
+    }
+
+    #[test]
+    fn weighted_arcs_get_labels() {
+        let mut g = DiGraph::new(2);
+        g.add_arc(0, Arc::new(1, 7));
+        let text = to_dot(&g, "w");
+        assert!(text.contains("label=\"7\""));
+    }
+
+    #[test]
+    fn custom_labels_are_used() {
+        let g = DiGraph::from_unit_edges(2, [(0, 1)]);
+        let names = ["alice", "bob"];
+        let text = to_dot_labeled(&g, "people", |v| names[v].to_string());
+        assert!(text.contains("\"alice\" -> \"bob\""));
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let text = to_dot(&DiGraph::new(0), "empty");
+        assert!(text.starts_with("digraph empty {"));
+        assert!(text.ends_with("}\n"));
+    }
+}

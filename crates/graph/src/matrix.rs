@@ -1,0 +1,117 @@
+//! All-pairs distance matrix.
+//!
+//! Small instances (gadgets, tiny equilibrium enumeration) evaluate every
+//! node's cost against every configuration; a flat row-major matrix of
+//! distances is both faster and simpler to assert against than `n` separate
+//! vectors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{bfs::BfsBuffer, dijkstra::DijkstraBuffer, DiGraph, UNREACHABLE};
+
+/// Row-major `n × n` matrix of shortest-path distances; `self.get(u, v)` is
+/// `d(u, v)`, with [`UNREACHABLE`] for disconnected pairs.
+///
+/// # Examples
+///
+/// ```
+/// use bbc_graph::{DiGraph, DistanceMatrix};
+///
+/// let g = DiGraph::from_unit_edges(3, [(0, 1), (1, 2), (2, 0)]);
+/// let m = DistanceMatrix::all_pairs(&g);
+/// assert_eq!(m.get(0, 2), 2);
+/// assert_eq!(m.get(2, 1), 2);
+/// assert_eq!(m.row(0), &[0, 1, 2]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<u64>,
+}
+
+impl DistanceMatrix {
+    /// Computes all-pairs shortest paths with one BFS/Dijkstra per source.
+    pub fn all_pairs(g: &DiGraph) -> Self {
+        let n = g.node_count();
+        let mut data = vec![UNREACHABLE; n * n];
+        if g.is_unit_length() {
+            let mut buf = BfsBuffer::new(n);
+            for u in 0..n {
+                buf.run(g, u);
+                data[u * n..(u + 1) * n].copy_from_slice(buf.distances());
+            }
+        } else {
+            let mut buf = DijkstraBuffer::new(n);
+            for u in 0..n {
+                buf.run(g, u);
+                data[u * n..(u + 1) * n].copy_from_slice(buf.distances());
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Matrix dimension (number of nodes).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Distance from `u` to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of bounds.
+    #[inline]
+    pub fn get(&self, u: usize, v: usize) -> u64 {
+        assert!(
+            u < self.n && v < self.n,
+            "index ({u},{v}) out of bounds for n={}",
+            self.n
+        );
+        self.data[u * self.n + v]
+    }
+
+    /// Distances from `u` to every node.
+    #[inline]
+    pub fn row(&self, u: usize) -> &[u64] {
+        &self.data[u * self.n..(u + 1) * self.n]
+    }
+
+    /// `true` iff every ordered pair is connected.
+    pub fn all_pairs_connected(&self) -> bool {
+        !self.data.contains(&UNREACHABLE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_pairs_on_a_path() {
+        let g = DiGraph::from_unit_edges(3, [(0, 1), (1, 2)]);
+        let m = DistanceMatrix::all_pairs(&g);
+        assert_eq!(m.row(0), &[0, 1, 2]);
+        assert_eq!(m.row(1), &[UNREACHABLE, 0, 1]);
+        assert_eq!(m.row(2), &[UNREACHABLE, UNREACHABLE, 0]);
+        assert!(!m.all_pairs_connected());
+    }
+
+    #[test]
+    fn weighted_all_pairs() {
+        let g = DiGraph::from_edges(3, [(0, 1, 5), (1, 2, 5), (2, 0, 1)]);
+        let m = DistanceMatrix::all_pairs(&g);
+        assert_eq!(m.get(2, 1), 6);
+        assert_eq!(m.get(1, 0), 6);
+        assert!(m.all_pairs_connected());
+    }
+
+    #[test]
+    fn diagonal_is_zero() {
+        let g = DiGraph::from_unit_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let m = DistanceMatrix::all_pairs(&g);
+        for u in 0..4 {
+            assert_eq!(m.get(u, u), 0);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Strongly connected components (Tarjan) and condensation DAGs.
+//!
+//! The convergence analysis of best-response walks (§4.3, Lemmas 9–10) argues
+//! about sink components of the condensation: a node in a sink SCC can always
+//! splice an out-of-component arc and grow its reach. This module provides
+//! Tarjan's algorithm (iterative — configurations can be deep paths, so no
+//! recursion) plus the component DAG.
+
+use crate::DiGraph;
+
+/// The strongly connected components of a graph, in reverse topological
+/// order of the condensation (Tarjan's output order: every arc between
+/// distinct components goes from a *later* component in this list to an
+/// *earlier* one).
+///
+/// Returned by [`strongly_connected_components`].
+pub fn strongly_connected_components(g: &DiGraph) -> Vec<Vec<usize>> {
+    TarjanState::new(g.node_count()).run(g)
+}
+
+/// `true` iff `g` is strongly connected (has exactly one SCC).
+///
+/// An empty graph is vacuously strongly connected; a single node always is.
+///
+/// # Examples
+///
+/// ```
+/// use bbc_graph::{scc::is_strongly_connected, DiGraph};
+///
+/// let ring = DiGraph::from_unit_edges(3, [(0, 1), (1, 2), (2, 0)]);
+/// assert!(is_strongly_connected(&ring));
+/// let path = DiGraph::from_unit_edges(3, [(0, 1), (1, 2)]);
+/// assert!(!is_strongly_connected(&path));
+/// ```
+pub fn is_strongly_connected(g: &DiGraph) -> bool {
+    if g.node_count() <= 1 {
+        return true;
+    }
+    strongly_connected_components(g).len() == 1
+}
+
+/// The condensation of a graph: one vertex per SCC, one arc per pair of
+/// adjacent components (deduplicated), plus the membership map.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// `component[v]` is the index of `v`'s SCC in [`Condensation::members`].
+    pub component: Vec<usize>,
+    /// Nodes of each component, in Tarjan (reverse-topological) order.
+    pub members: Vec<Vec<usize>>,
+    /// Deduplicated arcs between distinct components, as `(from, to)` pairs
+    /// of component indices.
+    pub arcs: Vec<(usize, usize)>,
+}
+
+impl Condensation {
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Component indices with no outgoing condensation arc ("sink"
+    /// components). Every graph has at least one unless it has no nodes.
+    pub fn sink_components(&self) -> Vec<usize> {
+        let mut has_out = vec![false; self.members.len()];
+        for &(from, _) in &self.arcs {
+            has_out[from] = true;
+        }
+        (0..self.members.len()).filter(|&c| !has_out[c]).collect()
+    }
+}
+
+/// Computes the condensation DAG of `g`.
+pub fn condensation(g: &DiGraph) -> Condensation {
+    let members = strongly_connected_components(g);
+    let mut component = vec![usize::MAX; g.node_count()];
+    for (idx, comp) in members.iter().enumerate() {
+        for &v in comp {
+            component[v] = idx;
+        }
+    }
+    let mut arcs: Vec<(usize, usize)> = g
+        .iter_arcs()
+        .map(|(u, a)| (component[u], component[a.to()]))
+        .filter(|(cu, cv)| cu != cv)
+        .collect();
+    arcs.sort_unstable();
+    arcs.dedup();
+    Condensation {
+        component,
+        members,
+        arcs,
+    }
+}
+
+/// Iterative Tarjan SCC.
+struct TarjanState {
+    index: Vec<u32>,
+    lowlink: Vec<u32>,
+    on_stack: Vec<bool>,
+    stack: Vec<u32>,
+    next_index: u32,
+    components: Vec<Vec<usize>>,
+}
+
+const UNVISITED: u32 = u32::MAX;
+
+impl TarjanState {
+    fn new(n: usize) -> Self {
+        Self {
+            index: vec![UNVISITED; n],
+            lowlink: vec![0; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            next_index: 0,
+            components: Vec::new(),
+        }
+    }
+
+    fn run(mut self, g: &DiGraph) -> Vec<Vec<usize>> {
+        // Explicit call stack of (node, next-arc-offset) frames.
+        let mut call: Vec<(u32, u32)> = Vec::new();
+        for root in 0..g.node_count() {
+            if self.index[root] != UNVISITED {
+                continue;
+            }
+            call.push((root as u32, 0));
+            self.open(root);
+            while let Some(&mut (u, ref mut off)) = call.last_mut() {
+                let u = u as usize;
+                let arcs = g.out_arcs(u);
+                if (*off as usize) < arcs.len() {
+                    let v = arcs[*off as usize].to();
+                    *off += 1;
+                    if self.index[v] == UNVISITED {
+                        self.open(v);
+                        call.push((v as u32, 0));
+                    } else if self.on_stack[v] {
+                        self.lowlink[u] = self.lowlink[u].min(self.index[v]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        let p = parent as usize;
+                        self.lowlink[p] = self.lowlink[p].min(self.lowlink[u]);
+                    }
+                    if self.lowlink[u] == self.index[u] {
+                        self.close_component(u);
+                    }
+                }
+            }
+        }
+        self.components
+    }
+
+    fn open(&mut self, v: usize) {
+        self.index[v] = self.next_index;
+        self.lowlink[v] = self.next_index;
+        self.next_index += 1;
+        self.stack.push(v as u32);
+        self.on_stack[v] = true;
+    }
+
+    fn close_component(&mut self, root: usize) {
+        let mut comp = Vec::new();
+        loop {
+            let w = self.stack.pop().expect("tarjan stack underflow") as usize;
+            self.on_stack[w] = false;
+            comp.push(w);
+            if w == root {
+                break;
+            }
+        }
+        self.components.push(comp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(mut comps: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+        for c in &mut comps {
+            c.sort_unstable();
+        }
+        comps.sort();
+        comps
+    }
+
+    #[test]
+    fn singleton_components_in_a_dag() {
+        let g = DiGraph::from_unit_edges(4, [(0, 1), (1, 2), (0, 3)]);
+        let comps = sorted(strongly_connected_components(&g));
+        assert_eq!(comps, vec![vec![0], vec![1], vec![2], vec![3]]);
+        assert!(!is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn ring_is_one_component() {
+        let g = DiGraph::from_unit_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(strongly_connected_components(&g).len(), 1);
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn two_rings_joined_by_one_arc() {
+        let g =
+            DiGraph::from_unit_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+        let comps = sorted(strongly_connected_components(&g));
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+
+        let cond = condensation(&g);
+        assert_eq!(cond.component_count(), 2);
+        assert_eq!(cond.arcs.len(), 1);
+        // The sink is the component containing nodes {3,4,5}.
+        let sinks = cond.sink_components();
+        assert_eq!(sinks.len(), 1);
+        assert!(cond.members[sinks[0]].contains(&3));
+    }
+
+    #[test]
+    fn tarjan_order_is_reverse_topological() {
+        let g = DiGraph::from_unit_edges(3, [(0, 1), (1, 2)]);
+        let cond = condensation(&g);
+        // Every condensation arc must go from a higher member index to lower.
+        for &(from, to) in &cond.arcs {
+            assert!(
+                from > to,
+                "arc {from}->{to} violates reverse-topological order"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        let n = 200_000;
+        let g = DiGraph::from_unit_edges(n, (0..n - 1).map(|i| (i, i + 1)));
+        assert_eq!(strongly_connected_components(&g).len(), n);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        assert!(is_strongly_connected(&DiGraph::new(0)));
+        assert!(is_strongly_connected(&DiGraph::new(1)));
+        assert_eq!(strongly_connected_components(&DiGraph::new(0)).len(), 0);
+    }
+
+    #[test]
+    fn self_loop_single_node() {
+        let mut g = DiGraph::new(2);
+        g.add_arc(0, crate::Arc::unit(0));
+        let comps = sorted(strongly_connected_components(&g));
+        assert_eq!(comps, vec![vec![0], vec![1]]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the graph substrate.
+
+use bbc_graph::{
+    bfs::bfs_distances,
+    diameter::eccentricity,
+    dijkstra::dijkstra_distances,
+    reach::reach_counts,
+    scc::{condensation, strongly_connected_components},
+    DiGraph, DistanceMatrix, UNREACHABLE,
+};
+use proptest::prelude::*;
+
+/// Arbitrary unit-length digraph: node count in 1..=24, arc density ~2 per
+/// node.
+fn arb_unit_graph() -> impl Strategy<Value = DiGraph> {
+    (1usize..=24).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(3 * n)).prop_map(move |pairs| {
+            DiGraph::from_unit_edges(n, pairs.into_iter().filter(|(u, v)| u != v))
+        })
+    })
+}
+
+/// Arbitrary weighted digraph with lengths in 1..=10.
+fn arb_weighted_graph() -> impl Strategy<Value = DiGraph> {
+    (1usize..=20).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 1u64..=10), 0..(3 * n)).prop_map(move |tris| {
+            DiGraph::from_edges(n, tris.into_iter().filter(|(u, v, _)| u != v))
+        })
+    })
+}
+
+/// Reference Bellman-Ford, deliberately naive.
+fn bellman_ford(g: &DiGraph, source: usize) -> Vec<u64> {
+    let n = g.node_count();
+    let mut dist = vec![UNREACHABLE; n];
+    dist[source] = 0;
+    for _ in 0..n {
+        let mut changed = false;
+        for (u, a) in g.iter_arcs() {
+            if dist[u] != UNREACHABLE && dist[u] + a.len < dist[a.to()] {
+                dist[a.to()] = dist[u] + a.len;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+proptest! {
+    #[test]
+    fn bfs_matches_dijkstra_on_unit_graphs(g in arb_unit_graph(), src_sel in 0usize..1000) {
+        let src = src_sel % g.node_count();
+        prop_assert_eq!(bfs_distances(&g, src), dijkstra_distances(&g, src));
+    }
+
+    #[test]
+    fn dijkstra_matches_bellman_ford(g in arb_weighted_graph(), src_sel in 0usize..1000) {
+        let src = src_sel % g.node_count();
+        prop_assert_eq!(dijkstra_distances(&g, src), bellman_ford(&g, src));
+    }
+
+    #[test]
+    fn distance_zero_iff_self(g in arb_unit_graph(), src_sel in 0usize..1000) {
+        let src = src_sel % g.node_count();
+        let d = bfs_distances(&g, src);
+        prop_assert_eq!(d[src], 0);
+        for (v, &dv) in d.iter().enumerate() {
+            if v != src {
+                prop_assert!(dv >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn arc_relaxation_holds(g in arb_weighted_graph(), src_sel in 0usize..1000) {
+        // d(s, v) <= d(s, u) + len(u, v) for every arc: shortest paths are
+        // consistent with one-step relaxation.
+        let src = src_sel % g.node_count();
+        let d = dijkstra_distances(&g, src);
+        for (u, a) in g.iter_arcs() {
+            if d[u] != UNREACHABLE {
+                prop_assert!(d[a.to()] != UNREACHABLE);
+                prop_assert!(d[a.to()] <= d[u] + a.len);
+            }
+        }
+    }
+
+    #[test]
+    fn scc_members_are_mutually_reachable(g in arb_unit_graph()) {
+        let comps = strongly_connected_components(&g);
+        // Partition check.
+        let mut seen = vec![false; g.node_count()];
+        for comp in &comps {
+            for &v in comp {
+                prop_assert!(!seen[v], "node {} in two components", v);
+                seen[v] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+        // Mutual reachability within a component.
+        for comp in &comps {
+            let d0 = bfs_distances(&g, comp[0]);
+            for &v in comp {
+                prop_assert!(d0[v] != UNREACHABLE);
+                let dv = bfs_distances(&g, v);
+                prop_assert!(dv[comp[0]] != UNREACHABLE);
+            }
+        }
+    }
+
+    #[test]
+    fn condensation_is_acyclic(g in arb_unit_graph()) {
+        let cond = condensation(&g);
+        // Tarjan order makes every arc strictly decreasing, which is a
+        // certificate of acyclicity.
+        for &(from, to) in &cond.arcs {
+            prop_assert!(from > to);
+        }
+        prop_assert!(!cond.members.is_empty() || g.node_count() == 0);
+        prop_assert!(!cond.sink_components().is_empty());
+    }
+
+    #[test]
+    fn reach_matches_per_node_bfs(g in arb_unit_graph()) {
+        let fast = reach_counts(&g);
+        for (v, &fast_v) in fast.iter().enumerate() {
+            let d = bfs_distances(&g, v);
+            let brute = d.iter().filter(|&&x| x != UNREACHABLE).count();
+            prop_assert_eq!(fast_v, brute);
+        }
+    }
+
+    #[test]
+    fn distance_matrix_rows_match_single_source(g in arb_weighted_graph()) {
+        let m = DistanceMatrix::all_pairs(&g);
+        for u in 0..g.node_count() {
+            prop_assert_eq!(m.row(u), &dijkstra_distances(&g, u)[..]);
+        }
+    }
+
+    #[test]
+    fn eccentricity_consistent_with_matrix(g in arb_unit_graph()) {
+        let e = eccentricity(&g);
+        let m = DistanceMatrix::all_pairs(&g);
+        prop_assert_eq!(e.all_pairs_connected, m.all_pairs_connected());
+        if e.all_pairs_connected {
+            for u in 0..g.node_count() {
+                let row_max = m.row(u).iter().copied().max().unwrap();
+                prop_assert_eq!(e.ecc[u], row_max);
+            }
+        }
+    }
+
+    #[test]
+    fn reversed_preserves_pairwise_distances_flipped(g in arb_weighted_graph()) {
+        let m = DistanceMatrix::all_pairs(&g);
+        let mr = DistanceMatrix::all_pairs(&g.reversed());
+        for u in 0..g.node_count() {
+            for v in 0..g.node_count() {
+                prop_assert_eq!(m.get(u, v), mr.get(v, u));
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! CNF formulas: variables, literals, clauses.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A propositional variable, indexed densely from 0.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Dense index of the variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Lit {
+    /// The underlying variable.
+    pub var: Var,
+    /// `true` for the positive literal `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// The positive literal of variable `v`.
+    pub fn pos(v: u32) -> Self {
+        Self {
+            var: Var(v),
+            positive: true,
+        }
+    }
+
+    /// The negative literal of variable `v`.
+    pub fn neg(v: u32) -> Self {
+        Self {
+            var: Var(v),
+            positive: false,
+        }
+    }
+
+    /// The literal's negation.
+    pub fn negated(self) -> Self {
+        Self {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// Truth value under an assignment of the variable.
+    #[inline]
+    pub fn satisfied_by(self, value: bool) -> bool {
+        self.positive == value
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "{}", self.var)
+        } else {
+            write!(f, "¬{}", self.var)
+        }
+    }
+}
+
+/// A disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// A CNF formula.
+///
+/// # Examples
+///
+/// ```
+/// use bbc_sat::{Cnf, Lit};
+///
+/// // (x0 ∨ ¬x1) ∧ (x1)
+/// let f = Cnf::new(2, vec![vec![Lit::pos(0), Lit::neg(1)], vec![Lit::pos(1)]]);
+/// assert!(f.is_satisfied_by(&[true, true]));
+/// assert!(!f.is_satisfied_by(&[false, true]));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Creates a formula over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a clause references a variable `>= num_vars` or is empty
+    /// (an empty clause makes the formula trivially unsatisfiable; represent
+    /// that explicitly rather than by accident).
+    pub fn new(num_vars: usize, clauses: Vec<Clause>) -> Self {
+        for (i, c) in clauses.iter().enumerate() {
+            assert!(!c.is_empty(), "clause {i} is empty");
+            for lit in c {
+                assert!(
+                    lit.var.index() < num_vars,
+                    "clause {i} references {} beyond num_vars={num_vars}",
+                    lit.var
+                );
+            }
+        }
+        Self { num_vars, clauses }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Evaluates the formula under a full assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != num_vars`.
+    pub fn is_satisfied_by(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars, "assignment size mismatch");
+        self.clauses.iter().all(|c| {
+            c.iter()
+                .any(|lit| lit.satisfied_by(assignment[lit.var.index()]))
+        })
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "(")?;
+            for (j, lit) in c.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ∨ ")?;
+                }
+                write!(f, "{lit}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_negation() {
+        let l = Lit::pos(3);
+        assert_eq!(l.negated(), Lit::neg(3));
+        assert_eq!(l.negated().negated(), l);
+        assert!(l.satisfied_by(true));
+        assert!(!l.satisfied_by(false));
+        assert!(Lit::neg(3).satisfied_by(false));
+    }
+
+    #[test]
+    fn empty_formula_is_satisfied() {
+        let f = Cnf::new(2, vec![]);
+        assert!(f.is_satisfied_by(&[false, false]));
+    }
+
+    #[test]
+    fn evaluation_over_all_assignments() {
+        // (x0 ∨ x1) ∧ (¬x0 ∨ ¬x1): exactly one of the two true.
+        let f = Cnf::new(
+            2,
+            vec![
+                vec![Lit::pos(0), Lit::pos(1)],
+                vec![Lit::neg(0), Lit::neg(1)],
+            ],
+        );
+        assert!(!f.is_satisfied_by(&[false, false]));
+        assert!(f.is_satisfied_by(&[true, false]));
+        assert!(f.is_satisfied_by(&[false, true]));
+        assert!(!f.is_satisfied_by(&[true, true]));
+    }
+
+    #[test]
+    fn display_renders_formula() {
+        let f = Cnf::new(2, vec![vec![Lit::pos(0), Lit::neg(1)]]);
+        assert_eq!(f.to_string(), "(x0 ∨ ¬x1)");
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond num_vars")]
+    fn out_of_range_variable_rejected() {
+        Cnf::new(1, vec![vec![Lit::pos(1)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn empty_clause_rejected() {
+        Cnf::new(1, vec![vec![]]);
+    }
+}

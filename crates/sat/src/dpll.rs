@@ -1,0 +1,241 @@
+//! A DPLL satisfiability solver.
+//!
+//! Small and dependable rather than fast: unit propagation, pure-literal
+//! elimination, and first-unassigned branching. The Theorem 2 experiments
+//! only ever solve formulas with a handful of variables — the point is an
+//! *independent* ground truth for "is φ satisfiable?" to compare against the
+//! game-theoretic answer produced by the reduction.
+
+use crate::{Cnf, Lit};
+
+/// Decides satisfiability; returns a satisfying assignment if one exists.
+///
+/// # Examples
+///
+/// ```
+/// use bbc_sat::{dpll, Cnf, Lit};
+///
+/// let f = Cnf::new(2, vec![vec![Lit::pos(0)], vec![Lit::neg(0), Lit::pos(1)]]);
+/// let a = dpll::solve(&f).expect("satisfiable");
+/// assert!(f.is_satisfied_by(&a));
+///
+/// let contradiction = Cnf::new(1, vec![vec![Lit::pos(0)], vec![Lit::neg(0)]]);
+/// assert!(dpll::solve(&contradiction).is_none());
+/// ```
+pub fn solve(cnf: &Cnf) -> Option<Vec<bool>> {
+    let mut assignment: Vec<Option<bool>> = vec![None; cnf.num_vars()];
+    if search(cnf, &mut assignment) {
+        // Unconstrained variables default to false.
+        Some(assignment.into_iter().map(|a| a.unwrap_or(false)).collect())
+    } else {
+        None
+    }
+}
+
+/// Clause status under a partial assignment.
+enum ClauseState {
+    Satisfied,
+    /// All literals false.
+    Conflict,
+    /// Exactly one literal unassigned, the rest false.
+    Unit(Lit),
+    Open,
+}
+
+fn clause_state(clause: &[Lit], assignment: &[Option<bool>]) -> ClauseState {
+    let mut unassigned = None;
+    let mut unassigned_count = 0;
+    for &lit in clause {
+        match assignment[lit.var.index()] {
+            Some(v) if lit.satisfied_by(v) => return ClauseState::Satisfied,
+            Some(_) => {}
+            None => {
+                unassigned = Some(lit);
+                unassigned_count += 1;
+            }
+        }
+    }
+    match unassigned_count {
+        0 => ClauseState::Conflict,
+        1 => ClauseState::Unit(unassigned.expect("counted one unassigned literal")),
+        _ => ClauseState::Open,
+    }
+}
+
+/// Applies unit propagation until fixpoint. Returns `false` on conflict;
+/// records the trail of forced assignments in `trail`.
+fn propagate(cnf: &Cnf, assignment: &mut [Option<bool>], trail: &mut Vec<usize>) -> bool {
+    loop {
+        let mut forced = None;
+        for clause in cnf.clauses() {
+            match clause_state(clause, assignment) {
+                ClauseState::Conflict => return false,
+                ClauseState::Unit(lit) => {
+                    forced = Some(lit);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        match forced {
+            Some(lit) => {
+                assignment[lit.var.index()] = Some(lit.positive);
+                trail.push(lit.var.index());
+            }
+            None => return true,
+        }
+    }
+}
+
+/// Assigns pure literals (appearing with only one polarity among
+/// not-yet-satisfied clauses). Sound: satisfying a pure literal never hurts.
+fn assign_pure_literals(cnf: &Cnf, assignment: &mut [Option<bool>], trail: &mut Vec<usize>) {
+    let n = cnf.num_vars();
+    let mut pos = vec![false; n];
+    let mut neg = vec![false; n];
+    for clause in cnf.clauses() {
+        if matches!(clause_state(clause, assignment), ClauseState::Satisfied) {
+            continue;
+        }
+        for &lit in clause {
+            if assignment[lit.var.index()].is_none() {
+                if lit.positive {
+                    pos[lit.var.index()] = true;
+                } else {
+                    neg[lit.var.index()] = true;
+                }
+            }
+        }
+    }
+    for v in 0..n {
+        if assignment[v].is_none() && (pos[v] ^ neg[v]) {
+            assignment[v] = Some(pos[v]);
+            trail.push(v);
+        }
+    }
+}
+
+fn search(cnf: &Cnf, assignment: &mut Vec<Option<bool>>) -> bool {
+    let mut trail = Vec::new();
+    if !propagate(cnf, assignment, &mut trail) {
+        undo(assignment, &trail);
+        return false;
+    }
+    assign_pure_literals(cnf, assignment, &mut trail);
+
+    let branch_var = (0..cnf.num_vars()).find(|&v| assignment[v].is_none());
+    let Some(v) = branch_var else {
+        // Fully assigned: propagation guarantees no conflict, but check to be
+        // dependable rather than clever.
+        let full: Vec<bool> = assignment.iter().map(|a| a.unwrap_or(false)).collect();
+        if cnf.is_satisfied_by(&full) {
+            return true;
+        }
+        undo(assignment, &trail);
+        return false;
+    };
+
+    for value in [true, false] {
+        assignment[v] = Some(value);
+        if search(cnf, assignment) {
+            return true;
+        }
+        assignment[v] = None;
+    }
+    undo(assignment, &trail);
+    false
+}
+
+fn undo(assignment: &mut [Option<bool>], trail: &[usize]) {
+    for &v in trail {
+        assignment[v] = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ground truth by truth table.
+    fn brute_force_sat(cnf: &Cnf) -> bool {
+        let n = cnf.num_vars();
+        assert!(n <= 20);
+        (0u32..(1 << n)).any(|mask| {
+            let a: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            cnf.is_satisfied_by(&a)
+        })
+    }
+
+    #[test]
+    fn trivial_formulas() {
+        assert!(solve(&Cnf::new(0, vec![])).is_some());
+        assert!(solve(&Cnf::new(3, vec![])).is_some());
+        let unit = Cnf::new(1, vec![vec![Lit::neg(0)]]);
+        assert_eq!(solve(&unit), Some(vec![false]));
+    }
+
+    #[test]
+    fn models_are_verified() {
+        let f = Cnf::new(
+            3,
+            vec![
+                vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+                vec![Lit::neg(0), Lit::neg(1)],
+                vec![Lit::neg(1), Lit::neg(2)],
+                vec![Lit::pos(1)],
+            ],
+        );
+        let a = solve(&f).expect("satisfiable: x1 true, x0,x2 false");
+        assert!(f.is_satisfied_by(&a));
+    }
+
+    #[test]
+    fn detects_unsatisfiable_chains() {
+        // x0, x0->x1, x1->x2, ¬x2.
+        let f = Cnf::new(
+            3,
+            vec![
+                vec![Lit::pos(0)],
+                vec![Lit::neg(0), Lit::pos(1)],
+                vec![Lit::neg(1), Lit::pos(2)],
+                vec![Lit::neg(2)],
+            ],
+        );
+        assert!(solve(&f).is_none());
+    }
+
+    #[test]
+    fn matches_truth_table_on_pseudorandom_formulas() {
+        let mut x: u64 = 12345;
+        let mut next = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as usize
+        };
+        for _ in 0..200 {
+            let n = 2 + next() % 5;
+            let m = 1 + next() % 12;
+            let clauses: Vec<Vec<Lit>> = (0..m)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let v = (next() % n) as u32;
+                            if next() % 2 == 0 {
+                                Lit::pos(v)
+                            } else {
+                                Lit::neg(v)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let f = Cnf::new(n, clauses);
+            let solved = solve(&f);
+            assert_eq!(solved.is_some(), brute_force_sat(&f), "formula {f}");
+            if let Some(a) = solved {
+                assert!(f.is_satisfied_by(&a));
+            }
+        }
+    }
+}

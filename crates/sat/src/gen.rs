@@ -1,0 +1,101 @@
+//! Seeded random 3SAT generation for the reduction experiments.
+
+use rand::{rngs::SmallRng, seq::SliceRandom, Rng, SeedableRng};
+
+use crate::{Cnf, Lit};
+
+/// Generates a random 3SAT formula: `num_clauses` clauses of three literals
+/// over distinct variables, polarity coin-flipped, seeded.
+///
+/// # Panics
+///
+/// Panics if `num_vars < 3` (a 3-literal clause needs three distinct
+/// variables).
+///
+/// # Examples
+///
+/// ```
+/// use bbc_sat::gen::random_3sat;
+///
+/// let f = random_3sat(5, 8, 42);
+/// assert_eq!(f.num_vars(), 5);
+/// assert_eq!(f.num_clauses(), 8);
+/// assert_eq!(f, random_3sat(5, 8, 42), "seeded generation is deterministic");
+/// ```
+pub fn random_3sat(num_vars: usize, num_clauses: usize, seed: u64) -> Cnf {
+    assert!(num_vars >= 3, "3SAT clauses need at least 3 variables");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let vars: Vec<u32> = (0..num_vars as u32).collect();
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            let chosen: Vec<u32> = vars.choose_multiple(&mut rng, 3).copied().collect();
+            chosen
+                .into_iter()
+                .map(|v| if rng.gen() { Lit::pos(v) } else { Lit::neg(v) })
+                .collect()
+        })
+        .collect();
+    Cnf::new(num_vars, clauses)
+}
+
+/// A pair of hand-picked fixture formulas: one satisfiable, one not. Used by
+/// tests and the E2 experiment as smoke inputs with known answers.
+pub fn fixtures() -> (Cnf, Cnf) {
+    // (x0 ∨ x1 ∨ x2) ∧ (¬x0 ∨ x1 ∨ ¬x2): satisfiable (e.g. x1 = true).
+    let sat = Cnf::new(
+        3,
+        vec![
+            vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+            vec![Lit::neg(0), Lit::pos(1), Lit::neg(2)],
+        ],
+    );
+    // All eight polarity patterns over three variables: unsatisfiable.
+    let mut clauses = Vec::new();
+    for mask in 0u8..8 {
+        clauses.push(
+            (0..3u32)
+                .map(|v| {
+                    if mask & (1 << v) != 0 {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    }
+                })
+                .collect(),
+        );
+    }
+    let unsat = Cnf::new(3, clauses);
+    (sat, unsat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpll;
+
+    #[test]
+    fn fixtures_have_known_answers() {
+        let (sat, unsat) = fixtures();
+        assert!(dpll::solve(&sat).is_some());
+        assert!(dpll::solve(&unsat).is_none());
+    }
+
+    #[test]
+    fn random_clauses_use_distinct_variables() {
+        for seed in 0..20 {
+            let f = random_3sat(6, 10, seed);
+            for clause in f.clauses() {
+                assert_eq!(clause.len(), 3);
+                let mut vars: Vec<_> = clause.iter().map(|l| l.var).collect();
+                vars.sort();
+                vars.dedup();
+                assert_eq!(vars.len(), 3, "seed {seed}: repeated variable in clause");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(random_3sat(6, 10, 1), random_3sat(6, 10, 2));
+    }
+}

@@ -1,0 +1,23 @@
+//! A minimal 3SAT toolkit: CNF formulas, a DPLL solver, and seeded random
+//! generators.
+//!
+//! Built as the substrate for the paper's Theorem 2, which reduces 3SAT to
+//! the question "does this non-uniform BBC game have a pure Nash
+//! equilibrium?". The experiments cross-check the reduction's game-theoretic
+//! answer against this crate's independent DPLL answer on the same formula.
+//!
+//! # Examples
+//!
+//! ```
+//! use bbc_sat::{dpll, Cnf, Lit};
+//!
+//! let f = Cnf::new(2, vec![vec![Lit::pos(0), Lit::pos(1)], vec![Lit::neg(0)]]);
+//! let model = dpll::solve(&f).expect("satisfiable");
+//! assert!(f.is_satisfied_by(&model));
+//! ```
+
+pub mod cnf;
+pub mod dpll;
+pub mod gen;
+
+pub use cnf::{Clause, Cnf, Lit, Var};

@@ -1,0 +1,67 @@
+//! Property-based tests: DPLL against the truth table.
+
+use bbc_sat::{dpll, gen, Cnf, Lit};
+use proptest::prelude::*;
+
+fn arb_cnf() -> impl Strategy<Value = Cnf> {
+    (2usize..=6).prop_flat_map(|n| {
+        proptest::collection::vec(
+            proptest::collection::vec((0..n as u32, proptest::bool::ANY), 1..=3),
+            1..=10,
+        )
+        .prop_map(move |clauses| {
+            let clauses = clauses
+                .into_iter()
+                .map(|lits| {
+                    lits.into_iter()
+                        .map(|(v, pos)| if pos { Lit::pos(v) } else { Lit::neg(v) })
+                        .collect()
+                })
+                .collect();
+            Cnf::new(n, clauses)
+        })
+    })
+}
+
+fn truth_table_sat(cnf: &Cnf) -> bool {
+    let n = cnf.num_vars();
+    (0u32..(1 << n)).any(|mask| {
+        let a: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+        cnf.is_satisfied_by(&a)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dpll_agrees_with_truth_table(cnf in arb_cnf()) {
+        let solved = dpll::solve(&cnf);
+        prop_assert_eq!(solved.is_some(), truth_table_sat(&cnf));
+        if let Some(model) = solved {
+            prop_assert!(cnf.is_satisfied_by(&model));
+        }
+    }
+
+    #[test]
+    fn random_3sat_generator_yields_wellformed_formulas(
+        nv in 3usize..=8,
+        m in 1usize..=20,
+        seed in any::<u64>(),
+    ) {
+        let f = gen::random_3sat(nv, m, seed);
+        prop_assert_eq!(f.num_vars(), nv);
+        prop_assert_eq!(f.num_clauses(), m);
+        for clause in f.clauses() {
+            prop_assert_eq!(clause.len(), 3);
+            let mut vars: Vec<_> = clause.iter().map(|l| l.var).collect();
+            vars.sort();
+            vars.dedup();
+            prop_assert_eq!(vars.len(), 3, "variables within a clause are distinct");
+        }
+        // DPLL decides it without panicking, and any model verifies.
+        if let Some(model) = dpll::solve(&f) {
+            prop_assert!(f.is_satisfied_by(&model));
+        }
+    }
+}

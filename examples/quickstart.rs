@@ -1,0 +1,48 @@
+//! Quickstart: define a game, let selfish nodes rewire, inspect the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bbc::prelude::*;
+
+fn main() -> Result<()> {
+    // A (16,2)-uniform BBC game: 16 players, each may buy 2 unit-cost links,
+    // everyone wants short paths to everyone else.
+    let spec = GameSpec::uniform(16, 2);
+
+    // Start from nothing and let nodes take best-response turns.
+    let mut walk = Walk::new(&spec, Configuration::empty(16));
+    let outcome = walk.run(100_000)?;
+    println!("dynamics outcome: {outcome:?}");
+
+    // The endpoint is a pure Nash equilibrium (checked exactly).
+    let config = walk.config();
+    let stable = StabilityChecker::new(&spec).is_stable(config)?;
+    println!("exact stability check: {stable}");
+
+    // Price it: social cost vs the degree-2 packing lower bound.
+    let cost = social_cost(&spec, config);
+    println!(
+        "social cost {cost} ({:.3}x the structural lower bound)",
+        price_ratio(&spec, config)
+    );
+
+    // Fairness (Lemma 1): all node costs are close in any stable graph.
+    let f = fairness(&spec, config);
+    println!(
+        "node costs span {}..{} (gap {}, Lemma 1 bound {})",
+        f.min_cost, f.max_cost, f.additive_gap, f.additive_bound
+    );
+
+    // Inspect one node's links and what it would cost to deviate.
+    let node = NodeId::new(0);
+    let out = best_response::exact(&spec, config, node, &BestResponseOptions::default())?;
+    println!(
+        "{node} buys {:?}; its best achievable cost is {} (current {})",
+        config.strategy(node),
+        out.best_cost,
+        out.current_cost
+    );
+    Ok(())
+}

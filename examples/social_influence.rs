@@ -1,0 +1,96 @@
+//! A campaign on a budget (the paper's first motivating scenario, §1.1).
+//!
+//! A candidate's campaign and its rivals court a small cast of political
+//! operatives. Everyone has one link to give (budget 1) and non-uniform
+//! preferences: campaigns care about operatives in proportion to their
+//! influence, operatives care about the campaigns and each other. Who allies
+//! with whom when everyone optimizes selfishly — and is there a stable
+//! alliance structure at all?
+//!
+//! ```text
+//! cargo run --release --example social_influence
+//! ```
+
+use bbc::prelude::*;
+
+const NAMES: [&str; 7] = [
+    "Campaign-A",
+    "Campaign-B",
+    "Union-Boss",
+    "Mayor",
+    "Pundit",
+    "Donor",
+    "Organizer",
+];
+
+fn main() -> Result<()> {
+    let n = NAMES.len();
+    // Influence weights: w(u, v) = how much u needs a short path to v.
+    // Campaigns need operatives (especially the union boss and the mayor);
+    // operatives need the campaigns and their own networks.
+    #[rustfmt::skip]
+    let w: [[u64; 7]; 7] = [
+        // A   B  Un  Ma  Pu  Do  Or
+        [  0,  0,  5,  4,  2,  3,  2], // Campaign-A
+        [  0,  0,  5,  4,  2,  3,  2], // Campaign-B
+        [  2,  2,  0,  1,  0,  0,  3], // Union-Boss
+        [  2,  2,  1,  0,  2,  1,  0], // Mayor
+        [  1,  1,  0,  2,  0,  0,  0], // Pundit
+        [  3,  3,  0,  1,  0,  0,  0], // Donor
+        [  1,  1,  3,  0,  0,  0,  0], // Organizer
+    ];
+    let mut b = GameSpec::builder(n).default_budget(1);
+    for (u, row) in w.iter().enumerate() {
+        for (v, &weight) in row.iter().enumerate() {
+            if u != v {
+                b = b.weight(u, v, weight);
+            }
+        }
+    }
+    let spec = b.build()?;
+
+    // Does a stable alliance structure exist at all? (Theorem 1 warns that
+    // non-uniform preferences can make the answer "no".)
+    let space = enumerate::ProfileSpace::full(&spec, 1 << 20)?;
+    let found = enumerate::find_equilibria(&spec, &space, 10_000_000)?;
+    println!(
+        "{} stable alliance structures among {} possible profiles",
+        found.equilibria.len(),
+        found.profiles_checked
+    );
+
+    // Show the first few equilibria as alliance diagrams.
+    let mut eval = Evaluator::new(&spec);
+    for (i, eq) in found.equilibria.iter().take(3).enumerate() {
+        println!("\nstable structure #{}:", i + 1);
+        for u in NodeId::all(n) {
+            let allies: Vec<&str> = eq.strategy(u).iter().map(|v| NAMES[v.index()]).collect();
+            println!(
+                "  {:<11} -> {:<11}  (weighted distance cost {})",
+                NAMES[u.index()],
+                if allies.is_empty() {
+                    "(nobody)".to_string()
+                } else {
+                    allies.join(", ")
+                },
+                eval.node_cost(eq, u)
+            );
+        }
+    }
+
+    // And what do the dynamics of shifting loyalties look like from scratch?
+    let mut walk = Walk::new(&spec, Configuration::empty(n)).record_trace(true);
+    let outcome = walk.run(10_000)?;
+    println!("\nbest-response politics from a cold start: {outcome:?}");
+    for mv in walk.trace().iter().take(10) {
+        let to: Vec<&str> = mv.new_strategy.iter().map(|v| NAMES[v.index()]).collect();
+        println!(
+            "  {} re-allies with {:?} (cost {} -> {})",
+            NAMES[mv.node.index()],
+            to,
+            mv.old_cost,
+            mv.new_cost
+        );
+    }
+    Ok(())
+}

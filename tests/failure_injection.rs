@@ -1,0 +1,103 @@
+//! Failure injection: malformed inputs and exhausted budgets must surface as
+//! typed errors or validation panics — never as silently wrong results.
+
+use bbc::prelude::*;
+
+#[test]
+fn undersized_penalty_is_rejected() {
+    let err = GameSpec::builder(10).penalty(5).build().unwrap_err();
+    assert!(matches!(err, Error::PenaltyTooSmall { minimum: 11, .. }));
+    let err = GameSpec::uniform(10, 2).with_penalty(10).unwrap_err();
+    assert!(matches!(err, Error::PenaltyTooSmall { .. }));
+}
+
+#[test]
+fn strategy_violations_are_typed() {
+    let spec = GameSpec::uniform(4, 1);
+    let mut cfg = Configuration::empty(4);
+    assert!(matches!(
+        cfg.set_strategy(&spec, NodeId::new(0), vec![NodeId::new(0)]),
+        Err(Error::SelfLink { .. })
+    ));
+    assert!(matches!(
+        cfg.set_strategy(&spec, NodeId::new(0), vec![NodeId::new(1), NodeId::new(2)]),
+        Err(Error::BudgetExceeded { .. })
+    ));
+    assert!(matches!(
+        cfg.set_strategy(&spec, NodeId::new(0), vec![NodeId::new(9)]),
+        Err(Error::NodeOutOfBounds { .. })
+    ));
+    // Failed updates must not corrupt the configuration.
+    assert_eq!(cfg.strategy(NodeId::new(0)), &[] as &[NodeId]);
+}
+
+#[test]
+fn search_budgets_abort_cleanly() {
+    let spec = GameSpec::uniform(14, 5);
+    let cfg = Configuration::random(&spec, 0);
+    let tight = BestResponseOptions {
+        evaluation_limit: 5,
+        stop_at_first_improvement: false,
+    };
+    assert!(matches!(
+        best_response::exact(&spec, &cfg, NodeId::new(0), &tight),
+        Err(Error::SearchBudgetExceeded { limit: 5 })
+    ));
+
+    // Enumeration refuses oversized spaces up front.
+    let space = enumerate::ProfileSpace::full(&GameSpec::uniform(5, 1), 100).unwrap();
+    assert!(matches!(
+        enumerate::find_equilibria(&GameSpec::uniform(5, 1), &space, 10),
+        Err(Error::SearchBudgetExceeded { limit: 10 })
+    ));
+}
+
+#[test]
+fn dimension_mismatches_are_rejected() {
+    let spec = GameSpec::uniform(3, 1);
+    assert!(matches!(
+        Configuration::from_strategies(&spec, vec![vec![], vec![]]),
+        Err(Error::DimensionMismatch {
+            expected: 3,
+            actual: 2
+        })
+    ));
+}
+
+#[test]
+fn disconnected_profiles_price_at_penalty_not_garbage() {
+    let spec = GameSpec::uniform(5, 1);
+    let cfg = Configuration::empty(5);
+    let mut eval = Evaluator::new(&spec);
+    // Every node pays exactly (n-1)·M — no overflow, no sentinel leakage.
+    assert_eq!(eval.node_cost(&cfg, NodeId::new(0)), 4 * spec.penalty());
+    let social = eval.social_cost(&cfg);
+    assert_eq!(social, 5 * 4 * spec.penalty());
+}
+
+#[test]
+fn zero_budget_games_are_degenerate_but_well_defined() {
+    let spec = GameSpec::uniform(4, 0);
+    let cfg = Configuration::empty(4);
+    assert!(StabilityChecker::new(&spec).is_stable(&cfg).unwrap());
+    let mut walk = Walk::new(&spec, cfg);
+    assert!(matches!(
+        walk.run(100).unwrap(),
+        WalkOutcome::Equilibrium { .. }
+    ));
+}
+
+#[test]
+fn fractional_allocation_violations_are_typed() {
+    let spec = GameSpec::uniform(4, 1);
+    let game = FractionalGame::new(&spec, 4);
+    let mut cfg = FractionalConfig::empty(4);
+    assert!(matches!(
+        cfg.set_allocation(&game, NodeId::new(0), vec![(NodeId::new(1), 9)]),
+        Err(Error::BudgetExceeded { .. })
+    ));
+    assert!(matches!(
+        cfg.set_allocation(&game, NodeId::new(0), vec![(NodeId::new(0), 1)]),
+        Err(Error::SelfLink { .. })
+    ));
+}
