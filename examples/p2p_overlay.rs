@@ -16,9 +16,12 @@ use bbc::prelude::*;
 use bbc_graph::diameter::eccentricity;
 
 fn main() -> Result<()> {
-    // The operator's design: a 64-peer circulant with offsets {1, 8} —
-    // every peer links its successor and the peer 8 ahead.
-    let overlay = CayleyGraph::circulant(64, &[1, 8]).expect("valid circulant");
+    // The operator's design: a 24-peer circulant with offsets {1, 5} —
+    // every peer links its successor and the peer 5 ahead. (24 peers keeps
+    // the full selfish-rewiring walk below a second; the instability story
+    // is size-independent — Theorem 5 rules out *every* large regular
+    // topology.)
+    let overlay = CayleyGraph::circulant(24, &[1, 5]).expect("valid circulant");
     let spec = overlay.spec();
     let designed = overlay.configuration();
 
@@ -47,8 +50,8 @@ fn main() -> Result<()> {
     );
 
     // The stable-but-irregular alternative: a Forest of Willows of similar
-    // scale and degree (k=2, h=4: 62 nodes).
-    let willow = ForestOfWillows::new(2, 4, 0).expect("valid willow");
+    // scale and degree (k=2, h=3: 30 nodes).
+    let willow = ForestOfWillows::new(2, 3, 0).expect("valid willow");
     let wspec = willow.spec();
     let wcfg = willow.configuration();
     println!(

@@ -19,6 +19,20 @@
 //! * `sat` ([`bbc_sat`]) — the 3SAT toolkit behind Theorem 2;
 //! * `analysis` ([`bbc_analysis`]) — social cost, PoA/PoS, fairness, reports.
 //!
+//! # Verifying, benchmarking, reproducing
+//!
+//! ```text
+//! cargo build --release && cargo test -q        # tier-1 verify: everything
+//! cargo run --release -p bbc-experiments --bin run_all   # the paper's artifacts
+//! cargo bench -p bbc-bench --bench best_response         # hot-path benchmarks
+//! ```
+//!
+//! The tier-1 command runs the unit tests, all six per-crate property
+//! suites, the theorem-integration and failure-injection suites, the
+//! doctests, and a smoke test that builds and executes every example.
+//! Property tests are deterministic: the vendored proptest shim derives
+//! each test's RNG seed from the test name (see `vendor/README.md`).
+//!
 //! # Quickstart
 //!
 //! ```

@@ -1,0 +1,74 @@
+//! Smoke tests: every example in `examples/` must compile and run to
+//! completion. Examples are the public quickstart surface, so a broken one
+//! is a broken front door.
+//!
+//! The examples are built through a real `cargo build --examples` invocation
+//! into a **separate** target directory (`target-smoke/`): the outer
+//! `cargo test` holds the build lock on `target/` for its whole run, so a
+//! nested build into the same directory would deadlock.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const EXAMPLES: [&str; 4] = [
+    "quickstart",
+    "p2p_overlay",
+    "social_influence",
+    "fractional_peering",
+];
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR of this test is the facade package = repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn smoke_target_dir(root: &Path) -> PathBuf {
+    root.join("target-smoke")
+}
+
+#[test]
+fn all_examples_compile_and_run() {
+    let root = workspace_root();
+    let cargo = std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into());
+    let target_dir = smoke_target_dir(&root);
+
+    // Release: the dynamics-heavy examples are ~50x slower unoptimized, and
+    // the release artifacts double as what CI's `cargo run --release
+    // --example` step exercises.
+    let build = Command::new(&cargo)
+        .current_dir(&root)
+        .args(["build", "--examples", "--release", "--quiet"])
+        .env("CARGO_TARGET_DIR", &target_dir)
+        .output()
+        .expect("spawn cargo build --examples");
+    assert!(
+        build.status.success(),
+        "cargo build --examples failed:\n{}",
+        String::from_utf8_lossy(&build.stderr)
+    );
+
+    for example in EXAMPLES {
+        let binary = target_dir.join("release").join("examples").join(example);
+        assert!(
+            binary.exists(),
+            "example binary missing after build: {}",
+            binary.display()
+        );
+        let run = Command::new(&binary)
+            .current_dir(&root)
+            .env("CARGO_TARGET_DIR", &target_dir)
+            .output()
+            .unwrap_or_else(|e| panic!("spawn example {example}: {e}"));
+        assert!(
+            run.status.success(),
+            "example {example} exited with {:?}:\n--- stdout\n{}\n--- stderr\n{}",
+            run.status.code(),
+            String::from_utf8_lossy(&run.stdout),
+            String::from_utf8_lossy(&run.stderr)
+        );
+        assert!(
+            !run.stdout.is_empty(),
+            "example {example} printed nothing — quickstart output is part of its contract"
+        );
+    }
+}

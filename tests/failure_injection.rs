@@ -53,6 +53,42 @@ fn search_budgets_abort_cleanly() {
 }
 
 #[test]
+fn enumeration_respects_profile_budget_without_scanning() {
+    // The theorem-integration scans hand `find_equilibria` exponentially
+    // large candidate spaces and rely on the profile budget to refuse
+    // oversized work *up front*. A (10,2)-uniform game has 46 strategies per
+    // node and 46^10 ≈ 4.3e16 joint profiles; if the budget check were
+    // applied per-profile instead of before the scan, this test would run
+    // for years. Demand an immediate typed error instead.
+    let spec = GameSpec::uniform(10, 2);
+    let space = enumerate::ProfileSpace::full(&spec, 1_000).unwrap();
+    assert!(space.profile_count() > 1u128 << 50);
+
+    let started = std::time::Instant::now();
+    assert!(matches!(
+        enumerate::find_equilibria(&spec, &space, 1_000_000),
+        Err(Error::SearchBudgetExceeded { limit: 1_000_000 })
+    ));
+    // The parallel scanner must apply the same up-front bound.
+    assert!(matches!(
+        enumerate::find_equilibria_parallel(&spec, &space, 1_000_000, 4),
+        Err(Error::SearchBudgetExceeded { limit: 1_000_000 })
+    ));
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "budget refusal must not scan the space"
+    );
+
+    // Exactly-at-budget spaces are scanned in full: the bound is a budget,
+    // not an off-by-one trap.
+    let tiny = GameSpec::uniform(3, 1);
+    let tiny_space = enumerate::ProfileSpace::full(&tiny, 100).unwrap();
+    let exact = u64::try_from(tiny_space.profile_count()).unwrap();
+    let result = enumerate::find_equilibria(&tiny, &tiny_space, exact).unwrap();
+    assert_eq!(result.profiles_checked, exact);
+}
+
+#[test]
 fn dimension_mismatches_are_rejected() {
     let spec = GameSpec::uniform(3, 1);
     assert!(matches!(

@@ -135,9 +135,12 @@ fn theorem6_connectivity_in_quadratic_steps() {
 
 #[test]
 fn figure4_best_response_loop_exists() {
+    // Roughly 4% of random (7,2) starts walk into a loop, so 150 seeds give
+    // comfortable margin for any deterministic RNG stream (the vendored
+    // `rand` shim's stream differs from upstream `SmallRng`'s).
     let spec = GameSpec::uniform(7, 2);
     let mut found = false;
-    for seed in 0..60 {
+    for seed in 0..150 {
         let mut walk = Walk::new(&spec, Configuration::random(&spec, seed));
         if let WalkOutcome::Cycle { period, .. } = walk.run(50_000).unwrap() {
             assert!(period > 0);
@@ -147,7 +150,7 @@ fn figure4_best_response_loop_exists() {
     }
     assert!(
         found,
-        "no best-response loop found in 60 seeds — not a potential game refuted?"
+        "no best-response loop found in 150 seeds — not a potential game refuted?"
     );
 }
 

@@ -1,0 +1,215 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no network access, so this shim provides the
+//! API surface the `bbc-bench` targets use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`criterion_group!`], [`criterion_main!`] — with a
+//! coarse wall-clock measurement loop instead of criterion's statistical
+//! machinery. `cargo bench` therefore still produces per-benchmark numbers
+//! (median of `sample_size` samples), just without outlier analysis, plots,
+//! or saved baselines. Swap the real criterion back in when a registry is
+//! reachable; no bench source changes are needed.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            text: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(text: &str) -> Self {
+        Self {
+            text: text.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(text: String) -> Self {
+        Self { text }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let median = run_samples(self.sample_size, |b| routine(b));
+        report(&self.name, &id, median);
+        self
+    }
+
+    /// Runs a benchmark against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let median = run_samples(self.sample_size, |b| routine(b, input));
+        report(&self.name, &id, median);
+        self
+    }
+
+    /// Ends the group (numbers were already reported per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Times one closure invocation batch.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// An identity function the optimizer cannot see through.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+fn run_samples<F: FnMut(&mut Bencher)>(samples: usize, mut routine: F) -> Duration {
+    // Calibration pass: pick an iteration count that makes one sample take
+    // roughly a millisecond, so ns-scale routines still measure above timer
+    // resolution while second-scale routines run once.
+    let mut bench = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut bench);
+    let per_iter = bench.elapsed.max(Duration::from_nanos(1));
+    let iters = (Duration::from_millis(1).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut bench = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bench);
+        times.push(bench.elapsed / u32::try_from(iters).expect("iters fits in u32"));
+    }
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn report(group: &str, id: &BenchmarkId, median: Duration) {
+    println!("  {group}/{id}: median {median:?}");
+}
+
+/// Declares a group function that runs each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_report() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_function(BenchmarkId::from_parameter("n1"), |b| {
+            runs += 1;
+            b.iter(|| black_box(2u64 + 2))
+        });
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert!(runs >= 3, "calibration plus each sample runs the routine");
+    }
+}

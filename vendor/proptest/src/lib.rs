@@ -1,0 +1,568 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! subset of proptest it uses: the [`proptest!`] macro, `prop_assert*`/
+//! [`prop_assume!`], integer-range and tuple strategies, [`Strategy::prop_map`]
+//! / [`Strategy::prop_flat_map`], [`collection::vec`], [`bool::ANY`],
+//! [`any`], and [`Just`].
+//!
+//! Differences from the real crate, chosen deliberately:
+//!
+//! * **Deterministic by construction.** Each `proptest!` test derives its RNG
+//!   seed from the test's name (plus the optional `PROPTEST_SHIM_SEED`
+//!   environment override), so `cargo test -q` produces the same cases on
+//!   every run and every machine — no `proptest-regressions/` files needed.
+//! * **No shrinking.** On failure the harness reports the case number and
+//!   the effective seed; rerun with `PROPTEST_SHIM_SEED` to reproduce and
+//!   debug. Shrinking machinery is the bulk of real proptest and is not
+//!   needed to keep the suites green and deterministic.
+//! * Strategies are plain generators: `generate(rng) -> Value`.
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// Test-runner plumbing: configuration, RNG construction, case errors.
+pub mod test_runner {
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    /// Per-test configuration (`#![proptest_config(...)]`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the property to pass.
+        pub cases: u32,
+        /// Upper bound on `prop_assume!` rejections before the test aborts.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// A `prop_assume!` filtered this case out; it does not count.
+        Reject,
+        /// A `prop_assert*!` failed with this message.
+        Fail(String),
+    }
+
+    /// Builds the deterministic RNG for one property test. The seed mixes
+    /// the test name with `PROPTEST_SHIM_SEED` (default 0), so runs are
+    /// reproducible and each test draws an independent stream.
+    pub fn deterministic_rng(test_name: &str) -> (SmallRng, u64) {
+        let base: u64 = std::env::var("PROPTEST_SHIM_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        // FNV-1a over the test name, mixed with the base seed.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let seed = hash ^ base.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (SmallRng::seed_from_u64(seed), seed)
+    }
+}
+
+/// A value generator. The shim's analogue of proptest's `Strategy`, minus
+/// shrinking: `generate` draws one value from the RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Types with a canonical "any value" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.gen::<u64>() as i64
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T> {
+    marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — every value of `T` is fair game.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        marker: std::marker::PhantomData,
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+
+    /// Generates `true` or `false` uniformly.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut SmallRng) -> bool {
+            rng.gen()
+        }
+    }
+
+    /// Uniform boolean strategy.
+    pub const ANY: BoolAny = BoolAny;
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+
+    /// An inclusive length range for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                lo: exact,
+                hi: exact,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The imports property tests actually use.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+    };
+}
+
+/// Declares property tests. Mirrors real proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0usize..10, (a, b) in my_strategy()) { prop_assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let (mut rng, seed) = $crate::test_runner::deterministic_rng(stringify!($name));
+            let strategies = ($($strategy,)+);
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            while passed < config.cases {
+                let ($($pat,)+) = $crate::Strategy::generate(&strategies, &mut rng);
+                // One case = one closure call: `prop_assert*`/`prop_assume!`
+                // early-return a `TestCaseError` from it.
+                let case = move || {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    case();
+                match outcome {
+                    ::std::result::Result::Ok(()) => passed += 1,
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject,
+                    ) => {
+                        rejected += 1;
+                        assert!(
+                            rejected <= config.max_global_rejects,
+                            "property {}: too many prop_assume! rejections ({})",
+                            stringify!($name),
+                            rejected,
+                        );
+                    }
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(message),
+                    ) => {
+                        panic!(
+                            "property {} failed after {} passing cases \
+                             (deterministic seed {:#x}): {}",
+                            stringify!($name),
+                            passed,
+                            seed,
+                            message,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Rejects the current case without failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Asserts within a property; failure reports the case deterministically.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Asserts equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} == {:?}", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: {:?} == {:?}: {}",
+                    left,
+                    right,
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {:?} != {:?}",
+                left, right
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in 1u64..=5, z in 0u32..7) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1..=5).contains(&y));
+            prop_assert!(z < 7);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose((a, b) in (0usize..5, 0usize..5).prop_map(|(x, y)| (x, x + y))) {
+            prop_assert!(b >= a);
+            prop_assert!(a < 5);
+        }
+
+        #[test]
+        fn flat_map_respects_dependency(v in (1usize..8).prop_flat_map(|n| {
+            crate::collection::vec(0usize..n, n)
+        })) {
+            let n = v.len();
+            prop_assert!((1..8).contains(&n));
+            for &x in &v {
+                prop_assert!(x < n);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn bool_any_and_just_work(b in crate::bool::ANY, j in Just(41usize)) {
+            let _ = b;
+            prop_assert_eq!(j + 1, 42);
+        }
+
+        #[test]
+        fn any_u64_covers_high_bits(x in any::<u64>()) {
+            // Not a real property — just exercise the strategy.
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable_per_name() {
+        let (_, s1) = crate::test_runner::deterministic_rng("alpha");
+        let (_, s2) = crate::test_runner::deterministic_rng("alpha");
+        let (_, s3) = crate::test_runner::deterministic_rng("beta");
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    #[should_panic(expected = "property always_fails failed")]
+    fn failures_panic_with_seed() {
+        proptest! {
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

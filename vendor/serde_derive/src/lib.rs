@@ -1,0 +1,440 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! `syn`/`quote` are unavailable offline, so this crate parses the derive
+//! input by walking `proc_macro::TokenTree`s directly and emits the impl as
+//! a source string. It supports exactly the shapes this workspace contains —
+//! non-generic named-field structs, tuple structs, and enums whose variants
+//! are unit, tuple, or struct-like — plus the `#[serde(transparent)]`
+//! marker (which is also the default behavior for single-field tuple
+//! structs, matching real serde's newtype rule).
+//!
+//! Anything outside that envelope panics with a clear message at compile
+//! time rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed derive input.
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// `struct S { a: A, b: B }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(A, B);` — field count.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives the shim's `serde::Serialize` for the supported shapes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim's `serde::Deserialize` for the supported shapes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde shim derive: unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: unexpected token after `enum {name}`: {other:?}"),
+        },
+        other => panic!("serde shim derive: expected struct or enum, found `{other}`"),
+    };
+
+    Input { name, kind }
+}
+
+/// Skips `#[...]` attribute groups (doc comments arrive in this form too).
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        match tokens.get(*pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *pos += 1,
+            other => panic!("serde shim derive: malformed attribute: {other:?}"),
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Skips one type expression: everything up to a comma at angle-bracket
+/// depth zero. Parenthesized/bracketed parts arrive as single groups, so
+/// only `<`/`>` need explicit depth tracking.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Parses `a: A, b: B, ...` from a brace group, returning field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        fields.push(expect_ident(&tokens, &mut pos));
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde shim derive: expected `:` after field name: {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant (top-level commas).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        skip_type(&tokens, &mut pos);
+        count += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde shim derive: explicit discriminants are not supported");
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        Shape::Unit => format!(
+            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?})),"
+        ),
+        Shape::Tuple(1) => format!(
+            "{name}::{vname}(f0) => ::serde::Value::Map(vec![(\
+                 ::std::string::String::from({vname:?}), \
+                 ::serde::Serialize::to_value(f0))]),"
+        ),
+        Shape::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                .collect();
+            format!(
+                "{name}::{vname}({}) => ::serde::Value::Map(vec![(\
+                     ::std::string::String::from({vname:?}), \
+                     ::serde::Value::Seq(vec![{}]))]),",
+                binders.join(", "),
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let binders = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vname} {{ {binders} }} => ::serde::Value::Map(vec![(\
+                     ::std::string::String::from({vname:?}), \
+                     ::serde::Value::Map(vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| named_field_init(name, f)).collect();
+            format!(
+                "let entries = value.as_map().ok_or_else(|| \
+                     ::serde::DeError::new(\"expected map for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                .collect();
+            format!(
+                "let seq = value.as_seq().ok_or_else(|| \
+                     ::serde::DeError::new(\"expected sequence for {name}\"))?;\n\
+                 if seq.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::DeError::new(\"wrong tuple arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn named_field_init(owner: &str, field: &str) -> String {
+    format!(
+        "{field}: ::serde::Deserialize::from_value(::serde::map_get(entries, {field:?})\
+             .ok_or_else(|| ::serde::DeError::new(\
+                 \"missing field `{field}` in {owner}\"))?)?"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut out = String::new();
+
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| {
+            format!(
+                "{:?} => return ::std::result::Result::Ok({name}::{}),",
+                v.name, v.name
+            )
+        })
+        .collect();
+    if !unit_arms.is_empty() {
+        out.push_str(&format!(
+            "if let ::std::option::Option::Some(s) = value.as_str() {{\n\
+                 match s {{ {} _ => {{}} }}\n\
+             }}\n",
+            unit_arms.join(" ")
+        ));
+    }
+
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| de_tagged_arm(name, v))
+        .collect();
+    if !tagged_arms.is_empty() {
+        out.push_str(&format!(
+            "if let ::std::option::Option::Some(entries) = value.as_map() {{\n\
+                 if entries.len() == 1 {{\n\
+                     let (tag, inner) = &entries[0];\n\
+                     match tag.as_str() {{ {} _ => {{}} }}\n\
+                 }}\n\
+             }}\n",
+            tagged_arms.join(" ")
+        ));
+    }
+
+    out.push_str(&format!(
+        "::std::result::Result::Err(::serde::DeError::new(\
+             \"value matches no variant of {name}\"))"
+    ));
+    out
+}
+
+fn de_tagged_arm(name: &str, v: &Variant) -> Option<String> {
+    let vname = &v.name;
+    match &v.shape {
+        Shape::Unit => None,
+        Shape::Tuple(1) => Some(format!(
+            "{vname:?} => return ::std::result::Result::Ok(\
+                 {name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+        )),
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                .collect();
+            Some(format!(
+                "{vname:?} => {{\n\
+                     let seq = inner.as_seq().ok_or_else(|| ::serde::DeError::new(\
+                         \"expected sequence for {name}::{vname}\"))?;\n\
+                     if seq.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::DeError::new(\"wrong arity for {name}::{vname}\")); }}\n\
+                     return ::std::result::Result::Ok({name}::{vname}({}));\n\
+                 }}",
+                inits.join(", ")
+            ))
+        }
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| named_field_init(&format!("{name}::{vname}"), f))
+                .collect();
+            Some(format!(
+                "{vname:?} => {{\n\
+                     let entries = inner.as_map().ok_or_else(|| ::serde::DeError::new(\
+                         \"expected map for {name}::{vname}\"))?;\n\
+                     return ::std::result::Result::Ok({name}::{vname} {{ {} }});\n\
+                 }}",
+                inits.join(", ")
+            ))
+        }
+    }
+}
