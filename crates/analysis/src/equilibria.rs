@@ -26,6 +26,11 @@ pub struct Harvest {
 /// Runs round-robin best-response walks from `seeds` random starting
 /// configurations and collects the distinct equilibria reached.
 ///
+/// Each walk owns a [`bbc_core::DistanceEngine`]: the per-step deviation
+/// rows and best-response outcomes are cached and invalidated incrementally
+/// as the walk rewires nodes, so a harvest is search-bound rather than
+/// shortest-path-bound.
+///
 /// # Errors
 ///
 /// Propagates best-response search failures (oversized strategy spaces).

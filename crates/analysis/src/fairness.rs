@@ -42,11 +42,26 @@ impl FairnessReport {
 ///
 /// Panics if the game is not uniform (Lemma 1 is a uniform-game statement).
 pub fn fairness(spec: &GameSpec, config: &Configuration) -> FairnessReport {
+    fairness_with(&mut Evaluator::new(spec), config)
+}
+
+/// [`fairness`] with a caller-held [`Evaluator`].
+///
+/// The evaluator's `DistanceEngine` diffs consecutive configurations, so
+/// measuring a batch of related equilibria (a dynamics harvest, a tail-length
+/// sweep) only recomputes the distance rows each configuration change could
+/// have affected.
+///
+/// # Panics
+///
+/// Panics if the evaluator's game is not uniform.
+pub fn fairness_with(eval: &mut Evaluator<'_>, config: &Configuration) -> FairnessReport {
+    let spec = eval.spec();
     let k = spec
         .uniform_k()
         .expect("fairness bounds apply to uniform games");
     let n = spec.node_count() as u64;
-    let costs = Evaluator::new(spec).node_costs(config);
+    let costs = eval.node_costs(config);
     let min_cost = costs.iter().copied().min().unwrap_or(0);
     let max_cost = costs.iter().copied().max().unwrap_or(0);
     let additive_bound = n + n * u64::from(floor_log(k.max(2), n));

@@ -10,7 +10,7 @@ pub mod social;
 pub mod table;
 
 pub use equilibria::{harvest_equilibria, Harvest};
-pub use fairness::{fairness, FairnessReport};
+pub use fairness::{fairness, fairness_with, FairnessReport};
 pub use report::ExperimentReport;
 pub use social::{price_ratio, social_cost, uniform_social_lower_bound};
 pub use table::Table;

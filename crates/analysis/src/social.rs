@@ -83,6 +83,11 @@ pub fn uniform_social_lower_bound(spec: &GameSpec) -> u64 {
 }
 
 /// Social cost of a configuration (sum of node costs).
+///
+/// One-shot convenience over an [`Evaluator`] (and therefore the CSR
+/// distance engine); callers pricing many configurations of the same game
+/// should hold their own `Evaluator` so consecutive evaluations diff
+/// instead of recomputing.
 pub fn social_cost(spec: &GameSpec, config: &Configuration) -> u64 {
     Evaluator::new(spec).social_cost(config)
 }

@@ -4,7 +4,71 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bbc_constructions::RingWithPath;
-use bbc_core::{Configuration, GameSpec, Walk};
+use bbc_core::{reference, BestResponseOptions, Configuration, GameSpec, NodeId, Walk};
+
+/// Round-robin walk over the frozen pre-refactor best response
+/// ([`reference::exact`]): fresh adjacency-list materialization and
+/// `UNREACHABLE`-sentinel search every step, no caching. This is the
+/// baseline the CSR `DistanceEngine` speedup is measured against; it matches
+/// the engine-backed `Walk` configured with `detect_cycles(false)` move for
+/// move (the differential suite proves the per-step decisions identical).
+fn reference_walk(spec: &GameSpec, mut cfg: Configuration, max_steps: u64) -> (u64, Configuration) {
+    let options = BestResponseOptions::default();
+    let n = spec.node_count();
+    let mut moves = 0u64;
+    let mut streak = 0usize;
+    let mut steps = 0u64;
+    let mut pos = 0usize;
+    while steps < max_steps {
+        let u = NodeId::new(pos);
+        pos = (pos + 1) % n;
+        let out = reference::exact(spec, &cfg, u, &options).expect("search fits");
+        steps += 1;
+        if out.improves() {
+            cfg.set_strategy(spec, u, out.best_strategy)
+                .expect("valid strategy");
+            moves += 1;
+            streak = 0;
+        } else {
+            streak += 1;
+            if streak >= n {
+                break;
+            }
+        }
+    }
+    (moves, cfg)
+}
+
+fn bench_engine_vs_reference(c: &mut Criterion) {
+    // The acceptance workload: a round-robin dynamics walk on the
+    // (24,3)-uniform game, engine-backed Walk vs the pre-refactor path.
+    // Capped at a fixed step budget so one sample is ~100ms–1s; both sides
+    // run the identical schedule from the identical seeded start.
+    let spec = GameSpec::uniform(24, 3);
+    let start = Configuration::random(&spec, 7);
+    const STEPS: u64 = 1_500;
+
+    // The two paths must agree before their timings mean anything.
+    let (ref_moves, ref_cfg) = reference_walk(&spec, start.clone(), STEPS);
+    let mut walk = Walk::new(&spec, start.clone()).detect_cycles(false);
+    let _ = walk.run(STEPS).expect("walk fits");
+    assert_eq!(walk.stats().moves, ref_moves, "paths diverged");
+    assert_eq!(walk.config(), &ref_cfg, "paths diverged");
+
+    let mut group = c.benchmark_group("walk_n24k3_round_robin");
+    group.sample_size(10);
+    group.bench_function("pre_refactor", |b| {
+        b.iter(|| reference_walk(&spec, start.clone(), STEPS).0)
+    });
+    group.bench_function("distance_engine", |b| {
+        b.iter(|| {
+            let mut walk = Walk::new(&spec, start.clone()).detect_cycles(false);
+            walk.run(STEPS).expect("walk fits");
+            walk.stats().moves
+        })
+    });
+    group.finish();
+}
 
 fn bench_walk_from_empty(c: &mut Criterion) {
     let mut group = c.benchmark_group("walk_from_empty");
@@ -66,6 +130,7 @@ fn bench_loop_detection(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_engine_vs_reference,
     bench_walk_from_empty,
     bench_ring_with_path,
     bench_loop_detection

@@ -12,16 +12,46 @@
 //!   quantity bounded by `n²` in Theorem 6.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use bbc_graph::scc::is_strongly_connected;
-
 use crate::{
-    best_response::{self, BestResponseOptions},
-    Configuration, GameSpec, NodeId, Result,
+    best_response::BestResponseOptions, Configuration, DistanceEngine, GameSpec, NodeId, Result,
 };
+
+/// FNV-1a, fixed offset basis — a deterministic hasher for the walk history.
+///
+/// `std`'s default hasher is seeded per process and its algorithm is
+/// explicitly unspecified across Rust versions. Neither can leak into walk
+/// *outcomes* (the history map is lookup-only: keys are compared with `Eq`
+/// and the map is never iterated), but a version-pinned hash keeps the
+/// walk's memory layout — and therefore its exact allocation/timing profile
+/// in traces and benchmarks — reproducible too.
+#[derive(Clone, Copy, Debug)]
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type DetHashMap<K, V> = HashMap<K, V, BuildHasherDefault<Fnv1a>>;
 
 /// Which node moves next.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -113,7 +143,9 @@ pub struct WalkStats {
 #[derive(Debug)]
 pub struct Walk<'a> {
     spec: &'a GameSpec,
-    config: Configuration,
+    /// The shared shortest-path substrate, threaded through every step; it
+    /// owns the authoritative copy of the evolving configuration.
+    engine: DistanceEngine<'a>,
     scheduler: Scheduler,
     options: BestResponseOptions,
     stats: WalkStats,
@@ -124,7 +156,7 @@ pub struct Walk<'a> {
     /// round-robin/random).
     stable_streak: usize,
     rng: Option<SmallRng>,
-    history: Option<HashMap<(Configuration, usize), u64>>,
+    history: Option<DetHashMap<(Configuration, usize), u64>>,
     trace: Option<Vec<MoveRecord>>,
 }
 
@@ -140,7 +172,7 @@ impl<'a> Walk<'a> {
         let order: Vec<NodeId> = NodeId::all(spec.node_count()).collect();
         Self {
             spec,
-            config,
+            engine: DistanceEngine::new(spec, config),
             scheduler: Scheduler::RoundRobin,
             options: BestResponseOptions::default(),
             stats: WalkStats::default(),
@@ -148,7 +180,7 @@ impl<'a> Walk<'a> {
             order,
             stable_streak: 0,
             rng: None,
-            history: Some(HashMap::new()),
+            history: Some(DetHashMap::default()),
             trace: None,
         }
     }
@@ -197,7 +229,7 @@ impl<'a> Walk<'a> {
     /// history grows by one configuration per step).
     pub fn detect_cycles(mut self, yes: bool) -> Self {
         let deterministic = !matches!(self.scheduler, Scheduler::Random { .. });
-        self.history = (yes && deterministic).then(HashMap::new);
+        self.history = (yes && deterministic).then(DetHashMap::default);
         self
     }
 
@@ -209,17 +241,22 @@ impl<'a> Walk<'a> {
 
     /// The current configuration.
     pub fn config(&self) -> &Configuration {
-        &self.config
+        self.engine.config()
     }
 
     /// Consumes the walk, returning the final configuration.
     pub fn into_config(self) -> Configuration {
-        self.config
+        self.engine.into_config()
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> &WalkStats {
         &self.stats
+    }
+
+    /// Cache counters of the underlying [`DistanceEngine`].
+    pub fn engine_stats(&self) -> crate::EngineStats {
+        self.engine.stats()
     }
 
     /// Recorded moves (empty unless [`Walk::record_trace`] was enabled).
@@ -242,7 +279,7 @@ impl<'a> Walk<'a> {
         while self.stats.steps < max_steps {
             // Cycle detection on the pre-step state.
             if let Some(history) = &mut self.history {
-                let key = (self.config.clone(), self.pos);
+                let key = (self.engine.config().clone(), self.pos);
                 if let Some(&first) = history.get(&key) {
                     return Ok(WalkOutcome::Cycle {
                         first_seen_step: first,
@@ -295,7 +332,7 @@ impl<'a> Walk<'a> {
 
     /// Offers `u` a best-response step; returns whether it moved.
     fn step_node(&mut self, u: NodeId) -> Result<bool> {
-        let out = best_response::exact(self.spec, &self.config, u, &self.options)?;
+        let out = self.engine.best_response(u, &self.options)?;
         self.stats.steps += 1;
         if !out.improves() {
             return Ok(false);
@@ -308,15 +345,14 @@ impl<'a> Walk<'a> {
     /// (equilibrium).
     fn step_max_cost_first(&mut self) -> Result<bool> {
         let n = self.spec.node_count();
-        let mut eval = crate::Evaluator::new(self.spec);
         let mut by_cost: Vec<(u64, NodeId)> = {
-            let costs = eval.node_costs(&self.config);
+            let costs = self.engine.node_costs();
             NodeId::all(n).map(|u| (costs[u.index()], u)).collect()
         };
         // Max cost first; ties by lowest id.
         by_cost.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         for (_, u) in by_cost {
-            let out = best_response::exact(self.spec, &self.config, u, &self.options)?;
+            let out = self.engine.best_response(u, &self.options)?;
             if out.improves() {
                 self.stats.steps += 1;
                 self.apply_move(u, out.best_strategy, out.current_cost, out.best_cost);
@@ -329,7 +365,7 @@ impl<'a> Walk<'a> {
     }
 
     fn apply_move(&mut self, u: NodeId, new: Vec<NodeId>, old_cost: u64, new_cost: u64) {
-        let old = self.config.strategy(u).to_vec();
+        let old = self.engine.config().strategy(u).to_vec();
         if let Some(trace) = &mut self.trace {
             trace.push(MoveRecord {
                 step: self.stats.steps - 1,
@@ -340,8 +376,8 @@ impl<'a> Walk<'a> {
                 new_cost,
             });
         }
-        self.config
-            .set_strategy(self.spec, u, new)
+        self.engine
+            .apply_strategy(u, new)
             .expect("best response produced an invalid strategy");
         self.stats.moves += 1;
         self.note_connectivity();
@@ -359,13 +395,21 @@ impl<'a> Walk<'a> {
         }
     }
 
-    fn exact_scan_stable(&self) -> Result<bool> {
-        crate::StabilityChecker::new(self.spec).is_stable(&self.config)
+    /// Full-search stability scan using the walk's own options, so the scan
+    /// reads and refills the same outcome memos the walk's steps use (a
+    /// first-improvement checker would evict every default-options memo on
+    /// each failed confirmation).
+    fn exact_scan_stable(&mut self) -> Result<bool> {
+        for u in NodeId::all(self.spec.node_count()) {
+            if self.engine.best_response(u, &self.options)?.improves() {
+                return Ok(false);
+            }
+        }
+        Ok(true)
     }
 
     fn note_connectivity(&mut self) {
-        if self.stats.steps_to_strong_connectivity.is_none()
-            && is_strongly_connected(&self.config.to_graph(self.spec))
+        if self.stats.steps_to_strong_connectivity.is_none() && self.engine.is_strongly_connected()
         {
             self.stats.steps_to_strong_connectivity = Some(self.stats.steps);
         }

@@ -9,7 +9,7 @@
 //! restriction only limits which profiles are *candidates*, never what they
 //! may deviate to.
 
-use crate::{Configuration, Error, GameSpec, NodeId, Result, StabilityChecker};
+use crate::{Configuration, DistanceEngine, Error, GameSpec, NodeId, Result, StabilityChecker};
 
 /// Every feasible strategy for node `u`: all subsets of affordable targets
 /// whose total link cost is within budget, in deterministic order (by size,
@@ -222,6 +222,11 @@ pub fn find_equilibria_parallel(
 
 /// Scans profiles whose first-node strategy index lies in `[first_lo,
 /// first_hi)`.
+///
+/// One [`DistanceEngine`] is threaded through the whole range: stepping the
+/// odometer to the next profile usually rewires a single node, so the engine
+/// diff-syncs one arc slab and keeps every distance row the change could not
+/// have affected.
 fn scan_range(
     spec: &GameSpec,
     space: &ProfileSpace,
@@ -237,11 +242,13 @@ fn scan_range(
     if first_lo >= first_hi {
         return Ok(());
     }
+    let mut engine = DistanceEngine::new(spec, Configuration::empty(n));
     loop {
         let lists: Vec<Vec<NodeId>> = (0..n).map(|u| space.per_node[u][idx[u]].clone()).collect();
         let config = Configuration::from_strategies(spec, lists).expect("candidates pre-validated");
         result.profiles_checked += 1;
-        if checker.is_stable(&config)? {
+        engine.sync_to(&config);
+        if checker.is_stable_with_engine(&mut engine)? {
             result.equilibria.push(config);
         }
         // Odometer increment, most-significant digit = node 0 bounded by

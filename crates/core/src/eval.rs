@@ -8,12 +8,15 @@
 
 use bbc_graph::{BfsBuffer, DiGraph, DijkstraBuffer, UNREACHABLE};
 
-use crate::{Configuration, CostModel, GameSpec, NodeId};
+use crate::{Configuration, CostModel, DistanceEngine, GameSpec, NodeId};
 
 /// Evaluates node costs and social cost for configurations of one game.
 ///
-/// Holds reusable shortest-path buffers; create once and reuse across
-/// evaluations of the same game.
+/// Backed by a [`DistanceEngine`]: consecutive evaluations of similar
+/// configurations (a dynamics trace, a harvest of walk endpoints) diff
+/// against the previous one and only recompute the distance rows a changed
+/// strategy could have affected. Create once and reuse across evaluations of
+/// the same game.
 ///
 /// # Examples
 ///
@@ -33,6 +36,7 @@ use crate::{Configuration, CostModel, GameSpec, NodeId};
 #[derive(Debug)]
 pub struct Evaluator<'a> {
     spec: &'a GameSpec,
+    engine: DistanceEngine<'a>,
     bfs: BfsBuffer,
     dijkstra: DijkstraBuffer,
 }
@@ -43,13 +47,15 @@ impl<'a> Evaluator<'a> {
         let n = spec.node_count();
         Self {
             spec,
+            engine: DistanceEngine::new(spec, Configuration::empty(n)),
             bfs: BfsBuffer::new(n),
             dijkstra: DijkstraBuffer::new(n),
         }
     }
 
-    /// The game this evaluator measures.
-    pub fn spec(&self) -> &GameSpec {
+    /// The game this evaluator measures (decoupled from the `&self` borrow,
+    /// so callers can read spec parameters and evaluate in one expression).
+    pub fn spec(&self) -> &'a GameSpec {
         self.spec
     }
 
@@ -69,12 +75,15 @@ impl<'a> Evaluator<'a> {
 
     /// Cost of node `u` under `config`.
     pub fn node_cost(&mut self, config: &Configuration, u: NodeId) -> u64 {
-        let graph = config.to_graph(self.spec);
-        self.node_cost_in_graph(&graph, u)
+        self.engine.sync_to(config);
+        self.engine.node_cost(u)
     }
 
     /// Cost of node `u` given an already-materialized graph of the
     /// configuration.
+    ///
+    /// This is the engine-free path for callers that hold a raw
+    /// [`DiGraph`] rather than a [`Configuration`]; it cannot cache.
     pub fn node_cost_in_graph(&mut self, graph: &DiGraph, u: NodeId) -> u64 {
         if self.spec.has_unit_lengths() {
             self.bfs.run(graph, u.index());
@@ -85,18 +94,18 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// Costs of every node under `config` (one shortest-path run per node).
+    /// Costs of every node under `config` (cached rows are reused; at most
+    /// one shortest-path run per node).
     pub fn node_costs(&mut self, config: &Configuration) -> Vec<u64> {
-        let graph = config.to_graph(self.spec);
-        NodeId::all(self.spec.node_count())
-            .map(|u| self.node_cost_in_graph(&graph, u))
-            .collect()
+        self.engine.sync_to(config);
+        self.engine.node_costs()
     }
 
     /// Social cost: the sum of all node costs. (The paper's "total social
     /// cost"; the social *utility* is its negation.)
     pub fn social_cost(&mut self, config: &Configuration) -> u64 {
-        self.node_costs(config).iter().sum()
+        self.engine.sync_to(config);
+        self.engine.social_cost()
     }
 }
 

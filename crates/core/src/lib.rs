@@ -13,8 +13,14 @@
 //! * [`Configuration`] — a joint strategy profile `S`, materializable as the
 //!   network `G(S)`;
 //! * [`Evaluator`] — node and social costs;
+//! * [`DistanceEngine`] — the shared CSR shortest-path substrate every
+//!   consumer above sits on: patched in place per move, with memoized
+//!   deviation rows and best-response outcomes (see [`engine`] for the
+//!   cache-invalidation rules);
 //! * [`best_response`] — exact single-node best response via the deviation
 //!   oracle (one shortest-path run per candidate target);
+//! * [`reference`] — frozen pre-refactor implementations, the executable
+//!   spec the engine is differentially tested and benchmarked against;
 //! * [`StabilityChecker`] — pure-Nash-equilibrium decision with
 //!   [`Deviation`] witnesses;
 //! * [`Walk`] — best-response dynamics with cycle detection and
@@ -40,16 +46,19 @@
 pub mod best_response;
 pub mod config;
 pub mod dynamics;
+pub mod engine;
 pub mod enumerate;
 pub mod error;
 pub mod eval;
 pub mod node;
+pub mod reference;
 pub mod spec;
 pub mod stability;
 
 pub use best_response::{BestResponseOptions, BestResponseOutcome, DeviationOracle};
 pub use config::Configuration;
 pub use dynamics::{MoveRecord, Scheduler, Walk, WalkOutcome, WalkStats};
+pub use engine::{DistanceEngine, EngineStats};
 pub use enumerate::{EnumerationResult, ProfileSpace};
 pub use error::{Error, Result};
 pub use eval::Evaluator;

@@ -1,0 +1,344 @@
+//! Frozen pre-refactor implementations: the executable specification the
+//! CSR [`crate::DistanceEngine`] substrate is differentially tested against.
+//!
+//! This module is a verbatim copy of the original adjacency-list code paths
+//! — `Evaluator::node_costs` as one BFS/Dijkstra per node over a freshly
+//! materialized [`bbc_graph::DiGraph`], and the deviation-oracle
+//! branch-and-bound with `UNREACHABLE`-sentinel rows. It is deliberately
+//! **not** kept in sync with performance work elsewhere: its value is that it
+//! never changes, so `tests/differential.rs` can assert the optimized engine
+//! returns byte-identical `node_costs` / `social_cost` /
+//! [`BestResponseOutcome`] values, and `bbc-bench` can measure real speedups
+//! against the genuine pre-refactor baseline rather than a moving target.
+
+use bbc_graph::{BfsBuffer, DijkstraBuffer, UNREACHABLE};
+
+use crate::{
+    eval::cost_from_distances, BestResponseOptions, BestResponseOutcome, Configuration, CostModel,
+    Error, GameSpec, NodeId, Result,
+};
+
+/// Pre-refactor per-node costs: one shortest-path run per node over a fresh
+/// adjacency-list materialization of `config`.
+pub fn node_costs(spec: &GameSpec, config: &Configuration) -> Vec<u64> {
+    let n = spec.node_count();
+    let graph = config.to_graph(spec);
+    let mut bfs = BfsBuffer::new(n);
+    let mut dijkstra = DijkstraBuffer::new(n);
+    NodeId::all(n)
+        .map(|u| {
+            if spec.has_unit_lengths() {
+                bfs.run(&graph, u.index());
+                cost_from_distances(spec, u, bfs.distances())
+            } else {
+                dijkstra.run(&graph, u.index());
+                cost_from_distances(spec, u, dijkstra.distances())
+            }
+        })
+        .collect()
+}
+
+/// Pre-refactor social cost (sum of [`node_costs`]).
+pub fn social_cost(spec: &GameSpec, config: &Configuration) -> u64 {
+    node_costs(spec, config).iter().sum()
+}
+
+/// Pre-refactor exact best response: adjacency-list oracle build plus the
+/// original branch-and-bound with `UNREACHABLE`-sentinel rows.
+///
+/// # Errors
+///
+/// [`Error::SearchBudgetExceeded`] exactly as [`crate::best_response::exact`].
+pub fn exact(
+    spec: &GameSpec,
+    config: &Configuration,
+    u: NodeId,
+    options: &BestResponseOptions,
+) -> Result<BestResponseOutcome> {
+    let oracle = Oracle::build(spec, config, u);
+    let current_cost = oracle.strategy_cost(config.strategy(u));
+    let n = spec.node_count();
+    let m = oracle.candidates.len();
+
+    // Optimistic completion rows: suffix[i] = elementwise min of rows[i..].
+    // suffix[m] is all-UNREACHABLE.
+    let mut suffix = vec![vec![UNREACHABLE; n]; m + 1];
+    for i in (0..m).rev() {
+        let (head, tail) = suffix.split_at_mut(i + 1);
+        head[i].copy_from_slice(&tail[0]);
+        min_into(&mut head[i], &oracle.rows[i]);
+    }
+
+    let mut search = Search {
+        oracle: &oracle,
+        options,
+        suffix,
+        levels: vec![vec![UNREACHABLE; n]; m + 1],
+        selection: Vec::new(),
+        best_cost: u64::MAX,
+        best_strategy: Vec::new(),
+        evaluations: 0,
+        current_cost,
+        done: false,
+    };
+
+    // The empty strategy is always feasible; evaluate it as the baseline.
+    search.evaluate(0)?;
+    search.dfs(0, 0, 0)?;
+
+    Ok(BestResponseOutcome {
+        node: u,
+        current_cost,
+        best_cost: search.best_cost,
+        best_strategy: search.best_strategy,
+        evaluations: search.evaluations,
+        optimal: !search.done,
+    })
+}
+
+/// The original deviation oracle: per-candidate `Vec<Vec<u64>>` rows with the
+/// `UNREACHABLE` sentinel preserved.
+struct Oracle<'a> {
+    spec: &'a GameSpec,
+    node: NodeId,
+    candidates: Vec<NodeId>,
+    /// `rows[i][v] = ℓ(u, c_i) + d_{G∖u}(c_i, v)`, `UNREACHABLE`-preserving.
+    rows: Vec<Vec<u64>>,
+    prices: Vec<u64>,
+    weighted_targets: Vec<(u32, u64)>,
+    budget: u64,
+}
+
+impl<'a> Oracle<'a> {
+    fn build(spec: &'a GameSpec, config: &Configuration, u: NodeId) -> Self {
+        let n = spec.node_count();
+        let mut graph = config.to_graph(spec);
+        graph.take_out_arcs(u.index());
+
+        let candidates = spec.affordable_targets(u);
+        let mut rows = Vec::with_capacity(candidates.len());
+        let mut prices = Vec::with_capacity(candidates.len());
+        if spec.has_unit_lengths() {
+            let mut bfs = BfsBuffer::new(n);
+            for &c in &candidates {
+                bfs.run(&graph, c.index());
+                rows.push(through_row(bfs.distances(), spec.link_length(u, c)));
+                prices.push(spec.link_cost(u, c));
+            }
+        } else {
+            let mut dij = DijkstraBuffer::new(n);
+            for &c in &candidates {
+                dij.run(&graph, c.index());
+                rows.push(through_row(dij.distances(), spec.link_length(u, c)));
+                prices.push(spec.link_cost(u, c));
+            }
+        }
+
+        let weighted_targets = NodeId::all(n)
+            .filter(|&v| v != u)
+            .filter_map(|v| {
+                let w = spec.weight(u, v);
+                (w > 0).then_some((v.index() as u32, w))
+            })
+            .collect();
+
+        Self {
+            spec,
+            node: u,
+            candidates,
+            rows,
+            prices,
+            weighted_targets,
+            budget: spec.budget(u),
+        }
+    }
+
+    fn strategy_cost(&self, targets: &[NodeId]) -> u64 {
+        let n = self.spec.node_count();
+        let mut row = vec![UNREACHABLE; n];
+        for &t in targets {
+            let i = self
+                .candidates
+                .binary_search(&t)
+                .unwrap_or_else(|_| panic!("{t} is not a candidate target of {}", self.node));
+            min_into(&mut row, &self.rows[i]);
+        }
+        self.aggregate(&row)
+    }
+
+    fn aggregate(&self, row: &[u64]) -> u64 {
+        let m = self.spec.penalty();
+        match self.spec.cost_model() {
+            CostModel::SumDistance => self
+                .weighted_targets
+                .iter()
+                .map(|&(v, w)| {
+                    let d = row[v as usize];
+                    w * if d == UNREACHABLE { m } else { d }
+                })
+                .sum(),
+            CostModel::MaxDistance => self
+                .weighted_targets
+                .iter()
+                .map(|&(v, w)| {
+                    let d = row[v as usize];
+                    w * if d == UNREACHABLE { m } else { d }
+                })
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// `row[v] = link_len + d[v]`, preserving `UNREACHABLE`.
+fn through_row(dist: &[u64], link_len: u64) -> Vec<u64> {
+    dist.iter()
+        .map(|&d| {
+            if d == UNREACHABLE {
+                UNREACHABLE
+            } else {
+                link_len + d
+            }
+        })
+        .collect()
+}
+
+/// `dst[v] = min(dst[v], src[v])` elementwise.
+fn min_into(dst: &mut [u64], src: &[u64]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        if s < *d {
+            *d = s;
+        }
+    }
+}
+
+struct Search<'o, 'a> {
+    oracle: &'o Oracle<'a>,
+    options: &'o BestResponseOptions,
+    suffix: Vec<Vec<u64>>,
+    levels: Vec<Vec<u64>>,
+    selection: Vec<usize>,
+    best_cost: u64,
+    best_strategy: Vec<NodeId>,
+    evaluations: u64,
+    current_cost: u64,
+    /// Set when stop_at_first_improvement has triggered.
+    done: bool,
+}
+
+impl Search<'_, '_> {
+    /// Evaluates the selection whose min-row sits at `level`.
+    fn evaluate(&mut self, level: usize) -> Result<()> {
+        self.evaluations += 1;
+        if self.evaluations > self.options.evaluation_limit {
+            return Err(Error::SearchBudgetExceeded {
+                limit: self.options.evaluation_limit,
+            });
+        }
+        let cost = self.oracle.aggregate(&self.levels[level]);
+        if cost < self.best_cost {
+            self.best_cost = cost;
+            self.best_strategy = self
+                .selection
+                .iter()
+                .map(|&i| self.oracle.candidates[i])
+                .collect();
+            self.best_strategy.sort_unstable();
+            if self.options.stop_at_first_improvement && cost < self.current_cost {
+                self.done = true;
+            }
+        }
+        Ok(())
+    }
+
+    fn dfs(&mut self, i: usize, level: usize, spent: u64) -> Result<()> {
+        if self.done || i == self.oracle.candidates.len() {
+            return Ok(());
+        }
+        // Optimistic bound: even taking every remaining candidate for free
+        // cannot beat the incumbent -> prune.
+        let bound = {
+            let m = self.oracle.spec.penalty();
+            let cur = &self.levels[level];
+            let suf = &self.suffix[i];
+            match self.oracle.spec.cost_model() {
+                CostModel::SumDistance => self
+                    .oracle
+                    .weighted_targets
+                    .iter()
+                    .map(|&(v, w)| {
+                        let d = cur[v as usize].min(suf[v as usize]);
+                        w * if d == UNREACHABLE { m } else { d }
+                    })
+                    .sum(),
+                CostModel::MaxDistance => self
+                    .oracle
+                    .weighted_targets
+                    .iter()
+                    .map(|&(v, w)| {
+                        let d = cur[v as usize].min(suf[v as usize]);
+                        w * if d == UNREACHABLE { m } else { d }
+                    })
+                    .max()
+                    .unwrap_or(0),
+            }
+        };
+        if bound >= self.best_cost {
+            return Ok(());
+        }
+
+        // Include candidate i if affordable.
+        let price = self.oracle.prices[i];
+        if spent + price <= self.oracle.budget {
+            let (cur_levels, next_levels) = self.levels.split_at_mut(level + 1);
+            next_levels[0].copy_from_slice(&cur_levels[level]);
+            min_into(&mut next_levels[0], &self.oracle.rows[i]);
+            self.selection.push(i);
+            self.evaluate(level + 1)?;
+            self.dfs(i + 1, level + 1, spent + price)?;
+            self.selection.pop();
+        }
+        // Exclude candidate i.
+        self.dfs(i + 1, level, spent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_exact_agrees_with_optimized_exact() {
+        let spec = GameSpec::uniform(7, 2);
+        let options = BestResponseOptions::default();
+        for seed in 0..5 {
+            let cfg = Configuration::random(&spec, seed);
+            for u in NodeId::all(7) {
+                let frozen = exact(&spec, &cfg, u, &options).unwrap();
+                let optimized = crate::best_response::exact(&spec, &cfg, u, &options).unwrap();
+                assert!(
+                    frozen.same_decision(&optimized),
+                    "seed {seed} node {u}: {frozen:?} vs {optimized:?}"
+                );
+                assert!(
+                    optimized.evaluations <= frozen.evaluations,
+                    "the pruned search must never work harder than the reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_costs_agree_with_evaluator() {
+        let spec = GameSpec::builder(6)
+            .default_budget(2)
+            .weight(0, 3, 4)
+            .link_length(1, 2, 3)
+            .build()
+            .unwrap();
+        let cfg = Configuration::random(&spec, 11);
+        let mut eval = crate::Evaluator::new(&spec);
+        assert_eq!(node_costs(&spec, &cfg), eval.node_costs(&cfg));
+        assert_eq!(social_cost(&spec, &cfg), eval.social_cost(&cfg));
+    }
+}

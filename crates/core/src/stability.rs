@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::{
     best_response::{self, BestResponseOptions, DeviationOracle},
-    Configuration, GameSpec, NodeId, Result,
+    Configuration, DistanceEngine, GameSpec, NodeId, Result,
 };
 
 /// A profitable unilateral deviation: proof that a configuration is not a
@@ -101,17 +101,49 @@ impl<'a> StabilityChecker<'a> {
 
     /// Checks whether `config` is a pure Nash equilibrium.
     ///
+    /// Builds a fresh [`DistanceEngine`] for the check; callers scanning
+    /// many related configurations should hold an engine and use
+    /// [`StabilityChecker::check_with_engine`] so distance rows carry over.
+    ///
     /// # Errors
     ///
     /// Propagates [`crate::Error::SearchBudgetExceeded`] if some node's
     /// strategy space is too large for the configured limit.
     pub fn check(&self, config: &Configuration) -> Result<StabilityReport> {
+        let mut engine = DistanceEngine::new(self.spec, config.clone());
+        self.check_with_engine(&mut engine)
+    }
+
+    /// Checks the configuration bound to `engine`, reusing its caches.
+    ///
+    /// Sync the engine first ([`DistanceEngine::sync_to`]) if it tracks a
+    /// different configuration than the one to check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engine` serves a different game than this checker — the
+    /// report would silently describe the wrong game otherwise.
+    ///
+    /// # Errors
+    ///
+    /// See [`StabilityChecker::check`].
+    pub fn check_with_engine(&self, engine: &mut DistanceEngine<'_>) -> Result<StabilityReport> {
+        assert!(
+            std::ptr::eq(engine.spec(), self.spec) || engine.spec() == self.spec,
+            "engine is bound to a different game than this checker"
+        );
         let mut deviations = Vec::new();
         let mut evaluations = 0;
         for u in NodeId::all(self.spec.node_count()) {
-            if let Some((dev, evals)) = self.check_node(config, u)? {
-                evaluations += evals;
-                deviations.push(dev);
+            let out = engine.best_response(u, &self.options)?;
+            if out.improves() {
+                evaluations += out.evaluations;
+                deviations.push(Deviation {
+                    node: u,
+                    current_cost: out.current_cost,
+                    improved_cost: out.best_cost,
+                    strategy: out.best_strategy,
+                });
                 if !self.collect_all {
                     break;
                 }
@@ -124,6 +156,30 @@ impl<'a> StabilityChecker<'a> {
         })
     }
 
+    /// Checks `config` with the per-node deviation rows filled across
+    /// `threads` OS threads before the (sequential, deterministic) verdict
+    /// scan. Byte-identical to [`StabilityChecker::check`] for every thread
+    /// count — parallelism only changes wall-clock, never the report.
+    ///
+    /// With `collect_all` off the check stops at the first witness, so
+    /// prefilling pays off most on configurations that are actually stable
+    /// (every row is needed anyway) — exactly the expensive case in
+    /// equilibrium scans.
+    ///
+    /// # Errors
+    ///
+    /// See [`StabilityChecker::check`].
+    pub fn check_parallel(
+        &self,
+        config: &Configuration,
+        threads: usize,
+    ) -> Result<StabilityReport> {
+        let mut engine = DistanceEngine::new(self.spec, config.clone());
+        let nodes: Vec<NodeId> = NodeId::all(self.spec.node_count()).collect();
+        engine.prefill_oracle_rows(&nodes, threads);
+        self.check_with_engine(&mut engine)
+    }
+
     /// `true` iff `config` is a pure Nash equilibrium.
     ///
     /// # Errors
@@ -131,6 +187,16 @@ impl<'a> StabilityChecker<'a> {
     /// See [`StabilityChecker::check`].
     pub fn is_stable(&self, config: &Configuration) -> Result<bool> {
         Ok(self.check(config)?.stable)
+    }
+
+    /// `true` iff the configuration bound to `engine` is a pure Nash
+    /// equilibrium (cache-reusing variant of [`StabilityChecker::is_stable`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`StabilityChecker::check`].
+    pub fn is_stable_with_engine(&self, engine: &mut DistanceEngine<'_>) -> Result<bool> {
+        Ok(self.check_with_engine(engine)?.stable)
     }
 
     /// Checks a single node; returns a deviation witness plus the number of
@@ -278,6 +344,41 @@ mod tests {
                 // k=1 greedy+swap is exhaustive, so it must find a witness.
                 assert!(heuristic.is_some(), "seed {seed}");
             }
+        }
+    }
+
+    #[test]
+    fn parallel_check_matches_sequential_for_any_thread_count() {
+        let spec = GameSpec::uniform(7, 2);
+        for seed in 0..5 {
+            let cfg = Configuration::random(&spec, seed);
+            for collect_all in [false, true] {
+                let checker = StabilityChecker::new(&spec).collect_all_deviations(collect_all);
+                let sequential = checker.check(&cfg).unwrap();
+                for threads in [1usize, 2, 5] {
+                    assert_eq!(
+                        checker.check_parallel(&cfg, threads).unwrap(),
+                        sequential,
+                        "seed {seed} collect_all {collect_all} threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_reuse_across_checks_is_sound() {
+        let spec = GameSpec::uniform(6, 1);
+        let checker = StabilityChecker::new(&spec);
+        let mut engine = crate::DistanceEngine::new(&spec, Configuration::empty(6));
+        for seed in 0..8 {
+            let cfg = Configuration::random(&spec, seed);
+            engine.sync_to(&cfg);
+            assert_eq!(
+                checker.is_stable_with_engine(&mut engine).unwrap(),
+                checker.is_stable(&cfg).unwrap(),
+                "seed {seed}"
+            );
         }
     }
 

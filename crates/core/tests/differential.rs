@@ -1,0 +1,196 @@
+//! Differential suite: the CSR [`DistanceEngine`] substrate versus the
+//! frozen pre-refactor implementations in [`bbc_core::reference`].
+//!
+//! On arbitrary games (uniform and weighted lengths/costs, sum and max
+//! models) and arbitrary configurations, the engine must return
+//!
+//! * byte-identical `node_costs` and `social_cost`, and
+//! * the same best-response *decision* ([`BestResponseOutcome`] up to its
+//!   documented `evaluations` effort counter — see
+//!   [`BestResponseOutcome::same_decision`])
+//!
+//! as the legacy adjacency-list path — including **after arbitrary rewiring
+//! scripts**, which is what actually exercises the touched-set cache
+//! invalidation (a stale row would surface here as a cost mismatch).
+
+use bbc_core::{
+    best_response, reference, BestResponseOptions, BestResponseOutcome, Configuration, CostModel,
+    DistanceEngine, GameSpec, NodeId, StabilityChecker, Walk, WalkOutcome,
+};
+use proptest::prelude::*;
+
+/// Arbitrary uniform game plus a seeded random configuration.
+fn arb_uniform_instance() -> impl Strategy<Value = (GameSpec, Configuration)> {
+    (2usize..=9, 1u64..=3, any::<u64>()).prop_map(|(n, k, seed)| {
+        let spec = GameSpec::uniform(n, k);
+        let cfg = Configuration::random(&spec, seed);
+        (spec, cfg)
+    })
+}
+
+/// Arbitrary weighted game (weights, lengths, costs, budgets, both cost
+/// models) plus a random configuration.
+fn arb_weighted_instance() -> impl Strategy<Value = (GameSpec, Configuration)> {
+    (2usize..=7, any::<u64>()).prop_flat_map(|(n, seed)| {
+        (
+            proptest::collection::vec(0u64..=3, n * n),
+            proptest::collection::vec(1u64..=5, n * n),
+            proptest::collection::vec(1u64..=3, n * n),
+            proptest::collection::vec(0u64..=4, n),
+            proptest::bool::ANY,
+        )
+            .prop_map(move |(ws, ls, cs, bs, use_max)| {
+                let mut b = GameSpec::builder(n);
+                for u in 0..n {
+                    for v in 0..n {
+                        b = b
+                            .weight(u, v, ws[u * n + v])
+                            .link_length(u, v, ls[u * n + v])
+                            .link_cost(u, v, cs[u * n + v]);
+                    }
+                    b = b.budget(u, bs[u]);
+                }
+                if use_max {
+                    b = b.cost_model(CostModel::MaxDistance);
+                }
+                let spec = b.build().expect("valid spec");
+                let cfg = Configuration::random(&spec, seed);
+                (spec, cfg)
+            })
+    })
+}
+
+fn assert_same_decision(a: &BestResponseOutcome, b: &BestResponseOutcome, context: &str) {
+    assert!(a.same_decision(b), "{context}: {a:?} vs {b:?}");
+}
+
+/// Compares every evaluator quantity and every node's best response between
+/// the engine and the frozen reference, for the configuration bound to
+/// `engine`.
+fn assert_engine_matches_reference(
+    spec: &GameSpec,
+    engine: &mut DistanceEngine<'_>,
+    context: &str,
+) {
+    let cfg = engine.config().clone();
+    let options = BestResponseOptions::default();
+    assert_eq!(
+        engine.node_costs(),
+        reference::node_costs(spec, &cfg),
+        "{context}: node_costs"
+    );
+    assert_eq!(
+        engine.social_cost(),
+        reference::social_cost(spec, &cfg),
+        "{context}: social_cost"
+    );
+    for u in NodeId::all(spec.node_count()) {
+        let fast = engine.best_response(u, &options).expect("search fits");
+        let frozen = reference::exact(spec, &cfg, u, &options).expect("search fits");
+        assert_same_decision(&frozen, &fast, context);
+        // The one-shot optimized path must agree bit for bit with the
+        // engine (they share the search); both must not out-work the
+        // reference.
+        let one_shot = best_response::exact(spec, &cfg, u, &options).expect("search fits");
+        assert_eq!(one_shot, fast, "{context}: engine vs one-shot");
+        assert!(fast.evaluations <= frozen.evaluations, "{context}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn engine_matches_reference_on_uniform_games((spec, cfg) in arb_uniform_instance()) {
+        let mut engine = DistanceEngine::new(&spec, cfg);
+        assert_engine_matches_reference(&spec, &mut engine, "uniform");
+    }
+
+    #[test]
+    fn engine_matches_reference_on_weighted_games((spec, cfg) in arb_weighted_instance()) {
+        let mut engine = DistanceEngine::new(&spec, cfg);
+        assert_engine_matches_reference(&spec, &mut engine, "weighted");
+    }
+
+    #[test]
+    fn engine_matches_reference_across_rewiring_scripts(
+        (spec, cfg) in arb_uniform_instance(),
+        script in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..12),
+    ) {
+        // Drive the engine through a random edit script; after each patch its
+        // caches must be indistinguishable from a from-scratch evaluation.
+        // This is the test that fails if touched-set invalidation misses a
+        // dependent row.
+        let mut engine = DistanceEngine::new(&spec, cfg);
+        for (step, (node_sel, seed)) in script.into_iter().enumerate() {
+            let u = NodeId::new((node_sel % spec.node_count() as u64) as usize);
+            let replacement = Configuration::random(&spec, seed);
+            engine
+                .apply_strategy(u, replacement.strategy(u).to_vec())
+                .expect("random strategies validate");
+            assert_engine_matches_reference(&spec, &mut engine, &format!("after edit {step}"));
+        }
+    }
+
+    #[test]
+    fn engine_matches_reference_across_weighted_rewiring(
+        (spec, cfg) in arb_weighted_instance(),
+        script in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..8),
+    ) {
+        let mut engine = DistanceEngine::new(&spec, cfg);
+        for (step, (node_sel, seed)) in script.into_iter().enumerate() {
+            let u = NodeId::new((node_sel % spec.node_count() as u64) as usize);
+            let replacement = Configuration::random(&spec, seed);
+            engine
+                .apply_strategy(u, replacement.strategy(u).to_vec())
+                .expect("random strategies validate");
+            assert_engine_matches_reference(&spec, &mut engine, &format!("after edit {step}"));
+        }
+    }
+
+    #[test]
+    fn first_improvement_mode_agrees_with_reference((spec, cfg) in arb_uniform_instance()) {
+        // The stability checker's mode: stop at the first improving
+        // strategy. The seeded incumbent must report the same first
+        // improvement (in DFS order) as the frozen search.
+        let options = BestResponseOptions {
+            stop_at_first_improvement: true,
+            ..Default::default()
+        };
+        let mut engine = DistanceEngine::new(&spec, cfg.clone());
+        for u in NodeId::all(spec.node_count()) {
+            let fast = engine.best_response(u, &options).expect("search fits");
+            let frozen = reference::exact(&spec, &cfg, u, &options).expect("search fits");
+            assert_same_decision(&frozen, &fast, "first-improvement");
+        }
+    }
+
+    #[test]
+    fn walks_replay_identically_to_reference_steps(
+        (spec, cfg) in arb_uniform_instance(),
+    ) {
+        // An engine-backed round-robin walk must produce exactly the move
+        // sequence the frozen best response dictates.
+        let mut walk = Walk::new(&spec, cfg.clone()).detect_cycles(false).record_trace(true);
+        let outcome = walk.run(400).expect("walk fits");
+        let mut replay = cfg;
+        let options = BestResponseOptions::default();
+        for mv in walk.trace() {
+            // Fast-forward the replay to this trace entry by applying the
+            // frozen best response for every scheduled node in between; the
+            // recorded mover must be the next improving node.
+            let frozen = reference::exact(&spec, &replay, mv.node, &options).expect("fits");
+            prop_assert!(frozen.improves(), "trace recorded a non-improving move");
+            prop_assert_eq!(&frozen.best_strategy, &mv.new_strategy);
+            prop_assert_eq!(frozen.current_cost, mv.old_cost);
+            prop_assert_eq!(frozen.best_cost, mv.new_cost);
+            replay
+                .set_strategy(&spec, mv.node, mv.new_strategy.clone())
+                .expect("valid move");
+        }
+        prop_assert_eq!(&replay, walk.config(), "trace replay reproduces the final state");
+        if let WalkOutcome::Equilibrium { .. } = outcome {
+            prop_assert!(
+                StabilityChecker::new(&spec).is_stable(walk.config()).expect("check fits")
+            );
+        }
+    }
+}

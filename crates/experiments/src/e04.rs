@@ -5,9 +5,9 @@
 //! Lemma 1's additive bound `n + n·⌊log_k n⌋` and the multiplicative
 //! constant `2 + 1/k`.
 
-use bbc_analysis::{equilibria, fairness, ExperimentReport, Table};
+use bbc_analysis::{equilibria, fairness, fairness_with, ExperimentReport, Table};
 use bbc_constructions::ForestOfWillows;
-use bbc_core::GameSpec;
+use bbc_core::{Evaluator, GameSpec};
 
 use crate::{finish, Outcome, RunOptions};
 
@@ -80,8 +80,12 @@ pub fn run(opts: &RunOptions) -> Outcome {
         let spec = GameSpec::uniform(n, k);
         let harvest =
             equilibria::harvest_equilibria(&spec, 0..seeds, 200_000).expect("walks fit budget");
+        // Harvested equilibria of one game are near-identical configurations;
+        // one shared evaluator lets the distance engine diff them instead of
+        // re-deriving every row per equilibrium.
+        let mut eval = Evaluator::new(&spec);
         for (i, eq) in harvest.equilibria.iter().enumerate() {
-            let f = fairness(&spec, eq);
+            let f = fairness_with(&mut eval, eq);
             let ok = f.within_additive_bound() && f.ratio <= f.multiplicative_bound + 0.5;
             all_ok &= ok;
             table.row(&[

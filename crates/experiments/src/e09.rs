@@ -13,7 +13,7 @@
 //!    `(n, k)`.
 
 use bbc_analysis::{ExperimentReport, Table};
-use bbc_core::{Configuration, Evaluator, GameSpec, Scheduler, Walk, WalkOutcome};
+use bbc_core::{Configuration, GameSpec, Scheduler, Walk, WalkOutcome};
 
 use crate::{finish, Outcome, RunOptions};
 
@@ -28,8 +28,8 @@ fn loop_certificate(max_seeds: u64) -> Option<(u64, u64, String)> {
             period,
         }) = walk.run(50_000)
         {
-            // Render the moves inside the cycle window.
-            let mut eval = Evaluator::new(&spec);
+            // Render the moves inside the cycle window (costs were recorded
+            // by the walk itself — no re-evaluation needed).
             let mut lines = Vec::new();
             for mv in walk.trace().iter().filter(|m| m.step >= first_seen_step) {
                 let targets: Vec<String> = mv
@@ -46,7 +46,6 @@ fn loop_certificate(max_seeds: u64) -> Option<(u64, u64, String)> {
                     mv.new_cost
                 ));
             }
-            let _ = &mut eval;
             return Some((seed, period, lines.join("\n")));
         }
     }

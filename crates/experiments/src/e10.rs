@@ -7,7 +7,7 @@
 
 use bbc_analysis::{social, ExperimentReport, Table};
 use bbc_constructions::MaxPoaGraph;
-use bbc_core::StabilityChecker;
+use bbc_core::{DistanceEngine, StabilityChecker};
 
 use crate::{finish, Outcome, RunOptions};
 
@@ -57,12 +57,16 @@ pub fn run(opts: &RunOptions) -> Outcome {
         let cfg = g.configuration();
         let n = g.node_count();
 
+        // One engine serves both the exact stability sweep and the social
+        // cost: the checker fills the deviation rows, the cost reuses the
+        // same graph without re-materializing it.
+        let mut engine = DistanceEngine::new(&spec, cfg.clone());
         let stable = StabilityChecker::new(&spec)
-            .is_stable(&cfg)
+            .is_stable_with_engine(&mut engine)
             .expect("exact max-model check fits budget");
         all_stable &= stable;
 
-        let cost = social::social_cost(&spec, &cfg);
+        let cost = engine.social_cost();
         let lb = social::uniform_social_lower_bound(&spec);
         let ratio = cost as f64 / lb as f64;
         let curve = social::max_poa_lower_bound_curve(n, k);

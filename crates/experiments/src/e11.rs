@@ -6,7 +6,7 @@
 
 use bbc_analysis::{social, ExperimentReport, Table};
 use bbc_constructions::ForestOfWillows;
-use bbc_core::{CostModel, StabilityChecker};
+use bbc_core::{CostModel, DistanceEngine, StabilityChecker};
 
 use crate::{finish, Outcome, RunOptions};
 
@@ -41,11 +41,13 @@ pub fn run(opts: &RunOptions) -> Outcome {
         };
         let spec = fow.spec().with_cost_model(CostModel::MaxDistance);
         let cfg = fow.configuration();
+        // Stability sweep and social cost share one engine (and one graph).
+        let mut engine = DistanceEngine::new(&spec, cfg.clone());
         let stable = StabilityChecker::new(&spec)
-            .is_stable(&cfg)
+            .is_stable_with_engine(&mut engine)
             .expect("exact max-model check fits budget");
         all_stable &= stable;
-        let cost = social::social_cost(&spec, &cfg);
+        let cost = engine.social_cost();
         let lb = social::uniform_social_lower_bound(&spec);
         let ratio = cost as f64 / lb as f64;
         ratios.push(ratio);

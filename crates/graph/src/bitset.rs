@@ -92,6 +92,16 @@ impl BitSet {
         self.words.fill(0);
     }
 
+    /// Overwrites `self` with `other`'s contents without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// In-place union; returns `true` if `self` changed.
     ///
     /// # Panics

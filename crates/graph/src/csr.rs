@@ -1,0 +1,635 @@
+//! Compressed sparse row (CSR) graph storage with in-place patching.
+//!
+//! [`DiGraph`]'s `Vec<Vec<Arc>>` adjacency is convenient to build but costs
+//! one heap allocation per node and scatters arc slabs across the heap — the
+//! best-response inner loops of the game layer traverse the same graph
+//! thousands of times per second and pay for that scatter on every arc hop.
+//! [`CsrGraph`] packs all arcs into two flat arenas (`targets`, `lengths`)
+//! with a per-node span, so a traversal walks contiguous memory and a
+//! configuration change that rewires **one** node patches one slab in place
+//! ([`CsrGraph::set_out_links`]) instead of rebuilding the graph.
+//!
+//! Patching policy: each node's slab carries a little spare capacity. A new
+//! strategy that fits the slab is written in place; one that doesn't gets a
+//! fresh slab at the arena tail and the old slots become garbage, reclaimed
+//! by an automatic compaction once more than half the arena is dead. Spans
+//! are node-local, so compaction never invalidates node indices.
+//!
+//! [`CsrBfs`] and [`CsrDijkstra`] mirror the pooled-buffer API of
+//! [`crate::BfsBuffer`] / [`crate::DijkstraBuffer`] on this layout, and add
+//! the *skip-node* traversal (`G∖u`: ignore one node's out-arcs) that the
+//! game layer's deviation oracle is built on.
+
+use crate::{bitset::BitSet, DiGraph, UNREACHABLE};
+
+/// Per-node slab descriptor into the arc arenas.
+#[derive(Clone, Copy, Debug, Default)]
+struct Span {
+    start: u32,
+    len: u32,
+    cap: u32,
+}
+
+/// A directed graph in compressed-sparse-row form with patchable rows.
+///
+/// # Examples
+///
+/// ```
+/// use bbc_graph::csr::CsrGraph;
+///
+/// let mut g = CsrGraph::new(4);
+/// g.set_out_links(0, &[(1, 1), (2, 1)]);
+/// g.set_out_links(2, &[(3, 5)]);
+/// assert_eq!(g.arc_count(), 3);
+/// assert_eq!(g.out_targets(0), &[1, 2]);
+/// g.set_out_links(0, &[(3, 1)]); // in-place patch
+/// assert_eq!(g.out_targets(0), &[3]);
+/// assert_eq!(g.arc_count(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    spans: Vec<Span>,
+    targets: Vec<u32>,
+    lengths: Vec<u64>,
+    live_arcs: usize,
+    non_unit_arcs: usize,
+    dead_slots: usize,
+}
+
+impl CsrGraph {
+    /// Creates an arc-less graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "node count {n} exceeds u32 range");
+        Self {
+            spans: vec![Span::default(); n],
+            targets: Vec::new(),
+            lengths: Vec::new(),
+            live_arcs: 0,
+            non_unit_arcs: 0,
+            dead_slots: 0,
+        }
+    }
+
+    /// Converts an adjacency-list graph (arc order per node is preserved).
+    pub fn from_digraph(g: &DiGraph) -> Self {
+        let mut csr = Self::new(g.node_count());
+        let mut row: Vec<(u32, u64)> = Vec::new();
+        for u in 0..g.node_count() {
+            row.clear();
+            row.extend(g.out_arcs(u).iter().map(|a| (a.to, a.len)));
+            csr.set_out_links(u, &row);
+        }
+        csr
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Number of (live) arcs.
+    #[inline]
+    pub fn arc_count(&self) -> usize {
+        self.live_arcs
+    }
+
+    /// `true` when every arc has length exactly 1.
+    #[inline]
+    pub fn is_unit_length(&self) -> bool {
+        self.non_unit_arcs == 0
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: usize) -> usize {
+        self.spans[u].len as usize
+    }
+
+    /// Targets of `u`'s out-arcs (contiguous slice).
+    #[inline]
+    pub fn out_targets(&self, u: usize) -> &[u32] {
+        let s = self.spans[u];
+        &self.targets[s.start as usize..(s.start + s.len) as usize]
+    }
+
+    /// Targets and lengths of `u`'s out-arcs (parallel slices).
+    #[inline]
+    pub fn out(&self, u: usize) -> (&[u32], &[u64]) {
+        let s = self.spans[u];
+        let range = s.start as usize..(s.start + s.len) as usize;
+        (&self.targets[range.clone()], &self.lengths[range])
+    }
+
+    /// Replaces `u`'s out-links with `links`, patching the slab in place when
+    /// it fits and relocating it to the arena tail otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or any target is out of bounds, or any length is zero.
+    pub fn set_out_links(&mut self, u: usize, links: &[(u32, u64)]) {
+        let n = self.spans.len();
+        assert!(u < n, "source {u} out of bounds");
+        for &(to, len) in links {
+            assert!((to as usize) < n, "target {to} out of bounds");
+            assert!(len > 0, "arc length must be positive");
+        }
+        let old = self.spans[u];
+        let old_range = old.start as usize..(old.start + old.len) as usize;
+        self.non_unit_arcs -= self.lengths[old_range].iter().filter(|&&l| l != 1).count();
+        self.non_unit_arcs += links.iter().filter(|&&(_, l)| l != 1).count();
+        self.live_arcs = self.live_arcs - old.len as usize + links.len();
+
+        if links.len() <= old.cap as usize {
+            let start = old.start as usize;
+            for (i, &(to, len)) in links.iter().enumerate() {
+                self.targets[start + i] = to;
+                self.lengths[start + i] = len;
+            }
+            self.spans[u].len = links.len() as u32;
+            return;
+        }
+
+        // Relocate: old slab becomes garbage, new slab (with a little
+        // headroom so steady-state rewiring stays in place) goes at the tail.
+        self.dead_slots += old.cap as usize;
+        let cap = links.len() + 2;
+        let start = self.targets.len();
+        assert!(
+            start + cap <= u32::MAX as usize,
+            "arc arena exceeds u32 range"
+        );
+        self.targets.extend(links.iter().map(|&(to, _)| to));
+        self.lengths.extend(links.iter().map(|&(_, len)| len));
+        self.targets.resize(start + cap, 0);
+        self.lengths.resize(start + cap, 0);
+        self.spans[u] = Span {
+            start: start as u32,
+            len: links.len() as u32,
+            cap: cap as u32,
+        };
+
+        if self.dead_slots > self.targets.len() / 2 && self.targets.len() > 64 {
+            self.compact();
+        }
+    }
+
+    /// Rebuilds the arenas with no dead slots (spans keep their capacity).
+    fn compact(&mut self) {
+        let total_cap: usize = self.spans.iter().map(|s| s.cap as usize).sum();
+        let mut targets = Vec::with_capacity(total_cap);
+        let mut lengths = Vec::with_capacity(total_cap);
+        for s in &mut self.spans {
+            let start = targets.len() as u32;
+            let range = s.start as usize..(s.start + s.len) as usize;
+            targets.extend_from_slice(&self.targets[range.clone()]);
+            lengths.extend_from_slice(&self.lengths[range]);
+            targets.resize((start + s.cap) as usize, 0);
+            lengths.resize((start + s.cap) as usize, 0);
+            s.start = start;
+        }
+        self.targets = targets;
+        self.lengths = lengths;
+        self.dead_slots = 0;
+    }
+}
+
+/// Reusable BFS state over [`CsrGraph`]s: distance row, queue, and the
+/// *touched set* — every node whose out-arcs the traversal expanded.
+///
+/// The touched set is what makes shortest-path rows cacheable across graph
+/// patches: a row computed from source `c` stays valid under a rewire of
+/// node `m` unless `m` was touched (an unreached node's out-arcs cannot
+/// affect any distance from `c`, and rewiring `m`'s *out*-links never makes
+/// `m` itself newly reachable).
+///
+/// # Examples
+///
+/// ```
+/// use bbc_graph::csr::{CsrBfs, CsrGraph};
+///
+/// let mut g = CsrGraph::new(4);
+/// g.set_out_links(0, &[(1, 1)]);
+/// g.set_out_links(1, &[(2, 1)]);
+/// let mut bfs = CsrBfs::new(4);
+/// bfs.run(&g, 0);
+/// assert_eq!(bfs.distances(), &[0, 1, 2, bbc_graph::UNREACHABLE]);
+/// assert!(bfs.touched().contains(1));
+/// assert!(!bfs.touched().contains(3));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CsrBfs {
+    dist: Vec<u64>,
+    queue: Vec<u32>,
+    touched: BitSet,
+}
+
+impl CsrBfs {
+    /// Creates a buffer sized for graphs with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            dist: vec![UNREACHABLE; n],
+            queue: Vec::with_capacity(n),
+            touched: BitSet::new(n),
+        }
+    }
+
+    /// Runs BFS from `source` (arc lengths ignored — every arc is one hop).
+    pub fn run(&mut self, g: &CsrGraph, source: usize) {
+        self.run_impl(g, source, usize::MAX);
+    }
+
+    /// Runs BFS from `source` in `G∖skip`: `skip`'s out-arcs are ignored
+    /// (`skip` itself remains reachable through other nodes' arcs).
+    ///
+    /// This is the deviation-oracle traversal: distances from a candidate
+    /// target with the deviating node's links removed.
+    pub fn run_skipping(&mut self, g: &CsrGraph, source: usize, skip: usize) {
+        self.run_impl(g, source, skip);
+    }
+
+    fn run_impl(&mut self, g: &CsrGraph, source: usize, skip: usize) {
+        assert_eq!(
+            g.node_count(),
+            self.dist.len(),
+            "buffer sized for a different graph"
+        );
+        assert!(source < self.dist.len(), "source {source} out of bounds");
+        self.dist.fill(UNREACHABLE);
+        self.touched.clear();
+        self.queue.clear();
+        self.dist[source] = 0;
+        self.queue.push(source as u32);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head] as usize;
+            head += 1;
+            if u == skip {
+                continue;
+            }
+            self.touched.insert(u);
+            let du = self.dist[u];
+            for &t in g.out_targets(u) {
+                let v = t as usize;
+                if self.dist[v] == UNREACHABLE {
+                    self.dist[v] = du + 1;
+                    self.queue.push(t);
+                }
+            }
+        }
+    }
+
+    /// Distances from the last run; unreached nodes hold [`UNREACHABLE`].
+    #[inline]
+    pub fn distances(&self) -> &[u64] {
+        &self.dist
+    }
+
+    /// Nodes whose out-arcs the last run expanded.
+    #[inline]
+    pub fn touched(&self) -> &BitSet {
+        &self.touched
+    }
+
+    /// Number of nodes reached by the last run (including the source).
+    pub fn reached(&self) -> usize {
+        self.dist.iter().filter(|&&d| d != UNREACHABLE).count()
+    }
+}
+
+/// Reusable Dijkstra state over [`CsrGraph`]s, with the same skip-node and
+/// touched-set semantics as [`CsrBfs`].
+#[derive(Clone, Debug)]
+pub struct CsrDijkstra {
+    dist: Vec<u64>,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
+    touched: BitSet,
+}
+
+impl CsrDijkstra {
+    /// Creates a buffer sized for graphs with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            dist: vec![UNREACHABLE; n],
+            heap: std::collections::BinaryHeap::with_capacity(n),
+            touched: BitSet::new(n),
+        }
+    }
+
+    /// Runs Dijkstra from `source`.
+    pub fn run(&mut self, g: &CsrGraph, source: usize) {
+        self.run_impl(g, source, usize::MAX);
+    }
+
+    /// Runs Dijkstra from `source` in `G∖skip` (see [`CsrBfs::run_skipping`]).
+    pub fn run_skipping(&mut self, g: &CsrGraph, source: usize, skip: usize) {
+        self.run_impl(g, source, skip);
+    }
+
+    fn run_impl(&mut self, g: &CsrGraph, source: usize, skip: usize) {
+        assert_eq!(
+            g.node_count(),
+            self.dist.len(),
+            "buffer sized for a different graph"
+        );
+        assert!(source < self.dist.len(), "source {source} out of bounds");
+        self.dist.fill(UNREACHABLE);
+        self.touched.clear();
+        self.heap.clear();
+        self.dist[source] = 0;
+        self.heap.push(std::cmp::Reverse((0, source as u32)));
+        while let Some(std::cmp::Reverse((d, u))) = self.heap.pop() {
+            let u = u as usize;
+            if d > self.dist[u] || u == skip {
+                continue;
+            }
+            self.touched.insert(u);
+            let (targets, lengths) = g.out(u);
+            for (&t, &len) in targets.iter().zip(lengths) {
+                let v = t as usize;
+                let nd = d + len;
+                if nd < self.dist[v] {
+                    self.dist[v] = nd;
+                    self.heap.push(std::cmp::Reverse((nd, t)));
+                }
+            }
+        }
+    }
+
+    /// Distances from the last run; unreached nodes hold [`UNREACHABLE`].
+    #[inline]
+    pub fn distances(&self) -> &[u64] {
+        &self.dist
+    }
+
+    /// Nodes whose out-arcs the last run expanded.
+    #[inline]
+    pub fn touched(&self) -> &BitSet {
+        &self.touched
+    }
+
+    /// Number of nodes reached by the last run (including the source).
+    pub fn reached(&self) -> usize {
+        self.dist.iter().filter(|&&d| d != UNREACHABLE).count()
+    }
+}
+
+/// Reusable scratch for strong-connectivity checks on [`CsrGraph`]s.
+///
+/// A graph is strongly connected iff node 0 reaches every node in both `G`
+/// and the reverse graph. The reverse adjacency is rebuilt per call into
+/// pooled buffers (counting sort), so the check allocates nothing after
+/// warm-up — the dynamics engine runs it after every applied move.
+#[derive(Clone, Debug, Default)]
+pub struct ConnectivityScratch {
+    visited: Vec<bool>,
+    stack: Vec<u32>,
+    rev_offsets: Vec<u32>,
+    rev_targets: Vec<u32>,
+    cursor: Vec<u32>,
+}
+
+impl ConnectivityScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` iff `g` is strongly connected. Graphs with at most one node
+    /// are vacuously strongly connected.
+    pub fn is_strongly_connected(&mut self, g: &CsrGraph) -> bool {
+        let n = g.node_count();
+        if n <= 1 {
+            return true;
+        }
+        // Forward sweep from node 0.
+        self.visited.clear();
+        self.visited.resize(n, false);
+        self.stack.clear();
+        self.visited[0] = true;
+        self.stack.push(0);
+        let mut seen = 1usize;
+        while let Some(u) = self.stack.pop() {
+            for &t in g.out_targets(u as usize) {
+                if !self.visited[t as usize] {
+                    self.visited[t as usize] = true;
+                    seen += 1;
+                    self.stack.push(t);
+                }
+            }
+        }
+        if seen != n {
+            return false;
+        }
+
+        // Reverse adjacency via counting sort into pooled arenas.
+        self.rev_offsets.clear();
+        self.rev_offsets.resize(n + 1, 0);
+        for u in 0..n {
+            for &t in g.out_targets(u) {
+                self.rev_offsets[t as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            self.rev_offsets[i + 1] += self.rev_offsets[i];
+        }
+        let m = self.rev_offsets[n] as usize;
+        self.rev_targets.clear();
+        self.rev_targets.resize(m, 0);
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.rev_offsets[..n]);
+        for u in 0..n {
+            for &t in g.out_targets(u) {
+                let slot = self.cursor[t as usize];
+                self.rev_targets[slot as usize] = u as u32;
+                self.cursor[t as usize] += 1;
+            }
+        }
+
+        // Backward sweep from node 0 over the reverse graph.
+        self.visited.clear();
+        self.visited.resize(n, false);
+        self.stack.clear();
+        self.visited[0] = true;
+        self.stack.push(0);
+        let mut seen = 1usize;
+        while let Some(u) = self.stack.pop() {
+            let lo = self.rev_offsets[u as usize] as usize;
+            let hi = self.rev_offsets[u as usize + 1] as usize;
+            for &t in &self.rev_targets[lo..hi] {
+                if !self.visited[t as usize] {
+                    self.visited[t as usize] = true;
+                    seen += 1;
+                    self.stack.push(t);
+                }
+            }
+        }
+        seen == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs_distances;
+    use crate::scc::is_strongly_connected;
+    use crate::Arc;
+
+    fn digraph_of(n: usize, edges: &[(usize, usize, u64)]) -> DiGraph {
+        DiGraph::from_edges(n, edges.iter().copied())
+    }
+
+    #[test]
+    fn from_digraph_preserves_structure() {
+        let g = digraph_of(4, &[(0, 1, 1), (0, 2, 3), (2, 3, 1)]);
+        let csr = CsrGraph::from_digraph(&g);
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.arc_count(), 3);
+        assert!(!csr.is_unit_length());
+        assert_eq!(csr.out_targets(0), &[1, 2]);
+        assert_eq!(csr.out(0).1, &[1, 3]);
+        assert_eq!(csr.out_degree(3), 0);
+    }
+
+    #[test]
+    fn patch_in_place_and_relocate() {
+        let mut g = CsrGraph::new(5);
+        g.set_out_links(0, &[(1, 1), (2, 1)]);
+        g.set_out_links(1, &[(3, 1)]);
+        // Shrink: fits in place.
+        g.set_out_links(0, &[(4, 1)]);
+        assert_eq!(g.out_targets(0), &[4]);
+        // Grow past capacity (cap was 2 + 2 headroom): relocates.
+        g.set_out_links(0, &[(1, 1), (2, 1), (3, 1), (4, 2)]);
+        assert_eq!(g.out_targets(0), &[1, 2, 3, 4]);
+        assert_eq!(g.arc_count(), 5);
+        assert!(!g.is_unit_length());
+        g.set_out_links(0, &[(1, 1)]);
+        assert!(g.is_unit_length(), "non-unit arc was retired");
+    }
+
+    #[test]
+    fn repeated_patching_stays_consistent_with_rebuild() {
+        let mut g = CsrGraph::new(6);
+        let mut rows: Vec<Vec<(u32, u64)>> = vec![Vec::new(); 6];
+        // A deterministic little edit script that forces several relocations
+        // and at least one compaction.
+        for step in 0..200u32 {
+            let u = (step % 6) as usize;
+            let deg = (step % 4) as usize;
+            let row: Vec<(u32, u64)> = (0..deg)
+                .map(|i| (((u + 1 + i) % 6) as u32, u64::from(step % 3) + 1))
+                .collect();
+            g.set_out_links(u, &row);
+            rows[u] = row;
+        }
+        let mut fresh = CsrGraph::new(6);
+        for (u, row) in rows.iter().enumerate() {
+            fresh.set_out_links(u, row);
+        }
+        assert_eq!(g.arc_count(), fresh.arc_count());
+        assert_eq!(g.is_unit_length(), fresh.is_unit_length());
+        let mut a = CsrBfs::new(6);
+        let mut b = CsrBfs::new(6);
+        for s in 0..6 {
+            a.run(&g, s);
+            b.run(&fresh, s);
+            assert_eq!(a.distances(), b.distances(), "source {s}");
+        }
+    }
+
+    #[test]
+    fn bfs_matches_adjacency_list_bfs() {
+        let g = digraph_of(6, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 4, 1)]);
+        let csr = CsrGraph::from_digraph(&g);
+        let mut bfs = CsrBfs::new(6);
+        for s in 0..6 {
+            bfs.run(&csr, s);
+            assert_eq!(bfs.distances(), &bfs_distances(&g, s)[..], "source {s}");
+        }
+    }
+
+    #[test]
+    fn bfs_skipping_matches_stripped_graph() {
+        let mut g = digraph_of(5, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (1, 4, 1)]);
+        let csr = CsrGraph::from_digraph(&g);
+        let mut bfs = CsrBfs::new(5);
+        bfs.run_skipping(&csr, 0, 1);
+        g.take_out_arcs(1);
+        assert_eq!(bfs.distances(), &bfs_distances(&g, 0)[..]);
+        // Node 1 is still reached (via 0's arc), just not expanded.
+        assert_eq!(bfs.distances()[1], 1);
+        assert!(!bfs.touched().contains(1));
+        assert!(bfs.touched().contains(0));
+    }
+
+    #[test]
+    fn dijkstra_matches_adjacency_list_dijkstra() {
+        let g = digraph_of(5, &[(0, 1, 4), (0, 2, 1), (2, 1, 2), (1, 3, 7)]);
+        let csr = CsrGraph::from_digraph(&g);
+        let mut dij = CsrDijkstra::new(5);
+        for s in 0..5 {
+            dij.run(&csr, s);
+            assert_eq!(
+                dij.distances(),
+                &crate::dijkstra::dijkstra_distances(&g, s)[..],
+                "source {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn dijkstra_skipping_matches_stripped_graph() {
+        let mut g = digraph_of(5, &[(0, 1, 2), (1, 2, 3), (2, 3, 1), (0, 3, 9)]);
+        let csr = CsrGraph::from_digraph(&g);
+        let mut dij = CsrDijkstra::new(5);
+        dij.run_skipping(&csr, 0, 1);
+        g.take_out_arcs(1);
+        assert_eq!(
+            dij.distances(),
+            &crate::dijkstra::dijkstra_distances(&g, 0)[..]
+        );
+        assert!(!dij.touched().contains(1));
+    }
+
+    #[test]
+    fn touched_set_covers_exactly_expanded_nodes() {
+        let g = digraph_of(6, &[(0, 1, 1), (1, 2, 1), (4, 5, 1)]);
+        let csr = CsrGraph::from_digraph(&g);
+        let mut bfs = CsrBfs::new(6);
+        bfs.run(&csr, 0);
+        let touched: Vec<usize> = bfs.touched().iter().collect();
+        assert_eq!(touched, vec![0, 1, 2], "only the reachable side expands");
+    }
+
+    #[test]
+    fn connectivity_matches_tarjan() {
+        let mut scratch = ConnectivityScratch::new();
+        let ring = digraph_of(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]);
+        assert!(scratch.is_strongly_connected(&CsrGraph::from_digraph(&ring)));
+        assert!(is_strongly_connected(&ring));
+
+        let path = digraph_of(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        assert!(!scratch.is_strongly_connected(&CsrGraph::from_digraph(&path)));
+        assert!(!is_strongly_connected(&path));
+
+        // Forward-complete but backward-broken: 0 reaches all, 3 unreachable
+        // in reverse.
+        let fan = digraph_of(4, &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 0, 1), (2, 0, 1)]);
+        assert!(!scratch.is_strongly_connected(&CsrGraph::from_digraph(&fan)));
+
+        let mut single = DiGraph::new(1);
+        single.add_arc(0, Arc::unit(0));
+        assert!(scratch.is_strongly_connected(&CsrGraph::from_digraph(&single)));
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_sizes() {
+        let mut scratch = ConnectivityScratch::new();
+        let small = digraph_of(3, &[(0, 1, 1), (1, 2, 1), (2, 0, 1)]);
+        assert!(scratch.is_strongly_connected(&CsrGraph::from_digraph(&small)));
+        let big = digraph_of(8, &[(0, 1, 1)]);
+        assert!(!scratch.is_strongly_connected(&CsrGraph::from_digraph(&big)));
+        assert!(scratch.is_strongly_connected(&CsrGraph::from_digraph(&small)));
+    }
+}

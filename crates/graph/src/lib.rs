@@ -26,6 +26,7 @@
 
 pub mod bfs;
 pub mod bitset;
+pub mod csr;
 pub mod diameter;
 pub mod digraph;
 pub mod dijkstra;
@@ -36,6 +37,7 @@ pub mod scc;
 
 pub use bfs::BfsBuffer;
 pub use bitset::BitSet;
+pub use csr::{ConnectivityScratch, CsrBfs, CsrDijkstra, CsrGraph};
 pub use diameter::{diameter, eccentricity, Eccentricities};
 pub use digraph::{Arc, DiGraph};
 pub use dijkstra::DijkstraBuffer;

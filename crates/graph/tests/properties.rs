@@ -5,8 +5,8 @@ use bbc_graph::{
     diameter::eccentricity,
     dijkstra::dijkstra_distances,
     reach::reach_counts,
-    scc::{condensation, strongly_connected_components},
-    DiGraph, DistanceMatrix, UNREACHABLE,
+    scc::{condensation, is_strongly_connected, strongly_connected_components},
+    ConnectivityScratch, CsrBfs, CsrDijkstra, CsrGraph, DiGraph, DistanceMatrix, UNREACHABLE,
 };
 use proptest::prelude::*;
 
@@ -150,6 +150,104 @@ proptest! {
             for u in 0..g.node_count() {
                 let row_max = m.row(u).iter().copied().max().unwrap();
                 prop_assert_eq!(e.ecc[u], row_max);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_bfs_and_dijkstra_match_adjacency_list(g in arb_weighted_graph()) {
+        let csr = CsrGraph::from_digraph(&g);
+        prop_assert_eq!(csr.arc_count(), g.arc_count());
+        prop_assert_eq!(csr.is_unit_length(), g.is_unit_length());
+        let n = g.node_count();
+        let mut bfs = CsrBfs::new(n);
+        let mut dij = CsrDijkstra::new(n);
+        for s in 0..n {
+            bfs.run(&csr, s);
+            prop_assert_eq!(bfs.distances(), &bfs_distances(&g, s)[..]);
+            dij.run(&csr, s);
+            prop_assert_eq!(dij.distances(), &dijkstra_distances(&g, s)[..]);
+        }
+    }
+
+    #[test]
+    fn csr_skip_traversal_matches_stripped_graph(g in arb_weighted_graph(), skip_sel in 0usize..1000) {
+        let skip = skip_sel % g.node_count();
+        let csr = CsrGraph::from_digraph(&g);
+        let mut stripped = g.clone();
+        stripped.take_out_arcs(skip);
+        let n = g.node_count();
+        let mut dij = CsrDijkstra::new(n);
+        for s in 0..n {
+            dij.run_skipping(&csr, s, skip);
+            prop_assert_eq!(dij.distances(), &dijkstra_distances(&stripped, s)[..]);
+            prop_assert!(!dij.touched().contains(skip));
+        }
+    }
+
+    #[test]
+    fn csr_patching_matches_fresh_build(
+        edits in proptest::collection::vec((0usize..8, proptest::collection::vec((0usize..8, 1u64..=5), 0..4)), 1..40)
+    ) {
+        // Replay an arbitrary rewiring script against an incrementally
+        // patched CSR and compare with a CSR built from the final rows.
+        let n = 8;
+        let mut patched = CsrGraph::new(n);
+        let mut rows: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+        for (u, row) in edits {
+            // Dedup targets (parallel arcs are legal but make the row
+            // comparison noisy) and drop self-loops.
+            let mut clean: Vec<(u32, u64)> = Vec::new();
+            for (v, len) in row {
+                if v != u && !clean.iter().any(|&(t, _)| t == v as u32) {
+                    clean.push((v as u32, len));
+                }
+            }
+            patched.set_out_links(u, &clean);
+            rows[u] = clean;
+        }
+        let mut fresh = CsrGraph::new(n);
+        for (u, row) in rows.iter().enumerate() {
+            fresh.set_out_links(u, row);
+        }
+        prop_assert_eq!(patched.arc_count(), fresh.arc_count());
+        prop_assert_eq!(patched.is_unit_length(), fresh.is_unit_length());
+        let mut a = CsrDijkstra::new(n);
+        let mut b = CsrDijkstra::new(n);
+        for s in 0..n {
+            a.run(&patched, s);
+            b.run(&fresh, s);
+            prop_assert_eq!(a.distances(), b.distances());
+        }
+    }
+
+    #[test]
+    fn csr_connectivity_matches_tarjan(g in arb_unit_graph()) {
+        let mut scratch = ConnectivityScratch::new();
+        prop_assert_eq!(
+            scratch.is_strongly_connected(&CsrGraph::from_digraph(&g)),
+            is_strongly_connected(&g)
+        );
+    }
+
+    #[test]
+    fn csr_touched_set_certifies_row_stability(g in arb_unit_graph(), src_sel in 0usize..1000, m_sel in 0usize..1000) {
+        // The cache-invalidation contract: if `m` was not touched by the
+        // traversal from `src`, rewiring `m`'s out-links cannot change any
+        // distance from `src`.
+        let n = g.node_count();
+        let src = src_sel % n;
+        let m = m_sel % n;
+        let csr = CsrGraph::from_digraph(&g);
+        let mut bfs = CsrBfs::new(n);
+        bfs.run(&csr, src);
+        if !bfs.touched().contains(m) {
+            let before = bfs.distances().to_vec();
+            let mut rewired = csr.clone();
+            rewired.set_out_links(m, &[(((m + 1) % n) as u32, 1)]);
+            if m != (m + 1) % n {
+                bfs.run(&rewired, src);
+                prop_assert_eq!(bfs.distances(), &before[..]);
             }
         }
     }

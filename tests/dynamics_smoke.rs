@@ -1,0 +1,48 @@
+//! Hot-path smoke: a fixed-seed round-robin dynamics walk on the
+//! `(24,3)`-uniform game — the workload the CSR `DistanceEngine` refactor is
+//! benchmarked on — pinned to its exact trajectory.
+//!
+//! CI runs this in release mode so a regression in the engine's caching or
+//! the best-response search surfaces as a wall-clock blowup there, while the
+//! pinned move/cost numbers catch *behavioral* drift anywhere: the walk's
+//! scheduler, cycle-detection map, and RNG are all deterministic-by-design
+//! (seeded `SmallRng`, FNV-hashed lookup-only history), so these values must
+//! reproduce bit-for-bit across Rust versions and platforms.
+
+use bbc::prelude::*;
+
+#[test]
+fn fixed_seed_walk_trajectory_is_pinned() {
+    let spec = GameSpec::uniform(24, 3);
+    let start = Configuration::random(&spec, 7);
+    let mut walk = Walk::new(&spec, start.clone()).detect_cycles(false);
+    let outcome = walk.run(2_000).expect("search fits budget");
+
+    assert_eq!(outcome, WalkOutcome::StepLimit { steps: 2_000 });
+    assert_eq!(walk.stats().moves, 1_914);
+    assert_eq!(social_cost(&spec, walk.config()), 1_479);
+
+    // Determinism: an identical second run replays the identical walk.
+    let mut again = Walk::new(&spec, start).detect_cycles(false);
+    let outcome_again = again.run(2_000).expect("search fits budget");
+    assert_eq!(outcome_again, outcome);
+    assert_eq!(again.config(), walk.config());
+}
+
+#[test]
+fn fixed_seed_walk_converges_from_random_start() {
+    // The same game run to completion: the equilibrium step count is part
+    // of the pinned trajectory (it changes iff any best-response decision
+    // along the walk changes). ~10k steps is instant in release but minutes
+    // without optimization, so the full run is CI's release-mode smoke.
+    if cfg!(debug_assertions) {
+        return;
+    }
+    let spec = GameSpec::uniform(24, 3);
+    let mut walk = Walk::new(&spec, Configuration::random(&spec, 7)).detect_cycles(false);
+    let outcome = walk.run(100_000).expect("search fits budget");
+    assert_eq!(outcome, WalkOutcome::Equilibrium { steps: 10_684 });
+    assert!(StabilityChecker::new(&spec)
+        .is_stable(walk.config())
+        .expect("check fits budget"));
+}

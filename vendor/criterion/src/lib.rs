@@ -169,6 +169,111 @@ fn run_samples<F: FnMut(&mut Bencher)>(samples: usize, mut routine: F) -> Durati
 
 fn report(group: &str, id: &BenchmarkId, median: Duration) {
     println!("  {group}/{id}: median {median:?}");
+    record_result(&format!("{group}/{id}"), median.as_nanos());
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable results: every reported median also lands in a process-
+// wide registry that `criterion_main!` flushes to `BENCH_results.json`
+// (override the path with the `BENCH_RESULTS_PATH` env var). Bench binaries
+// run sequentially under `cargo bench`, so the writer merges with whatever an
+// earlier binary left in the file — the end state is one flat
+// `{"group/bench": median_ns}` map covering the whole bench suite, the
+// baseline future performance PRs diff against.
+// ---------------------------------------------------------------------------
+
+fn registry() -> &'static std::sync::Mutex<Vec<(String, u128)>> {
+    static REGISTRY: std::sync::OnceLock<std::sync::Mutex<Vec<(String, u128)>>> =
+        std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| std::sync::Mutex::new(Vec::new()))
+}
+
+fn record_result(name: &str, median_ns: u128) {
+    registry()
+        .lock()
+        .expect("bench registry poisoned")
+        .push((name.to_string(), median_ns));
+}
+
+/// Merges this process's recorded medians into the results file. Called by
+/// [`criterion_main!`]; harmless to call with nothing recorded.
+pub fn write_results() {
+    let recorded = std::mem::take(&mut *registry().lock().expect("bench registry poisoned"));
+    if recorded.is_empty() {
+        return;
+    }
+    let path =
+        std::env::var("BENCH_RESULTS_PATH").unwrap_or_else(|_| "BENCH_results.json".to_string());
+    let mut merged: std::collections::BTreeMap<String, u128> = std::fs::read_to_string(&path)
+        .ok()
+        .map(|text| parse_results(&text))
+        .unwrap_or_default();
+    merged.extend(recorded);
+    let mut out = String::from("{\n");
+    for (i, (name, ns)) in merged.iter().enumerate() {
+        let comma = if i + 1 == merged.len() { "" } else { "," };
+        out.push_str(&format!("  \"{}\": {ns}{comma}\n", escape_json(name)));
+    }
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("could not write bench results to {path}: {e}");
+    } else {
+        println!("bench results: {path}");
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Parses the flat `{"name": integer}` maps this module writes. Anything
+/// malformed is skipped — the file is a cache, not a source of truth.
+fn parse_results(text: &str) -> std::collections::BTreeMap<String, u128> {
+    let mut out = std::collections::BTreeMap::new();
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '"' {
+            continue;
+        }
+        // String key (with the two escapes `escape_json` produces).
+        let mut key = String::new();
+        while let Some(k) = chars.next() {
+            match k {
+                '\\' => {
+                    if let Some(next) = chars.next() {
+                        key.push(next);
+                    }
+                }
+                '"' => break,
+                k => key.push(k),
+            }
+        }
+        // Expect a colon, then digits.
+        while matches!(chars.peek(), Some(' ' | '\t')) {
+            chars.next();
+        }
+        if chars.peek() != Some(&':') {
+            continue;
+        }
+        chars.next();
+        while matches!(chars.peek(), Some(' ' | '\t')) {
+            chars.next();
+        }
+        let mut digits = String::new();
+        while matches!(chars.peek(), Some('0'..='9')) {
+            digits.push(chars.next().expect("peeked digit"));
+        }
+        if let Ok(value) = digits.parse::<u128>() {
+            out.insert(key, value);
+        }
+    }
+    out
 }
 
 /// Declares a group function that runs each benchmark target in order.
@@ -182,12 +287,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` for a bench binary.
+/// Declares `main` for a bench binary. Flushes the recorded medians to the
+/// machine-readable results file after the last group finishes.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_results();
         }
     };
 }
@@ -211,5 +318,23 @@ mod tests {
         });
         group.finish();
         assert!(runs >= 3, "calibration plus each sample runs the routine");
+    }
+
+    #[test]
+    fn results_format_round_trips() {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("walk/n24k3 \"engine\"".to_string(), 123_456u128);
+        map.insert("bfs/1600".to_string(), 42u128);
+        let mut text = String::from("{\n");
+        for (i, (name, ns)) in map.iter().enumerate() {
+            let comma = if i + 1 == map.len() { "" } else { "," };
+            text.push_str(&format!("  \"{}\": {ns}{comma}\n", escape_json(name)));
+        }
+        text.push_str("}\n");
+        assert_eq!(parse_results(&text), map);
+        assert_eq!(
+            parse_results("not json at all"),
+            std::collections::BTreeMap::new()
+        );
     }
 }
