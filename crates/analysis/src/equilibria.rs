@@ -7,6 +7,7 @@
 //! BBC-max claim with a concrete, machine-checkable instance).
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 
@@ -39,23 +40,164 @@ pub fn harvest_equilibria(
     seeds: std::ops::Range<u64>,
     max_steps: u64,
 ) -> Result<Harvest> {
-    let mut seen: HashSet<Configuration> = HashSet::new();
-    let mut harvest = Harvest::default();
+    let mut merger = HarvestMerger::default();
     for seed in seeds {
-        let start = Configuration::random(spec, seed);
-        let mut walk = Walk::new(spec, start);
-        match walk.run(max_steps)? {
-            WalkOutcome::Equilibrium { .. } => {
-                let cfg = walk.into_config();
-                if seen.insert(cfg.clone()) {
-                    harvest.equilibria.push(cfg);
-                }
-            }
-            WalkOutcome::Cycle { .. } => harvest.cycling_seeds.push(seed),
-            WalkOutcome::StepLimit { .. } => harvest.exhausted_seeds.push(seed),
+        let verdict = walk_seed(spec, seed, max_steps)?;
+        merger.absorb(seed, verdict);
+    }
+    Ok(merger.harvest)
+}
+
+/// Parallel variant of [`harvest_equilibria`]: seeds fan out across
+/// `threads` OS threads (`std::thread::scope`), each walk owning its own
+/// [`bbc_core::DistanceEngine`]. Workers claim seeds from a shared atomic
+/// cursor (work-stealing — long walks do not serialize behind short ones)
+/// and per-seed outcomes are merged **in seed order**, so the result —
+/// equilibria in first-discovery order, cycling and exhausted seed lists —
+/// is byte-identical to the sequential harvest for every thread count.
+///
+/// # Errors
+///
+/// Same conditions as [`harvest_equilibria`]; when several walks fail, the
+/// lowest-seed error (the one the sequential harvest would have hit) is
+/// returned.
+pub fn harvest_equilibria_parallel(
+    spec: &GameSpec,
+    seeds: std::ops::Range<u64>,
+    max_steps: u64,
+    threads: usize,
+) -> Result<Harvest> {
+    let len = seeds.end.saturating_sub(seeds.start);
+    let threads = threads
+        .max(1)
+        .min(usize::try_from(len).unwrap_or(usize::MAX).max(1));
+    if threads <= 1 {
+        return harvest_equilibria(spec, seeds, max_steps);
+    }
+    // A harvest consults every seed's verdict, so the slot table is the
+    // same O(range) as the result it feeds.
+    let mut slots: Vec<Option<Result<SeedVerdict>>> = (0..len).map(|_| None).collect();
+    for (seed, verdict) in run_walks_stealing(
+        spec,
+        seeds.clone(),
+        max_steps,
+        threads,
+        |v| v.is_err(),
+        true,
+    ) {
+        slots[(seed - seeds.start) as usize] = Some(verdict);
+    }
+    let mut merger = HarvestMerger::default();
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.expect("seeds below the first failure are always processed") {
+            Ok(verdict) => merger.absorb(seeds.start + i as u64, verdict),
+            Err(e) => return Err(e),
         }
     }
-    Ok(harvest)
+    Ok(merger.harvest)
+}
+
+/// Outcome of one harvest walk, before the deterministic merge.
+enum SeedVerdict {
+    Equilibrium(Configuration),
+    Cycle { first_seen_step: u64, period: u64 },
+    StepLimit,
+}
+
+/// Runs one engine-backed round-robin walk from `seed`'s random start.
+fn walk_seed(spec: &GameSpec, seed: u64, max_steps: u64) -> Result<SeedVerdict> {
+    let start = Configuration::random(spec, seed);
+    let mut walk = Walk::new(spec, start);
+    Ok(match walk.run(max_steps)? {
+        WalkOutcome::Equilibrium { .. } => SeedVerdict::Equilibrium(walk.into_config()),
+        WalkOutcome::Cycle {
+            first_seen_step,
+            period,
+        } => SeedVerdict::Cycle {
+            first_seen_step,
+            period,
+        },
+        WalkOutcome::StepLimit { .. } => SeedVerdict::StepLimit,
+    })
+}
+
+/// Seed-order accumulator shared by the sequential and parallel harvests, so
+/// both produce identical [`Harvest`] records by construction.
+#[derive(Default)]
+struct HarvestMerger {
+    seen: HashSet<Configuration>,
+    harvest: Harvest,
+}
+
+impl HarvestMerger {
+    fn absorb(&mut self, seed: u64, verdict: SeedVerdict) {
+        match verdict {
+            SeedVerdict::Equilibrium(cfg) => {
+                if self.seen.insert(cfg.clone()) {
+                    self.harvest.equilibria.push(cfg);
+                }
+            }
+            SeedVerdict::Cycle { .. } => self.harvest.cycling_seeds.push(seed),
+            SeedVerdict::StepLimit => self.harvest.exhausted_seeds.push(seed),
+        }
+    }
+}
+
+/// Work-stealing driver shared by the parallel harvest and loop search:
+/// claims seeds from `seeds` via an atomic cursor (the range is never
+/// materialized — seeds derive from the cursor index), walks each claimed
+/// seed, and returns the flattened, unordered `(seed, verdict)` pairs.
+/// `is_hit` marks outcomes that decide the overall result (an error, or a
+/// cycle for the loop search): once a hit lands at seed `s`, seeds above `s`
+/// may be skipped, but every seed at or below the **lowest** hit is always
+/// processed — exactly the prefix a sequential scan would have visited.
+/// With `keep_non_hits = false` only hits are returned, so a short-circuit
+/// search over a huge range stays O(workers) memory.
+fn run_walks_stealing(
+    spec: &GameSpec,
+    seeds: std::ops::Range<u64>,
+    max_steps: u64,
+    threads: usize,
+    is_hit: impl Fn(&Result<SeedVerdict>) -> bool + Sync,
+    keep_non_hits: bool,
+) -> Vec<(u64, Result<SeedVerdict>)> {
+    let cursor = AtomicU64::new(seeds.start);
+    let first_hit = AtomicU64::new(u64::MAX);
+    let per_worker: Vec<Vec<(u64, Result<SeedVerdict>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(u64, Result<SeedVerdict>)> = Vec::new();
+                    loop {
+                        let seed = cursor.fetch_add(1, Ordering::Relaxed);
+                        if seed >= seeds.end {
+                            break;
+                        }
+                        if seed > first_hit.load(Ordering::Relaxed) {
+                            // A lower seed already decided the result, and
+                            // the cursor is monotone: every later claim is
+                            // larger still (and `first_hit` only ever
+                            // decreases), so this worker is done.
+                            break;
+                        }
+                        let verdict = walk_seed(spec, seed, max_steps);
+                        if is_hit(&verdict) {
+                            first_hit.fetch_min(seed, Ordering::Relaxed);
+                            local.push((seed, verdict));
+                        } else if keep_non_hits {
+                            local.push((seed, verdict));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("harvest worker panicked"))
+            .collect()
+    });
+    per_worker.into_iter().flatten().collect()
 }
 
 /// Searches for a round-robin best-response *loop* (Figure 4's artifact) in
@@ -71,17 +213,64 @@ pub fn find_best_response_loop(
     max_steps: u64,
 ) -> Result<Option<(u64, u64, u64)>> {
     for seed in seeds {
-        let start = Configuration::random(spec, seed);
-        let mut walk = Walk::new(spec, start);
-        if let WalkOutcome::Cycle {
+        if let SeedVerdict::Cycle {
             first_seen_step,
             period,
-        } = walk.run(max_steps)?
+        } = walk_seed(spec, seed, max_steps)?
         {
             return Ok(Some((seed, first_seen_step, period)));
         }
     }
     Ok(None)
+}
+
+/// Parallel variant of [`find_best_response_loop`]: seeds fan out across
+/// `threads` OS threads with work-stealing; the returned witness is the
+/// **lowest** cycling seed in the range — exactly what the sequential scan
+/// returns — regardless of which worker found it first. Seeds above the
+/// current best hit are skipped, so the search still short-circuits.
+///
+/// # Errors
+///
+/// Same conditions as [`find_best_response_loop`], resolved to the
+/// lowest-seed failure.
+pub fn find_best_response_loop_parallel(
+    spec: &GameSpec,
+    seeds: std::ops::Range<u64>,
+    max_steps: u64,
+    threads: usize,
+) -> Result<Option<(u64, u64, u64)>> {
+    let len = seeds.end.saturating_sub(seeds.start);
+    let threads = threads
+        .max(1)
+        .min(usize::try_from(len).unwrap_or(usize::MAX).max(1));
+    if threads <= 1 {
+        return find_best_response_loop(spec, seeds, max_steps);
+    }
+    // Only hits (cycles and errors) come back — a short-circuiting search
+    // over a huge seed range never buffers the non-cycling majority.
+    let hits = run_walks_stealing(
+        spec,
+        seeds,
+        max_steps,
+        threads,
+        |verdict| matches!(verdict, Err(_) | Ok(SeedVerdict::Cycle { .. })),
+        false,
+    );
+    // The lowest hit is the sequential answer: every seed below it ran and
+    // was a non-cycling success.
+    match hits.into_iter().min_by_key(|(seed, _)| *seed) {
+        None => Ok(None),
+        Some((_, Err(e))) => Err(e),
+        Some((
+            seed,
+            Ok(SeedVerdict::Cycle {
+                first_seen_step,
+                period,
+            }),
+        )) => Ok(Some((seed, first_seen_step, period))),
+        Some((_, Ok(_))) => unreachable!("non-hits are filtered by the driver"),
+    }
 }
 
 /// A seeded random non-uniform game: unit lengths and costs, budget 1,
@@ -159,6 +348,34 @@ mod tests {
             harvest.equilibria.len() >= 2,
             "expected equilibrium diversity"
         );
+    }
+
+    #[test]
+    fn parallel_harvest_matches_sequential_byte_identically() {
+        // (6,1) with a modest step cap: the seed range mixes equilibria,
+        // duplicate equilibria (dedup order matters), cycles, and exhausted
+        // walks — the parallel merge must reproduce all four lists exactly.
+        let spec = GameSpec::uniform(6, 1);
+        let seq = harvest_equilibria(&spec, 0..20, 400).unwrap();
+        for threads in [2, 3, 8] {
+            let par = harvest_equilibria_parallel(&spec, 0..20, 400, threads).unwrap();
+            assert_eq!(par.equilibria, seq.equilibria, "threads={threads}");
+            assert_eq!(par.cycling_seeds, seq.cycling_seeds, "threads={threads}");
+            assert_eq!(
+                par.exhausted_seeds, seq.exhausted_seeds,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_loop_search_returns_the_lowest_cycling_seed() {
+        let spec = GameSpec::uniform(7, 2);
+        let seq = find_best_response_loop(&spec, 0..40, 50_000).unwrap();
+        for threads in [2, 4] {
+            let par = find_best_response_loop_parallel(&spec, 0..40, 50_000, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@ pub mod report;
 pub mod social;
 pub mod table;
 
-pub use equilibria::{harvest_equilibria, Harvest};
+pub use equilibria::{harvest_equilibria, harvest_equilibria_parallel, Harvest};
 pub use fairness::{fairness, fairness_with, FairnessReport};
 pub use report::ExperimentReport;
 pub use social::{price_ratio, social_cost, uniform_social_lower_bound};

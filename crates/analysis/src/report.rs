@@ -11,6 +11,17 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
+/// The directory every experiment artifact lands in — the report JSON *and*
+/// the per-row JSONL streams: `$CARGO_TARGET_DIR/experiments`, falling back
+/// to `target/experiments` relative to the current directory. One resolver,
+/// so the two artifact kinds can never drift into different places.
+pub fn experiments_dir() -> PathBuf {
+    let base = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target"));
+    base.join("experiments")
+}
+
 /// One experiment's outcome record.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentReport {
@@ -44,14 +55,10 @@ impl ExperimentReport {
         }
     }
 
-    /// Default artifact path: `target/experiments/<id>.json` relative to the
-    /// workspace root (detected via `CARGO_MANIFEST_DIR`'s ancestors, falling
-    /// back to the current directory).
+    /// Default artifact path: `target/experiments/<id>.json` (see
+    /// [`experiments_dir`]).
     pub fn default_path(&self) -> PathBuf {
-        let base = std::env::var_os("CARGO_TARGET_DIR")
-            .map(PathBuf::from)
-            .unwrap_or_else(|| PathBuf::from("target"));
-        base.join("experiments").join(format!("{}.json", self.id))
+        experiments_dir().join(format!("{}.json", self.id))
     }
 
     /// Serializes to pretty JSON at `path`, creating parent directories.

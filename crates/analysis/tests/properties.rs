@@ -69,6 +69,46 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn parallel_harvest_matches_sequential_on_uniform_games(
+        n in 4usize..=8,
+        k in 1u64..=2,
+        threads in 2usize..=6,
+        seeds in 4u64..=12,
+        max_steps in 50u64..=400,
+    ) {
+        // Byte-identical merge contract: equilibria in first-discovery
+        // order, cycling and exhausted seed lists, for any worker count.
+        // The small step caps deliberately produce exhausted walks too.
+        let spec = GameSpec::uniform(n, k);
+        let seq = equilibria::harvest_equilibria(&spec, 0..seeds, max_steps).unwrap();
+        let par =
+            equilibria::harvest_equilibria_parallel(&spec, 0..seeds, max_steps, threads).unwrap();
+        prop_assert_eq!(&par.equilibria, &seq.equilibria);
+        prop_assert_eq!(&par.cycling_seeds, &seq.cycling_seeds);
+        prop_assert_eq!(&par.exhausted_seeds, &seq.exhausted_seeds);
+    }
+
+    #[test]
+    fn parallel_harvest_matches_sequential_on_preference_games(
+        seed in any::<u64>(),
+        threads in 2usize..=5,
+        max_steps in 50u64..=300,
+    ) {
+        use bbc_core::CostModel;
+        let spec = equilibria::random_preference_game(6, seed, 3, CostModel::SumDistance);
+        let seq = equilibria::harvest_equilibria(&spec, 0..8, max_steps).unwrap();
+        let par =
+            equilibria::harvest_equilibria_parallel(&spec, 0..8, max_steps, threads).unwrap();
+        prop_assert_eq!(&par.equilibria, &seq.equilibria);
+        prop_assert_eq!(&par.cycling_seeds, &seq.cycling_seeds);
+        prop_assert_eq!(&par.exhausted_seeds, &seq.exhausted_seeds);
+    }
+}
+
 #[test]
 fn harvested_equilibria_are_all_exactly_stable() {
     let spec = GameSpec::uniform(8, 2);

@@ -1,0 +1,93 @@
+//! Parallel search-layer benchmarks: work-stealing sharded enumeration and
+//! parallel dynamics harvesting against their sequential counterparts.
+//!
+//! Both parallel paths are proven byte-identical to the sequential ones by
+//! the differential suites, so these benches measure pure wall-clock — the
+//! sequential number is the PR-2 baseline the speedup is claimed against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bbc_analysis::equilibria;
+use bbc_core::{enumerate, GameSpec};
+
+/// Worker count for the parallel sides: every available core, but at least
+/// 4 so the work-stealing machinery (cursor, shard merge, per-worker
+/// engines) is genuinely exercised — and its overhead honestly measured —
+/// even on boxes where `available_parallelism` is 1 and the parallel entry
+/// points would otherwise fall back to the sequential scan.
+fn threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |p| p.get().max(4))
+}
+
+fn bench_enumerate_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumerate_sharded");
+    group.sample_size(10);
+    // The acceptance workload: the full (4,1) joint space (256 profiles,
+    // every profile stability-checked against the unrestricted deviation
+    // space), sequential vs work-stealing sharded.
+    let spec41 = GameSpec::uniform(4, 1);
+    let space41 = enumerate::ProfileSpace::full(&spec41, 10_000).expect("small space");
+    let seq = enumerate::find_equilibria(&spec41, &space41, 1_000_000).expect("scan fits");
+    let par = enumerate::find_equilibria_parallel(&spec41, &space41, 1_000_000, threads())
+        .expect("scan fits");
+    assert_eq!(seq, par, "paths diverged");
+    group.bench_function("n4k1_full_sequential", |b| {
+        b.iter(|| enumerate::find_equilibria(&spec41, &space41, 1_000_000).unwrap())
+    });
+    group.bench_function("n4k1_full_sharded", |b| {
+        b.iter(|| {
+            enumerate::find_equilibria_parallel(&spec41, &space41, 1_000_000, threads()).unwrap()
+        })
+    });
+
+    // A Theorem-1-shaped product: the full (5,2) space (11 strategies per
+    // node, 161k profiles) — the scale where the old first-digit split
+    // topped out at 11 shards while work-stealing keeps every core busy.
+    let spec52 = GameSpec::uniform(5, 2);
+    let space52 = enumerate::ProfileSpace::full(&spec52, 10_000).expect("small space");
+    group.bench_function("n5k2_full_sequential", |b| {
+        b.iter(|| enumerate::find_equilibria(&spec52, &space52, 1_000_000).unwrap())
+    });
+    group.bench_function("n5k2_full_sharded", |b| {
+        b.iter(|| {
+            enumerate::find_equilibria_parallel(&spec52, &space52, 1_000_000, threads()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_harvest_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("harvest_parallel");
+    group.sample_size(10);
+    // The acceptance workload: the 20-seed (6,1) harvest (the §4.3
+    // landscape unit), sequential vs seed-fan-out.
+    let spec61 = GameSpec::uniform(6, 1);
+    let seq = equilibria::harvest_equilibria(&spec61, 0..20, 50_000).expect("walks fit");
+    let par = equilibria::harvest_equilibria_parallel(&spec61, 0..20, 50_000, threads())
+        .expect("walks fit");
+    assert_eq!(seq.equilibria, par.equilibria, "paths diverged");
+    group.bench_function("n6k1_20seeds_sequential", |b| {
+        b.iter(|| equilibria::harvest_equilibria(&spec61, 0..20, 50_000).unwrap())
+    });
+    group.bench_function("n6k1_20seeds_parallel", |b| {
+        b.iter(|| {
+            equilibria::harvest_equilibria_parallel(&spec61, 0..20, 50_000, threads()).unwrap()
+        })
+    });
+
+    // The e06-scale workload: 24 seeds on (12,2), where individual walks
+    // are long enough that work-stealing matters (walk lengths vary ~10×).
+    let spec122 = GameSpec::uniform(12, 2);
+    group.bench_function("n12k2_24seeds_sequential", |b| {
+        b.iter(|| equilibria::harvest_equilibria(&spec122, 0..24, 50_000).unwrap())
+    });
+    group.bench_function("n12k2_24seeds_parallel", |b| {
+        b.iter(|| {
+            equilibria::harvest_equilibria_parallel(&spec122, 0..24, 50_000, threads()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumerate_sharded, bench_harvest_parallel);
+criterion_main!(benches);

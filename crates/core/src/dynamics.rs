@@ -108,7 +108,10 @@ pub enum WalkOutcome {
     },
     /// The step limit expired first.
     StepLimit {
-        /// The limit that was hit.
+        /// Steps executed when the walk stopped. Equals the limit for
+        /// one-test-per-step schedulers; a max-cost-first scan is atomic
+        /// (every node it probes counts), so the walk may end a few tests
+        /// past the limit.
         steps: u64,
     },
 }
@@ -156,6 +159,11 @@ pub struct Walk<'a> {
     /// round-robin/random).
     stable_streak: usize,
     rng: Option<SmallRng>,
+    /// Whether the caller asked for cycle detection ([`Walk::detect_cycles`];
+    /// on by default). The *effective* state is `history`, reconciled from
+    /// this flag and the scheduler after every builder call, so builder-call
+    /// order never matters.
+    want_cycles: bool,
     history: Option<DetHashMap<(Configuration, usize), u64>>,
     trace: Option<Vec<MoveRecord>>,
 }
@@ -180,6 +188,7 @@ impl<'a> Walk<'a> {
             order,
             stable_streak: 0,
             rng: None,
+            want_cycles: true,
             history: Some(DetHashMap::default()),
             trace: None,
         }
@@ -192,27 +201,45 @@ impl<'a> Walk<'a> {
     /// Panics if a [`Scheduler::RoundRobinOrder`] is not a permutation of all
     /// nodes.
     pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
-        if let Scheduler::RoundRobinOrder(order) = &scheduler {
-            let mut seen = vec![false; self.spec.node_count()];
-            assert_eq!(
-                order.len(),
-                self.spec.node_count(),
-                "order must cover every node"
-            );
-            for &v in order {
-                assert!(!seen[v.index()], "order repeats {v}");
-                seen[v.index()] = true;
+        match &scheduler {
+            Scheduler::RoundRobinOrder(order) => {
+                let mut seen = vec![false; self.spec.node_count()];
+                assert_eq!(
+                    order.len(),
+                    self.spec.node_count(),
+                    "order must cover every node"
+                );
+                for &v in order {
+                    assert!(!seen[v.index()], "order repeats {v}");
+                    seen[v.index()] = true;
+                }
+                self.order = order.clone();
             }
-            self.order = order.clone();
+            // Plain round-robin always means id order, even after a
+            // `RoundRobinOrder` was set earlier on the builder.
+            Scheduler::RoundRobin => self.order = NodeId::all(self.spec.node_count()).collect(),
+            Scheduler::MaxCostFirst | Scheduler::Random { .. } => {}
         }
-        if let Scheduler::Random { seed } = scheduler {
-            self.rng = Some(SmallRng::seed_from_u64(seed));
-            // Random walks are not deterministic state machines; a revisited
-            // configuration does not imply a loop, so disable detection.
-            self.history = None;
-        }
+        // Builder state is reconciled from scratch on every switch so the
+        // final walk depends only on the final scheduler, never on the call
+        // order: the RNG exists exactly for `Random`, and a history dropped
+        // for `Random` comes back when switching to a deterministic policy.
+        self.rng = match scheduler {
+            Scheduler::Random { seed } => Some(SmallRng::seed_from_u64(seed)),
+            _ => None,
+        };
+        // Drop any accumulated history: its keys are `(config, pos)` states
+        // of the *old* scheduler's dynamics, and matching one of them under
+        // the new scheduler would certify a cycle that never happened. (A
+        // pre-run builder chain only ever drops empty maps.)
+        self.history = None;
         self.scheduler = scheduler;
         self.pos = 0;
+        // The no-move streak belongs to the old scheduler's test order; with
+        // pos back at 0 a carried streak could certify equilibrium after
+        // fewer than n fresh tests.
+        self.stable_streak = 0;
+        self.reconcile_history();
         self
     }
 
@@ -227,10 +254,30 @@ impl<'a> Walk<'a> {
 
     /// Enables or disables exact-state cycle detection (on by default; the
     /// history grows by one configuration per step).
+    ///
+    /// The request is remembered independently of the scheduler: asking for
+    /// detection and *then* switching schedulers (or the reverse) converges
+    /// to the same walk. Detection stays off while the scheduler is
+    /// [`Scheduler::Random`] — a revisited configuration does not imply a
+    /// loop when moves are drawn randomly — but revives if the walk is
+    /// switched back to a deterministic policy before running.
     pub fn detect_cycles(mut self, yes: bool) -> Self {
-        let deterministic = !matches!(self.scheduler, Scheduler::Random { .. });
-        self.history = (yes && deterministic).then(DetHashMap::default);
+        self.want_cycles = yes;
+        self.reconcile_history();
         self
+    }
+
+    /// Derives the effective cycle-detection state from the requested flag
+    /// and the current scheduler (idempotent; keeps an existing map).
+    fn reconcile_history(&mut self) {
+        let deterministic = !matches!(self.scheduler, Scheduler::Random { .. });
+        if self.want_cycles && deterministic {
+            if self.history.is_none() {
+                self.history = Some(DetHashMap::default());
+            }
+        } else {
+            self.history = None;
+        }
     }
 
     /// Enables recording of every applied move.
@@ -353,14 +400,18 @@ impl<'a> Walk<'a> {
         by_cost.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         for (_, u) in by_cost {
             let out = self.engine.best_response(u, &self.options)?;
+            // Every stability test counts as a step (the `WalkStats::steps`
+            // contract), including the non-movers probed before the mover is
+            // found — otherwise max-cost-first walks would report
+            // incomparably fewer steps than round-robin for the same number
+            // of best-response evaluations.
+            self.stats.steps += 1;
             if out.improves() {
-                self.stats.steps += 1;
                 self.apply_move(u, out.best_strategy, out.current_cost, out.best_cost);
                 return Ok(true);
             }
         }
-        // Full scan found no mover: equilibrium. Count the scan as a step.
-        self.stats.steps += 1;
+        // Full scan found no mover: equilibrium (every test already counted).
         Ok(false)
     }
 
@@ -546,6 +597,159 @@ mod tests {
         let spec = GameSpec::uniform(3, 1);
         let _ = Walk::new(&spec, Configuration::empty(3))
             .with_scheduler(Scheduler::RoundRobinOrder(vec![v(0), v(0), v(1)]));
+    }
+
+    #[test]
+    fn max_cost_first_counts_every_stability_test() {
+        // Regression: from an equilibrium start, the single max-cost-first
+        // scan probes all n nodes and must count all n stability tests —
+        // the `WalkStats::steps` contract — not just one for the scan.
+        let n = 5;
+        let spec = GameSpec::uniform(n, 1);
+        let ring =
+            Configuration::from_strategies(&spec, (0..n).map(|i| vec![v((i + 1) % n)]).collect())
+                .unwrap();
+        let mut walk = Walk::new(&spec, ring.clone()).with_scheduler(Scheduler::MaxCostFirst);
+        let outcome = walk.run(1000).unwrap();
+        // Same accounting as the round-robin walk over the same start.
+        assert_eq!(outcome, WalkOutcome::Equilibrium { steps: n as u64 });
+        assert_eq!(walk.stats().moves, 0);
+    }
+
+    #[test]
+    fn max_cost_first_move_records_use_step_indices() {
+        // The MoveRecord.step of a max-cost-first move is the index of the
+        // stability test that became the move, consistent with `step_node`.
+        let spec = GameSpec::uniform(6, 1);
+        let mut walk = Walk::new(&spec, Configuration::empty(6))
+            .with_scheduler(Scheduler::MaxCostFirst)
+            .record_trace(true);
+        let _ = walk.run(10_000).unwrap();
+        let steps = walk.stats().steps;
+        let mut last = None;
+        for mv in walk.trace() {
+            assert!(mv.step < steps, "move step within the counted range");
+            if let Some(prev) = last {
+                assert!(mv.step > prev, "move steps strictly increase");
+            }
+            last = Some(mv.step);
+        }
+    }
+
+    #[test]
+    fn builder_calls_converge_regardless_of_order() {
+        let spec = GameSpec::uniform(6, 2);
+
+        // detect_cycles(true) then Random: detection off (non-deterministic).
+        let w = Walk::new(&spec, Configuration::empty(6))
+            .detect_cycles(true)
+            .with_scheduler(Scheduler::Random { seed: 3 });
+        assert!(w.history.is_none());
+        assert!(w.rng.is_some());
+
+        // Random then back to RoundRobin: the previously-requested history
+        // revives and the stale RNG is dropped.
+        let w = Walk::new(&spec, Configuration::empty(6))
+            .detect_cycles(true)
+            .with_scheduler(Scheduler::Random { seed: 3 })
+            .with_scheduler(Scheduler::RoundRobin);
+        assert!(
+            w.history.is_some(),
+            "cycle detection must survive a scheduler detour through Random"
+        );
+        assert!(w.rng.is_none(), "no stale RNG on a deterministic walk");
+
+        // Opposite call order reaches the same state.
+        let w = Walk::new(&spec, Configuration::empty(6))
+            .with_scheduler(Scheduler::Random { seed: 3 })
+            .with_scheduler(Scheduler::RoundRobin)
+            .detect_cycles(true);
+        assert!(w.history.is_some());
+        assert!(w.rng.is_none());
+
+        // Explicit opt-out is respected in any order.
+        let w = Walk::new(&spec, Configuration::empty(6))
+            .detect_cycles(false)
+            .with_scheduler(Scheduler::MaxCostFirst);
+        assert!(w.history.is_none());
+
+        // A custom order is forgotten when plain RoundRobin is re-selected.
+        let w = Walk::new(&spec, Configuration::empty(6))
+            .with_scheduler(Scheduler::RoundRobinOrder(vec![
+                v(5),
+                v(4),
+                v(3),
+                v(2),
+                v(1),
+                v(0),
+            ]))
+            .with_scheduler(Scheduler::RoundRobin);
+        assert_eq!(w.order, NodeId::all(6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scheduler_switch_mid_run_resets_the_stability_streak() {
+        // A walk cut off at a step limit can carry a partial no-move
+        // streak; re-running after a scheduler switch must not let that
+        // stale streak certify equilibrium before n fresh tests.
+        for seed in 0..10 {
+            let spec = GameSpec::uniform(5, 1);
+            let mut walk = Walk::new(&spec, Configuration::random(&spec, seed));
+            let _ = walk.run(3).unwrap();
+            let mut walk = walk.with_scheduler(Scheduler::RoundRobin);
+            if let WalkOutcome::Equilibrium { .. } = walk.run(100_000).unwrap() {
+                assert!(
+                    StabilityChecker::new(&spec)
+                        .is_stable(walk.config())
+                        .unwrap(),
+                    "seed {seed}: certified equilibrium must actually be stable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_switch_mid_run_discards_stale_history() {
+        // States recorded under one scheduler's dynamics must not be able
+        // to certify a cycle under another: MaxCostFirst keeps pos = 0, so
+        // without the reset a later round-robin run could match an MCF-era
+        // `(config, 0)` key and report a loop that never happened.
+        let spec = GameSpec::uniform(7, 2);
+        let mut walk = Walk::new(&spec, Configuration::random(&spec, 3))
+            .with_scheduler(Scheduler::MaxCostFirst);
+        let _ = walk.run(20).unwrap();
+        assert!(!walk.history.as_ref().unwrap().is_empty());
+        let walk = walk.with_scheduler(Scheduler::RoundRobin);
+        assert!(
+            walk.history.as_ref().unwrap().is_empty(),
+            "switching schedulers must not carry another dynamics' states"
+        );
+    }
+
+    #[test]
+    fn cycle_detection_revived_after_random_detour_finds_cycles() {
+        // End-to-end: a walk that provably cycles under round-robin must
+        // still report the cycle when the builder detoured through Random.
+        let spec = GameSpec::uniform(7, 2);
+        let find_cycling_seed = || {
+            for seed in 0..400 {
+                let mut walk = Walk::new(&spec, Configuration::random(&spec, seed));
+                if matches!(walk.run(50_000), Ok(WalkOutcome::Cycle { .. })) {
+                    return Some(seed);
+                }
+            }
+            None
+        };
+        let seed = find_cycling_seed().expect("(7,2) cycles within 400 seeds");
+        let mut detoured = Walk::new(&spec, Configuration::random(&spec, seed))
+            .with_scheduler(Scheduler::Random { seed: 1 })
+            .with_scheduler(Scheduler::RoundRobin);
+        let mut direct = Walk::new(&spec, Configuration::random(&spec, seed));
+        assert_eq!(
+            detoured.run(50_000).unwrap(),
+            direct.run(50_000).unwrap(),
+            "detoured builder must replay the direct walk exactly"
+        );
     }
 
     #[test]

@@ -7,7 +7,12 @@
 //! a product; [`find_equilibria`] scans it, checking every profile for
 //! stability against the **full, unrestricted** deviation space — the
 //! restriction only limits which profiles are *candidates*, never what they
-//! may deviate to.
+//! may deviate to. [`find_equilibria_parallel`] runs the same scan as a
+//! work-stealing fleet over fixed-size linear-index shards and merges by
+//! shard start index, so its output is byte-identical to the sequential scan
+//! for every thread count.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::{Configuration, DistanceEngine, Error, GameSpec, NodeId, Result, StabilityChecker};
 
@@ -81,7 +86,8 @@ impl ProfileSpace {
     ///
     /// # Errors
     ///
-    /// Returns the first validation failure, or a dimension mismatch.
+    /// Returns the first validation failure, a dimension mismatch, or
+    /// [`Error::EmptyCandidateSet`] when some node lists no strategies.
     pub fn from_candidates(spec: &GameSpec, candidates: Vec<Vec<Vec<NodeId>>>) -> Result<Self> {
         if candidates.len() != spec.node_count() {
             return Err(Error::DimensionMismatch {
@@ -90,10 +96,11 @@ impl ProfileSpace {
             });
         }
         for (u, strategies) in candidates.iter().enumerate() {
-            assert!(
-                !strategies.is_empty(),
-                "node v{u} has no candidate strategies"
-            );
+            if strategies.is_empty() {
+                return Err(Error::EmptyCandidateSet {
+                    node: NodeId::new(u),
+                });
+            }
             for s in strategies {
                 spec.validate_strategy(NodeId::new(u), s)?;
             }
@@ -150,30 +157,47 @@ pub fn find_equilibria(
             limit: max_profiles,
         });
     }
+    let total = space.profile_count() as u64;
     let checker = StabilityChecker::new(spec);
+    let mut worker = ShardWorker::new(spec, space);
     let mut result = EnumerationResult {
         equilibria: Vec::new(),
         profiles_checked: 0,
     };
-    scan_range(
-        spec,
-        space,
-        &checker,
-        0,
-        space.per_node[0].len(),
-        &mut result,
-    )?;
+    worker.scan_linear_range(&checker, 0, total, &mut result)?;
     Ok(result)
 }
 
-/// Parallel variant of [`find_equilibria`]: splits the first node's
-/// candidate list across `threads` OS threads.
+/// Maximum profiles per work-stealing shard: small enough that a slow shard
+/// cannot leave workers idle for long, large enough that the per-shard
+/// engine re-sync (one patch per node) amortizes to noise.
+const MAX_SHARD_PROFILES: u64 = 256;
+
+/// Shard size for a scan of `total` profiles across `threads` workers:
+/// aims for ≥ 8 shards per worker (so stealing can rebalance uneven
+/// stability checks) without exceeding [`MAX_SHARD_PROFILES`]. The choice
+/// never affects results — shards are merged by start index.
+fn shard_size(total: u64, threads: usize) -> u64 {
+    (total / (threads as u64 * 8)).clamp(1, MAX_SHARD_PROFILES)
+}
+
+/// Parallel variant of [`find_equilibria`]: work-stealing over the **full**
+/// odometer space.
 ///
-/// Deterministic: results are merged in first-index order.
+/// The linear profile index range `[0, profile_count)` is cut into
+/// fixed-size shards (see [`shard_size`]); workers claim shards
+/// from a shared atomic cursor, each scanning with its own
+/// [`DistanceEngine`]. Shard results are merged by ascending shard start
+/// index, so the output — equilibria order *and* `profiles_checked` — is
+/// byte-identical to [`find_equilibria`] for every thread count, and no
+/// digit of the odometer (in particular not node 0's candidate list, the old
+/// split axis) caps the attainable parallelism.
 ///
 /// # Errors
 ///
-/// Same conditions as [`find_equilibria`].
+/// Same conditions as [`find_equilibria`]; when several shards fail, the
+/// error of the earliest shard (the one a sequential scan would have hit
+/// first) is returned.
 pub fn find_equilibria_parallel(
     spec: &GameSpec,
     space: &ProfileSpace,
@@ -185,90 +209,185 @@ pub fn find_equilibria_parallel(
             limit: max_profiles,
         });
     }
-    let first_len = space.per_node[0].len();
-    let threads = threads.max(1).min(first_len);
-    let chunk = first_len.div_ceil(threads);
-    let results: Vec<Result<EnumerationResult>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(first_len);
-            handles.push(scope.spawn(move || {
-                let checker = StabilityChecker::new(spec);
-                let mut result = EnumerationResult {
-                    equilibria: Vec::new(),
-                    profiles_checked: 0,
-                };
-                scan_range(spec, space, &checker, lo, hi, &mut result)?;
-                Ok(result)
-            }));
-        }
+    let total = space.profile_count() as u64;
+    let threads = threads.max(1);
+    let shard = shard_size(total, threads);
+    let shards = total.div_ceil(shard);
+    let threads = threads.min(shards as usize);
+    if threads <= 1 {
+        return find_equilibria(spec, space, max_profiles);
+    }
+
+    let cursor = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let per_worker: Vec<Vec<(u64, Result<EnumerationResult>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let checker = StabilityChecker::new(spec);
+                    let mut worker = ShardWorker::new(spec, space);
+                    let mut done: Vec<(u64, Result<EnumerationResult>)> = Vec::new();
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let shard_id = cursor.fetch_add(1, Ordering::Relaxed);
+                        if shard_id >= shards {
+                            break;
+                        }
+                        let lo = shard_id * shard;
+                        let hi = (lo + shard).min(total);
+                        let mut result = EnumerationResult {
+                            equilibria: Vec::new(),
+                            profiles_checked: 0,
+                        };
+                        let scanned = worker.scan_linear_range(&checker, lo, hi, &mut result);
+                        if scanned.is_err() {
+                            stop.store(true, Ordering::Relaxed);
+                            done.push((shard_id, scanned.map(|()| result)));
+                            break;
+                        }
+                        done.push((shard_id, Ok(result)));
+                    }
+                    done
+                })
+            })
+            .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("enumeration thread panicked"))
+            .map(|h| h.join().expect("enumeration worker panicked"))
             .collect()
     });
+
+    let mut by_shard: Vec<(u64, Result<EnumerationResult>)> =
+        per_worker.into_iter().flatten().collect();
+    by_shard.sort_unstable_by_key(|(shard, _)| *shard);
     let mut merged = EnumerationResult {
         equilibria: Vec::new(),
         profiles_checked: 0,
     };
-    for r in results {
+    for (_, r) in by_shard {
         let r = r?;
         merged.equilibria.extend(r.equilibria);
         merged.profiles_checked += r.profiles_checked;
     }
+    // A stop-flag race can leave trailing shards unclaimed only after an
+    // error, which the loop above has already surfaced.
+    debug_assert_eq!(merged.profiles_checked, total);
     Ok(merged)
 }
 
-/// Scans profiles whose first-node strategy index lies in `[first_lo,
-/// first_hi)`.
-///
-/// One [`DistanceEngine`] is threaded through the whole range: stepping the
-/// odometer to the next profile usually rewires a single node, so the engine
-/// diff-syncs one arc slab and keeps every distance row the change could not
-/// have affected.
-fn scan_range(
-    spec: &GameSpec,
-    space: &ProfileSpace,
-    checker: &StabilityChecker<'_>,
-    first_lo: usize,
-    first_hi: usize,
-    result: &mut EnumerationResult,
-) -> Result<()> {
-    let n = spec.node_count();
-    let sizes: Vec<usize> = space.per_node.iter().map(Vec::len).collect();
-    let mut idx = vec![0usize; n];
-    idx[0] = first_lo;
-    if first_lo >= first_hi {
-        return Ok(());
-    }
-    let mut engine = DistanceEngine::new(spec, Configuration::empty(n));
-    loop {
-        let lists: Vec<Vec<NodeId>> = (0..n).map(|u| space.per_node[u][idx[u]].clone()).collect();
-        let config = Configuration::from_strategies(spec, lists).expect("candidates pre-validated");
-        result.profiles_checked += 1;
-        engine.sync_to(&config);
-        if checker.is_stable_with_engine(&mut engine)? {
-            result.equilibria.push(config);
+/// One enumeration worker: a [`DistanceEngine`] plus the odometer state it
+/// is synced to, reused across every shard the worker claims.
+struct ShardWorker<'a> {
+    spec: &'a GameSpec,
+    space: &'a ProfileSpace,
+    sizes: Vec<usize>,
+    /// Current odometer digits (most significant = node 0); `None` until the
+    /// first shard positions the engine.
+    idx: Option<Vec<usize>>,
+    engine: DistanceEngine<'a>,
+}
+
+impl<'a> ShardWorker<'a> {
+    fn new(spec: &'a GameSpec, space: &'a ProfileSpace) -> Self {
+        let n = spec.node_count();
+        Self {
+            spec,
+            space,
+            sizes: space.per_node.iter().map(Vec::len).collect(),
+            idx: None,
+            engine: DistanceEngine::new(spec, Configuration::empty(n)),
         }
-        // Odometer increment, most-significant digit = node 0 bounded by
-        // [first_lo, first_hi).
-        let mut d = n;
-        loop {
-            if d == 0 {
-                return Ok(());
+    }
+
+    /// Scans linear profile indices `[lo, hi)` in odometer order.
+    ///
+    /// The engine is patched **per changed digit**: seeking to `lo` rewires
+    /// only the nodes whose digit differs from the engine's current state,
+    /// and each subsequent odometer tick rebuilds only the digits the carry
+    /// touched (usually one), so no profile ever re-clones every node's
+    /// strategy.
+    fn scan_linear_range(
+        &mut self,
+        checker: &StabilityChecker<'_>,
+        lo: u64,
+        hi: u64,
+        result: &mut EnumerationResult,
+    ) -> Result<()> {
+        if lo >= hi {
+            return Ok(());
+        }
+        self.seek(lo);
+        let n = self.spec.node_count();
+        for linear in lo..hi {
+            result.profiles_checked += 1;
+            if checker.is_stable_with_engine(&mut self.engine)? {
+                result.equilibria.push(self.engine.config().clone());
             }
-            d -= 1;
-            idx[d] += 1;
-            let limit = if d == 0 { first_hi } else { sizes[d] };
-            if idx[d] < limit {
+            if linear + 1 == hi {
                 break;
             }
-            idx[d] = if d == 0 { first_hi } else { 0 };
-            if d == 0 {
-                return Ok(());
+            // Odometer tick: increment from the least significant digit,
+            // patching exactly the digits the carry resets.
+            let mut d = n - 1;
+            loop {
+                let idx = self.idx.as_mut().expect("seek positioned the odometer");
+                idx[d] += 1;
+                if idx[d] < self.sizes[d] {
+                    self.set_digit(d);
+                    break;
+                }
+                idx[d] = 0;
+                // A one-candidate digit wraps 0 → 0: the strategy is
+                // unchanged, and re-applying it would needlessly invalidate
+                // every cached row the node touches.
+                if self.sizes[d] > 1 {
+                    self.set_digit(d);
+                }
+                debug_assert!(d > 0, "odometer overflow before hi");
+                d -= 1;
             }
         }
+        Ok(())
+    }
+
+    /// Positions the odometer (and engine) at linear profile index `target`,
+    /// patching only the digits that differ from the current position.
+    fn seek(&mut self, target: u64) {
+        let n = self.spec.node_count();
+        let mut digits = vec![0usize; n];
+        let mut rem = target;
+        for d in (0..n).rev() {
+            let size = self.sizes[d] as u64;
+            digits[d] = (rem % size) as usize;
+            rem /= size;
+        }
+        debug_assert_eq!(rem, 0, "linear index exceeds the profile space");
+        match &self.idx {
+            Some(current) => {
+                let changed: Vec<usize> = (0..n).filter(|&d| current[d] != digits[d]).collect();
+                self.idx = Some(digits);
+                for d in changed {
+                    self.set_digit(d);
+                }
+            }
+            None => {
+                self.idx = Some(digits);
+                for d in 0..n {
+                    self.set_digit(d);
+                }
+            }
+        }
+    }
+
+    /// Rewires node `d` to its current odometer digit's strategy.
+    fn set_digit(&mut self, d: usize) {
+        let i = self.idx.as_ref().expect("odometer positioned")[d];
+        let strategy = self.space.per_node[d][i].clone();
+        self.engine
+            .apply_strategy(NodeId::new(d), strategy)
+            .expect("candidates pre-validated");
     }
 }
 
@@ -345,19 +464,47 @@ mod tests {
     }
 
     #[test]
-    fn parallel_matches_sequential() {
+    fn parallel_matches_sequential_byte_identically() {
+        // The shard merge is by linear start index, so the parallel scan
+        // must reproduce the sequential result *exactly* — same equilibria
+        // in the same enumeration order — for every worker count.
         let spec = GameSpec::uniform(4, 1);
         let space = ProfileSpace::full(&spec, 1000).unwrap();
         let seq = find_equilibria(&spec, &space, 100_000).unwrap();
         for threads in [1, 2, 4, 7] {
             let par = find_equilibria_parallel(&spec, &space, 100_000, threads).unwrap();
-            assert_eq!(par.profiles_checked, seq.profiles_checked);
-            let mut a = par.equilibria.clone();
-            let mut b = seq.equilibria.clone();
-            a.sort_by_key(|c| format!("{c:?}"));
-            b.sort_by_key(|c| format!("{c:?}"));
-            assert_eq!(a, b, "threads={threads}");
+            assert_eq!(par, seq, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn sharding_covers_the_full_odometer_space() {
+        // A one-strategy first digit starves the old first-digit split but
+        // must not cap work-stealing sharding: restrict node 0 to a single
+        // strategy and check multi-thread runs still match sequentially.
+        let spec = GameSpec::uniform(4, 1);
+        let full = ProfileSpace::full(&spec, 1000).unwrap();
+        let mut candidates: Vec<Vec<Vec<NodeId>>> =
+            (0..4).map(|u| full.candidates(v(u)).to_vec()).collect();
+        candidates[0] = vec![vec![v(1)]];
+        let space = ProfileSpace::from_candidates(&spec, candidates).unwrap();
+        let seq = find_equilibria(&spec, &space, 100_000).unwrap();
+        assert_eq!(seq.profiles_checked, 64, "1 * 4^3 profiles");
+        for threads in [2, 3, 8] {
+            let par = find_equilibria_parallel(&spec, &space, 100_000, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_candidate_list_is_an_error_not_a_panic() {
+        let spec = GameSpec::uniform(3, 1);
+        let bad =
+            ProfileSpace::from_candidates(&spec, vec![vec![vec![v(1)]], vec![], vec![vec![v(0)]]]);
+        assert!(matches!(
+            bad,
+            Err(Error::EmptyCandidateSet { node }) if node == v(1)
+        ));
     }
 
     #[test]

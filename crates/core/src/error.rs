@@ -61,6 +61,12 @@ pub enum Error {
         /// Provided dimension.
         actual: usize,
     },
+    /// A restricted profile space listed no candidate strategies for some
+    /// node, which would make the product empty.
+    EmptyCandidateSet {
+        /// The node with an empty candidate list.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for Error {
@@ -95,6 +101,9 @@ impl fmt::Display for Error {
                     f,
                     "matrix dimension {actual} does not match game size {expected}"
                 )
+            }
+            Error::EmptyCandidateSet { node } => {
+                write!(f, "node {node} has no candidate strategies")
             }
         }
     }

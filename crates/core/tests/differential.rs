@@ -14,8 +14,8 @@
 //! invalidation (a stale row would surface here as a cost mismatch).
 
 use bbc_core::{
-    best_response, reference, BestResponseOptions, BestResponseOutcome, Configuration, CostModel,
-    DistanceEngine, GameSpec, NodeId, StabilityChecker, Walk, WalkOutcome,
+    best_response, enumerate, reference, BestResponseOptions, BestResponseOutcome, Configuration,
+    CostModel, DistanceEngine, GameSpec, NodeId, StabilityChecker, Walk, WalkOutcome,
 };
 use proptest::prelude::*;
 
@@ -192,5 +192,69 @@ proptest! {
                 StabilityChecker::new(&spec).is_stable(walk.config()).expect("check fits")
             );
         }
+    }
+}
+
+/// A small preference game: unit lengths/costs, budget 1, seeded weights —
+/// the Theorem-1 shape whose joint space stays enumerable.
+fn preference_spec(n: usize, weights: &[u64]) -> GameSpec {
+    let mut b = GameSpec::builder(n).default_budget(1);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                b = b.weight(u, v, weights[u * n + v]);
+            }
+        }
+    }
+    b.build().expect("preference game is valid")
+}
+
+/// Restricts each node's candidate list to a seeded non-empty prefix of the
+/// full strategy set, so shard boundaries land in differently-shaped spaces.
+fn restricted_space(spec: &GameSpec, keep: &[u64]) -> enumerate::ProfileSpace {
+    let full = enumerate::ProfileSpace::full(spec, 10_000).expect("small space");
+    let candidates: Vec<Vec<Vec<NodeId>>> = NodeId::all(spec.node_count())
+        .map(|u| {
+            let all = full.candidates(u);
+            let take = 1 + (keep[u.index()] as usize) % all.len();
+            all[..take].to_vec()
+        })
+        .collect();
+    enumerate::ProfileSpace::from_candidates(spec, candidates).expect("prefixes stay valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_enumeration_matches_sequential_on_uniform_games(
+        n in 3usize..=4,
+        keep in proptest::collection::vec(0u64..=255, 4),
+        threads in 2usize..=8,
+    ) {
+        // Work-stealing sharding must return the same `EnumerationResult` —
+        // equilibria in enumeration order AND profiles_checked — as the
+        // sequential scan, for any worker count and any space shape.
+        let spec = GameSpec::uniform(n, 1);
+        let space = restricted_space(&spec, &keep);
+        let seq = enumerate::find_equilibria(&spec, &space, 100_000).expect("scan fits");
+        let par = enumerate::find_equilibria_parallel(&spec, &space, 100_000, threads)
+            .expect("scan fits");
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn sharded_enumeration_matches_sequential_on_preference_games(
+        n in 3usize..=4,
+        weights in proptest::collection::vec(0u64..=3, 16),
+        keep in proptest::collection::vec(0u64..=255, 4),
+        threads in 2usize..=8,
+    ) {
+        let spec = preference_spec(n, &weights);
+        let space = restricted_space(&spec, &keep);
+        let seq = enumerate::find_equilibria(&spec, &space, 100_000).expect("scan fits");
+        let par = enumerate::find_equilibria_parallel(&spec, &space, 100_000, threads)
+            .expect("scan fits");
+        prop_assert_eq!(par, seq);
     }
 }

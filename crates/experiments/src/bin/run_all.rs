@@ -1,5 +1,10 @@
 //! Runs every experiment (E1–E12) in order. Pass --full for heavy sweeps.
-use bbc_experiments::{run_all, RunOptions};
+//!
+//! Exits non-zero when any experiment disagrees with the paper outside the
+//! documented discrepancy allowlist
+//! ([`bbc_experiments::DISCREPANCY_ALLOWLIST`]), so CI and scripted sweeps
+//! catch reproduction regressions instead of scrolling past them.
+use bbc_experiments::{run_all, unexpected_disagreements, RunOptions, DISCREPANCY_ALLOWLIST};
 
 fn main() {
     let outcomes = run_all(&RunOptions::from_env());
@@ -8,4 +13,13 @@ fn main() {
         "==> {agreeing}/{} experiments agree with the paper",
         outcomes.len()
     );
+    let unexpected = unexpected_disagreements(&outcomes);
+    if !unexpected.is_empty() {
+        eprintln!(
+            "==> FAIL: {} disagree(s) outside the documented allowlist {:?}",
+            unexpected.join(", "),
+            DISCREPANCY_ALLOWLIST
+        );
+        std::process::exit(1);
+    }
 }

@@ -87,7 +87,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
         let spec = g.spec();
         if opts.full {
             let space = g.candidate_space(&spec).expect("candidate space builds");
-            let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+            let threads = crate::default_threads();
             let result = enumerate::find_equilibria_parallel(&spec, &space, 60_000_000, threads)
                 .expect("parallel scan fits budget");
             table.row(&[

@@ -76,7 +76,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
         let profile_count = space.profile_count();
 
         let (game_ne, profiles_str) = if profile_count <= 3_000_000 {
-            let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+            let threads = crate::default_threads();
             let result = enumerate::find_equilibria_parallel(&spec, &space, 3_000_000, threads)
                 .expect("scan fits budget");
             (

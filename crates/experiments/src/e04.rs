@@ -78,8 +78,9 @@ pub fn run(opts: &RunOptions) -> Outcome {
     };
     for &(n, k, seeds) in harvest_params {
         let spec = GameSpec::uniform(n, k);
-        let harvest =
-            equilibria::harvest_equilibria(&spec, 0..seeds, 200_000).expect("walks fit budget");
+        let threads = crate::default_threads();
+        let harvest = equilibria::harvest_equilibria_parallel(&spec, 0..seeds, 200_000, threads)
+            .expect("walks fit budget");
         // Harvested equilibria of one game are near-identical configurations;
         // one shared evaluator lets the distance engine diff them instead of
         // re-deriving every row per equilibrium.

@@ -10,10 +10,10 @@
 //!   the worst known equilibrium (PoA witness): its ratio should track the
 //!   `√(n/k)/log_k n` curve.
 
-use bbc_analysis::{social, ExperimentReport, Table};
+use bbc_analysis::{social, ExperimentReport};
 use bbc_constructions::ForestOfWillows;
 
-use crate::{finish, Outcome, RunOptions};
+use crate::{finish, Outcome, RunOptions, StreamingTable};
 
 /// Largest tail length within the paper's constraint for the given tree.
 fn max_constrained_tail(k: u64, h: u32) -> Option<u32> {
@@ -36,19 +36,24 @@ pub fn run(opts: &RunOptions) -> Outcome {
         "price of stability is Θ(1); price of anarchy is Ω(√(n/k)/log_k n); \
          stable diameters are O(√(n·log_k n)) (Lemma 7)",
     );
-    let mut table = Table::new(&[
-        "k",
-        "h",
-        "n(best)",
-        "PoS-ratio",
-        "l(worst)",
-        "n(worst)",
-        "PoA-ratio",
-        "curve",
-        "PoA/curve",
-        "diam(worst)",
-        "L7-bound",
-    ]);
+    // Each (k, h) sweep point streams to target/experiments/E6.jsonl as it
+    // is priced, so a long --full sweep is inspectable before it finishes.
+    let mut table = StreamingTable::new(
+        "E6",
+        &[
+            "k",
+            "h",
+            "n(best)",
+            "PoS-ratio",
+            "l(worst)",
+            "n(worst)",
+            "PoA-ratio",
+            "curve",
+            "PoA/curve",
+            "diam(worst)",
+            "L7-bound",
+        ],
+    );
 
     let params: &[(u64, u32)] = if opts.full {
         &[
@@ -125,7 +130,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
         lo,
         hi
     );
-    let mut outcome = finish(report, table, measured, agrees);
+    let mut outcome = finish(report, table.into_table(), measured, agrees);
     outcome.report.notes.push(
         "ratios are against the exact degree-k packing lower bound; the paper's curve is \
          asymptotic, so shape (bounded PoA/curve band) is the reproduction target"

@@ -7,11 +7,11 @@
 //! round order and fits the growth of the measured step counts against
 //! `n²` (the normalized column should be flat).
 
-use bbc_analysis::{ExperimentReport, Table};
+use bbc_analysis::ExperimentReport;
 use bbc_constructions::RingWithPath;
 use bbc_core::{Configuration, GameSpec, Walk};
 
-use crate::{finish, Outcome, RunOptions};
+use crate::{finish, Outcome, RunOptions, StreamingTable};
 
 /// Runs the experiment.
 pub fn run(opts: &RunOptions) -> Outcome {
@@ -21,7 +21,12 @@ pub fn run(opts: &RunOptions) -> Outcome {
         "round-robin best response reaches strong connectivity within n² steps; \
          a ring-with-path start needs Ω(n²)",
     );
-    let mut table = Table::new(&["part", "n", "k", "seed/inst", "steps-to-SC", "n²", "ratio"]);
+    // Every (n, k, seed) walk streams its row to target/experiments/E8.jsonl
+    // the moment the walk ends — the sweep is diffable mid-run.
+    let mut table = StreamingTable::new(
+        "E8",
+        &["part", "n", "k", "seed/inst", "steps-to-SC", "n²", "ratio"],
+    );
     let mut upper_ok = true;
 
     // Part 1: upper bound on random sparse starts.
@@ -125,7 +130,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
         lower_ratios.last().copied().unwrap_or(0.0),
     );
 
-    finish(report, table, measured, agrees)
+    finish(report, table.into_table(), measured, agrees)
 }
 
 /// CLI entry point.

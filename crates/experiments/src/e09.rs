@@ -12,44 +12,51 @@
 //! 3. **Empty-start** round-robin: §4.3 observes convergence — swept across
 //!    `(n, k)`.
 
-use bbc_analysis::{ExperimentReport, Table};
+use bbc_analysis::{equilibria, ExperimentReport};
 use bbc_core::{Configuration, GameSpec, Scheduler, Walk, WalkOutcome};
 
-use crate::{finish, Outcome, RunOptions};
+use crate::{finish, Outcome, RunOptions, StreamingTable};
 
 /// Finds a round-robin loop in the (7,2) game and renders it like Figure 4.
+///
+/// The seed scan fans out across every core
+/// ([`equilibria::find_best_response_loop_parallel`] returns the lowest
+/// cycling seed, exactly what the old sequential scan found); only the
+/// single witness walk is replayed with tracing for the rendering.
 fn loop_certificate(max_seeds: u64) -> Option<(u64, u64, String)> {
     let spec = GameSpec::uniform(7, 2);
-    for seed in 0..max_seeds {
-        let start = Configuration::random(&spec, seed);
-        let mut walk = Walk::new(&spec, start).record_trace(true);
-        if let Ok(WalkOutcome::Cycle {
-            first_seen_step,
-            period,
-        }) = walk.run(50_000)
-        {
-            // Render the moves inside the cycle window (costs were recorded
-            // by the walk itself — no re-evaluation needed).
-            let mut lines = Vec::new();
-            for mv in walk.trace().iter().filter(|m| m.step >= first_seen_step) {
-                let targets: Vec<String> = mv
-                    .new_strategy
-                    .iter()
-                    .map(|t| t.index().to_string())
-                    .collect();
-                lines.push(format!(
-                    "  step {:>4}: node {} rewires to [{}]  (cost {} -> {})",
-                    mv.step,
-                    mv.node.index(),
-                    targets.join(" "),
-                    mv.old_cost,
-                    mv.new_cost
-                ));
-            }
-            return Some((seed, period, lines.join("\n")));
-        }
+    let threads = crate::default_threads();
+    let (seed, _, _) =
+        equilibria::find_best_response_loop_parallel(&spec, 0..max_seeds, 50_000, threads)
+            .expect("walks fit budget")?;
+    let start = Configuration::random(&spec, seed);
+    let mut walk = Walk::new(&spec, start).record_trace(true);
+    let Ok(WalkOutcome::Cycle {
+        first_seen_step,
+        period,
+    }) = walk.run(50_000)
+    else {
+        unreachable!("witness seed replays to the same cycle");
+    };
+    // Render the moves inside the cycle window (costs were recorded by the
+    // walk itself — no re-evaluation needed).
+    let mut lines = Vec::new();
+    for mv in walk.trace().iter().filter(|m| m.step >= first_seen_step) {
+        let targets: Vec<String> = mv
+            .new_strategy
+            .iter()
+            .map(|t| t.index().to_string())
+            .collect();
+        lines.push(format!(
+            "  step {:>4}: node {} rewires to [{}]  (cost {} -> {})",
+            mv.step,
+            mv.node.index(),
+            targets.join(" "),
+            mv.old_cost,
+            mv.new_cost
+        ));
     }
-    None
+    Some((seed, period, lines.join("\n")))
 }
 
 /// Runs the experiment.
@@ -60,7 +67,12 @@ pub fn run(opts: &RunOptions) -> Outcome {
         "round-robin best response can loop (uniform BBC is not a potential game); \
          max-cost-first can fail to converge; empty starts converge",
     );
-    let mut table = Table::new(&["part", "game", "seeds", "converged", "cycled", "verdict"]);
+    // Each part's summary row streams to target/experiments/E9.jsonl as soon
+    // as that part finishes.
+    let mut table = StreamingTable::new(
+        "E9",
+        &["part", "game", "seeds", "converged", "cycled", "verdict"],
+    );
     let mut notes = Vec::new();
 
     // Part 1: the (7,2) loop.
@@ -156,7 +168,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
         mcf_seeds,
         empty_all
     );
-    let mut outcome = finish(report, table, measured, agrees);
+    let mut outcome = finish(report, table.into_table(), measured, agrees);
     outcome.report.notes = notes;
     outcome.report.notes.push(
         "Figure 4's exact initial configuration is not recoverable from the paper; the loop \

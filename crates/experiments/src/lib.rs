@@ -21,6 +21,10 @@
 
 use bbc_analysis::{ExperimentReport, Table};
 
+pub mod stream;
+
+pub use stream::{read_stream, stream_path, StreamRecord, StreamingTable};
+
 pub mod e01;
 pub mod e02;
 pub mod e03;
@@ -50,6 +54,12 @@ impl RunOptions {
     }
 }
 
+/// Worker count for the parallel search entry points: every available
+/// core, with a fixed fallback when the parallelism query fails.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |p| p.get())
+}
+
 /// What every experiment returns.
 #[derive(Clone, Debug)]
 pub struct Outcome {
@@ -73,6 +83,22 @@ pub fn emit(outcome: &Outcome) {
         Err(e) => eprintln!("could not save record to {}: {e}", path.display()),
     }
     println!();
+}
+
+/// Experiments allowed to report `agrees = false`: the workspace's
+/// documented reproduction discrepancies (see the module docs of each id).
+/// Anything else disagreeing is a regression and [`unexpected_disagreements`]
+/// (hence the `run_all` binary's exit code) flags it.
+pub const DISCREPANCY_ALLOWLIST: &[&str] = &["E12"];
+
+/// Ids of outcomes that disagree with the paper outside the documented
+/// [`DISCREPANCY_ALLOWLIST`].
+pub fn unexpected_disagreements(outcomes: &[Outcome]) -> Vec<String> {
+    outcomes
+        .iter()
+        .filter(|o| !o.report.agrees && !DISCREPANCY_ALLOWLIST.contains(&o.report.id.as_str()))
+        .map(|o| o.report.id.clone())
+        .collect()
 }
 
 /// Runs every experiment in order (the `run_all` binary).

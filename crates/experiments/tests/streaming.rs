@@ -1,0 +1,35 @@
+//! Integration: experiments stream one JSONL record per sweep point, and
+//! the stream agrees row-for-row with the final in-memory table.
+
+use bbc_experiments::{e06, e08, read_stream, stream_path, RunOptions};
+
+fn assert_stream_matches_table(id: &str, outcome: &bbc_experiments::Outcome) {
+    let path = stream_path(id);
+    let records = read_stream(&path)
+        .unwrap_or_else(|e| panic!("{id} stream at {} must parse: {e}", path.display()));
+    assert_eq!(
+        records.len(),
+        outcome.table.len(),
+        "{id}: one record per table row"
+    );
+    // CSV and stream carry the same cells in the same order.
+    let csv_rows: Vec<&str> = outcome.report.csv.lines().skip(1).collect();
+    for (i, record) in records.iter().enumerate() {
+        assert_eq!(record.experiment, id);
+        assert_eq!(record.seq, i as u64);
+        assert_eq!(record.cells.join(","), csv_rows[i], "{id} row {i}");
+        assert_eq!(record.columns.len(), record.cells.len());
+    }
+}
+
+#[test]
+fn e06_streams_each_sweep_point() {
+    let outcome = e06::run(&RunOptions { full: false });
+    assert_stream_matches_table("E6", &outcome);
+}
+
+#[test]
+fn e08_streams_each_walk_row() {
+    let outcome = e08::run(&RunOptions { full: false });
+    assert_stream_matches_table("E8", &outcome);
+}

@@ -15,6 +15,14 @@ fn theorem1_no_equilibrium_instances_exist() {
     assert!(result.equilibria.is_empty());
     assert_eq!(result.profiles_checked, 11_664);
 
+    // The work-stealing sharded scan covers the identical space and returns
+    // a byte-identical result at any worker count — this is the gadget
+    // product the old first-digit split could not shard past node 0.
+    for threads in [2, 8] {
+        let par = enumerate::find_equilibria_parallel(&spec, &space, 100_000, threads).unwrap();
+        assert_eq!(par, result, "threads={threads}");
+    }
+
     // The 5-node theorem-statement witness.
     let witness = gadget::minimal_no_ne_witness();
     let space = enumerate::ProfileSpace::full(&witness, 1 << 14).unwrap();
