@@ -39,6 +39,11 @@ pub struct ExperimentReport {
     pub notes: Vec<String>,
     /// The data rows behind the verdict (CSV text, for diffing).
     pub csv: String,
+    /// Canonical run-config fingerprint of the sweep that produced the
+    /// record (empty for non-streaming experiments). Matches the header of
+    /// the experiment's `.jsonl` stream, so the report names exactly which
+    /// configuration — grid, scheduler, seeds, mode — its rows came from.
+    pub fingerprint: String,
 }
 
 impl ExperimentReport {
@@ -52,6 +57,7 @@ impl ExperimentReport {
             agrees: false,
             notes: Vec::new(),
             csv: String::new(),
+            fingerprint: String::new(),
         }
     }
 

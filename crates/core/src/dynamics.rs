@@ -158,6 +158,9 @@ pub struct Walk<'a> {
     /// Consecutive steps without a move (equilibrium detector for
     /// round-robin/random).
     stable_streak: usize,
+    /// OS threads for the per-step oracle BFS fan-out
+    /// ([`Walk::prefill_threads`]; 1 = sequential).
+    prefill: usize,
     rng: Option<SmallRng>,
     /// Whether the caller asked for cycle detection ([`Walk::detect_cycles`];
     /// on by default). The *effective* state is `history`, reconciled from
@@ -187,6 +190,7 @@ impl<'a> Walk<'a> {
             pos: 0,
             order,
             stable_streak: 0,
+            prefill: 1,
             rng: None,
             want_cycles: true,
             history: Some(DetHashMap::default()),
@@ -286,6 +290,17 @@ impl<'a> Walk<'a> {
         self
     }
 
+    /// Spreads each step's oracle BFS fan-out (up to `n − 1` deviation-row
+    /// traversals per stability test) across `threads` OS threads via
+    /// [`DistanceEngine::best_response_prefilled`]. The walk itself —
+    /// outcome, configuration, steps, moves — is byte-identical for every
+    /// thread count; only wall-clock changes. Values ≤ 1 keep the
+    /// sequential path.
+    pub fn prefill_threads(mut self, threads: usize) -> Self {
+        self.prefill = threads.max(1);
+        self
+    }
+
     /// The current configuration.
     pub fn config(&self) -> &Configuration {
         self.engine.config()
@@ -377,9 +392,16 @@ impl<'a> Walk<'a> {
         })
     }
 
+    /// One stability test through the engine, honouring the walk's prefill
+    /// policy (the single call site shared by every scheduler).
+    fn test_node(&mut self, u: NodeId) -> Result<crate::BestResponseOutcome> {
+        self.engine
+            .best_response_prefilled(u, &self.options, self.prefill)
+    }
+
     /// Offers `u` a best-response step; returns whether it moved.
     fn step_node(&mut self, u: NodeId) -> Result<bool> {
-        let out = self.engine.best_response(u, &self.options)?;
+        let out = self.test_node(u)?;
         self.stats.steps += 1;
         if !out.improves() {
             return Ok(false);
@@ -399,7 +421,7 @@ impl<'a> Walk<'a> {
         // Max cost first; ties by lowest id.
         by_cost.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         for (_, u) in by_cost {
-            let out = self.engine.best_response(u, &self.options)?;
+            let out = self.test_node(u)?;
             // Every stability test counts as a step (the `WalkStats::steps`
             // contract), including the non-movers probed before the mover is
             // found — otherwise max-cost-first walks would report
@@ -452,7 +474,7 @@ impl<'a> Walk<'a> {
     /// each failed confirmation).
     fn exact_scan_stable(&mut self) -> Result<bool> {
         for u in NodeId::all(self.spec.node_count()) {
-            if self.engine.best_response(u, &self.options)?.improves() {
+            if self.test_node(u)?.improves() {
                 return Ok(false);
             }
         }
@@ -750,6 +772,32 @@ mod tests {
             direct.run(50_000).unwrap(),
             "detoured builder must replay the direct walk exactly"
         );
+    }
+
+    #[test]
+    fn prefill_threads_never_change_the_walk() {
+        // The parallel oracle fan-out is an execution policy, not a
+        // semantic one: outcome, endpoint, steps and moves must be
+        // byte-identical for every thread count, on every scheduler.
+        for scheduler in [
+            Scheduler::RoundRobin,
+            Scheduler::MaxCostFirst,
+            Scheduler::Random { seed: 7 },
+        ] {
+            let spec = GameSpec::uniform(10, 2);
+            let start = Configuration::random(&spec, 42);
+            let run = |threads: usize| {
+                let mut walk = Walk::new(&spec, start.clone())
+                    .with_scheduler(scheduler.clone())
+                    .prefill_threads(threads);
+                let outcome = walk.run(2_000).unwrap();
+                (outcome, walk.stats().clone(), walk.into_config())
+            };
+            let base = run(1);
+            for threads in [2usize, 4] {
+                assert_eq!(run(threads), base, "{scheduler:?} threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -430,6 +430,35 @@ impl<'a> DistanceEngine<'a> {
         self.conn.is_strongly_connected(&self.csr)
     }
 
+    /// [`DistanceEngine::best_response`] with the oracle BFS fan-out on the
+    /// parallel path: `u`'s missing deviation rows (up to `n − 1`
+    /// traversals) are filled across `threads` OS threads via
+    /// [`DistanceEngine::prefill_oracle_rows`] before the search runs.
+    ///
+    /// Byte-identical to [`DistanceEngine::best_response`] for every thread
+    /// count (prefilling writes exactly the rows the sequential path would
+    /// compute); when the memoized outcome for `(u, options)` is still
+    /// valid, the prefill is skipped so a cache hit stays a cache hit.
+    ///
+    /// # Errors
+    ///
+    /// As [`DistanceEngine::best_response`].
+    pub fn best_response_prefilled(
+        &mut self,
+        u: NodeId,
+        options: &BestResponseOptions,
+        threads: usize,
+    ) -> Result<BestResponseOutcome> {
+        let memo_valid = self.oracle[u.index()]
+            .outcome
+            .as_ref()
+            .is_some_and(|(cached, _)| cached == options);
+        if threads > 1 && !memo_valid {
+            self.prefill_oracle_rows(&[u], threads);
+        }
+        self.best_response(u, options)
+    }
+
     /// Fills every invalid oracle row of `nodes` across `threads` OS threads
     /// (`std::thread::scope`), returning the number of traversals run.
     ///
@@ -647,6 +676,39 @@ mod tests {
                 "searches after prefill must be pure cache hits (threads {threads})"
             );
         }
+    }
+
+    #[test]
+    fn prefilled_best_response_matches_plain_for_every_thread_count() {
+        let spec = GameSpec::uniform(9, 2);
+        let cfg = Configuration::random(&spec, 11);
+        for threads in [1usize, 2, 4] {
+            let mut engine = DistanceEngine::new(&spec, cfg.clone());
+            for u in NodeId::all(9) {
+                assert_eq!(
+                    engine.best_response_prefilled(u, &opts(), threads).unwrap(),
+                    best_response::exact(&spec, &cfg, u, &opts()).unwrap(),
+                    "threads {threads} node {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefilled_best_response_skips_prefill_on_memo_hit() {
+        let spec = GameSpec::uniform(6, 1);
+        let mut engine = DistanceEngine::new(&spec, Configuration::empty(6));
+        let u = NodeId::new(0);
+        let a = engine.best_response_prefilled(u, &opts(), 4).unwrap();
+        let rows_after_first = engine.stats().oracle_rows_computed;
+        let b = engine.best_response_prefilled(u, &opts(), 4).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            engine.stats().oracle_rows_computed,
+            rows_after_first,
+            "a memoized outcome must not trigger a prefill"
+        );
+        assert_eq!(engine.stats().outcome_hits, 1);
     }
 
     #[test]

@@ -185,7 +185,7 @@ fn shard_size(total: u64, threads: usize) -> u64 {
 /// odometer space.
 ///
 /// The linear profile index range `[0, profile_count)` is cut into
-/// fixed-size shards (see [`shard_size`]); workers claim shards
+/// fixed-size shards (≤ 256 profiles, sized for ≥ 8 per worker); workers claim shards
 /// from a shared atomic cursor, each scanning with its own
 /// [`DistanceEngine`]. Shard results are merged by ascending shard start
 /// index, so the output — equilibria order *and* `profiles_checked` — is

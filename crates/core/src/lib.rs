@@ -19,7 +19,7 @@
 //!   cache-invalidation rules);
 //! * [`best_response`] — exact single-node best response via the deviation
 //!   oracle (one shortest-path run per candidate target);
-//! * [`reference`] — frozen pre-refactor implementations, the executable
+//! * [`reference`](mod@reference) — frozen pre-refactor implementations, the executable
 //!   spec the engine is differentially tested and benchmarked against;
 //! * [`StabilityChecker`] — pure-Nash-equilibrium decision with
 //!   [`Deviation`] witnesses;

@@ -1,4 +1,6 @@
-//! Binary wrapper for experiment E4. Pass --full for the heavy sweeps.
+//! Binary wrapper for experiment E04. Flags: --full (heavy sweeps),
+//! --resume (skip sweep points already recorded in the JSONL stream),
+//! --fresh (truncate and restart the stream; the default).
 fn main() {
     bbc_experiments::e04::cli();
 }

@@ -1,6 +1,6 @@
-//! Binary wrapper for experiment E02. Flags: --full (heavy sweeps),
+//! Binary wrapper for experiment E13. Flags: --full (heavy sweeps),
 //! --resume (skip sweep points already recorded in the JSONL stream),
 //! --fresh (truncate and restart the stream; the default).
 fn main() {
-    bbc_experiments::e02::cli();
+    bbc_experiments::e13::cli();
 }

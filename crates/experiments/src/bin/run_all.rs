@@ -1,4 +1,6 @@
-//! Runs every experiment (E1–E12) in order. Pass --full for heavy sweeps.
+//! Runs every experiment (E1–E13) in order. Flags: --full for heavy
+//! sweeps, --resume to skip sweep points already recorded in the per-
+//! experiment JSONL streams, --fresh (default) to truncate and restart.
 //!
 //! Exits non-zero when any experiment disagrees with the paper outside the
 //! documented discrepancy allowlist

@@ -5,13 +5,17 @@
 //! canonical profile is checked stable (existence certificate) and, when the
 //! candidate space is small enough, the full scan runs too. Unsatisfiable
 //! side: the full candidate-space scan must come back empty.
+//!
+//! Each formula is one resumable sweep point in
+//! `target/experiments/E2.jsonl`; a `--resume` run re-decides only the
+//! formulas the previous run never reached.
 
-use bbc_analysis::{ExperimentReport, Table};
+use bbc_analysis::ExperimentReport;
 use bbc_constructions::SatReduction;
 use bbc_core::{enumerate, StabilityChecker};
 use bbc_sat::{dpll, gen, Cnf, Lit};
 
-use crate::{finish, Outcome, RunOptions};
+use crate::{finish_streamed, Fingerprint, Outcome, RunOptions, StreamingTable};
 
 /// The formula suite: `(name, cnf)`.
 fn suite(full: bool) -> Vec<(String, Cnf)> {
@@ -61,12 +65,35 @@ pub fn run(opts: &RunOptions) -> Outcome {
         "Theorem 2 / Figure 2",
         "the reduced game has a pure NE exactly when the formula is satisfiable",
     );
-    let mut table = Table::new(&[
-        "formula", "vars", "clauses", "dpll", "game-NE", "profiles", "agree",
-    ]);
+    let formulas = suite(opts.full);
+    let fingerprint = Fingerprint::new("E2")
+        .param("full", opts.full)
+        .param(
+            "formulas",
+            formulas
+                .iter()
+                .map(|(name, _)| name.as_str())
+                .collect::<Vec<_>>()
+                .join(","),
+        )
+        .param("scan-budget", 3_000_000);
+    let mut table = StreamingTable::open(
+        "E2",
+        &[
+            "formula", "vars", "clauses", "dpll", "game-NE", "profiles", "agree",
+        ],
+        &fingerprint,
+        opts.resume,
+    );
     let mut all_agree = true;
 
-    for (name, cnf) in suite(opts.full) {
+    for (name, cnf) in formulas {
+        if let Some(rows) = table.begin_point() {
+            for r in &rows {
+                all_agree &= r.raw_bool(0);
+            }
+            continue;
+        }
         let sat = dpll::solve(&cnf);
         let reduction = SatReduction::new(cnf.clone());
         let spec = reduction.spec();
@@ -97,15 +124,18 @@ pub fn run(opts: &RunOptions) -> Outcome {
 
         let agree = sat.is_some() == game_ne;
         all_agree &= agree;
-        table.row(&[
-            name,
-            cnf.num_vars().to_string(),
-            cnf.num_clauses().to_string(),
-            if sat.is_some() { "SAT" } else { "UNSAT" }.to_string(),
-            if game_ne { "yes" } else { "no" }.to_string(),
-            profiles_str,
-            if agree { "✓" } else { "✗" }.to_string(),
-        ]);
+        table.row_raw(
+            &[
+                name,
+                cnf.num_vars().to_string(),
+                cnf.num_clauses().to_string(),
+                if sat.is_some() { "SAT" } else { "UNSAT" }.to_string(),
+                if game_ne { "yes" } else { "no" }.to_string(),
+                profiles_str,
+                if agree { "✓" } else { "✗" }.to_string(),
+            ],
+            &[agree.to_string()],
+        );
     }
 
     let measured = format!(
@@ -117,7 +147,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
             "NOT all of them"
         }
     );
-    let mut outcome = finish(report, table, measured, all_agree);
+    let mut outcome = finish_streamed(report, table, measured, all_agree);
     outcome.report.notes.push(
         "reduction uses the repaired weights documented in bbc-constructions::sat_reduction \
          (truth-node anchors, bottom→S links, re-derived center weights)"

@@ -7,13 +7,16 @@
 //! equilibrium. Regret is reported relative to scale (`regret / D`), so a
 //! decreasing column is exactly "the fractional relaxation restores
 //! (approximate) stability".
+//!
+//! Each `(instance, D)` lattice run is one resumable sweep point in
+//! `target/experiments/E3.jsonl`.
 
-use bbc_analysis::{ExperimentReport, Table};
+use bbc_analysis::ExperimentReport;
 use bbc_constructions::gadget;
 use bbc_core::GameSpec;
 use bbc_fractional::{br, FractionalBrOptions, FractionalConfig, FractionalGame};
 
-use crate::{finish, Outcome, RunOptions};
+use crate::{finish_streamed, Fingerprint, Outcome, RunOptions, StreamingTable};
 
 /// Runs the experiment.
 pub fn run(opts: &RunOptions) -> Outcome {
@@ -22,14 +25,32 @@ pub fn run(opts: &RunOptions) -> Outcome {
         "Theorem 3",
         "every fractional BBC game has a pure Nash equilibrium (regret → 0 on the lattice)",
     );
-    let mut table = Table::new(&[
-        "instance",
-        "n",
-        "D",
-        "rounds",
-        "max-regret(scaled)",
-        "regret/D",
-    ]);
+    let resolutions: &[u64] = if opts.full { &[1, 2, 4, 6] } else { &[1, 2, 4] };
+    let fingerprint = Fingerprint::new("E3")
+        .param("full", opts.full)
+        .param(
+            "instances",
+            if opts.full {
+                "minimal-witness, gadget/restricted"
+            } else {
+                "minimal-witness"
+            },
+        )
+        .param("resolutions", format!("{resolutions:?}"))
+        .param("rounds", 30);
+    let mut table = StreamingTable::open(
+        "E3",
+        &[
+            "instance",
+            "n",
+            "D",
+            "rounds",
+            "max-regret(scaled)",
+            "regret/D",
+        ],
+        &fingerprint,
+        opts.resume,
+    );
 
     let witness = gadget::minimal_no_ne_witness();
     let mut instances: Vec<(&str, &GameSpec)> = vec![("minimal-witness", &witness)];
@@ -41,33 +62,40 @@ pub fn run(opts: &RunOptions) -> Outcome {
 
     let mut shrinks = true;
     for (name, spec) in instances {
-        let resolutions: &[u64] = if opts.full { &[1, 2, 4, 6] } else { &[1, 2, 4] };
         let mut first_rel: f64 = f64::NAN;
         let mut last_rel: f64 = f64::NAN;
         for &d in resolutions {
-            let game = FractionalGame::new(spec, d);
-            let options = FractionalBrOptions::default();
-            let rounds = 30;
-            let (_, regret) = br::averaged_play_regret(
-                &game,
-                FractionalConfig::empty(spec.node_count()),
-                rounds,
-                &options,
-            )
-            .expect("lattice search fits budget");
-            let rel = regret as f64 / d as f64;
+            let rel = if let Some(rows) = table.begin_point() {
+                rows.first().expect("lattice row recorded").raw_f64(0)
+            } else {
+                let game = FractionalGame::new(spec, d);
+                let options = FractionalBrOptions::default();
+                let rounds = 30;
+                let (_, regret) = br::averaged_play_regret(
+                    &game,
+                    FractionalConfig::empty(spec.node_count()),
+                    rounds,
+                    &options,
+                )
+                .expect("lattice search fits budget");
+                let rel = regret as f64 / d as f64;
+                table.row_raw(
+                    &[
+                        name.to_string(),
+                        spec.node_count().to_string(),
+                        d.to_string(),
+                        rounds.to_string(),
+                        regret.to_string(),
+                        format!("{rel:.3}"),
+                    ],
+                    &[rel.to_string()],
+                );
+                rel
+            };
             if first_rel.is_nan() {
                 first_rel = rel;
             }
             last_rel = rel;
-            table.row(&[
-                name.to_string(),
-                spec.node_count().to_string(),
-                d.to_string(),
-                rounds.to_string(),
-                regret.to_string(),
-                format!("{rel:.3}"),
-            ]);
         }
         // The refined lattice must come strictly closer to equilibrium than
         // the integral game (which provably has none, so first_rel > 0).
@@ -79,7 +107,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
          integral game to the finest lattice ({})",
         if shrinks { "confirmed" } else { "violated" }
     );
-    let mut outcome = finish(report, table, measured, shrinks);
+    let mut outcome = finish_streamed(report, table, measured, shrinks);
     outcome.report.notes.push(
         "regret is measured on fictitious-play averages (lattice best responses are always \
          pure, so raw orbits never visit mixed profiles); the integral game (D=1) provably \

@@ -4,12 +4,16 @@
 //! best-response dynamics on uniform games — and checks every one against
 //! Lemma 1's additive bound `n + n·⌊log_k n⌋` and the multiplicative
 //! constant `2 + 1/k`.
+//!
+//! Each willow parameter and each `(n, k, seeds)` dynamics harvest is one
+//! resumable sweep point in `target/experiments/E4.jsonl` (a harvest point
+//! emits one row per distinct equilibrium it found).
 
-use bbc_analysis::{equilibria, fairness, fairness_with, ExperimentReport, Table};
+use bbc_analysis::{equilibria, fairness, fairness_with, ExperimentReport};
 use bbc_constructions::ForestOfWillows;
 use bbc_core::{Evaluator, GameSpec};
 
-use crate::{finish, Outcome, RunOptions};
+use crate::{finish_streamed, Fingerprint, Outcome, RunOptions, StreamingTable};
 
 /// Runs the experiment.
 pub fn run(opts: &RunOptions) -> Outcome {
@@ -19,21 +23,9 @@ pub fn run(opts: &RunOptions) -> Outcome {
         "in any stable graph all node costs are within n+n·⌊log_k n⌋ additively \
          and ≈2+1/k multiplicatively",
     );
-    let mut table = Table::new(&[
-        "source",
-        "n",
-        "k",
-        "min-cost",
-        "max-cost",
-        "gap",
-        "add-bound",
-        "ratio",
-        "mult-bound",
-        "ok",
-    ]);
-    let mut all_ok = true;
 
-    // Forest of Willows equilibria across the tail spectrum.
+    // Forest of Willows equilibria across the tail spectrum, then
+    // dynamics-harvested equilibria on uniform games.
     let willow_params: &[(u64, u32, u32)] = if opts.full {
         &[
             (2, 3, 0),
@@ -47,7 +39,43 @@ pub fn run(opts: &RunOptions) -> Outcome {
     } else {
         &[(2, 3, 0), (2, 3, 2), (3, 2, 0)]
     };
+    let harvest_params: &[(usize, u64, u64)] = if opts.full {
+        &[(10, 1, 25), (12, 2, 25), (16, 2, 15), (20, 2, 10)]
+    } else {
+        &[(10, 1, 10), (12, 2, 8)]
+    };
+
+    let fingerprint = Fingerprint::new("E4")
+        .param("full", opts.full)
+        .param("willows", format!("{willow_params:?}"))
+        .param("harvests", format!("{harvest_params:?}"))
+        .param("harvest-budget", 200_000);
+    let mut table = StreamingTable::open(
+        "E4",
+        &[
+            "source",
+            "n",
+            "k",
+            "min-cost",
+            "max-cost",
+            "gap",
+            "add-bound",
+            "ratio",
+            "mult-bound",
+            "ok",
+        ],
+        &fingerprint,
+        opts.resume,
+    );
+    let mut all_ok = true;
+
     for &(k, h, l) in willow_params {
+        if let Some(rows) = table.begin_point() {
+            for r in &rows {
+                all_ok &= r.raw_bool(0);
+            }
+            continue;
+        }
         let Some(fow) = ForestOfWillows::new(k, h, l) else {
             continue;
         };
@@ -56,27 +84,30 @@ pub fn run(opts: &RunOptions) -> Outcome {
         let f = fairness(&spec, &cfg);
         let ok = f.within_additive_bound() && f.ratio <= f.multiplicative_bound + 0.5;
         all_ok &= ok;
-        table.row(&[
-            format!("willow(k={k},h={h},l={l})"),
-            spec.node_count().to_string(),
-            k.to_string(),
-            f.min_cost.to_string(),
-            f.max_cost.to_string(),
-            f.additive_gap.to_string(),
-            f.additive_bound.to_string(),
-            format!("{:.3}", f.ratio),
-            format!("{:.3}", f.multiplicative_bound),
-            if ok { "✓" } else { "✗" }.to_string(),
-        ]);
+        table.row_raw(
+            &[
+                format!("willow(k={k},h={h},l={l})"),
+                spec.node_count().to_string(),
+                k.to_string(),
+                f.min_cost.to_string(),
+                f.max_cost.to_string(),
+                f.additive_gap.to_string(),
+                f.additive_bound.to_string(),
+                format!("{:.3}", f.ratio),
+                format!("{:.3}", f.multiplicative_bound),
+                if ok { "✓" } else { "✗" }.to_string(),
+            ],
+            &[ok.to_string()],
+        );
     }
 
-    // Dynamics-harvested equilibria on uniform games.
-    let harvest_params: &[(usize, u64, u64)] = if opts.full {
-        &[(10, 1, 25), (12, 2, 25), (16, 2, 15), (20, 2, 10)]
-    } else {
-        &[(10, 1, 10), (12, 2, 8)]
-    };
     for &(n, k, seeds) in harvest_params {
+        if let Some(rows) = table.begin_point() {
+            for r in &rows {
+                all_ok &= r.raw_bool(0);
+            }
+            continue;
+        }
         let spec = GameSpec::uniform(n, k);
         let threads = crate::default_threads();
         let harvest = equilibria::harvest_equilibria_parallel(&spec, 0..seeds, 200_000, threads)
@@ -89,18 +120,21 @@ pub fn run(opts: &RunOptions) -> Outcome {
             let f = fairness_with(&mut eval, eq);
             let ok = f.within_additive_bound() && f.ratio <= f.multiplicative_bound + 0.5;
             all_ok &= ok;
-            table.row(&[
-                format!("dynamics(n={n},k={k})#{i}"),
-                n.to_string(),
-                k.to_string(),
-                f.min_cost.to_string(),
-                f.max_cost.to_string(),
-                f.additive_gap.to_string(),
-                f.additive_bound.to_string(),
-                format!("{:.3}", f.ratio),
-                format!("{:.3}", f.multiplicative_bound),
-                if ok { "✓" } else { "✗" }.to_string(),
-            ]);
+            table.row_raw(
+                &[
+                    format!("dynamics(n={n},k={k})#{i}"),
+                    n.to_string(),
+                    k.to_string(),
+                    f.min_cost.to_string(),
+                    f.max_cost.to_string(),
+                    f.additive_gap.to_string(),
+                    f.additive_bound.to_string(),
+                    format!("{:.3}", f.ratio),
+                    format!("{:.3}", f.multiplicative_bound),
+                    if ok { "✓" } else { "✗" }.to_string(),
+                ],
+                &[ok.to_string()],
+            );
         }
     }
 
@@ -109,7 +143,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
         table.len(),
         all_ok
     );
-    let mut outcome = finish(report, table, measured, all_ok);
+    let mut outcome = finish_streamed(report, table, measured, all_ok);
     outcome.report.notes.push(
         "the multiplicative check allows +0.5 slack for the lemma's o(1) term on small n"
             .to_string(),

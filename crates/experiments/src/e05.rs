@@ -7,12 +7,15 @@
 //! (or below the `h ≥ 3` threshold Lemma 2's `k = 2` case needs) are also
 //! measured and reported — observed stability there is a bonus finding, not
 //! a claim.
+//!
+//! Each `(k, h, l)` check is one resumable sweep point in
+//! `target/experiments/E5.jsonl`.
 
-use bbc_analysis::{ExperimentReport, Table};
+use bbc_analysis::ExperimentReport;
 use bbc_constructions::ForestOfWillows;
 use bbc_core::{best_response, BestResponseOptions, StabilityChecker};
 
-use crate::{finish, Outcome, RunOptions};
+use crate::{finish_streamed, Fingerprint, Outcome, RunOptions, StreamingTable};
 
 /// Runs the experiment.
 pub fn run(opts: &RunOptions) -> Outcome {
@@ -22,8 +25,6 @@ pub fn run(opts: &RunOptions) -> Outcome {
         "every Forest of Willows graph (within the paper's parameter constraint) is a \
          pure Nash equilibrium",
     );
-    let mut table = Table::new(&["k", "h", "l", "n", "constraint", "check", "stable"]);
-    let mut claimed_all_stable = true;
 
     let params: &[(u64, u32, u32)] = if opts.full {
         &[
@@ -52,7 +53,27 @@ pub fn run(opts: &RunOptions) -> Outcome {
         ]
     };
 
+    let fingerprint = Fingerprint::new("E5")
+        .param("full", opts.full)
+        .param("grid", format!("{params:?}"))
+        .param("full-exact-cutoff", 64);
+    let mut table = StreamingTable::open(
+        "E5",
+        &["k", "h", "l", "n", "constraint", "check", "stable"],
+        &fingerprint,
+        opts.resume,
+    );
+    let mut claimed_all_stable = true;
+
     for &(k, h, l) in params {
+        if let Some(rows) = table.begin_point() {
+            for r in &rows {
+                // within-constraint instances must be stable; others are
+                // bonus findings.
+                claimed_all_stable &= !r.raw_bool(0) || r.raw_bool(1);
+            }
+            continue;
+        }
         let Some(fow) = ForestOfWillows::new(k, h, l) else {
             continue;
         };
@@ -85,15 +106,18 @@ pub fn run(opts: &RunOptions) -> Outcome {
         if within {
             claimed_all_stable &= stable;
         }
-        table.row(&[
-            k.to_string(),
-            h.to_string(),
-            l.to_string(),
-            n.to_string(),
-            if within { "paper" } else { "extra" }.to_string(),
-            mode.to_string(),
-            if stable { "✓" } else { "✗" }.to_string(),
-        ]);
+        table.row_raw(
+            &[
+                k.to_string(),
+                h.to_string(),
+                l.to_string(),
+                n.to_string(),
+                if within { "paper" } else { "extra" }.to_string(),
+                mode.to_string(),
+                if stable { "✓" } else { "✗" }.to_string(),
+            ],
+            &[within.to_string(), stable.to_string()],
+        );
     }
 
     let measured = format!(
@@ -101,7 +125,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
         table.len(),
         claimed_all_stable
     );
-    let mut outcome = finish(report, table, measured, claimed_all_stable);
+    let mut outcome = finish_streamed(report, table, measured, claimed_all_stable);
     outcome.report.notes.push(
         "class-exact = one exact best-response per structural symmetry class \
          (sections and equal-depth subtrees are isomorphic by construction)"

@@ -9,11 +9,16 @@
 //! * Forest of Willows with the largest `l` the paper's constraint admits —
 //!   the worst known equilibrium (PoA witness): its ratio should track the
 //!   `√(n/k)/log_k n` curve.
+//!
+//! Each `(k, h)` pricing is one resumable sweep point: a `--resume` run
+//! replays recorded points from `target/experiments/E6.jsonl` (the `raw`
+//! state carries the exact PoS ratio, normalized PoA and Lemma-7 verdict)
+//! and prices only the missing parameters.
 
 use bbc_analysis::{social, ExperimentReport};
 use bbc_constructions::ForestOfWillows;
 
-use crate::{finish, Outcome, RunOptions, StreamingTable};
+use crate::{finish_streamed, Fingerprint, Outcome, RunOptions, StreamingTable};
 
 /// Largest tail length within the paper's constraint for the given tree.
 fn max_constrained_tail(k: u64, h: u32) -> Option<u32> {
@@ -36,24 +41,6 @@ pub fn run(opts: &RunOptions) -> Outcome {
         "price of stability is Θ(1); price of anarchy is Ω(√(n/k)/log_k n); \
          stable diameters are O(√(n·log_k n)) (Lemma 7)",
     );
-    // Each (k, h) sweep point streams to target/experiments/E6.jsonl as it
-    // is priced, so a long --full sweep is inspectable before it finishes.
-    let mut table = StreamingTable::new(
-        "E6",
-        &[
-            "k",
-            "h",
-            "n(best)",
-            "PoS-ratio",
-            "l(worst)",
-            "n(worst)",
-            "PoA-ratio",
-            "curve",
-            "PoA/curve",
-            "diam(worst)",
-            "L7-bound",
-        ],
-    );
 
     let params: &[(u64, u32)] = if opts.full {
         &[
@@ -72,45 +59,91 @@ pub fn run(opts: &RunOptions) -> Outcome {
         &[(2, 3), (2, 4), (2, 5), (3, 2), (3, 3)]
     };
 
+    let fingerprint = Fingerprint::new("E6")
+        .param("full", opts.full)
+        .param("grid", format!("{params:?}"))
+        .param("family", "forest-of-willows l=0 vs max-constrained-tail");
+    // Each (k, h) sweep point streams to target/experiments/E6.jsonl as it
+    // is priced, so a long --full sweep is inspectable before it finishes
+    // and restartable afterwards.
+    let mut table = StreamingTable::open(
+        "E6",
+        &[
+            "k",
+            "h",
+            "n(best)",
+            "PoS-ratio",
+            "l(worst)",
+            "n(worst)",
+            "PoA-ratio",
+            "curve",
+            "PoA/curve",
+            "diam(worst)",
+            "L7-bound",
+        ],
+        &fingerprint,
+        opts.resume,
+    );
+
     let mut pos_ratios = Vec::new();
     let mut normalized_poa = Vec::new();
     let mut diam_ok = true;
     for &(k, h) in params {
+        if let Some(rows) = table.begin_point() {
+            for r in &rows {
+                pos_ratios.push(r.raw_f64(0));
+                normalized_poa.push(r.raw_f64(1));
+                diam_ok &= r.raw_bool(2);
+            }
+            continue;
+        }
+        // Both the best (l = 0) and the constrained worst willow must exist
+        // for the point to be priced; every aggregate rides the row, so a
+        // skipped parameter contributes nothing (and replays as nothing).
         let Some(best) = ForestOfWillows::new(k, h, 0) else {
+            continue;
+        };
+        let Some(l) = max_constrained_tail(k, h) else {
             continue;
         };
         let best_ratio = social::price_ratio(&best.spec(), &best.configuration());
         pos_ratios.push(best_ratio);
 
-        let Some(l) = max_constrained_tail(k, h) else {
-            continue;
-        };
         let worst = ForestOfWillows::new(k, h, l).expect("constrained tail exists");
         let n_worst = worst.node_count();
         let worst_ratio = social::price_ratio(&worst.spec(), &worst.configuration());
         let curve = social::poa_lower_bound_curve(n_worst, k);
-        normalized_poa.push(worst_ratio / curve);
+        let normalized = worst_ratio / curve;
+        normalized_poa.push(normalized);
 
         // Lemma 7: the diameter of any stable graph is O(√(n·log_k n)).
         let diam = bbc_graph::diameter::diameter(&worst.configuration().to_graph(&worst.spec()))
             .expect("willows are strongly connected");
         let logk = (n_worst as f64).ln() / (k as f64).ln();
         let l7_bound = (n_worst as f64 * logk).sqrt();
-        diam_ok &= (diam as f64) <= 4.0 * l7_bound;
+        let point_diam_ok = (diam as f64) <= 4.0 * l7_bound;
+        diam_ok &= point_diam_ok;
 
-        table.row(&[
-            k.to_string(),
-            h.to_string(),
-            best.node_count().to_string(),
-            format!("{best_ratio:.3}"),
-            l.to_string(),
-            n_worst.to_string(),
-            format!("{worst_ratio:.3}"),
-            format!("{curve:.3}"),
-            format!("{:.3}", worst_ratio / curve),
-            diam.to_string(),
-            format!("{l7_bound:.1}"),
-        ]);
+        table.row_raw(
+            &[
+                k.to_string(),
+                h.to_string(),
+                best.node_count().to_string(),
+                format!("{best_ratio:.3}"),
+                l.to_string(),
+                n_worst.to_string(),
+                format!("{worst_ratio:.3}"),
+                format!("{curve:.3}"),
+                format!("{normalized:.3}"),
+                diam.to_string(),
+                format!("{l7_bound:.1}"),
+            ],
+            &[
+                best_ratio.to_string(),
+                normalized.to_string(),
+                point_diam_ok.to_string(),
+            ],
+        );
     }
 
     // Verdict: PoS ratios bounded by a small constant; PoA/curve within a
@@ -130,7 +163,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
         lo,
         hi
     );
-    let mut outcome = finish(report, table.into_table(), measured, agrees);
+    let mut outcome = finish_streamed(report, table, measured, agrees);
     outcome.report.notes.push(
         "ratios are against the exact degree-k packing lower bound; the paper's curve is \
          asymptotic, so shape (bounded PoA/curve band) is the reproduction target"

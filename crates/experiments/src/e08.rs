@@ -6,12 +6,17 @@
 //! `n²`. Part 2 runs the paper's adversarial instance with its prescribed
 //! round order and fits the growth of the measured step counts against
 //! `n²` (the normalized column should be flat).
+//!
+//! Every walk is one resumable sweep point: a `--resume` run replays the
+//! recorded walks from `target/experiments/E8.jsonl` and computes only the
+//! missing ones (the row's `raw` state carries the `steps ≤ n²` verdict and
+//! the exact normalized ratio, so the rebuilt aggregates are bit-identical).
 
 use bbc_analysis::ExperimentReport;
 use bbc_constructions::RingWithPath;
 use bbc_core::{Configuration, GameSpec, Walk};
 
-use crate::{finish, Outcome, RunOptions, StreamingTable};
+use crate::{finish_streamed, Fingerprint, Outcome, RunOptions, StreamingTable};
 
 /// Runs the experiment.
 pub fn run(opts: &RunOptions) -> Outcome {
@@ -21,15 +26,8 @@ pub fn run(opts: &RunOptions) -> Outcome {
         "round-robin best response reaches strong connectivity within n² steps; \
          a ring-with-path start needs Ω(n²)",
     );
-    // Every (n, k, seed) walk streams its row to target/experiments/E8.jsonl
-    // the moment the walk ends — the sweep is diffable mid-run.
-    let mut table = StreamingTable::new(
-        "E8",
-        &["part", "n", "k", "seed/inst", "steps-to-SC", "n²", "ratio"],
-    );
-    let mut upper_ok = true;
 
-    // Part 1: upper bound on random sparse starts.
+    // Part 1 grid: random sparse starts. Part 2 grid: the Ω(n²) instances.
     let sweeps: &[(usize, u64, u64)] = if opts.full {
         &[
             (10, 1, 8),
@@ -42,9 +40,44 @@ pub fn run(opts: &RunOptions) -> Outcome {
     } else {
         &[(10, 1, 5), (14, 1, 5), (14, 2, 4)]
     };
+    let instances: &[(usize, usize)] = if opts.full {
+        &[(8, 4), (16, 8), (24, 12), (32, 16), (48, 24), (64, 32)]
+    } else {
+        &[(8, 4), (16, 8), (24, 12), (32, 16)]
+    };
+
+    let fingerprint = Fingerprint::new("E8")
+        .param("full", opts.full)
+        .param("random-grid", format!("{sweeps:?}"))
+        .param("instances", format!("{instances:?}"))
+        .param("scheduler", "round-robin/prescribed-order")
+        .param("budget", "n²+n");
+    // Every (n, k, seed) walk streams its row to target/experiments/E8.jsonl
+    // the moment the walk ends — the sweep is diffable mid-run and
+    // restartable after an interruption.
+    let mut table = StreamingTable::open(
+        "E8",
+        &["part", "n", "k", "seed/inst", "steps-to-SC", "n²", "ratio"],
+        &fingerprint,
+        opts.resume,
+    );
+    let mut upper_ok = true;
+    let mut max_ratio = 0.0f64;
+
+    // Part 1: upper bound on random sparse starts (one point per walk).
     for &(n, k, seeds) in sweeps {
         let spec = GameSpec::uniform(n, k);
         for seed in 0..seeds {
+            if let Some(rows) = table.begin_point() {
+                for r in &rows {
+                    upper_ok &= r.raw_bool(0);
+                    // "NEVER" rows carry no ratio.
+                    if r.raw.len() > 1 {
+                        max_ratio = max_ratio.max(r.raw_f64(1));
+                    }
+                }
+                continue;
+            }
             let start = Configuration::random_sparse(&spec, seed, 1);
             let mut walk = Walk::new(&spec, start).detect_cycles(false);
             let _ = walk
@@ -53,41 +86,55 @@ pub fn run(opts: &RunOptions) -> Outcome {
             let sq = (n * n) as u64;
             match walk.stats().steps_to_strong_connectivity {
                 Some(steps) => {
-                    upper_ok &= steps <= sq;
-                    table.row(&[
-                        "random".to_string(),
-                        n.to_string(),
-                        k.to_string(),
-                        seed.to_string(),
-                        steps.to_string(),
-                        sq.to_string(),
-                        format!("{:.3}", steps as f64 / sq as f64),
-                    ]);
+                    let ok = steps <= sq;
+                    upper_ok &= ok;
+                    let ratio = steps as f64 / sq as f64;
+                    max_ratio = max_ratio.max(ratio);
+                    table.row_raw(
+                        &[
+                            "random".to_string(),
+                            n.to_string(),
+                            k.to_string(),
+                            seed.to_string(),
+                            steps.to_string(),
+                            sq.to_string(),
+                            format!("{ratio:.3}"),
+                        ],
+                        &[ok.to_string(), ratio.to_string()],
+                    );
                 }
                 None => {
                     upper_ok = false;
-                    table.row(&[
-                        "random".to_string(),
-                        n.to_string(),
-                        k.to_string(),
-                        seed.to_string(),
-                        "NEVER".to_string(),
-                        sq.to_string(),
-                        "-".to_string(),
-                    ]);
+                    table.row_raw(
+                        &[
+                            "random".to_string(),
+                            n.to_string(),
+                            k.to_string(),
+                            seed.to_string(),
+                            "NEVER".to_string(),
+                            sq.to_string(),
+                            "-".to_string(),
+                        ],
+                        &["false"],
+                    );
                 }
             }
         }
     }
 
-    // Part 2: the Ω(n²) instance. steps/n² should stay bounded away from 0.
+    // Part 2: the Ω(n²) instance (one point per instance). steps/n² should
+    // stay bounded away from 0.
     let mut lower_ratios = Vec::new();
-    let instances: &[(usize, usize)] = if opts.full {
-        &[(8, 4), (16, 8), (24, 12), (32, 16), (48, 24), (64, 32)]
-    } else {
-        &[(8, 4), (16, 8), (24, 12), (32, 16)]
-    };
     for &(ring, path) in instances {
+        if let Some(rows) = table.begin_point() {
+            for r in &rows {
+                upper_ok &= r.raw_bool(0);
+                let ratio = r.raw_f64(1);
+                max_ratio = max_ratio.max(ratio);
+                lower_ratios.push(ratio);
+            }
+            continue;
+        }
         let Some(inst) = RingWithPath::new(ring, path) else {
             continue;
         };
@@ -104,18 +151,23 @@ pub fn run(opts: &RunOptions) -> Outcome {
             .steps_to_strong_connectivity
             .expect("ring-with-path always connects");
         let sq = (n * n) as u64;
-        upper_ok &= steps <= sq;
+        let ok = steps <= sq;
+        upper_ok &= ok;
         let ratio = steps as f64 / sq as f64;
+        max_ratio = max_ratio.max(ratio);
         lower_ratios.push(ratio);
-        table.row(&[
-            "ring+path".to_string(),
-            n.to_string(),
-            "1".to_string(),
-            format!("r={ring},p={path}"),
-            steps.to_string(),
-            sq.to_string(),
-            format!("{ratio:.3}"),
-        ]);
+        table.row_raw(
+            &[
+                "ring+path".to_string(),
+                n.to_string(),
+                "1".to_string(),
+                format!("r={ring},p={path}"),
+                steps.to_string(),
+                sq.to_string(),
+                format!("{ratio:.3}"),
+            ],
+            &[ok.to_string(), ratio.to_string()],
+        );
     }
     // Quadratic growth: the normalized ratio must not decay toward zero.
     let lower_ok = lower_ratios.last().copied().unwrap_or(0.0)
@@ -123,14 +175,20 @@ pub fn run(opts: &RunOptions) -> Outcome {
 
     let agrees = upper_ok && lower_ok;
     let measured = format!(
-        "all walks connected within n² (max ratio {:.3}); ring+path ratios stay flat \
-         ({:.3} → {:.3}), confirming Θ(n²)",
-        1.0_f64.min(1.0),
+        "{} within n² (max steps/n² ratio {max_ratio:.3}); ring+path ratios {} flat \
+         ({:.3} → {:.3}), {} Θ(n²)",
+        if upper_ok {
+            "all walks connected"
+        } else {
+            "NOT all walks connected"
+        },
+        if lower_ok { "stay" } else { "do NOT stay" },
         lower_ratios.first().copied().unwrap_or(0.0),
         lower_ratios.last().copied().unwrap_or(0.0),
+        if agrees { "confirming" } else { "refuting" },
     );
 
-    finish(report, table.into_table(), measured, agrees)
+    finish_streamed(report, table, measured, agrees)
 }
 
 /// CLI entry point.

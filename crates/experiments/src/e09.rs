@@ -1,6 +1,10 @@
 //! E9 — Figure 4 / §4.3: best-response loops and scheduler behaviour.
 //!
-//! Three parts:
+//! Three parts, each one resumable sweep point in
+//! `target/experiments/E9.jsonl` (the loop search is by far the heaviest;
+//! a `--resume` run replays its recorded verdict — including the rendered
+//! Figure-4-style certificate, carried in the row's `raw` state — instead
+//! of re-searching):
 //!
 //! 1. **Loop search** in the (7,2)-uniform game: deterministic round-robin
 //!    walks from seeded starts until one revisits an exact state — a
@@ -15,7 +19,7 @@
 use bbc_analysis::{equilibria, ExperimentReport};
 use bbc_core::{Configuration, GameSpec, Scheduler, Walk, WalkOutcome};
 
-use crate::{finish, Outcome, RunOptions, StreamingTable};
+use crate::{finish_streamed, Fingerprint, Outcome, RunOptions, StreamingTable};
 
 /// Finds a round-robin loop in the (7,2) game and renders it like Figure 4.
 ///
@@ -67,98 +71,149 @@ pub fn run(opts: &RunOptions) -> Outcome {
         "round-robin best response can loop (uniform BBC is not a potential game); \
          max-cost-first can fail to converge; empty starts converge",
     );
-    // Each part's summary row streams to target/experiments/E9.jsonl as soon
-    // as that part finishes.
-    let mut table = StreamingTable::new(
-        "E9",
-        &["part", "game", "seeds", "converged", "cycled", "verdict"],
-    );
-    let mut notes = Vec::new();
 
-    // Part 1: the (7,2) loop.
     let seeds = if opts.full { 2000 } else { 400 };
-    let loop_found = loop_certificate(seeds);
-    let loop_ok = loop_found.is_some();
-    match &loop_found {
-        Some((seed, period, rendering)) => {
-            table.row(&[
-                "rr-loop".to_string(),
-                "(7,2)".to_string(),
-                format!("≤{seed}"),
-                "-".to_string(),
-                format!("period {period}"),
-                "loop found".to_string(),
-            ]);
-            notes.push(format!("figure-4-style loop (seed {seed}):\n{rendering}"));
-        }
-        None => {
-            table.row(&[
-                "rr-loop".to_string(),
-                "(7,2)".to_string(),
-                seeds.to_string(),
-                "-".to_string(),
-                "0".to_string(),
-                "no loop found".to_string(),
-            ]);
-        }
-    }
-
-    // Part 2: max-cost-first from random starts.
     let mcf_seeds = if opts.full { 60 } else { 25 };
-    let spec = GameSpec::uniform(7, 2);
-    let (mut mcf_conv, mut mcf_cycle) = (0u64, 0u64);
-    for seed in 0..mcf_seeds {
-        let mut walk = Walk::new(&spec, Configuration::random(&spec, seed))
-            .with_scheduler(Scheduler::MaxCostFirst);
-        match walk.run(20_000).expect("walk fits budget") {
-            WalkOutcome::Equilibrium { .. } => mcf_conv += 1,
-            WalkOutcome::Cycle { .. } => mcf_cycle += 1,
-            WalkOutcome::StepLimit { .. } => {}
-        }
-    }
-    table.row(&[
-        "max-cost-first".to_string(),
-        "(7,2)".to_string(),
-        mcf_seeds.to_string(),
-        mcf_conv.to_string(),
-        mcf_cycle.to_string(),
-        if mcf_cycle > 0 {
-            "non-convergence seen"
-        } else {
-            "all converged"
-        }
-        .to_string(),
-    ]);
-
-    // Part 3: empty starts converge.
-    let mut empty_all = true;
     let grids: &[(usize, u64)] = if opts.full {
         &[(5, 1), (7, 1), (9, 1), (7, 2), (9, 2), (11, 2), (9, 3)]
     } else {
         &[(5, 1), (7, 2), (9, 2)]
     };
-    let mut empty_conv = 0u64;
-    for &(n, k) in grids {
-        let spec = GameSpec::uniform(n, k);
-        let mut walk = Walk::new(&spec, Configuration::empty(n));
-        match walk.run(200_000).expect("walk fits budget") {
-            WalkOutcome::Equilibrium { .. } => empty_conv += 1,
-            _ => empty_all = false,
+    let fingerprint = Fingerprint::new("E9")
+        .param("full", opts.full)
+        .param("loop-game", "(7,2)")
+        .param("loop-seeds", seeds)
+        .param("loop-budget", 50_000)
+        .param("mcf-seeds", mcf_seeds)
+        .param("mcf-budget", 20_000)
+        .param("empty-grid", format!("{grids:?}"))
+        .param("empty-budget", 200_000);
+    // Each part's summary row streams to target/experiments/E9.jsonl as soon
+    // as that part finishes.
+    let mut table = StreamingTable::open(
+        "E9",
+        &["part", "game", "seeds", "converged", "cycled", "verdict"],
+        &fingerprint,
+        opts.resume,
+    );
+    let mut notes = Vec::new();
+
+    // Part 1 (point 0): the (7,2) loop.
+    let loop_ok;
+    if let Some(rows) = table.begin_point() {
+        let r = rows.first().expect("part 1 always writes its row");
+        loop_ok = r.raw_bool(0);
+        if loop_ok {
+            notes.push(format!(
+                "figure-4-style loop (seed {}):\n{}",
+                r.raw_u64(1),
+                r.raw_str(2)
+            ));
+        }
+    } else {
+        let loop_found = loop_certificate(seeds);
+        loop_ok = loop_found.is_some();
+        match &loop_found {
+            Some((seed, period, rendering)) => {
+                table.row_raw(
+                    &[
+                        "rr-loop".to_string(),
+                        "(7,2)".to_string(),
+                        format!("≤{seed}"),
+                        "-".to_string(),
+                        format!("period {period}"),
+                        "loop found".to_string(),
+                    ],
+                    &["true".to_string(), seed.to_string(), rendering.clone()],
+                );
+                notes.push(format!("figure-4-style loop (seed {seed}):\n{rendering}"));
+            }
+            None => {
+                table.row_raw(
+                    &[
+                        "rr-loop".to_string(),
+                        "(7,2)".to_string(),
+                        seeds.to_string(),
+                        "-".to_string(),
+                        "0".to_string(),
+                        "no loop found".to_string(),
+                    ],
+                    &["false"],
+                );
+            }
         }
     }
-    table.row(&[
-        "empty-start".to_string(),
-        format!("{} games", grids.len()),
-        grids.len().to_string(),
-        empty_conv.to_string(),
-        (grids.len() as u64 - empty_conv).to_string(),
-        if empty_all {
-            "all converged"
-        } else {
-            "NOT all converged"
+
+    // Part 2 (point 1): max-cost-first from random starts.
+    let mcf_cycle;
+    if let Some(rows) = table.begin_point() {
+        let r = rows.first().expect("part 2 always writes its row");
+        mcf_cycle = r.raw_u64(0);
+    } else {
+        let spec = GameSpec::uniform(7, 2);
+        let (mut mcf_conv, mut cycle) = (0u64, 0u64);
+        for seed in 0..mcf_seeds {
+            let mut walk = Walk::new(&spec, Configuration::random(&spec, seed))
+                .with_scheduler(Scheduler::MaxCostFirst);
+            match walk.run(20_000).expect("walk fits budget") {
+                WalkOutcome::Equilibrium { .. } => mcf_conv += 1,
+                WalkOutcome::Cycle { .. } => cycle += 1,
+                WalkOutcome::StepLimit { .. } => {}
+            }
         }
-        .to_string(),
-    ]);
+        mcf_cycle = cycle;
+        table.row_raw(
+            &[
+                "max-cost-first".to_string(),
+                "(7,2)".to_string(),
+                mcf_seeds.to_string(),
+                mcf_conv.to_string(),
+                mcf_cycle.to_string(),
+                if mcf_cycle > 0 {
+                    "non-convergence seen"
+                } else {
+                    "all converged"
+                }
+                .to_string(),
+            ],
+            &[mcf_cycle.to_string()],
+        );
+    }
+
+    // Part 3 (point 2): empty starts converge.
+    let empty_all;
+    if let Some(rows) = table.begin_point() {
+        let r = rows.first().expect("part 3 always writes its row");
+        empty_all = r.raw_bool(0);
+    } else {
+        let mut all = true;
+        let mut empty_conv = 0u64;
+        for &(n, k) in grids {
+            let spec = GameSpec::uniform(n, k);
+            let mut walk = Walk::new(&spec, Configuration::empty(n));
+            match walk.run(200_000).expect("walk fits budget") {
+                WalkOutcome::Equilibrium { .. } => empty_conv += 1,
+                _ => all = false,
+            }
+        }
+        empty_all = all;
+        table.row_raw(
+            &[
+                "empty-start".to_string(),
+                format!("{} games", grids.len()),
+                grids.len().to_string(),
+                empty_conv.to_string(),
+                (grids.len() as u64 - empty_conv).to_string(),
+                if empty_all {
+                    "all converged"
+                } else {
+                    "NOT all converged"
+                }
+                .to_string(),
+            ],
+            &[empty_all.to_string()],
+        );
+    }
 
     let agrees = loop_ok && empty_all;
     let measured = format!(
@@ -168,7 +223,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
         mcf_seeds,
         empty_all
     );
-    let mut outcome = finish(report, table.into_table(), measured, agrees);
+    let mut outcome = finish_streamed(report, table, measured, agrees);
     outcome.report.notes = notes;
     outcome.report.notes.push(
         "Figure 4's exact initial configuration is not recoverable from the paper; the loop \

@@ -3,13 +3,14 @@
 //!
 //! Builds the 2k−1-tails construction, verifies its stability *exactly*
 //! (every node's exact best response under the max model), and compares its
-//! social cost ratio against the paper's curve.
+//! social cost ratio against the paper's curve. Each `(k, l)` instance is
+//! one resumable sweep point in `target/experiments/E10.jsonl`.
 
-use bbc_analysis::{social, ExperimentReport, Table};
+use bbc_analysis::{social, ExperimentReport};
 use bbc_constructions::MaxPoaGraph;
 use bbc_core::{DistanceEngine, StabilityChecker};
 
-use crate::{finish, Outcome, RunOptions};
+use crate::{finish_streamed, Fingerprint, Outcome, RunOptions, StreamingTable};
 
 /// Runs the experiment.
 pub fn run(opts: &RunOptions) -> Outcome {
@@ -19,19 +20,6 @@ pub fn run(opts: &RunOptions) -> Outcome {
         "BBC-max games have stable graphs with social cost Ω(n²/k), so the price of \
          anarchy is Ω(n/(k·log_k n))",
     );
-    let mut table = Table::new(&[
-        "k",
-        "l",
-        "n",
-        "stable",
-        "social-cost",
-        "lower-bound",
-        "PoA-ratio",
-        "curve",
-        "ratio/curve",
-    ]);
-    let mut all_stable = true;
-    let mut normalized = Vec::new();
 
     let params: &[(u64, usize)] = if opts.full {
         &[
@@ -49,7 +37,37 @@ pub fn run(opts: &RunOptions) -> Outcome {
         &[(3, 3), (3, 5), (3, 8), (4, 3), (4, 5)]
     };
 
+    let fingerprint = Fingerprint::new("E10")
+        .param("full", opts.full)
+        .param("grid", format!("{params:?}"))
+        .param("model", "max-distance");
+    let mut table = StreamingTable::open(
+        "E10",
+        &[
+            "k",
+            "l",
+            "n",
+            "stable",
+            "social-cost",
+            "lower-bound",
+            "PoA-ratio",
+            "curve",
+            "ratio/curve",
+        ],
+        &fingerprint,
+        opts.resume,
+    );
+    let mut all_stable = true;
+    let mut normalized = Vec::new();
+
     for &(k, l) in params {
+        if let Some(rows) = table.begin_point() {
+            for r in &rows {
+                all_stable &= r.raw_bool(0);
+                normalized.push(r.raw_f64(1));
+            }
+            continue;
+        }
         let Some(g) = MaxPoaGraph::new(k, l) else {
             continue;
         };
@@ -70,18 +88,22 @@ pub fn run(opts: &RunOptions) -> Outcome {
         let lb = social::uniform_social_lower_bound(&spec);
         let ratio = cost as f64 / lb as f64;
         let curve = social::max_poa_lower_bound_curve(n, k);
-        normalized.push(ratio / curve);
-        table.row(&[
-            k.to_string(),
-            l.to_string(),
-            n.to_string(),
-            if stable { "✓" } else { "✗" }.to_string(),
-            cost.to_string(),
-            lb.to_string(),
-            format!("{ratio:.3}"),
-            format!("{curve:.3}"),
-            format!("{:.3}", ratio / curve),
-        ]);
+        let norm = ratio / curve;
+        normalized.push(norm);
+        table.row_raw(
+            &[
+                k.to_string(),
+                l.to_string(),
+                n.to_string(),
+                if stable { "✓" } else { "✗" }.to_string(),
+                cost.to_string(),
+                lb.to_string(),
+                format!("{ratio:.3}"),
+                format!("{curve:.3}"),
+                format!("{norm:.3}"),
+            ],
+            &[stable.to_string(), norm.to_string()],
+        );
     }
 
     let (lo, hi) = normalized
@@ -98,7 +120,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
         all_stable,
         hi / lo
     );
-    let mut outcome = finish(report, table, measured, agrees);
+    let mut outcome = finish_streamed(report, table, measured, agrees);
     outcome.report.notes.push(
         "stability is verified computationally, per node, under the max-distance model — \
          the paper's k=2 special case is out of scope here (k ≥ 3 as in its main argument)"

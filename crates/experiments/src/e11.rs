@@ -2,13 +2,14 @@
 //!
 //! Forest of Willows graphs with `l = 0` should remain stable under the
 //! max-distance cost model and sit within a constant of the eccentricity
-//! lower bound `n · ⌈log-ish⌉`.
+//! lower bound `n · ⌈log-ish⌉`. Each `(k, h)` instance is one resumable
+//! sweep point in `target/experiments/E11.jsonl`.
 
-use bbc_analysis::{social, ExperimentReport, Table};
+use bbc_analysis::{social, ExperimentReport};
 use bbc_constructions::ForestOfWillows;
 use bbc_core::{CostModel, DistanceEngine, StabilityChecker};
 
-use crate::{finish, Outcome, RunOptions};
+use crate::{finish_streamed, Fingerprint, Outcome, RunOptions, StreamingTable};
 
 /// Runs the experiment.
 pub fn run(opts: &RunOptions) -> Outcome {
@@ -18,24 +19,43 @@ pub fn run(opts: &RunOptions) -> Outcome {
         "Forest of Willows graphs with l = 0 are stable under max-cost and within a \
          constant of the optimum (PoS Θ(1))",
     );
-    let mut table = Table::new(&[
-        "k",
-        "h",
-        "n",
-        "stable(max)",
-        "social-cost",
-        "lower-bound",
-        "ratio",
-    ]);
-    let mut all_stable = true;
-    let mut ratios = Vec::new();
 
     let params: &[(u64, u32)] = if opts.full {
         &[(2, 3), (2, 4), (3, 2), (3, 3), (4, 2)]
     } else {
         &[(2, 3), (3, 2), (2, 4)]
     };
+
+    let fingerprint = Fingerprint::new("E11")
+        .param("full", opts.full)
+        .param("grid", format!("{params:?}"))
+        .param("model", "max-distance")
+        .param("family", "forest-of-willows l=0");
+    let mut table = StreamingTable::open(
+        "E11",
+        &[
+            "k",
+            "h",
+            "n",
+            "stable(max)",
+            "social-cost",
+            "lower-bound",
+            "ratio",
+        ],
+        &fingerprint,
+        opts.resume,
+    );
+    let mut all_stable = true;
+    let mut ratios = Vec::new();
+
     for &(k, h) in params {
+        if let Some(rows) = table.begin_point() {
+            for r in &rows {
+                all_stable &= r.raw_bool(0);
+                ratios.push(r.raw_f64(1));
+            }
+            continue;
+        }
         let Some(fow) = ForestOfWillows::new(k, h, 0) else {
             continue;
         };
@@ -51,15 +71,18 @@ pub fn run(opts: &RunOptions) -> Outcome {
         let lb = social::uniform_social_lower_bound(&spec);
         let ratio = cost as f64 / lb as f64;
         ratios.push(ratio);
-        table.row(&[
-            k.to_string(),
-            h.to_string(),
-            fow.node_count().to_string(),
-            if stable { "✓" } else { "✗" }.to_string(),
-            cost.to_string(),
-            lb.to_string(),
-            format!("{ratio:.3}"),
-        ]);
+        table.row_raw(
+            &[
+                k.to_string(),
+                h.to_string(),
+                fow.node_count().to_string(),
+                if stable { "✓" } else { "✗" }.to_string(),
+                cost.to_string(),
+                lb.to_string(),
+                format!("{ratio:.3}"),
+            ],
+            &[stable.to_string(), ratio.to_string()],
+        );
     }
 
     let max_ratio = ratios.iter().cloned().fold(0.0, f64::max);
@@ -68,7 +91,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
         "all l=0 willows stable under max-cost: {all_stable}; cost/lower-bound ≤ {max_ratio:.2} \
          (constant)"
     );
-    finish(report, table, measured, agrees)
+    finish_streamed(report, table, measured, agrees)
 }
 
 /// CLI entry point.

@@ -16,13 +16,16 @@
 //! coordination but not matching-pennies.
 //!
 //! The experiment quantifies the surrender equilibria and re-runs a slice of
-//! the search so the negative finding is reproducible.
+//! the search so the negative finding is reproducible. Each of the three
+//! parts — the max-model scan, the sum-model control, and the random-search
+//! slice (the slow one in `--full` mode) — is one resumable sweep point in
+//! `target/experiments/E12.jsonl`.
 
-use bbc_analysis::{equilibria, ExperimentReport, Table};
+use bbc_analysis::{equilibria, ExperimentReport};
 use bbc_constructions::{gadget, Gadget, GadgetVariant};
 use bbc_core::{enumerate, CostModel};
 
-use crate::{finish, Outcome, RunOptions};
+use crate::{finish_streamed, Fingerprint, Outcome, RunOptions, StreamingTable};
 
 /// Runs the experiment.
 pub fn run(opts: &RunOptions) -> Outcome {
@@ -31,64 +34,106 @@ pub fn run(opts: &RunOptions) -> Outcome {
         "Theorem 7 / Figure 5",
         "there exist non-uniform BBC-max games with no pure Nash equilibrium",
     );
-    let mut table = Table::new(&["instance", "n", "profiles/seeds", "equilibria", "note"]);
-
-    // 1. The max-model re-reading of the restricted Theorem 1 gadget.
-    let spec = gadget::max_gadget_spec();
-    let g = Gadget::new(GadgetVariant::Restricted);
-    let space = g.candidate_space(&spec).expect("restricted space is tiny");
-    let result = enumerate::find_equilibria(&spec, &space, 1_000_000).expect("scan fits");
-    table.row(&[
-        "gadget/max-restricted".to_string(),
-        spec.node_count().to_string(),
-        result.profiles_checked.to_string(),
-        result.equilibria.len().to_string(),
-        "mutual-surrender equilibria".to_string(),
-    ]);
-
-    // 2. The sum-model control: identical topology and scan under the sum
-    // model has zero equilibria, isolating the cost model as the difference.
-    let sum_spec = g.spec();
-    let sum_space = g
-        .candidate_space(&sum_spec)
-        .expect("restricted space is tiny");
-    let sum_result =
-        enumerate::find_equilibria(&sum_spec, &sum_space, 1_000_000).expect("scan fits");
-    table.row(&[
-        "gadget/sum-control".to_string(),
-        sum_spec.node_count().to_string(),
-        sum_result.profiles_checked.to_string(),
-        sum_result.equilibria.len().to_string(),
-        "same topology, sum model".to_string(),
-    ]);
-
-    // 3. A reproducible slice of the random no-NE search under max.
     let seeds = if opts.full { 40_000 } else { 5_000 };
-    let witness =
-        equilibria::search_no_equilibrium_game(5, 0..seeds, 3, CostModel::MaxDistance, 200_000)
-            .expect("search fits budget");
-    table.row(&[
-        "random-search/max(n=5,k=1)".to_string(),
-        "5".to_string(),
-        seeds.to_string(),
-        match witness {
-            Some(seed) => format!("witness@{seed}"),
-            None => "none found".to_string(),
-        },
-        "exhaustive per seed".to_string(),
-    ]);
+    let fingerprint = Fingerprint::new("E12")
+        .param("full", opts.full)
+        .param("search-seeds", seeds)
+        .param("search-shape", "n=5,k=1,max-weight=3")
+        .param("scan-budget", 1_000_000);
+    let mut table = StreamingTable::open(
+        "E12",
+        &["instance", "n", "profiles/seeds", "equilibria", "note"],
+        &fingerprint,
+        opts.resume,
+    );
 
-    let discrepancy = !result.equilibria.is_empty() && witness.is_none();
+    // Point 0: the max-model re-reading of the restricted Theorem 1 gadget.
+    let max_equilibria = if let Some(rows) = table.begin_point() {
+        rows.first().expect("scan row recorded").raw_u64(0)
+    } else {
+        let spec = gadget::max_gadget_spec();
+        let g = Gadget::new(GadgetVariant::Restricted);
+        let space = g.candidate_space(&spec).expect("restricted space is tiny");
+        let result = enumerate::find_equilibria(&spec, &space, 1_000_000).expect("scan fits");
+        let count = result.equilibria.len() as u64;
+        table.row_raw(
+            &[
+                "gadget/max-restricted".to_string(),
+                spec.node_count().to_string(),
+                result.profiles_checked.to_string(),
+                count.to_string(),
+                "mutual-surrender equilibria".to_string(),
+            ],
+            &[count.to_string()],
+        );
+        count
+    };
+
+    // Point 1: the sum-model control — identical topology and scan under
+    // the sum model has zero equilibria, isolating the cost model as the
+    // difference.
+    let sum_equilibria = if let Some(rows) = table.begin_point() {
+        rows.first().expect("control row recorded").raw_u64(0)
+    } else {
+        let g = Gadget::new(GadgetVariant::Restricted);
+        let sum_spec = g.spec();
+        let sum_space = g
+            .candidate_space(&sum_spec)
+            .expect("restricted space is tiny");
+        let sum_result =
+            enumerate::find_equilibria(&sum_spec, &sum_space, 1_000_000).expect("scan fits");
+        let count = sum_result.equilibria.len() as u64;
+        table.row_raw(
+            &[
+                "gadget/sum-control".to_string(),
+                sum_spec.node_count().to_string(),
+                sum_result.profiles_checked.to_string(),
+                count.to_string(),
+                "same topology, sum model".to_string(),
+            ],
+            &[count.to_string()],
+        );
+        count
+    };
+
+    // Point 2: a reproducible slice of the random no-NE search under max.
+    let witness: Option<u64> = if let Some(rows) = table.begin_point() {
+        let r = rows.first().expect("search row recorded");
+        match r.raw_str(0) {
+            "none" => None,
+            seed => Some(seed.parse().expect("witness seed parses")),
+        }
+    } else {
+        let witness =
+            equilibria::search_no_equilibrium_game(5, 0..seeds, 3, CostModel::MaxDistance, 200_000)
+                .expect("search fits budget");
+        table.row_raw(
+            &[
+                "random-search/max(n=5,k=1)".to_string(),
+                "5".to_string(),
+                seeds.to_string(),
+                match witness {
+                    Some(seed) => format!("witness@{seed}"),
+                    None => "none found".to_string(),
+                },
+                "exhaustive per seed".to_string(),
+            ],
+            &[witness.map_or("none".to_string(), |s| s.to_string())],
+        );
+        witness
+    };
+
+    let discrepancy = max_equilibria > 0 && witness.is_none();
     let measured = format!(
         "max-model gadget has {} equilibria (sum-model control: {}); random search over {} \
          max games found {} no-equilibrium instance",
-        result.equilibria.len(),
-        sum_result.equilibria.len(),
+        max_equilibria,
+        sum_equilibria,
         seeds,
         if witness.is_some() { "a" } else { "no" },
     );
     // agrees = false: we could NOT reproduce Theorem 7's no-NE claim.
-    let mut outcome = finish(report, table, measured, !discrepancy);
+    let mut outcome = finish_streamed(report, table, measured, !discrepancy);
     outcome.report.notes.push(
         "NOT REPRODUCED: every Figure-5 reconstruction admits 'mutual surrender' \
          equilibria (all-M indifference is stable under max-cost); see module docs and \

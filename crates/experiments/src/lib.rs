@@ -18,12 +18,15 @@
 //! | [`e10`] | Thm 8 / Fig 6 | BBC-max PoA is Ω(n/(k·log_k n)) |
 //! | [`e11`] | Thm 9 | BBC-max PoS is Θ(1) |
 //! | [`e12`] | Thm 7 / Fig 5 | BBC-max no-NE gadget (reproduction discrepancy) |
+//! | [`e13`] | Thm 5 / §4.3 / §1.1 | 256-peer overlay churn sweep (parallel oracle prefill) |
 
 use bbc_analysis::{ExperimentReport, Table};
 
 pub mod stream;
 
-pub use stream::{read_stream, stream_path, StreamRecord, StreamingTable};
+pub use stream::{
+    read_stream, stream_path, Fingerprint, StreamEnd, StreamHeader, StreamRecord, StreamingTable,
+};
 
 pub mod e01;
 pub mod e02;
@@ -37,20 +40,33 @@ pub mod e09;
 pub mod e10;
 pub mod e11;
 pub mod e12;
+pub mod e13;
 
 /// Shared experiment options.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RunOptions {
     /// Enable the heavier parameter sweeps (`--full` on the CLI).
     pub full: bool,
+    /// Resume from the existing `target/experiments/<id>.jsonl` stream,
+    /// skipping already-recorded sweep points (`--resume` on the CLI;
+    /// `--fresh` forces the default truncate-and-restart behaviour).
+    pub resume: bool,
 }
 
 impl RunOptions {
-    /// Parses the process arguments (`--full` is the only flag).
+    /// Parses the process arguments: `--full`, `--resume`, `--fresh`
+    /// (later flags win, so `--resume --fresh` starts fresh).
     pub fn from_env() -> Self {
-        Self {
-            full: std::env::args().any(|a| a == "--full"),
+        let mut opts = Self::default();
+        for arg in std::env::args() {
+            match arg.as_str() {
+                "--full" => opts.full = true,
+                "--resume" => opts.resume = true,
+                "--fresh" => opts.resume = false,
+                _ => {}
+            }
         }
+        opts
     }
 }
 
@@ -116,6 +132,7 @@ pub fn run_all(opts: &RunOptions) -> Vec<Outcome> {
         e10::run(opts),
         e11::run(opts),
         e12::run(opts),
+        e13::run(opts),
     ];
     for o in &outcomes {
         emit(o);
@@ -134,4 +151,18 @@ pub(crate) fn finish(
     report.agrees = agrees;
     report.csv = table.to_csv();
     Outcome { report, table }
+}
+
+/// [`finish`] for streaming experiments: writes the stream's completion
+/// footer and stamps the run's config fingerprint into the report record.
+pub(crate) fn finish_streamed(
+    report: ExperimentReport,
+    table: StreamingTable,
+    measured: String,
+    agrees: bool,
+) -> Outcome {
+    let fingerprint = table.fingerprint().to_string();
+    let mut outcome = finish(report, table.into_table(), measured, agrees);
+    outcome.report.fingerprint = fingerprint;
+    outcome
 }

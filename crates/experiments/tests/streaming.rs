@@ -24,12 +24,18 @@ fn assert_stream_matches_table(id: &str, outcome: &bbc_experiments::Outcome) {
 
 #[test]
 fn e06_streams_each_sweep_point() {
-    let outcome = e06::run(&RunOptions { full: false });
+    let outcome = e06::run(&RunOptions {
+        full: false,
+        resume: false,
+    });
     assert_stream_matches_table("E6", &outcome);
 }
 
 #[test]
 fn e08_streams_each_walk_row() {
-    let outcome = e08::run(&RunOptions { full: false });
+    let outcome = e08::run(&RunOptions {
+        full: false,
+        resume: false,
+    });
     assert_stream_matches_table("E8", &outcome);
 }

@@ -5,7 +5,7 @@
 //! imitates the same link pattern, which keeps monitoring and link-state
 //! dissemination simple. Peers then hack the client and rewire selfishly.
 //! Theorem 5 predicts the regular design cannot be stable; this example
-//! watches 64 peers degrade under selfish churn and compares against the
+//! watches the overlay degrade under selfish churn and compares against the
 //! Forest of Willows — stable by construction, but irregular.
 //!
 //! Two paper facts drive what is measured:
@@ -18,23 +18,39 @@
 //!   example runs a fixed rewiring budget and reports the network state
 //!   mid-churn — exactly what an operator of a live overlay would observe.
 //!
+//! The churn walk rides the engine's parallel oracle path
+//! ([`Walk::prefill_threads`]): each stability test's BFS fan-out spreads
+//! across every available core, with a byte-identical trajectory at any
+//! thread count. That is what makes larger overlays practical — pass a peer
+//! count to scale up (the `e13` experiment sweeps the same family to 256
+//! and 512 peers with resumable checkpoints):
+//!
 //! ```text
-//! cargo run --release --example p2p_overlay
+//! cargo run --release --example p2p_overlay          # 64 peers (default)
+//! cargo run --release --example p2p_overlay -- 256   # 256 peers
 //! ```
 
 use bbc::prelude::*;
 use bbc_graph::diameter::eccentricity;
 
 fn main() -> Result<()> {
-    // The operator's design: a 64-peer circulant with offsets {1, 5} —
-    // every peer links its successor and the peer 5 ahead.
-    let overlay = CayleyGraph::circulant(64, &[1, 5]).expect("valid circulant");
+    // The operator's design: an n-peer circulant with offsets {1, 5} —
+    // every peer links its successor and the peer 5 ahead. The peer count
+    // is CLI-tunable; 64 keeps the default run a few seconds.
+    let peers: u64 = std::env::args()
+        .nth(1)
+        .map(|arg| arg.parse().expect("peer count must be a number"))
+        .unwrap_or(64);
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let overlay = CayleyGraph::circulant(peers, &[1, 5]).expect("valid circulant");
     let spec = overlay.spec();
     let designed = overlay.configuration();
 
     let designed_cost = social_cost(&spec, &designed);
     let designed_diam = eccentricity(&designed.to_graph(&spec)).diameter();
-    println!("designed circulant: social cost {designed_cost}, diameter {designed_diam:?}");
+    println!(
+        "designed {peers}-peer circulant: social cost {designed_cost}, diameter {designed_diam:?}"
+    );
 
     // A single selfish peer already has a profitable rewiring (Theorem 5).
     let report = StabilityChecker::new(&spec).check(&designed)?;
@@ -47,11 +63,19 @@ fn main() -> Result<()> {
     }
 
     // Let everyone rewire selfishly for a fixed budget of best-response
-    // offers. The churn does not converge at this scale (§4.3: BBC games
-    // are not potential games), so the interesting quantity is the steady
-    // degradation, not a terminal state.
-    let mut walk = Walk::new(&spec, designed).detect_cycles(false);
-    let outcome = walk.run(15_000)?;
+    // offers, fanning each offer's shortest-path oracle across all cores.
+    // The churn does not converge at this scale (§4.3: BBC games are not
+    // potential games), so the interesting quantity is the steady
+    // reshaping, not a terminal state.
+    // Budget: the classic half-million-probe-backed 15k offers at the
+    // default 64 peers; four round-robin rounds at explicitly larger
+    // scales (per-step cost grows ~quadratically with the peer count —
+    // e13 is the checkpointed way to go big).
+    let budget = if peers <= 64 { 15_000 } else { 4 * peers };
+    let mut walk = Walk::new(&spec, designed)
+        .detect_cycles(false)
+        .prefill_threads(threads);
+    let outcome = walk.run(budget)?;
     let selfish = walk.config();
     let selfish_cost = social_cost(&spec, selfish);
     let selfish_diam = eccentricity(&selfish.to_graph(&spec)).diameter();

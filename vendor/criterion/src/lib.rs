@@ -177,10 +177,26 @@ fn report(group: &str, id: &BenchmarkId, median: Duration) {
 // wide registry that `criterion_main!` flushes to `BENCH_results.json`
 // (override the path with the `BENCH_RESULTS_PATH` env var). Bench binaries
 // run sequentially under `cargo bench`, so the writer merges with whatever an
-// earlier binary left in the file — the end state is one flat
-// `{"group/bench": median_ns}` map covering the whole bench suite, the
-// baseline future performance PRs diff against.
+// earlier binary left in the file — the end state is one map of
+// `"group/bench": {"median_ns": N, "available_parallelism": P}` records
+// covering the whole bench suite, the baseline future performance PRs diff
+// against. `available_parallelism` is captured at flush time, so parallel
+// baselines carry the core count they were recorded on (a 1-core container
+// measures coordination overhead, not speedup — comparable only to numbers
+// recorded at the same parallelism). Legacy flat `"name": N` entries are
+// still parsed; they merge in with parallelism 0 ("unrecorded").
 // ---------------------------------------------------------------------------
+
+/// One bench record: the measured median and the host parallelism it was
+/// recorded under (0 = unrecorded, for entries migrated from the flat
+/// pre-parallelism format).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: u128,
+    /// `std::thread::available_parallelism()` of the recording host.
+    pub available_parallelism: u64,
+}
 
 fn registry() -> &'static std::sync::Mutex<Vec<(String, u128)>> {
     static REGISTRY: std::sync::OnceLock<std::sync::Mutex<Vec<(String, u128)>>> =
@@ -202,17 +218,32 @@ pub fn write_results() {
     if recorded.is_empty() {
         return;
     }
+    let parallelism = std::thread::available_parallelism().map_or(0, |p| p.get() as u64);
     let path =
         std::env::var("BENCH_RESULTS_PATH").unwrap_or_else(|_| "BENCH_results.json".to_string());
-    let mut merged: std::collections::BTreeMap<String, u128> = std::fs::read_to_string(&path)
-        .ok()
-        .map(|text| parse_results(&text))
-        .unwrap_or_default();
-    merged.extend(recorded);
+    let mut merged: std::collections::BTreeMap<String, BenchRecord> =
+        std::fs::read_to_string(&path)
+            .ok()
+            .map(|text| parse_results(&text))
+            .unwrap_or_default();
+    merged.extend(recorded.into_iter().map(|(name, median_ns)| {
+        (
+            name,
+            BenchRecord {
+                median_ns,
+                available_parallelism: parallelism,
+            },
+        )
+    }));
     let mut out = String::from("{\n");
-    for (i, (name, ns)) in merged.iter().enumerate() {
+    for (i, (name, record)) in merged.iter().enumerate() {
         let comma = if i + 1 == merged.len() { "" } else { "," };
-        out.push_str(&format!("  \"{}\": {ns}{comma}\n", escape_json(name)));
+        out.push_str(&format!(
+            "  \"{}\": {{ \"median_ns\": {}, \"available_parallelism\": {} }}{comma}\n",
+            escape_json(name),
+            record.median_ns,
+            record.available_parallelism
+        ));
     }
     out.push_str("}\n");
     if let Err(e) = std::fs::write(&path, out) {
@@ -232,48 +263,110 @@ fn escape_json(s: &str) -> String {
         .collect()
 }
 
-/// Parses the flat `{"name": integer}` maps this module writes. Anything
-/// malformed is skipped — the file is a cache, not a source of truth.
-fn parse_results(text: &str) -> std::collections::BTreeMap<String, u128> {
+/// Parses the `{"name": {"median_ns": N, "available_parallelism": P}}`
+/// maps this module writes, plus the legacy flat `{"name": N}` form
+/// (migrated with parallelism 0). Anything malformed is skipped — the file
+/// is a cache, not a source of truth.
+fn parse_results(text: &str) -> std::collections::BTreeMap<String, BenchRecord> {
     let mut out = std::collections::BTreeMap::new();
     let mut chars = text.chars().peekable();
+    // Enter the top-level object; entries are "key": value.
     while let Some(c) = chars.next() {
         if c != '"' {
             continue;
         }
-        // String key (with the two escapes `escape_json` produces).
-        let mut key = String::new();
-        while let Some(k) = chars.next() {
-            match k {
-                '\\' => {
-                    if let Some(next) = chars.next() {
-                        key.push(next);
-                    }
-                }
-                '"' => break,
-                k => key.push(k),
-            }
-        }
-        // Expect a colon, then digits.
-        while matches!(chars.peek(), Some(' ' | '\t')) {
-            chars.next();
-        }
+        let key = parse_string_rest(&mut chars);
+        skip_ws(&mut chars);
         if chars.peek() != Some(&':') {
             continue;
         }
         chars.next();
-        while matches!(chars.peek(), Some(' ' | '\t')) {
-            chars.next();
-        }
-        let mut digits = String::new();
-        while matches!(chars.peek(), Some('0'..='9')) {
-            digits.push(chars.next().expect("peeked digit"));
-        }
-        if let Ok(value) = digits.parse::<u128>() {
-            out.insert(key, value);
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some('0'..='9') => {
+                // Legacy flat entry: bare integer median.
+                if let Some(median_ns) = parse_u128(&mut chars) {
+                    out.insert(
+                        key,
+                        BenchRecord {
+                            median_ns,
+                            available_parallelism: 0,
+                        },
+                    );
+                }
+            }
+            Some('{') => {
+                chars.next();
+                // Inner object: named integer fields in any order.
+                let (mut median_ns, mut parallelism) = (None, None);
+                loop {
+                    skip_ws(&mut chars);
+                    match chars.next() {
+                        Some('"') => {
+                            let field = parse_string_rest(&mut chars);
+                            skip_ws(&mut chars);
+                            if chars.peek() == Some(&':') {
+                                chars.next();
+                                skip_ws(&mut chars);
+                                if let Some(value) = parse_u128(&mut chars) {
+                                    match field.as_str() {
+                                        "median_ns" => median_ns = Some(value),
+                                        "available_parallelism" => parallelism = Some(value),
+                                        _ => {}
+                                    }
+                                }
+                            }
+                        }
+                        Some('}') | None => break,
+                        Some(_) => {}
+                    }
+                }
+                if let Some(median_ns) = median_ns {
+                    out.insert(
+                        key,
+                        BenchRecord {
+                            median_ns,
+                            available_parallelism: parallelism.unwrap_or(0) as u64,
+                        },
+                    );
+                }
+            }
+            _ => {}
         }
     }
     out
+}
+
+/// Consumes a JSON string body after the opening quote (understands the two
+/// escapes `escape_json` produces).
+fn parse_string_rest(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> String {
+    let mut s = String::new();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                if let Some(next) = chars.next() {
+                    s.push(next);
+                }
+            }
+            '"' => break,
+            c => s.push(c),
+        }
+    }
+    s
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while matches!(chars.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+        chars.next();
+    }
+}
+
+fn parse_u128(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<u128> {
+    let mut digits = String::new();
+    while matches!(chars.peek(), Some('0'..='9')) {
+        digits.push(chars.next().expect("peeked digit"));
+    }
+    digits.parse().ok()
 }
 
 /// Declares a group function that runs each benchmark target in order.
@@ -323,18 +416,49 @@ mod tests {
     #[test]
     fn results_format_round_trips() {
         let mut map = std::collections::BTreeMap::new();
-        map.insert("walk/n24k3 \"engine\"".to_string(), 123_456u128);
-        map.insert("bfs/1600".to_string(), 42u128);
+        map.insert(
+            "walk/n24k3 \"engine\"".to_string(),
+            BenchRecord {
+                median_ns: 123_456,
+                available_parallelism: 8,
+            },
+        );
+        map.insert(
+            "bfs/1600".to_string(),
+            BenchRecord {
+                median_ns: 42,
+                available_parallelism: 1,
+            },
+        );
         let mut text = String::from("{\n");
-        for (i, (name, ns)) in map.iter().enumerate() {
+        for (i, (name, record)) in map.iter().enumerate() {
             let comma = if i + 1 == map.len() { "" } else { "," };
-            text.push_str(&format!("  \"{}\": {ns}{comma}\n", escape_json(name)));
+            text.push_str(&format!(
+                "  \"{}\": {{ \"median_ns\": {}, \"available_parallelism\": {} }}{comma}\n",
+                escape_json(name),
+                record.median_ns,
+                record.available_parallelism
+            ));
         }
         text.push_str("}\n");
         assert_eq!(parse_results(&text), map);
         assert_eq!(
             parse_results("not json at all"),
             std::collections::BTreeMap::new()
+        );
+    }
+
+    #[test]
+    fn legacy_flat_results_parse_with_unrecorded_parallelism() {
+        let text = "{\n  \"bfs/100\": 390,\n  \"walk/n12k1\": 66868\n}\n";
+        let parsed = parse_results(text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(
+            parsed["bfs/100"],
+            BenchRecord {
+                median_ns: 390,
+                available_parallelism: 0
+            }
         );
     }
 }

@@ -312,7 +312,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec`](fn@vec).
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,
