@@ -3,8 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use bbc_constructions::RingWithPath;
-use bbc_core::{reference, BestResponseOptions, Configuration, GameSpec, NodeId, Walk};
+use bbc_constructions::{CayleyGraph, RingWithPath};
+use bbc_core::{
+    reference, BestResponseOptions, ChurnConfig, ChurnSim, Configuration, GameSpec, NodeId, Walk,
+};
 
 /// Round-robin walk over the frozen pre-refactor best response
 /// ([`reference::exact`]): fresh adjacency-list materialization and
@@ -128,11 +130,39 @@ fn bench_loop_detection(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_churn_step(c: &mut Criterion) {
+    // The churn runtime's unit of work: one event cycle (draw, apply the
+    // join/leave through the engine's node-lifecycle layer, settle for one
+    // round of best response). Measured as a fixed 6-event sim on the
+    // 32-peer circulant (the p2p_overlay `--churn` workload) — divide by
+    // the 6 events + 1 initial settle for the per-event figure.
+    let overlay = CayleyGraph::circulant(32, &[1, 5]).expect("valid circulant");
+    let spec = overlay.spec();
+    let designed = overlay.configuration();
+    let cfg = ChurnConfig {
+        seed: 32,
+        events: 6,
+        min_live: 16,
+        settle_steps: 32,
+        ..ChurnConfig::default()
+    };
+    let mut group = c.benchmark_group("churn_step");
+    group.sample_size(10);
+    group.bench_function("p2p32_6events", |b| {
+        b.iter(|| {
+            let mut sim = ChurnSim::new(&spec, designed.clone(), cfg.clone());
+            sim.run().expect("phases fit budget").trajectory_digest
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine_vs_reference,
     bench_walk_from_empty,
     bench_ring_with_path,
-    bench_loop_detection
+    bench_loop_detection,
+    bench_churn_step
 );
 criterion_main!(benches);

@@ -111,9 +111,16 @@ pub(crate) struct OracleView<'r> {
     pub rows: &'r [u64],
     /// Link cost of each candidate.
     pub prices: &'r [u64],
-    /// `(v, w(u,v))` for positive-weight targets `v ≠ u`.
+    /// `(v, w(u,v))` for positive-weight targets `v ≠ u`. Under partial
+    /// membership ([`crate::DistanceEngine`] churn), restricted to live
+    /// targets.
     pub weighted_targets: &'r [(u32, u64)],
     pub budget: u64,
+    /// `true` when every node of the game is a live member. Partial
+    /// membership forces the weighted aggregation path even for uniform
+    /// games — departed nodes must contribute neither distance terms nor
+    /// disconnection penalties, which the plain row-sum cannot express.
+    pub all_live: bool,
 }
 
 impl OracleView<'_> {
@@ -129,10 +136,11 @@ impl OracleView<'_> {
     }
 
     /// `true` when costs collapse to a plain row sum minus the diagonal:
-    /// unit weights everywhere and the sum-distance model.
+    /// unit weights everywhere, the sum-distance model, and full membership
+    /// (a departed node's row entry must not enter any sum).
     #[inline]
     fn plain_sum(&self) -> bool {
-        self.spec.is_uniform() && self.spec.cost_model() == CostModel::SumDistance
+        self.all_live && self.spec.is_uniform() && self.spec.cost_model() == CostModel::SumDistance
     }
 
     /// Aggregates a clamped distance row into a cost under the spec's model.
@@ -255,6 +263,7 @@ impl<'a> DeviationOracle<'a> {
             prices: &self.prices,
             weighted_targets: &self.weighted_targets,
             budget: self.budget,
+            all_live: true,
         }
     }
 

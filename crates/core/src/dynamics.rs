@@ -11,8 +11,9 @@
 //! * the first step at which the network becomes strongly connected, the
 //!   quantity bounded by `n²` in Theorem 6.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
+use std::ops::Bound;
 
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -169,6 +170,32 @@ pub struct Walk<'a> {
     want_cycles: bool,
     history: Option<DetHashMap<(Configuration, usize), u64>>,
     trace: Option<Vec<MoveRecord>>,
+    /// Priority state of the engine-aware max-cost-first scheduler; built
+    /// lazily on the first max-cost step and updated per move from the
+    /// engine's dirty-cost drain. Dropped whenever the scheduler switches
+    /// or the membership changes.
+    mcf: Option<McfState>,
+    /// Use the frozen full-rescan max-cost-first implementation instead of
+    /// the priority queue (the regression reference; see
+    /// [`Walk::max_cost_first_rescan`]).
+    mcf_rescan: bool,
+}
+
+/// Priority state for [`Scheduler::MaxCostFirst`]: live nodes keyed by
+/// `(u64::MAX − cost, id)` so ascending B-tree order visits maximum cost
+/// first with ties broken by lowest id — exactly the frozen rescan's sort.
+#[derive(Debug)]
+struct McfState {
+    queue: BTreeSet<(u64, u32)>,
+    /// The cost each node is currently filed under (`None` = not queued).
+    filed: Vec<Option<u64>>,
+}
+
+impl McfState {
+    #[inline]
+    fn key(cost: u64, u: NodeId) -> (u64, u32) {
+        (u64::MAX - cost, u.index() as u32)
+    }
 }
 
 impl<'a> Walk<'a> {
@@ -180,10 +207,35 @@ impl<'a> Walk<'a> {
             spec.node_count(),
             "configuration size mismatch"
         );
+        Self::from_engine(spec, DistanceEngine::new(spec, config))
+    }
+
+    /// Starts a round-robin walk over a partial membership: nodes outside
+    /// `live` are departed peers (see [`DistanceEngine::with_membership`]);
+    /// every scheduler offers moves to live nodes only.
+    ///
+    /// # Errors
+    ///
+    /// As [`DistanceEngine::with_membership`].
+    pub fn with_membership(
+        spec: &'a GameSpec,
+        config: Configuration,
+        live: &bbc_graph::BitSet,
+    ) -> crate::Result<Self> {
+        Ok(Self::from_engine(
+            spec,
+            DistanceEngine::with_membership(spec, config, live)?,
+        ))
+    }
+
+    /// The shared constructor body: wraps a ready engine (built once — a
+    /// second throwaway build would double walk-construction cost at
+    /// overlay scale).
+    fn from_engine(spec: &'a GameSpec, engine: DistanceEngine<'a>) -> Self {
         let order: Vec<NodeId> = NodeId::all(spec.node_count()).collect();
         Self {
             spec,
-            engine: DistanceEngine::new(spec, config),
+            engine,
             scheduler: Scheduler::RoundRobin,
             options: BestResponseOptions::default(),
             stats: WalkStats::default(),
@@ -195,6 +247,8 @@ impl<'a> Walk<'a> {
             want_cycles: true,
             history: Some(DetHashMap::default()),
             trace: None,
+            mcf: None,
+            mcf_rescan: false,
         }
     }
 
@@ -239,6 +293,9 @@ impl<'a> Walk<'a> {
         self.history = None;
         self.scheduler = scheduler;
         self.pos = 0;
+        // The max-cost queue belongs to the old scheduler's stepping; it is
+        // rebuilt lazily from the engine's dirty-cost drain when needed.
+        self.mcf = None;
         // The no-move streak belongs to the old scheduler's test order; with
         // pos back at 0 a carried streak could certify equilibrium after
         // fewer than n fresh tests.
@@ -290,6 +347,19 @@ impl<'a> Walk<'a> {
         self
     }
 
+    /// Selects the frozen full-rescan implementation of
+    /// [`Scheduler::MaxCostFirst`]: recompute every live node's cost and
+    /// sort, each step. It is the executable reference the engine-aware
+    /// priority-queue scheduler is differentially pinned against (move
+    /// sequence and [`WalkStats`] accounting are proven identical); keep it
+    /// off outside that comparison — it turns an `O(changed)` step back
+    /// into an `O(n log n)` one.
+    pub fn max_cost_first_rescan(mut self, yes: bool) -> Self {
+        self.mcf_rescan = yes;
+        self.mcf = None;
+        self
+    }
+
     /// Spreads each step's oracle BFS fan-out (up to `n − 1` deviation-row
     /// traversals per stability test) across `threads` OS threads via
     /// [`DistanceEngine::best_response_prefilled`]. The walk itself —
@@ -299,6 +369,11 @@ impl<'a> Walk<'a> {
     pub fn prefill_threads(mut self, threads: usize) -> Self {
         self.prefill = threads.max(1);
         self
+    }
+
+    /// The game this walk plays.
+    pub fn spec(&self) -> &'a GameSpec {
+        self.spec
     }
 
     /// The current configuration.
@@ -334,12 +409,17 @@ impl<'a> Walk<'a> {
     /// best-response search.
     pub fn run(&mut self, max_steps: u64) -> Result<WalkOutcome> {
         let n = self.spec.node_count();
-        if n <= 1 {
-            return Ok(WalkOutcome::Equilibrium { steps: 0 });
+        if self.engine.live_count() <= 1 {
+            return Ok(WalkOutcome::Equilibrium {
+                steps: self.stats.steps,
+            });
         }
         self.note_connectivity();
         while self.stats.steps < max_steps {
-            // Cycle detection on the pre-step state.
+            // Cycle detection on the pre-step state. (Departed nodes hold
+            // empty, immutable strategies, so within one membership epoch —
+            // churn events clear the history — the configuration still
+            // determines the joint state exactly.)
             if let Some(history) = &mut self.history {
                 let key = (self.engine.config().clone(), self.pos);
                 if let Some(&first) = history.get(&key) {
@@ -353,33 +433,55 @@ impl<'a> Walk<'a> {
 
             match self.scheduler {
                 Scheduler::RoundRobin | Scheduler::RoundRobinOrder(_) => {
-                    let u = self.order[self.pos];
-                    self.pos = (self.pos + 1) % n;
+                    // Departed members keep their slot in the order but are
+                    // skipped without costing a step.
+                    let u = loop {
+                        let cand = self.order[self.pos];
+                        self.pos = (self.pos + 1) % n;
+                        if self.engine.is_live(cand) {
+                            break cand;
+                        }
+                    };
                     let moved = self.step_node(u)?;
-                    if self.bump_streak(moved, n) {
+                    if self.bump_streak(moved, self.engine.live_count()) {
                         return Ok(WalkOutcome::Equilibrium {
                             steps: self.stats.steps,
                         });
                     }
                 }
                 Scheduler::Random { .. } => {
-                    let u = NodeId::new(
-                        self.rng
-                            .as_mut()
-                            .expect("random scheduler has rng")
-                            .gen_range(0..n),
-                    );
+                    let live_count = self.engine.live_count();
+                    let i = self
+                        .rng
+                        .as_mut()
+                        .expect("random scheduler has rng")
+                        .gen_range(0..live_count);
+                    // Under full membership the i-th live node *is* node i;
+                    // keep the common case O(1) instead of a bitset scan.
+                    let u = if live_count == n {
+                        NodeId::new(i)
+                    } else {
+                        self.engine
+                            .live_nodes()
+                            .nth(i)
+                            .expect("index drawn below live count")
+                    };
                     let moved = self.step_node(u)?;
                     // A random walk can dawdle; confirm apparent convergence
                     // with a full exact scan once the streak is long enough.
-                    if self.bump_streak(moved, 2 * n) && self.exact_scan_stable()? {
+                    if self.bump_streak(moved, 2 * live_count) && self.exact_scan_stable()? {
                         return Ok(WalkOutcome::Equilibrium {
                             steps: self.stats.steps,
                         });
                     }
                 }
                 Scheduler::MaxCostFirst => {
-                    if !self.step_max_cost_first()? {
+                    let moved = if self.mcf_rescan {
+                        self.step_max_cost_first_rescan()?
+                    } else {
+                        self.step_max_cost_first()?
+                    };
+                    if !moved {
                         return Ok(WalkOutcome::Equilibrium {
                             steps: self.stats.steps,
                         });
@@ -410,23 +512,102 @@ impl<'a> Walk<'a> {
         Ok(true)
     }
 
-    /// One max-cost-first step; returns `false` when every node is stable
-    /// (equilibrium).
+    /// One engine-aware max-cost-first step; returns `false` when every
+    /// live node is stable (equilibrium).
+    ///
+    /// The scan probes nodes in descending cached-cost order (ties by
+    /// lowest id) straight out of a priority queue that is updated from the
+    /// engine's dirty-cost drain — `O(changed·log n)` bookkeeping per
+    /// applied move plus `O(log n)` per probe, instead of the frozen
+    /// rescan's recompute-and-sort of every node per step. The probe
+    /// sequence, applied moves, and [`WalkStats`] step accounting are
+    /// identical to [`Walk::max_cost_first_rescan`] (pinned by the
+    /// differential test): a stability test never changes any cost, so the
+    /// queue order *is* the rescan's sort order.
     fn step_max_cost_first(&mut self) -> Result<bool> {
         let n = self.spec.node_count();
-        let mut by_cost: Vec<(u64, NodeId)> = {
-            let costs = self.engine.node_costs();
-            NodeId::all(n).map(|u| (costs[u.index()], u)).collect()
-        };
-        // Max cost first; ties by lowest id.
-        by_cost.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-        for (_, u) in by_cost {
+        let dirty = self.engine.take_dirty_costs();
+        if let Some(state) = &mut self.mcf {
+            // O(changed): re-file exactly the nodes whose cached cost the
+            // last applied move (or churn event) dropped.
+            for u in dirty {
+                if let Some(old) = state.filed[u.index()].take() {
+                    state.queue.remove(&McfState::key(old, u));
+                }
+                if self.engine.is_live(u) {
+                    let cost = self.engine.node_cost(u);
+                    state.queue.insert(McfState::key(cost, u));
+                    state.filed[u.index()] = Some(cost);
+                }
+            }
+        } else {
+            // Fresh queue (the pending dirty set was just absorbed): file
+            // every live node under its current cost.
+            let mut state = McfState {
+                queue: BTreeSet::new(),
+                filed: vec![None; n],
+            };
+            for u in NodeId::all(n) {
+                if self.engine.is_live(u) {
+                    let cost = self.engine.node_cost(u);
+                    state.queue.insert(McfState::key(cost, u));
+                    state.filed[u.index()] = Some(cost);
+                }
+            }
+            self.mcf = Some(state);
+        }
+
+        // Probe in queue order via a cursor (the queue is not mutated by
+        // stability tests, so the cursor walks a stable order).
+        let mut cursor: Option<(u64, u32)> = None;
+        loop {
+            let next = {
+                let state = self.mcf.as_ref().expect("built above");
+                match cursor {
+                    None => state.queue.first().copied(),
+                    Some(k) => state
+                        .queue
+                        .range((Bound::Excluded(k), Bound::Unbounded))
+                        .next()
+                        .copied(),
+                }
+            };
+            let Some(key) = next else {
+                // Full scan found no mover: equilibrium (every test counted).
+                return Ok(false);
+            };
+            cursor = Some(key);
+            let u = NodeId::new(key.1 as usize);
             let out = self.test_node(u)?;
             // Every stability test counts as a step (the `WalkStats::steps`
             // contract), including the non-movers probed before the mover is
             // found — otherwise max-cost-first walks would report
             // incomparably fewer steps than round-robin for the same number
             // of best-response evaluations.
+            self.stats.steps += 1;
+            if out.improves() {
+                self.apply_move(u, out.best_strategy, out.current_cost, out.best_cost);
+                return Ok(true);
+            }
+        }
+    }
+
+    /// The frozen pre-queue max-cost-first step: recompute every live
+    /// node's cost, sort, probe in order. Kept as the executable reference
+    /// for the scheduler differential test ([`Walk::max_cost_first_rescan`]).
+    fn step_max_cost_first_rescan(&mut self) -> Result<bool> {
+        let n = self.spec.node_count();
+        let mut by_cost: Vec<(u64, NodeId)> = {
+            let costs = self.engine.node_costs();
+            NodeId::all(n)
+                .filter(|&u| self.engine.is_live(u))
+                .map(|u| (costs[u.index()], u))
+                .collect()
+        };
+        // Max cost first; ties by lowest id.
+        by_cost.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for (_, u) in by_cost {
+            let out = self.test_node(u)?;
             self.stats.steps += 1;
             if out.improves() {
                 self.apply_move(u, out.best_strategy, out.current_cost, out.best_cost);
@@ -474,6 +655,9 @@ impl<'a> Walk<'a> {
     /// each failed confirmation).
     fn exact_scan_stable(&mut self) -> Result<bool> {
         for u in NodeId::all(self.spec.node_count()) {
+            if !self.engine.is_live(u) {
+                continue;
+            }
             if self.test_node(u)?.improves() {
                 return Ok(false);
             }
@@ -486,6 +670,88 @@ impl<'a> Walk<'a> {
         {
             self.stats.steps_to_strong_connectivity = Some(self.stats.steps);
         }
+    }
+
+    // ----- churn events ----------------------------------------------
+
+    /// Departs node `u` mid-walk ([`DistanceEngine::remove_node`]) and
+    /// resets the scheduler state the event invalidates: the no-move
+    /// streak, the round-robin position, the cycle-detection history (its
+    /// keys describe the old membership's dynamics), and the max-cost
+    /// queue (rebuilt from the engine's dirty drain on the next step).
+    ///
+    /// # Errors
+    ///
+    /// As [`DistanceEngine::remove_node`]; no state changes on error.
+    pub fn remove_node(&mut self, u: NodeId) -> Result<()> {
+        self.engine.remove_node(u)?;
+        self.after_churn_event();
+        Ok(())
+    }
+
+    /// (Re)admits node `u` with the given strategy mid-walk
+    /// ([`DistanceEngine::add_node`]); scheduler state resets as in
+    /// [`Walk::remove_node`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DistanceEngine::add_node`]; no state changes on error.
+    pub fn add_node(&mut self, u: NodeId, targets: Vec<NodeId>) -> Result<()> {
+        self.engine.add_node(u, targets)?;
+        self.after_churn_event();
+        Ok(())
+    }
+
+    /// Forcibly rewires a live node — a *shock* (operator intervention,
+    /// fault, or adversarial tamper), not a best response: it costs no
+    /// step, counts no move, and resets the same scheduler state as a
+    /// membership event (the walk is effectively restarted from the shocked
+    /// configuration).
+    ///
+    /// # Errors
+    ///
+    /// As [`DistanceEngine::apply_strategy`]; no state changes on error.
+    pub fn shock_node(&mut self, u: NodeId, targets: Vec<NodeId>) -> Result<()> {
+        self.engine.apply_strategy(u, targets)?;
+        self.after_churn_event();
+        Ok(())
+    }
+
+    fn after_churn_event(&mut self) {
+        self.stable_streak = 0;
+        self.pos = 0;
+        if let Some(history) = &mut self.history {
+            history.clear();
+        }
+        self.mcf = None;
+        self.note_connectivity();
+    }
+
+    /// Number of live members.
+    pub fn live_count(&self) -> usize {
+        self.engine.live_count()
+    }
+
+    /// `true` iff `u` is currently a live member.
+    pub fn is_live(&self, u: NodeId) -> bool {
+        self.engine.is_live(u)
+    }
+
+    /// Social cost of the current configuration over the live membership.
+    pub fn social_cost(&mut self) -> u64 {
+        self.engine.social_cost()
+    }
+
+    /// Disconnection-penalty exposure: ordered live pairs with no path
+    /// (see [`DistanceEngine::disconnected_live_pairs`]).
+    pub fn disconnected_live_pairs(&mut self) -> u64 {
+        self.engine.disconnected_live_pairs()
+    }
+
+    /// The engine's state digest ([`DistanceEngine::state_digest`]):
+    /// membership + strategies + physical CSR state.
+    pub fn state_digest(&self) -> u64 {
+        self.engine.state_digest()
     }
 }
 
@@ -772,6 +1038,145 @@ mod tests {
             direct.run(50_000).unwrap(),
             "detoured builder must replay the direct walk exactly"
         );
+    }
+
+    #[test]
+    fn max_cost_first_queue_replays_the_frozen_rescan_exactly() {
+        // The engine-aware priority-queue scheduler must reproduce the
+        // frozen recompute-and-sort implementation *exactly*: same probe
+        // count (steps), same movers in the same order, same endpoint —
+        // from random starts, from an equilibrium start, and with the
+        // search budget exercised by several (n, k) shapes.
+        for (n, k, seeds) in [(6usize, 1u64, 0..6u64), (8, 2, 0..4), (10, 2, 0..3)] {
+            let spec = GameSpec::uniform(n, k);
+            for seed in seeds {
+                let start = Configuration::random(&spec, seed);
+                let run = |rescan: bool| {
+                    let mut walk = Walk::new(&spec, start.clone())
+                        .with_scheduler(Scheduler::MaxCostFirst)
+                        .max_cost_first_rescan(rescan)
+                        .record_trace(true);
+                    let outcome = walk.run(4_000).unwrap();
+                    (
+                        outcome,
+                        walk.stats().clone(),
+                        walk.trace().to_vec(),
+                        walk.into_config(),
+                    )
+                };
+                assert_eq!(run(false), run(true), "n={n} k={k} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_cost_first_queue_counts_equilibrium_scan_steps() {
+        // From an equilibrium start the single scan probes all n nodes and
+        // counts all n stability tests — the WalkStats contract — on the
+        // queue path just like on the frozen rescan.
+        let n = 5;
+        let spec = GameSpec::uniform(n, 1);
+        let ring =
+            Configuration::from_strategies(&spec, (0..n).map(|i| vec![v((i + 1) % n)]).collect())
+                .unwrap();
+        let mut walk = Walk::new(&spec, ring).with_scheduler(Scheduler::MaxCostFirst);
+        let outcome = walk.run(1000).unwrap();
+        assert_eq!(outcome, WalkOutcome::Equilibrium { steps: n as u64 });
+        assert_eq!(walk.stats().moves, 0);
+    }
+
+    #[test]
+    fn walks_skip_departed_members_on_every_scheduler() {
+        for scheduler in [
+            Scheduler::RoundRobin,
+            Scheduler::MaxCostFirst,
+            Scheduler::Random { seed: 3 },
+        ] {
+            let spec = GameSpec::uniform(8, 2);
+            let mut walk = Walk::new(&spec, Configuration::random(&spec, 2))
+                .with_scheduler(scheduler.clone())
+                .record_trace(true);
+            walk.remove_node(v(3)).unwrap();
+            walk.remove_node(v(6)).unwrap();
+            let outcome = walk.run(100_000).unwrap();
+            assert!(
+                matches!(
+                    outcome,
+                    WalkOutcome::Equilibrium { .. } | WalkOutcome::Cycle { .. }
+                ),
+                "{scheduler:?}: {outcome:?}"
+            );
+            for mv in walk.trace() {
+                assert_ne!(mv.node, v(3), "{scheduler:?}: departed node moved");
+                assert_ne!(mv.node, v(6), "{scheduler:?}: departed node moved");
+            }
+            if matches!(outcome, WalkOutcome::Equilibrium { .. }) {
+                // Every live node really is stable in the masked game.
+                for u in NodeId::all(8) {
+                    if walk.is_live(u) {
+                        let out = walk
+                            .engine
+                            .best_response(u, &BestResponseOptions::default());
+                        assert!(!out.unwrap().improves(), "{scheduler:?}: {u} unstable");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn churned_walk_matches_fresh_membership_walk() {
+        // A walk that churns and re-equilibrates must land in exactly the
+        // state a fresh walk started from the post-churn snapshot lands in.
+        let spec = GameSpec::uniform(9, 2);
+        let mut walk = Walk::new(&spec, Configuration::random(&spec, 5)).detect_cycles(false);
+        let _ = walk.run(200).unwrap();
+        walk.remove_node(v(2)).unwrap();
+        walk.remove_node(v(7)).unwrap();
+        walk.add_node(v(2), vec![v(0), v(4)]).unwrap();
+        let snapshot = walk.config().clone();
+        let live = walk.engine.live_set().clone();
+        let pre_churn_steps = walk.stats().steps;
+        let target = pre_churn_steps + 50_000;
+        let outcome = walk.run(target).unwrap();
+
+        let mut fresh = Walk::with_membership(&spec, snapshot, &live)
+            .unwrap()
+            .detect_cycles(false);
+        let fresh_outcome = fresh.run(50_000).unwrap();
+        match (outcome, fresh_outcome) {
+            (
+                WalkOutcome::Equilibrium { steps },
+                WalkOutcome::Equilibrium { steps: fresh_steps },
+            ) => {
+                assert_eq!(
+                    steps - pre_churn_steps,
+                    fresh_steps,
+                    "same number of post-churn steps"
+                );
+            }
+            (a, b) => panic!("outcomes diverged: {a:?} vs {b:?}"),
+        }
+        assert_eq!(walk.config(), fresh.config());
+        assert_eq!(walk.state_digest(), fresh.state_digest());
+    }
+
+    #[test]
+    fn shock_restarts_equilibrium_certification() {
+        let spec = GameSpec::uniform(6, 1);
+        let mut walk = Walk::new(&spec, Configuration::empty(6));
+        let _ = walk.run(100_000).unwrap();
+        let settled = walk.config().clone();
+        // Shock node 0 onto a (probably) suboptimal link; the walk must
+        // re-test everyone before re-certifying equilibrium.
+        walk.shock_node(v(0), vec![v(3)]).unwrap();
+        let target = walk.stats().steps + 100_000;
+        let outcome = walk.run(target).unwrap();
+        assert!(matches!(outcome, WalkOutcome::Equilibrium { .. }));
+        assert!(crate::StabilityChecker::new(&spec)
+            .is_stable(walk.config())
+            .unwrap());
+        let _ = settled;
     }
 
     #[test]

@@ -30,20 +30,37 @@
 //! | best-response outcome of `u` | any of `u`'s rows invalidated, or `m = u` |
 //! | eval row `d_G(u,·)`        | `m` ∈ row's touched set (`m = u` always is) |
 //!
+//! # Node churn
+//!
+//! The engine also tracks a **live membership**: [`DistanceEngine::remove_node`]
+//! departs a peer (its links and every link *to* it are stripped, and it
+//! drops out of all cost aggregates), [`DistanceEngine::add_node`] admits or
+//! re-admits one. A join/leave is a sequence of ordinary strategy patches —
+//! each covered by the touched-set rule above — plus a wholesale drop of the
+//! membership-dependent aggregates (outcome memos, cached eval costs, masked
+//! weighted-target lists). Distance rows untouched by the patches survive,
+//! and a departed node's own `d_{G∖u}` rows always do. Under partial
+//! membership, cost aggregation masks departed targets (they contribute
+//! neither distances nor disconnection penalties) and the best-response
+//! search draws candidates from live nodes only. Every churn op
+//! canonicalizes the CSR layout, so [`DistanceEngine::state_digest`] after
+//! a remove/re-add round trip is byte-identical to a fresh
+//! [`DistanceEngine::with_membership`] build of the same state.
+//!
 //! Row filling can be spread across OS threads with
 //! [`DistanceEngine::prefill_oracle_rows`] (`std::thread::scope`; no new
 //! dependencies): traversals read the shared CSR immutably and results are
 //! written back in deterministic `(u, candidate)` order, so thread count
 //! never changes any value.
 
-use bbc_graph::{BitSet, ConnectivityScratch, CsrBfs, CsrDijkstra, CsrGraph};
+use bbc_graph::{BitSet, ConnectivityScratch, CsrBfs, CsrDijkstra, CsrGraph, UNREACHABLE};
 
 use crate::{
     best_response::{
         min_into, push_clamped_row, run_search, weighted_targets_of, OracleView, SearchScratch,
     },
-    eval::cost_from_distances,
-    BestResponseOptions, BestResponseOutcome, Configuration, GameSpec, NodeId, Result,
+    eval::{cost_from_distances, cost_from_distances_masked},
+    BestResponseOptions, BestResponseOutcome, Configuration, Error, GameSpec, NodeId, Result,
 };
 
 /// A filled row in flight from a worker thread back to the cache:
@@ -81,6 +98,16 @@ struct OracleCache {
     budget: u64,
     rows: Vec<RowSlot>,
     outcome: Option<(BestResponseOptions, BestResponseOutcome)>,
+}
+
+/// Per-node cache of the membership-masked weighted target list, stamped
+/// with the membership version it was built against.
+#[derive(Clone, Debug, Default)]
+struct MaskedTargets {
+    /// [`DistanceEngine`] membership version this list reflects (0 = never
+    /// built; versions start at 1).
+    version: u64,
+    targets: Vec<(u32, u64)>,
 }
 
 /// Cache effectiveness counters (monotone; see [`DistanceEngine::stats`]).
@@ -137,28 +164,98 @@ pub struct DistanceEngine<'a> {
     eval_costs: Vec<Option<u64>>,
     /// Clamped through-rows staged for one search (stride `n`).
     clamped: Vec<u64>,
+    /// Candidates staged for one search (live candidates only under
+    /// partial membership).
+    stage_candidates: Vec<NodeId>,
+    /// Link prices parallel to [`DistanceEngine::stage_candidates`].
+    stage_prices: Vec<u64>,
     current_row: Vec<u64>,
     search_scratch: SearchScratch,
     link_scratch: Vec<(u32, u64)>,
+    /// Live membership: departed nodes keep their id (and spec row) but
+    /// hold no links, receive none, and drop out of every cost aggregate.
+    live: BitSet,
+    live_count: usize,
+    /// Bumped by every join/leave; masked caches carry the version they
+    /// were built against.
+    membership_version: u64,
+    masked_targets: Vec<MaskedTargets>,
+    /// Nodes whose cached eval cost was dropped since the last
+    /// [`DistanceEngine::take_dirty_costs`] drain (scheduler support).
+    eval_dirty: BitSet,
     stats: EngineStats,
 }
 
 impl<'a> DistanceEngine<'a> {
-    /// Creates an engine for `spec`, bound to `config`.
+    /// Creates an engine for `spec`, bound to `config`, with every node a
+    /// live member.
     ///
     /// # Panics
     ///
     /// Panics if `config`'s node count differs from the spec's.
     pub fn new(spec: &'a GameSpec, config: Configuration) -> Self {
         let n = spec.node_count();
+        let mut all = BitSet::new(n);
+        for v in 0..n {
+            all.insert(v);
+        }
+        Self::with_membership(spec, config, &all).expect("full membership is always valid")
+    }
+
+    /// Creates an engine for `spec` bound to `config` with only the nodes
+    /// in `live` as members — the fresh-build counterpart of a sequence of
+    /// [`DistanceEngine::remove_node`] / [`DistanceEngine::add_node`] calls,
+    /// and the reference state of the churn determinism contract (a
+    /// remove/re-add round trip is byte-identical to this constructor; see
+    /// [`DistanceEngine::state_digest`]).
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::NodeOutOfBounds`] if `live` names a node outside the game;
+    /// - [`Error::NodeNotLive`] if a departed node still holds links;
+    /// - [`Error::TargetNotLive`] if a live node links to a departed one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config`'s node count differs from the spec's.
+    pub fn with_membership(
+        spec: &'a GameSpec,
+        config: Configuration,
+        live: &BitSet,
+    ) -> Result<Self> {
+        let n = spec.node_count();
         assert_eq!(config.node_count(), n, "configuration size mismatch");
+        let mut members = BitSet::new(n);
+        for v in live.iter() {
+            if v >= n {
+                return Err(Error::NodeOutOfBounds {
+                    node: NodeId::new(v),
+                    n,
+                });
+            }
+            members.insert(v);
+        }
+        let live_count = members.len();
+        for u in NodeId::all(n) {
+            if !members.contains(u.index()) {
+                if !config.strategy(u).is_empty() {
+                    return Err(Error::NodeNotLive { node: u });
+                }
+                continue;
+            }
+            for &t in config.strategy(u) {
+                if !members.contains(t.index()) {
+                    return Err(Error::TargetNotLive { node: u, target: t });
+                }
+            }
+        }
         let mut csr = CsrGraph::new(n);
         let mut link_scratch = Vec::new();
         for u in NodeId::all(n) {
             fill_links(spec, u, config.strategy(u), &mut link_scratch);
             csr.set_out_links(u.index(), &link_scratch);
         }
-        Self {
+        Ok(Self {
             spec,
             config,
             csr,
@@ -169,11 +266,18 @@ impl<'a> DistanceEngine<'a> {
             eval_rows: (0..n).map(|_| RowSlot::new(n)).collect(),
             eval_costs: vec![None; n],
             clamped: Vec::new(),
+            stage_candidates: Vec::new(),
+            stage_prices: Vec::new(),
             current_row: vec![0; n],
             search_scratch: SearchScratch::new(),
             link_scratch,
+            live: members,
+            live_count,
+            membership_version: 1,
+            masked_targets: vec![MaskedTargets::default(); n],
+            eval_dirty: BitSet::new(n),
             stats: EngineStats::default(),
-        }
+        })
     }
 
     /// The game this engine serves.
@@ -203,8 +307,20 @@ impl<'a> DistanceEngine<'a> {
     /// # Errors
     ///
     /// Returns the strategy-validation failure (see
-    /// [`GameSpec::validate_strategy`]) without modifying any state.
+    /// [`GameSpec::validate_strategy`]), [`Error::NodeNotLive`] when `u` has
+    /// departed, or [`Error::TargetNotLive`] when some target has — all
+    /// without modifying any state.
     pub fn apply_strategy(&mut self, u: NodeId, targets: Vec<NodeId>) -> Result<()> {
+        if self.live_count < self.spec.node_count() {
+            if !self.live.contains(u.index()) {
+                return Err(Error::NodeNotLive { node: u });
+            }
+            for &t in &targets {
+                if !self.live.contains(t.index()) {
+                    return Err(Error::TargetNotLive { node: u, target: t });
+                }
+            }
+        }
         self.config.set_strategy(self.spec, u, targets)?;
         fill_links(
             self.spec,
@@ -221,7 +337,17 @@ impl<'a> DistanceEngine<'a> {
     /// Re-syncs the engine to an arbitrary configuration by diffing against
     /// the bound one: only nodes whose strategy differs are patched and
     /// invalidated, so stepping an enumeration odometer costs one patch.
+    ///
+    /// # Panics
+    ///
+    /// Panics under partial membership — configurations carry no membership,
+    /// so a diff-sync is only meaningful when every node is live.
     pub fn sync_to(&mut self, config: &Configuration) {
+        assert_eq!(
+            self.live_count,
+            self.config.node_count(),
+            "sync_to requires full membership"
+        );
         assert_eq!(
             config.node_count(),
             self.config.node_count(),
@@ -258,9 +384,17 @@ impl<'a> DistanceEngine<'a> {
                 oc.outcome = None;
             }
         }
-        for (slot, cost) in self.eval_rows.iter_mut().zip(&mut self.eval_costs) {
+        for (i, (slot, cost)) in self
+            .eval_rows
+            .iter_mut()
+            .zip(&mut self.eval_costs)
+            .enumerate()
+        {
             if slot.valid && slot.touched.contains(moved) {
                 slot.valid = false;
+                if cost.is_some() {
+                    self.eval_dirty.insert(i);
+                }
                 *cost = None;
                 self.stats.rows_invalidated += 1;
             }
@@ -285,12 +419,18 @@ impl<'a> DistanceEngine<'a> {
         oc.init = true;
     }
 
-    /// Recomputes every invalid oracle row of `u` (sequentially).
+    /// Recomputes every invalid oracle row of `u` for *live* candidates
+    /// (sequentially). A departed candidate's row is neither needed (it is
+    /// filtered out of the search staging) nor meaningful, so it is left
+    /// invalid until the candidate rejoins.
     fn ensure_oracle_rows(&mut self, u: NodeId) {
         self.ensure_oracle_init(u);
         let oc = &mut self.oracle[u.index()];
         let unit = self.spec.has_unit_lengths();
         for (i, slot) in oc.rows.iter_mut().enumerate() {
+            if !self.live.contains(oc.candidates[i].index()) {
+                continue;
+            }
             if slot.valid {
                 self.stats.oracle_row_hits += 1;
                 continue;
@@ -329,6 +469,9 @@ impl<'a> DistanceEngine<'a> {
         u: NodeId,
         options: &BestResponseOptions,
     ) -> Result<BestResponseOutcome> {
+        if !self.live.contains(u.index()) {
+            return Err(Error::NodeNotLive { node: u });
+        }
         if let Some((cached_options, outcome)) = &self.oracle[u.index()].outcome {
             if cached_options == options {
                 self.stats.outcome_hits += 1;
@@ -337,35 +480,54 @@ impl<'a> DistanceEngine<'a> {
         }
         self.ensure_oracle_rows(u);
         let n = self.spec.node_count();
+        let all_live = self.live_count == n;
+        if !all_live {
+            self.ensure_masked_targets(u);
+        }
         let oc = &self.oracle[u.index()];
 
-        // Stage the clamped through-rows for the search.
+        // Stage the clamped through-rows for the search — live candidates
+        // only, so a departed peer is neither a purchasable target nor a
+        // relay in any priced strategy.
         self.clamped.clear();
+        self.stage_candidates.clear();
+        self.stage_prices.clear();
         for (i, slot) in oc.rows.iter().enumerate() {
+            let c = oc.candidates[i];
+            if !all_live && !self.live.contains(c.index()) {
+                continue;
+            }
+            self.stage_candidates.push(c);
+            self.stage_prices.push(oc.prices[i]);
             push_clamped_row(
                 &mut self.clamped,
                 &slot.dist,
-                self.spec.link_length(u, oc.candidates[i]),
+                self.spec.link_length(u, c),
                 self.spec,
             );
         }
         let view = OracleView {
             spec: self.spec,
             node: u,
-            candidates: &oc.candidates,
+            candidates: &self.stage_candidates,
             rows: &self.clamped,
-            prices: &oc.prices,
-            weighted_targets: &oc.weighted_targets,
+            prices: &self.stage_prices,
+            weighted_targets: if all_live {
+                &oc.weighted_targets
+            } else {
+                &self.masked_targets[u.index()].targets
+            },
             budget: oc.budget,
+            all_live,
         };
 
         // Price the node's current strategy through the same rows.
         self.current_row.fill(self.spec.penalty());
         for &t in self.config.strategy(u) {
-            let i = oc
-                .candidates
+            let i = self
+                .stage_candidates
                 .binary_search(&t)
-                .expect("a held strategy target is always an affordable candidate");
+                .expect("a held strategy target is always a live, affordable candidate");
             min_into(&mut self.current_row, &self.clamped[i * n..(i + 1) * n]);
         }
         let current_cost = view.aggregate(&self.current_row);
@@ -376,8 +538,33 @@ impl<'a> DistanceEngine<'a> {
         Ok(outcome)
     }
 
+    /// Rebuilds `u`'s membership-masked weighted target list when the
+    /// membership changed since it was last built.
+    fn ensure_masked_targets(&mut self, u: NodeId) {
+        let mt = &mut self.masked_targets[u.index()];
+        if mt.version == self.membership_version {
+            return;
+        }
+        mt.targets.clear();
+        for v in self.live.iter().map(NodeId::new) {
+            if v == u {
+                continue;
+            }
+            let w = self.spec.weight(u, v);
+            if w > 0 {
+                mt.targets.push((v.index() as u32, w));
+            }
+        }
+        mt.version = self.membership_version;
+    }
+
     /// Cost of node `u` under the bound configuration (cached per node).
+    /// A departed node costs 0 — it plays no strategy and owes no
+    /// distances (see the churn rules in the module docs).
     pub fn node_cost(&mut self, u: NodeId) -> u64 {
+        if !self.live.contains(u.index()) {
+            return 0;
+        }
         if let Some(cost) = self.eval_costs[u.index()] {
             return cost;
         }
@@ -400,7 +587,11 @@ impl<'a> DistanceEngine<'a> {
             slot.valid = true;
             self.stats.eval_rows_computed += 1;
         }
-        let cost = cost_from_distances(self.spec, u, &self.eval_rows[u.index()].dist);
+        let cost = if self.live_count == self.spec.node_count() {
+            cost_from_distances(self.spec, u, &self.eval_rows[u.index()].dist)
+        } else {
+            cost_from_distances_masked(self.spec, u, &self.eval_rows[u.index()].dist, &self.live)
+        };
         self.eval_costs[u.index()] = Some(cost);
         cost
     }
@@ -419,15 +610,51 @@ impl<'a> DistanceEngine<'a> {
 
     /// Shortest-path distances from `u` in the bound configuration's graph
     /// (cached; unreachable targets hold [`bbc_graph::UNREACHABLE`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `u` has departed — a dead node has no distances.
     pub fn distances_from(&mut self, u: NodeId) -> &[u64] {
+        assert!(
+            self.live.contains(u.index()),
+            "distances_from({u}): node is not a live member"
+        );
         self.node_cost(u);
         &self.eval_rows[u.index()].dist
     }
 
-    /// `true` iff the bound configuration's graph is strongly connected
-    /// (allocation-free after warm-up).
+    /// `true` iff the bound configuration's graph, restricted to the live
+    /// membership, is strongly connected (allocation-free after warm-up).
     pub fn is_strongly_connected(&mut self) -> bool {
-        self.conn.is_strongly_connected(&self.csr)
+        if self.live_count == self.spec.node_count() {
+            self.conn.is_strongly_connected(&self.csr)
+        } else {
+            self.conn
+                .is_strongly_connected_among(&self.csr, Some(&self.live))
+        }
+    }
+
+    /// Number of ordered live pairs `(u, v)` with positive preference
+    /// weight and `v` unreachable from `u` — the disconnection-penalty
+    /// exposure of the bound configuration (each counted pair is priced at
+    /// `w(u,v)·M` in `u`'s cost; zero-weight pairs cost nothing and play
+    /// has no incentive to connect them, so they are not exposure).
+    pub fn disconnected_live_pairs(&mut self) -> u64 {
+        let live: Vec<usize> = self.live.iter().collect();
+        let mut total = 0u64;
+        for &u in &live {
+            self.node_cost(NodeId::new(u));
+            let dist = &self.eval_rows[u].dist;
+            for &v in &live {
+                if v != u
+                    && dist[v] == UNREACHABLE
+                    && self.spec.weight(NodeId::new(u), NodeId::new(v)) > 0
+                {
+                    total += 1;
+                }
+            }
+        }
+        total
     }
 
     /// [`DistanceEngine::best_response`] with the oracle BFS fan-out on the
@@ -467,12 +694,18 @@ impl<'a> DistanceEngine<'a> {
     /// the same engine state as the sequential path.
     pub fn prefill_oracle_rows(&mut self, nodes: &[NodeId], threads: usize) -> usize {
         for &u in nodes {
-            self.ensure_oracle_init(u);
+            if self.live.contains(u.index()) {
+                self.ensure_oracle_init(u);
+            }
         }
         let mut work: Vec<(usize, usize)> = Vec::new();
         for &u in nodes {
-            for (i, slot) in self.oracle[u.index()].rows.iter().enumerate() {
-                if !slot.valid {
+            if !self.live.contains(u.index()) {
+                continue;
+            }
+            let oc = &self.oracle[u.index()];
+            for (i, slot) in oc.rows.iter().enumerate() {
+                if !slot.valid && self.live.contains(oc.candidates[i].index()) {
                     work.push((u.index(), i));
                 }
             }
@@ -483,7 +716,9 @@ impl<'a> DistanceEngine<'a> {
         let threads = threads.clamp(1, work.len());
         if threads == 1 {
             for &u in nodes {
-                self.ensure_oracle_rows(u);
+                if self.live.contains(u.index()) {
+                    self.ensure_oracle_rows(u);
+                }
             }
             return work.len();
         }
@@ -531,6 +766,167 @@ impl<'a> DistanceEngine<'a> {
         }
         self.stats.oracle_rows_computed += computed as u64;
         computed
+    }
+
+    // ----- node lifecycle (churn) ------------------------------------
+
+    /// `true` iff `u` is currently a live member.
+    #[inline]
+    pub fn is_live(&self, u: NodeId) -> bool {
+        self.live.contains(u.index())
+    }
+
+    /// Number of live members.
+    #[inline]
+    pub fn live_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Live members in ascending id order.
+    pub fn live_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.live.iter().map(NodeId::new)
+    }
+
+    /// The live membership as a bitset (the exact value a fresh
+    /// [`DistanceEngine::with_membership`] build of this state takes).
+    pub fn live_set(&self) -> &BitSet {
+        &self.live
+    }
+
+    /// Departs node `u`: strips every live node's link to `u`, clears `u`'s
+    /// own links, retires its CSR slab, and drops it from every cost
+    /// aggregate. `u`'s id stays valid and can rejoin via
+    /// [`DistanceEngine::add_node`].
+    ///
+    /// Invalidation is incremental: each in-link strip and the self-clear
+    /// go through the standard touched-set rule, so deviation rows whose
+    /// traversals met none of the patched nodes survive; only the
+    /// membership-dependent aggregates (outcome memos, eval costs, masked
+    /// target lists) are dropped wholesale — membership is a term in every
+    /// one of them. `u`'s own `d_{G∖u}` rows survive by construction
+    /// (`G∖u` never contained `u`'s arcs), which is what makes a brief
+    /// leave/rejoin cheap.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NodeOutOfBounds`] or [`Error::NodeNotLive`]; no state
+    /// changes on error.
+    pub fn remove_node(&mut self, u: NodeId) -> Result<()> {
+        let n = self.spec.node_count();
+        if u.index() >= n {
+            return Err(Error::NodeOutOfBounds { node: u, n });
+        }
+        if !self.live.contains(u.index()) {
+            return Err(Error::NodeNotLive { node: u });
+        }
+        for w in NodeId::all(n) {
+            if w == u || !self.live.contains(w.index()) {
+                continue;
+            }
+            if self.config.strategy(w).contains(&u) {
+                let stripped: Vec<NodeId> = self
+                    .config
+                    .strategy(w)
+                    .iter()
+                    .copied()
+                    .filter(|&t| t != u)
+                    .collect();
+                self.apply_strategy(w, stripped)
+                    .expect("dropping a target keeps a strategy valid");
+            }
+        }
+        self.apply_strategy(u, Vec::new())
+            .expect("the empty strategy is always valid");
+        self.live.remove(u.index());
+        self.live_count -= 1;
+        self.csr.remove_node(u.index());
+        self.after_membership_change();
+        Ok(())
+    }
+
+    /// (Re)admits node `u` with the given strategy. Targets must be live;
+    /// in-links form later through the other players' best responses, just
+    /// as in a real overlay join.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NodeOutOfBounds`], [`Error::NodeAlreadyLive`],
+    /// [`Error::TargetNotLive`], or the strategy-validation failure; no
+    /// state changes on error.
+    pub fn add_node(&mut self, u: NodeId, targets: Vec<NodeId>) -> Result<()> {
+        let n = self.spec.node_count();
+        if u.index() >= n {
+            return Err(Error::NodeOutOfBounds { node: u, n });
+        }
+        if self.live.contains(u.index()) {
+            return Err(Error::NodeAlreadyLive { node: u });
+        }
+        self.spec.validate_strategy(u, &targets)?;
+        for &t in &targets {
+            if !self.live.contains(t.index()) {
+                return Err(Error::TargetNotLive { node: u, target: t });
+            }
+        }
+        self.live.insert(u.index());
+        self.live_count += 1;
+        self.apply_strategy(u, targets)
+            .expect("strategy pre-validated against spec and membership");
+        self.after_membership_change();
+        Ok(())
+    }
+
+    /// Post-join/leave bookkeeping: canonicalize the CSR layout (so the
+    /// physical state is history-independent — the determinism contract of
+    /// [`DistanceEngine::state_digest`]), bump the membership version, and
+    /// drop every membership-dependent aggregate. Distance rows are *not*
+    /// dropped here; the touched-set invalidations of the patches that led
+    /// here already covered them.
+    fn after_membership_change(&mut self) {
+        self.membership_version += 1;
+        self.csr.rebuild_canonical();
+        for oc in &mut self.oracle {
+            oc.outcome = None;
+        }
+        for (i, cost) in self.eval_costs.iter_mut().enumerate() {
+            *cost = None;
+            self.eval_dirty.insert(i);
+        }
+    }
+
+    /// Drains the set of nodes whose cached cost was dropped since the last
+    /// drain (by strategy patches or membership changes). Cost-keyed
+    /// schedulers use this to update priority state in `O(changed)` per
+    /// step instead of re-reading every node.
+    pub fn take_dirty_costs(&mut self) -> Vec<NodeId> {
+        let dirty: Vec<NodeId> = self.eval_dirty.iter().map(NodeId::new).collect();
+        self.eval_dirty.clear();
+        dirty
+    }
+
+    /// FNV-1a digest of the engine's observable state: live membership,
+    /// every strategy, and the physical CSR arenas.
+    ///
+    /// The churn determinism contract (pinned by the round-trip tests):
+    /// after any sequence of [`DistanceEngine::remove_node`] /
+    /// [`DistanceEngine::add_node`] calls, the digest equals that of a
+    /// fresh [`DistanceEngine::with_membership`] over the same
+    /// configuration and membership — caches are warm vs cold, but the
+    /// state they describe is byte-identical.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = bbc_graph::digest::Fnv1a::new();
+        h.write_u64(self.live_count as u64);
+        for v in self.live.iter() {
+            h.write_u64(v as u64);
+        }
+        for u in NodeId::all(self.spec.node_count()) {
+            let s = self.config.strategy(u);
+            h.write_u64(s.len() as u64);
+            for &t in s {
+                h.write_u64(t.index() as u64);
+            }
+        }
+        h.write_u64(self.csr.arena_digest());
+        h.finish()
     }
 }
 
@@ -732,6 +1128,198 @@ mod tests {
         assert_eq!(
             engine.node_costs(),
             crate::reference::node_costs(&spec, &cfg)
+        );
+    }
+
+    /// Restricts `spec` to the live nodes as a fresh, dense game (same
+    /// penalty, relabeled ids) — the executable reference for masked
+    /// aggregation: distances and costs among live nodes must be identical
+    /// because departed nodes carry no arcs.
+    fn compact_spec(spec: &GameSpec, live: &[NodeId]) -> (GameSpec, Vec<usize>) {
+        let mut b = GameSpec::builder(live.len()).cost_model(spec.cost_model());
+        for (i, &u) in live.iter().enumerate() {
+            b = b.budget(i, spec.budget(u));
+            for (j, &v) in live.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                b = b
+                    .weight(i, j, spec.weight(u, v))
+                    .link_cost(i, j, spec.link_cost(u, v))
+                    .link_length(i, j, spec.link_length(u, v));
+            }
+        }
+        let compact = b
+            .penalty(spec.penalty())
+            .build()
+            .expect("penalty of the full game dominates the restricted one");
+        let back: Vec<usize> = live.iter().map(|u| u.index()).collect();
+        (compact, back)
+    }
+
+    #[test]
+    fn remove_then_readd_is_byte_identical_to_fresh_build() {
+        let spec = GameSpec::uniform(8, 2);
+        let mut engine = DistanceEngine::new(&spec, Configuration::random(&spec, 9));
+        // Warm every cache, then churn.
+        for u in NodeId::all(8) {
+            engine.best_response(u, &opts()).unwrap();
+        }
+        let victim = NodeId::new(3);
+        let held = engine.config().strategy(victim).to_vec();
+        engine.remove_node(victim).unwrap();
+        engine
+            .add_node(victim, held)
+            .expect("old strategy targets only live nodes");
+
+        let mut live = bbc_graph::BitSet::new(8);
+        for v in 0..8 {
+            live.insert(v);
+        }
+        let fresh = DistanceEngine::with_membership(&spec, engine.config().clone(), &live).unwrap();
+        assert_eq!(engine.state_digest(), fresh.state_digest());
+        // And with the node still absent, the digest matches a fresh
+        // partial-membership build too.
+        engine.remove_node(victim).unwrap();
+        live.remove(3);
+        let fresh = DistanceEngine::with_membership(&spec, engine.config().clone(), &live).unwrap();
+        assert_eq!(engine.state_digest(), fresh.state_digest());
+    }
+
+    #[test]
+    fn masked_engine_matches_compact_relabeled_game() {
+        // Remove two nodes from an (8,2)-uniform game; every live cost and
+        // best response must match the dense 6-node game with the same
+        // penalty, modulo relabeling.
+        let spec = GameSpec::uniform(8, 2);
+        let mut engine = DistanceEngine::new(&spec, Configuration::random(&spec, 4));
+        engine.remove_node(NodeId::new(2)).unwrap();
+        engine.remove_node(NodeId::new(5)).unwrap();
+        let live: Vec<NodeId> = engine.live_nodes().collect();
+        let (cspec, back) = compact_spec(&spec, &live);
+        let clists: Vec<Vec<NodeId>> = live
+            .iter()
+            .map(|&u| {
+                engine
+                    .config()
+                    .strategy(u)
+                    .iter()
+                    .map(|t| NodeId::new(back.iter().position(|&b| b == t.index()).unwrap()))
+                    .collect()
+            })
+            .collect();
+        let ccfg = Configuration::from_strategies(&cspec, clists).unwrap();
+        for (i, &u) in live.iter().enumerate() {
+            assert_eq!(
+                engine.node_cost(u),
+                crate::reference::node_costs(&cspec, &ccfg)[i],
+                "node {u}"
+            );
+            let masked = engine.best_response(u, &opts()).unwrap();
+            let compact = best_response::exact(&cspec, &ccfg, NodeId::new(i), &opts()).unwrap();
+            assert_eq!(masked.current_cost, compact.current_cost, "node {u}");
+            assert_eq!(masked.best_cost, compact.best_cost, "node {u}");
+            assert_eq!(masked.optimal, compact.optimal, "node {u}");
+            let relabeled: Vec<NodeId> = compact
+                .best_strategy
+                .iter()
+                .map(|t| NodeId::new(back[t.index()]))
+                .collect();
+            assert_eq!(masked.best_strategy, relabeled, "node {u}");
+        }
+    }
+
+    #[test]
+    fn departed_nodes_cost_zero_and_reject_operations() {
+        let spec = GameSpec::uniform(5, 1);
+        let mut engine = DistanceEngine::new(&spec, Configuration::random(&spec, 1));
+        let u = NodeId::new(2);
+        engine.remove_node(u).unwrap();
+        assert_eq!(engine.node_cost(u), 0);
+        assert_eq!(engine.live_count(), 4);
+        assert!(!engine.is_live(u));
+        assert_eq!(
+            engine.best_response(u, &opts()),
+            Err(crate::Error::NodeNotLive { node: u })
+        );
+        assert_eq!(
+            engine.remove_node(u),
+            Err(crate::Error::NodeNotLive { node: u })
+        );
+        assert_eq!(
+            engine.apply_strategy(NodeId::new(0), vec![u]),
+            Err(crate::Error::TargetNotLive {
+                node: NodeId::new(0),
+                target: u
+            })
+        );
+        assert_eq!(
+            engine.add_node(NodeId::new(0), vec![]),
+            Err(crate::Error::NodeAlreadyLive {
+                node: NodeId::new(0)
+            })
+        );
+        // No live node still links to the departed one.
+        for w in engine.live_nodes() {
+            assert!(!engine.config().strategy(w).contains(&u));
+        }
+    }
+
+    #[test]
+    fn masked_prefill_is_thread_invariant() {
+        let spec = GameSpec::uniform(9, 2);
+        let build = |threads: usize| {
+            let mut engine = DistanceEngine::new(&spec, Configuration::random(&spec, 13));
+            engine.remove_node(NodeId::new(4)).unwrap();
+            engine.remove_node(NodeId::new(7)).unwrap();
+            let live: Vec<NodeId> = engine.live_nodes().collect();
+            engine.prefill_oracle_rows(&live, threads);
+            let outs: Vec<_> = live
+                .iter()
+                .map(|&u| engine.best_response(u, &opts()).unwrap())
+                .collect();
+            (outs, engine.stats().oracle_rows_computed)
+        };
+        let (base, base_rows) = build(1);
+        for threads in [2usize, 4] {
+            let (outs, rows) = build(threads);
+            assert_eq!(outs, base, "threads {threads}");
+            assert_eq!(rows, base_rows, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn leave_rejoin_keeps_own_oracle_rows_warm() {
+        // The incremental claim: a departed node's own deviation rows are
+        // rows of `G∖u`, which its departure does not change. When `u` has
+        // no in-links, its leave/rejoin patches only `u` itself — and
+        // `G∖u` traversals never expand `u` — so re-asking its best
+        // response after the round trip recomputes *zero* rows.
+        let spec = GameSpec::uniform(6, 1);
+        // 0→1→2→0 ring; 3→4, 4→5, 5→4: nobody links to 3.
+        let cfg = Configuration::from_strategies(
+            &spec,
+            vec![
+                vec![NodeId::new(1)],
+                vec![NodeId::new(2)],
+                vec![NodeId::new(0)],
+                vec![NodeId::new(4)],
+                vec![NodeId::new(5)],
+                vec![NodeId::new(4)],
+            ],
+        )
+        .unwrap();
+        let mut engine = DistanceEngine::new(&spec, cfg);
+        let u = NodeId::new(3);
+        engine.best_response(u, &opts()).unwrap();
+        let rows_before = engine.stats().oracle_rows_computed;
+        engine.remove_node(u).unwrap();
+        engine.add_node(u, vec![NodeId::new(4)]).unwrap();
+        engine.best_response(u, &opts()).unwrap();
+        assert_eq!(
+            engine.stats().oracle_rows_computed,
+            rows_before,
+            "an in-link-free leave/rejoin must be a pure row-cache hit"
         );
     }
 

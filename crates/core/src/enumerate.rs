@@ -12,7 +12,9 @@
 //! shard start index, so its output is byte-identical to the sequential scan
 //! for every thread count.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::{Configuration, DistanceEngine, Error, GameSpec, NodeId, Result, StabilityChecker};
 
@@ -277,6 +279,172 @@ pub fn find_equilibria_parallel(
     Ok(merged)
 }
 
+/// Fixed shard width of checkpointable scans ([`find_equilibria_parallel_resumable`]).
+///
+/// Unlike the work-stealing shard size of [`find_equilibria_parallel`] —
+/// which may depend on the thread count because it never leaks into results
+/// — the *checkpoint* unit must be machine-independent: a scan killed on an
+/// 8-core host has to resume exactly where a 2-core host would. This is a
+/// **persistence-format constant**, deliberately not aliased to the tunable
+/// [`MAX_SHARD_PROFILES`] work-stealing knob: retuning that for performance
+/// must never reinterpret previously recorded shard ranges (the persistence
+/// layer additionally pins this width in its stream fingerprints, so a
+/// deliberate change here invalidates old checkpoints instead of silently
+/// corrupting them).
+pub const CHECKPOINT_SHARD_PROFILES: u64 = 256;
+
+/// Number of checkpoint shards a scan of `space` consists of.
+///
+/// # Panics
+///
+/// Panics if the space exceeds `u64` profiles (far beyond anything
+/// enumerable; real scans are bounded by `max_profiles` long before).
+pub fn checkpoint_shard_count(space: &ProfileSpace) -> u64 {
+    let total = space.profile_count();
+    assert!(total <= u128::from(u64::MAX), "profile space exceeds u64");
+    (total as u64).div_ceil(CHECKPOINT_SHARD_PROFILES)
+}
+
+/// In-order flush state shared by the resumable scan's workers: completed
+/// shards park in `pending` until the contiguous run starting at `next` can
+/// be handed to the sink and merged — so the sink observes shards in
+/// ascending order no matter which worker finished first.
+struct ShardFlush<'s> {
+    next: u64,
+    pending: BTreeMap<u64, EnumerationResult>,
+    merged: EnumerationResult,
+    sink: &'s mut (dyn FnMut(u64, &EnumerationResult) + Send),
+}
+
+impl ShardFlush<'_> {
+    fn complete(&mut self, shard: u64, result: EnumerationResult) {
+        self.pending.insert(shard, result);
+        while let Some(result) = self.pending.remove(&self.next) {
+            (self.sink)(self.next, &result);
+            self.merged.equilibria.extend(result.equilibria);
+            self.merged.profiles_checked += result.profiles_checked;
+            self.next += 1;
+        }
+    }
+}
+
+/// Checkpointable variant of [`find_equilibria_parallel`]: the scan is cut
+/// into fixed-width shards ([`CHECKPOINT_SHARD_PROFILES`] linear profile
+/// indices each), `sink` is invoked once per completed shard **in ascending
+/// shard order** (regardless of which worker finished first), and shards
+/// `[0, completed_shards)` — persisted by a previous, possibly killed run —
+/// are skipped entirely.
+///
+/// The returned result covers only the shards this call scanned; the caller
+/// rebuilds the full result by concatenating the persisted prefix with it.
+/// Because shards are merged by index, `prefix + resumed` is byte-identical
+/// to an uninterrupted [`find_equilibria`] for every thread count and every
+/// kill point (pinned by tests).
+///
+/// # Errors
+///
+/// Same conditions as [`find_equilibria`]; the earliest failing shard's
+/// error is returned. Shards already handed to `sink` are genuinely
+/// complete even on error — that is what makes them safe to persist.
+pub fn find_equilibria_parallel_resumable(
+    spec: &GameSpec,
+    space: &ProfileSpace,
+    max_profiles: u64,
+    threads: usize,
+    completed_shards: u64,
+    sink: &mut (dyn FnMut(u64, &EnumerationResult) + Send),
+) -> Result<EnumerationResult> {
+    if space.profile_count() > max_profiles as u128 {
+        return Err(Error::SearchBudgetExceeded {
+            limit: max_profiles,
+        });
+    }
+    let total = space.profile_count() as u64;
+    let shards = checkpoint_shard_count(space);
+    let empty = || EnumerationResult {
+        equilibria: Vec::new(),
+        profiles_checked: 0,
+    };
+    if completed_shards >= shards {
+        return Ok(empty());
+    }
+
+    let threads = threads.max(1).min((shards - completed_shards) as usize);
+    if threads <= 1 {
+        let checker = StabilityChecker::new(spec);
+        let mut worker = ShardWorker::new(spec, space);
+        let mut merged = empty();
+        for shard in completed_shards..shards {
+            let lo = shard * CHECKPOINT_SHARD_PROFILES;
+            let hi = (lo + CHECKPOINT_SHARD_PROFILES).min(total);
+            let mut result = empty();
+            worker.scan_linear_range(&checker, lo, hi, &mut result)?;
+            sink(shard, &result);
+            merged.equilibria.extend(result.equilibria);
+            merged.profiles_checked += result.profiles_checked;
+        }
+        return Ok(merged);
+    }
+
+    let cursor = AtomicU64::new(completed_shards);
+    let stop = AtomicBool::new(false);
+    let flush = Mutex::new(ShardFlush {
+        next: completed_shards,
+        pending: BTreeMap::new(),
+        merged: empty(),
+        sink,
+    });
+    let first_error: Mutex<Option<(u64, Error)>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let checker = StabilityChecker::new(spec);
+                let mut worker = ShardWorker::new(spec, space);
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let shard = cursor.fetch_add(1, Ordering::Relaxed);
+                    if shard >= shards {
+                        break;
+                    }
+                    let lo = shard * CHECKPOINT_SHARD_PROFILES;
+                    let hi = (lo + CHECKPOINT_SHARD_PROFILES).min(total);
+                    let mut result = EnumerationResult {
+                        equilibria: Vec::new(),
+                        profiles_checked: 0,
+                    };
+                    match worker.scan_linear_range(&checker, lo, hi, &mut result) {
+                        Ok(()) => {
+                            flush
+                                .lock()
+                                .expect("flush lock poisoned")
+                                .complete(shard, result);
+                        }
+                        Err(e) => {
+                            stop.store(true, Ordering::Relaxed);
+                            let mut slot = first_error.lock().expect("error lock poisoned");
+                            if slot.as_ref().is_none_or(|(s, _)| shard < *s) {
+                                *slot = Some((shard, e));
+                            }
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if let Some((_, e)) = first_error.into_inner().expect("error lock poisoned") {
+        return Err(e);
+    }
+    let flush = flush.into_inner().expect("flush lock poisoned");
+    debug_assert!(
+        flush.pending.is_empty(),
+        "error-free scan flushed every shard"
+    );
+    Ok(flush.merged)
+}
+
 /// One enumeration worker: a [`DistanceEngine`] plus the odometer state it
 /// is synced to, reused across every shard the worker claims.
 struct ShardWorker<'a> {
@@ -493,6 +661,74 @@ mod tests {
         for threads in [2, 3, 8] {
             let par = find_equilibria_parallel(&spec, &space, 100_000, threads).unwrap();
             assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn resumable_scan_matches_sequential_and_sinks_in_order() {
+        // (4,2): 7 strategies per node, 2401 profiles ⇒ 10 checkpoint
+        // shards — enough to exercise out-of-order completion and the
+        // ordered flush.
+        let spec = GameSpec::uniform(4, 2);
+        let space = ProfileSpace::full(&spec, 1000).unwrap();
+        assert_eq!(checkpoint_shard_count(&space), 10);
+        let seq = find_equilibria(&spec, &space, 100_000).unwrap();
+        for threads in [1usize, 2, 4] {
+            let mut shards_seen = Vec::new();
+            let mut sunk = EnumerationResult {
+                equilibria: Vec::new(),
+                profiles_checked: 0,
+            };
+            let mut sink = |shard: u64, r: &EnumerationResult| {
+                shards_seen.push(shard);
+                sunk.equilibria.extend(r.equilibria.iter().cloned());
+                sunk.profiles_checked += r.profiles_checked;
+            };
+            let merged =
+                find_equilibria_parallel_resumable(&spec, &space, 100_000, threads, 0, &mut sink)
+                    .unwrap();
+            assert_eq!(merged, seq, "threads={threads}");
+            assert_eq!(sunk, seq, "threads={threads}: sink saw every shard");
+            assert_eq!(
+                shards_seen,
+                (0..10).collect::<Vec<u64>>(),
+                "threads={threads}: ascending, contiguous shard order"
+            );
+        }
+    }
+
+    #[test]
+    fn killed_scan_resumes_byte_identically_from_any_shard() {
+        // Simulate a kill after k persisted shards: the persisted prefix
+        // plus a resumed scan over the rest must reproduce the sequential
+        // result byte for byte — for every cut point and thread count.
+        let spec = GameSpec::uniform(4, 2);
+        let space = ProfileSpace::full(&spec, 1000).unwrap();
+        let seq = find_equilibria(&spec, &space, 100_000).unwrap();
+        // Record the full per-shard results once.
+        let mut per_shard: Vec<EnumerationResult> = Vec::new();
+        let mut record = |_: u64, r: &EnumerationResult| per_shard.push(r.clone());
+        find_equilibria_parallel_resumable(&spec, &space, 100_000, 3, 0, &mut record).unwrap();
+        assert_eq!(per_shard.len(), 10);
+        for cut in [0usize, 1, 4, 9, 10] {
+            for threads in [1usize, 4] {
+                let mut rebuilt = EnumerationResult {
+                    equilibria: Vec::new(),
+                    profiles_checked: 0,
+                };
+                for r in &per_shard[..cut] {
+                    rebuilt.equilibria.extend(r.equilibria.iter().cloned());
+                    rebuilt.profiles_checked += r.profiles_checked;
+                }
+                let mut sink = |_: u64, _: &EnumerationResult| {};
+                let resumed = find_equilibria_parallel_resumable(
+                    &spec, &space, 100_000, threads, cut as u64, &mut sink,
+                )
+                .unwrap();
+                rebuilt.equilibria.extend(resumed.equilibria);
+                rebuilt.profiles_checked += resumed.profiles_checked;
+                assert_eq!(rebuilt, seq, "cut={cut} threads={threads}");
+            }
         }
     }
 

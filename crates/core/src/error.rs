@@ -67,6 +67,27 @@ pub enum Error {
         /// The node with an empty candidate list.
         node: NodeId,
     },
+    /// A churn-aware operation addressed a node that is not currently a
+    /// live member (it departed, or was never admitted with links).
+    NodeNotLive {
+        /// The departed node.
+        node: NodeId,
+    },
+    /// [`crate::DistanceEngine::add_node`] was asked to admit a node that is
+    /// already live.
+    NodeAlreadyLive {
+        /// The already-live node.
+        node: NodeId,
+    },
+    /// A strategy targets a node that is not currently a live member —
+    /// links to departed peers are forbidden (they would silently absorb
+    /// traffic a real overlay could never route).
+    TargetNotLive {
+        /// The buying node.
+        node: NodeId,
+        /// The departed target.
+        target: NodeId,
+    },
 }
 
 impl fmt::Display for Error {
@@ -104,6 +125,18 @@ impl fmt::Display for Error {
             }
             Error::EmptyCandidateSet { node } => {
                 write!(f, "node {node} has no candidate strategies")
+            }
+            Error::NodeNotLive { node } => {
+                write!(f, "node {node} is not a live member")
+            }
+            Error::NodeAlreadyLive { node } => {
+                write!(f, "node {node} is already a live member")
+            }
+            Error::TargetNotLive { node, target } => {
+                write!(
+                    f,
+                    "node {node} links to {target}, which is not a live member"
+                )
             }
         }
     }

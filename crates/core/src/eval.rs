@@ -6,7 +6,7 @@
 //! dispatching to BFS or Dijkstra depending on whether the game has unit
 //! lengths.
 
-use bbc_graph::{BfsBuffer, DiGraph, DijkstraBuffer, UNREACHABLE};
+use bbc_graph::{BfsBuffer, BitSet, DiGraph, DijkstraBuffer, UNREACHABLE};
 
 use crate::{Configuration, CostModel, DistanceEngine, GameSpec, NodeId};
 
@@ -148,6 +148,37 @@ pub fn cost_from_distances(spec: &GameSpec, u: NodeId, dist: &[u64]) -> u64 {
             }
             worst
         }
+    }
+}
+
+/// [`cost_from_distances`] restricted to a live-membership mask: only live
+/// targets contribute distance (or penalty) terms, so a departed peer is
+/// neither a destination nor a source of disconnection penalties.
+///
+/// This is the aggregation rule of the churn runtime
+/// ([`crate::DistanceEngine::remove_node`]); with every node live it reduces
+/// to [`cost_from_distances`].
+pub fn cost_from_distances_masked(spec: &GameSpec, u: NodeId, dist: &[u64], live: &BitSet) -> u64 {
+    debug_assert_eq!(dist.len(), spec.node_count());
+    let m = spec.penalty();
+    let mut total = 0u64;
+    let mut worst = 0u64;
+    for v in live.iter().map(NodeId::new) {
+        if v == u {
+            continue;
+        }
+        let w = spec.weight(u, v);
+        if w == 0 {
+            continue;
+        }
+        let d = dist[v.index()];
+        let term = w * if d == UNREACHABLE { m } else { d };
+        total += term;
+        worst = worst.max(term);
+    }
+    match spec.cost_model() {
+        CostModel::SumDistance => total,
+        CostModel::MaxDistance => worst,
     }
 }
 

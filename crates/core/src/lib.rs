@@ -44,6 +44,7 @@
 //! ```
 
 pub mod best_response;
+pub mod churn;
 pub mod config;
 pub mod dynamics;
 pub mod engine;
@@ -56,6 +57,7 @@ pub mod spec;
 pub mod stability;
 
 pub use best_response::{BestResponseOptions, BestResponseOutcome, DeviationOracle};
+pub use churn::{ChurnConfig, ChurnEvent, ChurnReport, ChurnSim};
 pub use config::Configuration;
 pub use dynamics::{MoveRecord, Scheduler, Walk, WalkOutcome, WalkStats};
 pub use engine::{DistanceEngine, EngineStats};

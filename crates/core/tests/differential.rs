@@ -258,3 +258,147 @@ proptest! {
         prop_assert_eq!(par, seq);
     }
 }
+
+/// Deterministic valid random strategy for `u` over the engine's *live*
+/// targets: shuffle the affordable live pool, then greedily spend the
+/// budget on a seeded prefix.
+fn seeded_live_strategy(
+    spec: &GameSpec,
+    engine: &DistanceEngine<'_>,
+    u: NodeId,
+    seed: u64,
+) -> Vec<NodeId> {
+    use rand::{rngs::SmallRng, seq::SliceRandom, Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pool: Vec<NodeId> = spec
+        .affordable_targets(u)
+        .into_iter()
+        .filter(|&v| engine.is_live(v))
+        .collect();
+    pool.shuffle(&mut rng);
+    let take = if pool.is_empty() {
+        0
+    } else {
+        rng.gen_range(0..=pool.len())
+    };
+    let mut remaining = spec.budget(u);
+    let mut picks = Vec::new();
+    for v in pool.into_iter().take(take) {
+        let c = spec.link_cost(u, v);
+        if c <= remaining {
+            remaining -= c;
+            picks.push(v);
+        }
+    }
+    picks.sort_unstable();
+    picks
+}
+
+proptest! {
+    #[test]
+    fn greedy_never_beats_exact_on_nonuniform_games((spec, cfg) in arb_weighted_instance()) {
+        // The heuristic's contract on arbitrary per-edge weights, link
+        // costs and lengths (both cost models): it prices through the same
+        // oracle as the exact search, never reports a cost below the true
+        // optimum, and never reports one above the node's current cost.
+        let options = BestResponseOptions::default();
+        let mut engine = DistanceEngine::new(&spec, cfg.clone());
+        for u in NodeId::all(spec.node_count()) {
+            let g = best_response::greedy(&spec, &cfg, u);
+            let e = best_response::exact(&spec, &cfg, u, &options).expect("search fits");
+            prop_assert!(e.optimal, "exact search completed");
+            prop_assert_eq!(g.current_cost, e.current_cost, "same oracle pricing for {}", u);
+            prop_assert!(
+                g.best_cost >= e.best_cost,
+                "{}: greedy {} below exact optimum {}", u, g.best_cost, e.best_cost
+            );
+            prop_assert!(
+                g.best_cost <= g.current_cost,
+                "{}: greedy must never worsen the node", u
+            );
+            spec.validate_strategy(u, &g.best_strategy).expect("greedy strategy validates");
+            // And the engine path agrees with the one-shot exact search.
+            let fast = engine.best_response(u, &options).expect("search fits");
+            assert_same_decision(&e, &fast, "greedy-vs-exact instance");
+        }
+    }
+
+    #[test]
+    fn churn_round_trips_are_byte_identical_to_fresh_builds(
+        use_weighted in proptest::bool::ANY,
+        uniform in arb_uniform_instance(),
+        weighted in arb_weighted_instance(),
+        script in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 1..10),
+    ) {
+        let (spec, cfg) = if use_weighted { weighted } else { uniform };
+        // Drive the engine through an interleaved rewire/leave/join script.
+        // After every membership event the physical engine state must be
+        // byte-identical to a fresh build of the same (config, membership)
+        // — the churn determinism contract — and after *every* action the
+        // masked costs and best responses must match the fresh build's.
+        let options = BestResponseOptions::default();
+        let mut engine = DistanceEngine::new(&spec, cfg);
+        let n = spec.node_count();
+        for (step, (action, node_sel, seed)) in script.into_iter().enumerate() {
+            let churned = match action % 3 {
+                0 => {
+                    // Rewire a random live node.
+                    let i = (node_sel % engine.live_count() as u64) as usize;
+                    let u = engine.live_nodes().nth(i).expect("live index");
+                    let s = seeded_live_strategy(&spec, &engine, u, seed);
+                    engine.apply_strategy(u, s).expect("seeded strategy validates");
+                    false
+                }
+                1 => {
+                    // Depart a random live node (keep at least one).
+                    if engine.live_count() <= 1 {
+                        continue;
+                    }
+                    let i = (node_sel % engine.live_count() as u64) as usize;
+                    let u = engine.live_nodes().nth(i).expect("live index");
+                    engine.remove_node(u).expect("live node departs");
+                    true
+                }
+                _ => {
+                    // Re-admit a random departed node (if any) — including
+                    // the remove-then-re-add-same-strategy round trip when
+                    // the seeded draw reproduces the old links.
+                    let dead: Vec<NodeId> =
+                        NodeId::all(n).filter(|&u| !engine.is_live(u)).collect();
+                    if dead.is_empty() {
+                        continue;
+                    }
+                    let u = dead[(node_sel % dead.len() as u64) as usize];
+                    let s = seeded_live_strategy(&spec, &engine, u, seed);
+                    engine.add_node(u, s).expect("seeded join validates");
+                    true
+                }
+            };
+
+            let live = engine.live_set().clone();
+            let mut fresh =
+                DistanceEngine::with_membership(&spec, engine.config().clone(), &live)
+                    .expect("engine state is always a valid membership");
+            if churned {
+                // Churn ops canonicalize the CSR: physical byte-identity.
+                prop_assert_eq!(
+                    engine.state_digest(),
+                    fresh.state_digest(),
+                    "step {}: churned engine diverged from fresh build", step
+                );
+            }
+            for u in NodeId::all(n) {
+                prop_assert_eq!(
+                    engine.node_cost(u),
+                    fresh.node_cost(u),
+                    "step {}: cost of {} diverged", step, u
+                );
+            }
+            for u in engine.live_nodes().collect::<Vec<_>>() {
+                let warm = engine.best_response(u, &options).expect("search fits");
+                let cold = fresh.best_response(u, &options).expect("search fits");
+                prop_assert_eq!(warm, cold, "step {}: best response of {} diverged", step, u);
+            }
+        }
+    }
+}

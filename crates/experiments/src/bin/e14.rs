@@ -1,0 +1,6 @@
+//! Binary wrapper for experiment E14. Flags: --full (heavy sweeps),
+//! --resume (skip sweep points already recorded in the JSONL stream),
+//! --fresh (truncate and restart the stream; the default).
+fn main() {
+    bbc_experiments::e14::cli();
+}

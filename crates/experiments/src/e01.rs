@@ -107,9 +107,14 @@ pub fn run(opts: &RunOptions) -> Outcome {
 
     // Points 2–3 — the reconstructed Figure 1 parameterizations: report
     // findings (they do not feed the verdict).
-    for (label, variant) in [
-        ("gadget/uniform-lengths", GadgetVariant::UniformLengths),
+    for (slug, label, variant) in [
         (
+            "uniform-lengths",
+            "gadget/uniform-lengths",
+            GadgetVariant::UniformLengths,
+        ),
+        (
+            "lengths-L",
             "gadget/lengths-L",
             GadgetVariant::NonuniformLengths { omitted_length: 50 },
         ),
@@ -120,10 +125,29 @@ pub fn run(opts: &RunOptions) -> Outcome {
         let g = Gadget::new(variant);
         let spec = g.spec();
         if opts.full {
+            // The multi-minute scans ride the shard-cursor checkpoint
+            // runtime: completed shard ranges persist in a dedicated
+            // E1-scan-<slug>.jsonl stream, so a killed scan resumes
+            // mid-scan instead of from profile zero.
             let space = g.candidate_space(&spec).expect("candidate space builds");
             let threads = crate::default_threads();
-            let result = enumerate::find_equilibria_parallel(&spec, &space, 60_000_000, threads)
-                .expect("parallel scan fits budget");
+            let scan_id = format!("E1-scan-{slug}");
+            let scan_fp = Fingerprint::new(&scan_id)
+                .param("variant", format!("{variant:?}"))
+                .param("profiles", space.profile_count())
+                .param("scan-budget", 60_000_000u64)
+                .param("group-shards", 4096u64);
+            let result = crate::resumable_scan(
+                &scan_id,
+                &scan_fp,
+                &spec,
+                &space,
+                60_000_000,
+                threads,
+                4096,
+                opts.resume,
+            )
+            .expect("parallel scan fits budget");
             table.row(&[
                 label.to_string(),
                 spec.node_count().to_string(),

@@ -19,11 +19,14 @@
 //! | [`e11`] | Thm 9 | BBC-max PoS is Θ(1) |
 //! | [`e12`] | Thm 7 / Fig 5 | BBC-max no-NE gadget (reproduction discrepancy) |
 //! | [`e13`] | Thm 5 / §4.3 / §1.1 | 256-peer overlay churn sweep (parallel oracle prefill) |
+//! | [`e14`] | §1.1 / §4.3 churn runtime | dynamic-membership sweep: join/leave events × peer count |
 
 use bbc_analysis::{ExperimentReport, Table};
 
+pub mod scan;
 pub mod stream;
 
+pub use scan::resumable_scan;
 pub use stream::{
     read_stream, stream_path, Fingerprint, StreamEnd, StreamHeader, StreamRecord, StreamingTable,
 };
@@ -41,6 +44,7 @@ pub mod e10;
 pub mod e11;
 pub mod e12;
 pub mod e13;
+pub mod e14;
 
 /// Shared experiment options.
 #[derive(Clone, Copy, Debug, Default)]
@@ -133,6 +137,7 @@ pub fn run_all(opts: &RunOptions) -> Vec<Outcome> {
         e11::run(opts),
         e12::run(opts),
         e13::run(opts),
+        e14::run(opts),
     ];
     for o in &outcomes {
         emit(o);

@@ -1,0 +1,151 @@
+//! Resumable exhaustive equilibrium scans, persisted as shard-range
+//! checkpoints through the fingerprinted stream format.
+//!
+//! The sweep runtime checkpoints at *sweep point* granularity, which leaves
+//! the long exhaustive scans **inside** a point (E1's 60M-profile gadget
+//! scans) restarting from zero after a kill. [`resumable_scan`] closes that
+//! gap: it drives
+//! [`bbc_core::enumerate::find_equilibria_parallel_resumable`] and persists
+//! each completed *range of checkpoint shards* as one sweep point of a
+//! dedicated `<id>.jsonl` stream — fingerprint header, in-order range
+//! records carrying the range's equilibria and profile count as replay
+//! state, completion footer. A killed scan therefore resumes mid-scan at
+//! range granularity: recorded ranges replay from the stream (no
+//! recomputation), the partially-written trailing range is recomputed, and
+//! the final [`EnumerationResult`] is byte-identical to an uninterrupted
+//! run — the same contract the per-experiment streams carry, pushed one
+//! level down.
+
+use bbc_core::enumerate::{
+    checkpoint_shard_count, find_equilibria_parallel_resumable, EnumerationResult, ProfileSpace,
+};
+use bbc_core::{Configuration, GameSpec};
+
+use crate::{Fingerprint, StreamingTable};
+
+/// Columns of a scan checkpoint stream.
+const COLUMNS: [&str; 3] = ["shards", "profiles", "equilibria"];
+
+/// Runs (or resumes) an exhaustive equilibrium scan of `space`, streaming
+/// one checkpoint row per `group_shards` completed checkpoint shards into
+/// the dedicated stream `id` (`target/experiments/<id>.jsonl`).
+///
+/// `fingerprint` must pin everything that decides the scan's results (game,
+/// space, budget) — on mismatch the stream restarts fresh, exactly like the
+/// experiment streams. The checkpoint geometry (the fixed shard width and
+/// `group_shards`) is folded into the fingerprint *here*, so a recorded
+/// stream can never be reinterpreted under a different range layout no
+/// matter what the caller pins. `resume = false` always rescans from
+/// shard 0.
+///
+/// # Errors
+///
+/// As [`bbc_core::enumerate::find_equilibria`].
+///
+/// # Panics
+///
+/// Panics when a resumed stream's replay state fails to parse (tampered
+/// checkpoint; rerun with `--fresh`).
+#[allow(clippy::too_many_arguments)] // one knob per scan axis, mirrors the core API
+pub fn resumable_scan(
+    id: &str,
+    fingerprint: &Fingerprint,
+    spec: &GameSpec,
+    space: &ProfileSpace,
+    max_profiles: u64,
+    threads: usize,
+    group_shards: u64,
+    resume: bool,
+) -> bbc_core::Result<EnumerationResult> {
+    assert!(group_shards > 0, "checkpoint ranges must be non-empty");
+    let shards = checkpoint_shard_count(space);
+    let groups = shards.div_ceil(group_shards).max(1);
+    let fingerprint = fingerprint
+        .clone()
+        .param(
+            "checkpoint-shard-profiles",
+            bbc_core::enumerate::CHECKPOINT_SHARD_PROFILES,
+        )
+        .param("range-group-shards", group_shards);
+    let mut table = StreamingTable::open(id, &COLUMNS, &fingerprint, resume);
+
+    // Replay the recorded contiguous prefix of ranges. One sweep point per
+    // range, replayed or computed, so fresh and resumed runs number points
+    // identically. The first `begin_point` that returns `None` has already
+    // *claimed* the point the first computed range must write into.
+    let mut merged = EnumerationResult {
+        equilibria: Vec::new(),
+        profiles_checked: 0,
+    };
+    let mut groups_done = 0u64;
+    let mut point_claimed = false;
+    while groups_done < groups {
+        let Some(rows) = table.begin_point() else {
+            point_claimed = true;
+            break;
+        };
+        let row = rows.first().expect("each checkpoint point has one row");
+        assert_eq!(
+            row.raw_u64(0),
+            groups_done * group_shards,
+            "scan checkpoint ranges out of sequence; rerun with --fresh"
+        );
+        merged.profiles_checked += row.raw_u64(1);
+        let equilibria: Vec<Configuration> = serde_json::from_str(row.raw_str(2))
+            .expect("corrupt scan checkpoint replay state; rerun with --fresh");
+        merged.equilibria.extend(equilibria);
+        groups_done += 1;
+    }
+    let completed_shards = (groups_done * group_shards).min(shards);
+
+    // Scan the rest, persisting each completed range as its own point. The
+    // sink observes shards in ascending order, so ranges close in order.
+    let mut range = EnumerationResult {
+        equilibria: Vec::new(),
+        profiles_checked: 0,
+    };
+    let mut range_start = completed_shards;
+    let mut sink = |shard: u64, result: &EnumerationResult| {
+        range.equilibria.extend(result.equilibria.iter().cloned());
+        range.profiles_checked += result.profiles_checked;
+        let last_of_group = (shard + 1).is_multiple_of(group_shards) || shard + 1 == shards;
+        if last_of_group {
+            if point_claimed {
+                point_claimed = false; // write into the already-claimed point
+            } else {
+                let claimed = table.begin_point();
+                debug_assert!(claimed.is_none(), "scanning past the replayed prefix");
+            }
+            let equilibria_json =
+                serde_json::to_string(&range.equilibria).expect("configurations serialize");
+            table.row_raw(
+                &[
+                    format!("{range_start}..{}", shard + 1),
+                    range.profiles_checked.to_string(),
+                    range.equilibria.len().to_string(),
+                ],
+                &[
+                    range_start.to_string(),
+                    range.profiles_checked.to_string(),
+                    equilibria_json,
+                ],
+            );
+            range_start = shard + 1;
+            range.equilibria.clear();
+            range.profiles_checked = 0;
+        }
+    };
+    let scanned = find_equilibria_parallel_resumable(
+        spec,
+        space,
+        max_profiles,
+        threads,
+        completed_shards,
+        &mut sink,
+    )?;
+    merged.equilibria.extend(scanned.equilibria);
+    merged.profiles_checked += scanned.profiles_checked;
+    // Finish the stream (footer) so a later resume replays every range.
+    let _ = table.into_table();
+    Ok(merged)
+}

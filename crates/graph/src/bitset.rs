@@ -41,6 +41,17 @@ impl BitSet {
         self.capacity
     }
 
+    /// Grows the capacity to at least `new_capacity`, preserving every
+    /// element (a no-op when the set is already that large). This is the
+    /// node-lifecycle hook: scratch pools sized for `n` nodes widen in place
+    /// when a graph gains nodes instead of being rebuilt.
+    pub fn grow(&mut self, new_capacity: usize) {
+        if new_capacity > self.capacity {
+            self.capacity = new_capacity;
+            self.words.resize(new_capacity.div_ceil(64), 0);
+        }
+    }
+
     /// Inserts `v`; returns `true` if it was newly inserted.
     ///
     /// # Panics

@@ -174,6 +174,91 @@ impl CsrGraph {
         }
     }
 
+    /// Appends a new, arc-less node and returns its id (`node_count() - 1`).
+    ///
+    /// Existing node ids, spans and arenas are untouched — growth is purely
+    /// additive, so cached traversal results for the old nodes stay valid
+    /// (the new node is unreachable until someone links to it).
+    pub fn add_node(&mut self) -> usize {
+        let id = self.spans.len();
+        assert!(id < u32::MAX as usize, "node count exceeds u32 range");
+        self.spans.push(Span::default());
+        id
+    }
+
+    /// Retires node `u` from the arc arenas: its out-links are dropped and
+    /// its slab is reclaimed as garbage (compacted away by the standing
+    /// dead-slot policy). The node id itself remains valid — `u` stays an
+    /// addressable, arc-less node, so no other node's id shifts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of bounds or some other node still links to `u`
+    /// (callers must strip in-arcs first; a departed node with dangling
+    /// in-arcs would silently keep absorbing traffic).
+    pub fn remove_node(&mut self, u: usize) {
+        assert!(u < self.spans.len(), "node {u} out of bounds");
+        for w in 0..self.spans.len() {
+            if w != u {
+                assert!(
+                    !self.out_targets(w).contains(&(u as u32)),
+                    "node {w} still links to removed node {u}"
+                );
+            }
+        }
+        self.set_out_links(u, &[]);
+        // The empty row fits any slab in place; explicitly retire the slab
+        // so a long-lived graph does not leak capacity for departed nodes.
+        let old = self.spans[u];
+        self.dead_slots += old.cap as usize;
+        self.spans[u] = Span::default();
+        if self.dead_slots > self.targets.len() / 2 && self.targets.len() > 64 {
+            self.compact();
+        }
+    }
+
+    /// Rebuilds the arenas into the canonical layout a fresh
+    /// [`CsrGraph::new`] + per-node [`CsrGraph::set_out_links`] build (in
+    /// node order) produces — byte-identical spans and arenas, garbage-free.
+    ///
+    /// This is the determinism hook for node-churn workloads: after a
+    /// membership change, canonicalizing makes the physical graph state
+    /// (hence [`CsrGraph::arena_digest`]) independent of the patch history
+    /// that led to it.
+    pub fn rebuild_canonical(&mut self) {
+        let n = self.spans.len();
+        let mut fresh = CsrGraph::new(n);
+        let mut row: Vec<(u32, u64)> = Vec::new();
+        for u in 0..n {
+            let (targets, lengths) = self.out(u);
+            row.clear();
+            row.extend(targets.iter().copied().zip(lengths.iter().copied()));
+            fresh.set_out_links(u, &row);
+        }
+        *self = fresh;
+    }
+
+    /// FNV-1a digest of the physical graph state: node count, spans, and
+    /// both arc arenas (garbage slots included). Two graphs with equal
+    /// digests went through layout-equivalent build histories; pair with
+    /// [`CsrGraph::rebuild_canonical`] to compare graphs modulo history.
+    pub fn arena_digest(&self) -> u64 {
+        let mut h = crate::digest::Fnv1a::new();
+        h.write_u64(self.spans.len() as u64);
+        for s in &self.spans {
+            h.write_u64(u64::from(s.start));
+            h.write_u64(u64::from(s.len));
+            h.write_u64(u64::from(s.cap));
+        }
+        for &t in &self.targets {
+            h.write_u64(u64::from(t));
+        }
+        for &l in &self.lengths {
+            h.write_u64(l);
+        }
+        h.finish()
+    }
+
     /// Rebuilds the arenas with no dead slots (spans keep their capacity).
     fn compact(&mut self) {
         let total_cap: usize = self.spans.iter().map(|s| s.cap as usize).sum();
@@ -231,6 +316,15 @@ impl CsrBfs {
             dist: vec![UNREACHABLE; n],
             queue: Vec::with_capacity(n),
             touched: BitSet::new(n),
+        }
+    }
+
+    /// Grows the buffer to serve graphs of at least `n` nodes (no-op when
+    /// already that large); distances from earlier runs are discarded.
+    pub fn grow(&mut self, n: usize) {
+        if n > self.dist.len() {
+            self.dist.resize(n, UNREACHABLE);
+            self.touched.grow(n);
         }
     }
 
@@ -316,6 +410,15 @@ impl CsrDijkstra {
         }
     }
 
+    /// Grows the buffer to serve graphs of at least `n` nodes (no-op when
+    /// already that large); distances from earlier runs are discarded.
+    pub fn grow(&mut self, n: usize) {
+        if n > self.dist.len() {
+            self.dist.resize(n, UNREACHABLE);
+            self.touched.grow(n);
+        }
+    }
+
     /// Runs Dijkstra from `source`.
     pub fn run(&mut self, g: &CsrGraph, source: usize) {
         self.run_impl(g, source, usize::MAX);
@@ -398,27 +501,42 @@ impl ConnectivityScratch {
     /// `true` iff `g` is strongly connected. Graphs with at most one node
     /// are vacuously strongly connected.
     pub fn is_strongly_connected(&mut self, g: &CsrGraph) -> bool {
+        self.is_strongly_connected_among(g, None)
+    }
+
+    /// `true` iff the subgraph induced by `live` is strongly connected
+    /// (`None` means every node is live). Dead nodes are neither expanded
+    /// nor counted, so a churned graph whose departed members still occupy
+    /// node ids is judged on its live membership only. At most one live
+    /// node is vacuously strongly connected.
+    pub fn is_strongly_connected_among(&mut self, g: &CsrGraph, live: Option<&BitSet>) -> bool {
         let n = g.node_count();
-        if n <= 1 {
+        let alive = |v: usize| live.is_none_or(|l| l.contains(v));
+        let live_count = live.map_or(n, BitSet::len);
+        if live_count <= 1 {
             return true;
         }
-        // Forward sweep from node 0.
+        let root = match live {
+            None => 0,
+            Some(l) => l.iter().next().expect("live_count > 1") as u32,
+        };
+        // Forward sweep from the first live node.
         self.visited.clear();
         self.visited.resize(n, false);
         self.stack.clear();
-        self.visited[0] = true;
-        self.stack.push(0);
+        self.visited[root as usize] = true;
+        self.stack.push(root);
         let mut seen = 1usize;
         while let Some(u) = self.stack.pop() {
             for &t in g.out_targets(u as usize) {
-                if !self.visited[t as usize] {
+                if !self.visited[t as usize] && alive(t as usize) {
                     self.visited[t as usize] = true;
                     seen += 1;
                     self.stack.push(t);
                 }
             }
         }
-        if seen != n {
+        if seen != live_count {
             return false;
         }
 
@@ -446,25 +564,25 @@ impl ConnectivityScratch {
             }
         }
 
-        // Backward sweep from node 0 over the reverse graph.
+        // Backward sweep from the same root over the reverse graph.
         self.visited.clear();
         self.visited.resize(n, false);
         self.stack.clear();
-        self.visited[0] = true;
-        self.stack.push(0);
+        self.visited[root as usize] = true;
+        self.stack.push(root);
         let mut seen = 1usize;
         while let Some(u) = self.stack.pop() {
             let lo = self.rev_offsets[u as usize] as usize;
             let hi = self.rev_offsets[u as usize + 1] as usize;
             for &t in &self.rev_targets[lo..hi] {
-                if !self.visited[t as usize] {
+                if !self.visited[t as usize] && alive(t as usize) {
                     self.visited[t as usize] = true;
                     seen += 1;
                     self.stack.push(t);
                 }
             }
         }
-        seen == n
+        seen == live_count
     }
 }
 
@@ -621,6 +739,105 @@ mod tests {
         let mut single = DiGraph::new(1);
         single.add_arc(0, Arc::unit(0));
         assert!(scratch.is_strongly_connected(&CsrGraph::from_digraph(&single)));
+    }
+
+    #[test]
+    fn add_node_grows_without_disturbing_existing_rows() {
+        let mut g = CsrGraph::new(3);
+        g.set_out_links(0, &[(1, 1), (2, 1)]);
+        let id = g.add_node();
+        assert_eq!(id, 3);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.out_targets(0), &[1, 2]);
+        assert_eq!(g.out_degree(3), 0);
+        g.set_out_links(3, &[(0, 1)]);
+        g.set_out_links(0, &[(3, 1)]);
+        let mut bfs = CsrBfs::new(3);
+        bfs.grow(4);
+        bfs.run(&g, 0);
+        assert_eq!(bfs.distances(), &[0, UNREACHABLE, UNREACHABLE, 1]);
+    }
+
+    #[test]
+    fn remove_node_retires_the_slab_and_keeps_ids_stable() {
+        let mut g = CsrGraph::new(4);
+        g.set_out_links(0, &[(1, 1)]);
+        g.set_out_links(1, &[(2, 1)]);
+        g.set_out_links(2, &[(3, 1)]);
+        // Strip the in-arc first (the caller's obligation), then remove.
+        g.set_out_links(1, &[]);
+        g.remove_node(2);
+        assert_eq!(g.node_count(), 4, "ids stay addressable");
+        assert_eq!(g.out_degree(2), 0);
+        assert_eq!(g.arc_count(), 1);
+        let mut bfs = CsrBfs::new(4);
+        bfs.run(&g, 0);
+        assert_eq!(bfs.distances()[2], UNREACHABLE);
+    }
+
+    #[test]
+    #[should_panic(expected = "still links to removed node")]
+    fn remove_node_with_dangling_in_arcs_panics() {
+        let mut g = CsrGraph::new(3);
+        g.set_out_links(0, &[(1, 1)]);
+        g.remove_node(1);
+    }
+
+    #[test]
+    fn canonical_rebuild_matches_a_fresh_build_byte_for_byte() {
+        // Drive a messy patch history, then canonicalize: the digest must
+        // equal that of a graph built fresh from the same rows in node
+        // order — and stay equal across *different* histories of the same
+        // final rows.
+        let mut g = CsrGraph::new(5);
+        for step in 0..60u32 {
+            let u = (step % 5) as usize;
+            let deg = (step % 3) as usize;
+            let row: Vec<(u32, u64)> = (0..deg).map(|i| (((u + 1 + i) % 5) as u32, 1)).collect();
+            g.set_out_links(u, &row);
+        }
+        let mut fresh = CsrGraph::new(5);
+        let mut row: Vec<(u32, u64)> = Vec::new();
+        for u in 0..5 {
+            let (targets, lengths) = g.out(u);
+            row.clear();
+            row.extend(targets.iter().copied().zip(lengths.iter().copied()));
+            fresh.set_out_links(u, &row);
+        }
+        assert_ne!(
+            g.arena_digest(),
+            fresh.arena_digest(),
+            "patched layout differs before canonicalization (else the test is vacuous)"
+        );
+        g.rebuild_canonical();
+        assert_eq!(g.arena_digest(), fresh.arena_digest());
+        assert_eq!(g.arc_count(), fresh.arc_count());
+    }
+
+    #[test]
+    fn masked_connectivity_judges_the_live_subgraph() {
+        // 0→1→2→0 ring plus an isolated (dead) node 3.
+        let mut g = CsrGraph::new(4);
+        g.set_out_links(0, &[(1, 1)]);
+        g.set_out_links(1, &[(2, 1)]);
+        g.set_out_links(2, &[(0, 1)]);
+        let mut scratch = ConnectivityScratch::new();
+        assert!(!scratch.is_strongly_connected(&g), "node 3 is unreachable");
+        let mut live = BitSet::new(4);
+        live.extend([0usize, 1, 2]);
+        assert!(scratch.is_strongly_connected_among(&g, Some(&live)));
+        // Kill a ring member: the remaining pair is not mutually reachable.
+        let mut g2 = g.clone();
+        g2.set_out_links(2, &[]);
+        g2.set_out_links(1, &[]);
+        g2.remove_node(2);
+        let mut live2 = BitSet::new(4);
+        live2.extend([0usize, 1]);
+        assert!(!scratch.is_strongly_connected_among(&g2, Some(&live2)));
+        // A single live node is vacuously connected.
+        let mut one = BitSet::new(4);
+        one.insert(3);
+        assert!(scratch.is_strongly_connected_among(&g, Some(&one)));
     }
 
     #[test]

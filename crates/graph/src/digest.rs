@@ -1,0 +1,54 @@
+//! A tiny shared FNV-1a digest for determinism contracts.
+//!
+//! Several layers pin "byte-identical state" claims with a rolling 64-bit
+//! digest — the CSR arena layout, the engine's membership + strategy state,
+//! churn trajectories. They must all fold with the *same* constants, or a
+//! drifted copy would silently break one digest's cross-run comparability
+//! while the others stay fine; this is the one implementation.
+
+/// Incremental FNV-1a over little-endian `u64` words.
+///
+/// # Examples
+///
+/// ```
+/// use bbc_graph::digest::Fnv1a;
+///
+/// let mut a = Fnv1a::new();
+/// a.write_u64(7);
+/// a.write_u64(9);
+/// let mut b = Fnv1a::new();
+/// b.write_u64(7);
+/// assert_ne!(a.finish(), b.finish(), "prefixes digest differently");
+/// b.write_u64(9);
+/// assert_eq!(a.finish(), b.finish());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// Starts a digest at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one word (as 8 little-endian bytes) into the digest.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The current digest value.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}

@@ -28,6 +28,7 @@ pub mod bfs;
 pub mod bitset;
 pub mod csr;
 pub mod diameter;
+pub mod digest;
 pub mod digraph;
 pub mod dijkstra;
 pub mod dot;

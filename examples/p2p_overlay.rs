@@ -23,11 +23,14 @@
 //! across every available core, with a byte-identical trajectory at any
 //! thread count. That is what makes larger overlays practical — pass a peer
 //! count to scale up (the `e13` experiment sweeps the same family to 256
-//! and 512 peers with resumable checkpoints):
+//! and 512 peers with resumable checkpoints), or `--churn` to watch peers
+//! *join and leave* while the survivors re-optimize — the churn runtime of
+//! the `e14` experiment, driven interactively:
 //!
 //! ```text
-//! cargo run --release --example p2p_overlay          # 64 peers (default)
-//! cargo run --release --example p2p_overlay -- 256   # 256 peers
+//! cargo run --release --example p2p_overlay                   # 64 peers (default)
+//! cargo run --release --example p2p_overlay -- 256            # 256 peers
+//! cargo run --release --example p2p_overlay -- 64 --churn     # + membership churn
 //! ```
 
 use bbc::prelude::*;
@@ -37,10 +40,15 @@ fn main() -> Result<()> {
     // The operator's design: an n-peer circulant with offsets {1, 5} —
     // every peer links its successor and the peer 5 ahead. The peer count
     // is CLI-tunable; 64 keeps the default run a few seconds.
-    let peers: u64 = std::env::args()
-        .nth(1)
-        .map(|arg| arg.parse().expect("peer count must be a number"))
-        .unwrap_or(64);
+    let mut peers: u64 = 64;
+    let mut churn_mode = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--churn" {
+            churn_mode = true;
+        } else {
+            peers = arg.parse().expect("peer count must be a number");
+        }
+    }
     let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
     let overlay = CayleyGraph::circulant(peers, &[1, 5]).expect("valid circulant");
     let spec = overlay.spec();
@@ -96,6 +104,51 @@ fn main() -> Result<()> {
         social_cost(&wspec, &wcfg),
         price_ratio(&wspec, &wcfg),
     );
+
+    // `--churn`: the live-overlay workload — peers join and leave while
+    // the survivors re-optimize (the e14 experiment's runtime, one event
+    // log at a time).
+    if churn_mode {
+        println!("\n--- membership churn (seeded joins/leaves, {peers} peer slots) ---");
+        let overlay = CayleyGraph::circulant(peers, &[1, 5]).expect("valid circulant");
+        let spec = overlay.spec();
+        let cfg = ChurnConfig {
+            seed: peers,
+            events: 6,
+            min_live: (peers / 2) as usize,
+            settle_steps: peers,
+            prefill_threads: threads,
+            ..ChurnConfig::default()
+        };
+        let mut sim = ChurnSim::new(&spec, overlay.configuration(), cfg);
+        let report = sim.run()?;
+        for (i, e) in report.events.iter().enumerate() {
+            let what = match &e.event {
+                ChurnEvent::Leave { node } => format!("peer {node} left"),
+                ChurnEvent::Join { node, strategy } => {
+                    format!("peer {node} joined buying {strategy:?}")
+                }
+                ChurnEvent::Shock { node, .. } => format!("peer {node} was rewired by force"),
+            };
+            println!(
+                "event {i}: {what}; cost {} -> {} (spike) -> {} after {} steps, \
+                 {} pairs cut, {} still cut",
+                e.cost_before,
+                e.cost_spike,
+                e.cost_settled,
+                e.steps_to_requilibrate,
+                e.disconnected_after_event,
+                e.disconnected_settled
+            );
+        }
+        println!(
+            "churn digest {:016x}: {} live peers, social cost {}, every disconnection healed: {}",
+            report.trajectory_digest,
+            report.final_live,
+            report.final_social_cost,
+            report.all_exposure_healed()
+        );
+    }
 
     println!(
         "\nmoral (paper §4.2/§4.3): to keep a P2P overlay stable you must give up regularity —\n\

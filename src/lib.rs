@@ -64,8 +64,9 @@ pub mod prelude {
         SatReduction,
     };
     pub use bbc_core::{
-        best_response, enumerate, BestResponseOptions, Configuration, CostModel, Error, Evaluator,
-        GameSpec, NodeId, Result, Scheduler, StabilityChecker, Walk, WalkOutcome,
+        best_response, enumerate, BestResponseOptions, ChurnConfig, ChurnEvent, ChurnReport,
+        ChurnSim, Configuration, CostModel, Error, Evaluator, GameSpec, NodeId, Result, Scheduler,
+        StabilityChecker, Walk, WalkOutcome,
     };
     pub use bbc_fractional::{FractionalConfig, FractionalGame};
     pub use bbc_sat::{dpll, Cnf, Lit};
