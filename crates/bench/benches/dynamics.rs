@@ -5,7 +5,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bbc_constructions::{CayleyGraph, RingWithPath};
 use bbc_core::{
-    reference, BestResponseOptions, ChurnConfig, ChurnSim, Configuration, GameSpec, NodeId, Walk,
+    reference, BestResponseOptions, ChurnConfig, ChurnSim, Configuration, GameSpec, NodeId,
+    RowTier, Walk,
 };
 
 /// Round-robin walk over the frozen pre-refactor best response
@@ -154,6 +155,65 @@ fn bench_churn_step(c: &mut Criterion) {
             sim.run().expect("phases fit budget").trajectory_digest
         })
     });
+    // The same workload pinned to each row tier (auto picks u32 here —
+    // n·M = 32·1024 fits — so the u32 case doubles as a guard that the
+    // default path stays on the narrow kernel). Digest equality across
+    // tiers is asserted before timing.
+    let digest = {
+        let mut sim = ChurnSim::with_tier(&spec, designed.clone(), cfg.clone(), RowTier::U64)
+            .expect("u64 always fits");
+        sim.run().expect("phases fit budget").trajectory_digest
+    };
+    for tier in [RowTier::U32, RowTier::U64] {
+        let mut sim = ChurnSim::with_tier(&spec, designed.clone(), cfg.clone(), tier)
+            .expect("32-peer overlay fits both tiers");
+        assert_eq!(
+            sim.run().expect("phases fit budget").trajectory_digest,
+            digest,
+            "tiers diverged on the churn workload"
+        );
+        group.bench_function(format!("p2p32_6events_{tier:?}").to_lowercase(), |b| {
+            b.iter(|| {
+                let mut sim =
+                    ChurnSim::with_tier(&spec, designed.clone(), cfg.clone(), tier).expect("fits");
+                sim.run().expect("phases fit budget").trajectory_digest
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_e13_point_tiers(c: &mut Criterion) {
+    // The E13 512-peer sweep point's inner loop — round-robin selfish play
+    // on the circulant{1,23} overlay, the workload the u32 row kernel
+    // exists for (rows and search scratch at n = 512 stop fitting cache at
+    // u64 width). Both tiers run the identical trajectory (asserted), so
+    // the median ratio is a pure kernel speedup.
+    let overlay = CayleyGraph::circulant(512, &[1, 23]).expect("valid circulant");
+    let spec = overlay.spec();
+    let designed = overlay.configuration();
+    const STEPS: u64 = 24;
+
+    let run = |tier: RowTier| {
+        let mut walk = Walk::with_tier(&spec, designed.clone(), tier)
+            .expect("512-peer overlay fits both tiers")
+            .detect_cycles(false);
+        walk.run(STEPS).expect("walk fits");
+        (walk.stats().moves, walk.state_digest())
+    };
+    assert_eq!(
+        run(RowTier::U32),
+        run(RowTier::U64),
+        "tiers diverged on the e13 point"
+    );
+
+    let mut group = c.benchmark_group("e13_point_512");
+    group.sample_size(10);
+    for tier in [RowTier::U32, RowTier::U64] {
+        group.bench_function(format!("steps24_{tier:?}").to_lowercase(), |b| {
+            b.iter(|| run(tier))
+        });
+    }
     group.finish();
 }
 
@@ -163,6 +223,7 @@ criterion_group!(
     bench_walk_from_empty,
     bench_ring_with_path,
     bench_loop_detection,
-    bench_churn_step
+    bench_churn_step,
+    bench_e13_point_tiers
 );
 criterion_main!(benches);

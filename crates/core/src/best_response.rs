@@ -27,7 +27,7 @@
 //! implementation lives in [`crate::reference`] and the differential suite
 //! proves the two byte-identical.
 
-use bbc_graph::{BfsBuffer, DijkstraBuffer, UNREACHABLE};
+use bbc_graph::{BfsBuffer, DijkstraBuffer, RowWord, UNREACHABLE};
 
 use crate::{Configuration, CostModel, Error, GameSpec, NodeId, Result};
 
@@ -99,16 +99,17 @@ impl BestResponseOutcome {
 }
 
 /// The strategy-independent inputs of one node's best-response search, with
-/// rows in clamped flat form. Borrowed either from a [`DeviationOracle`] or
-/// from the [`crate::DistanceEngine`] row cache.
-pub(crate) struct OracleView<'r> {
+/// rows in clamped flat form. Borrowed either from a [`DeviationOracle`]
+/// (`W = u64`) or from the [`crate::DistanceEngine`] row cache, whose word
+/// width follows the engine's row tier.
+pub(crate) struct OracleView<'r, W = u64> {
     pub spec: &'r GameSpec,
     pub node: NodeId,
     /// Candidate targets, ascending by id.
     pub candidates: &'r [NodeId],
     /// Clamped through-rows, flattened: `rows[i*n + v] = ℓ(u, c_i) +
     /// d_{G∖u}(c_i, v)`, with `M` for unreachable `v`.
-    pub rows: &'r [u64],
+    pub rows: &'r [W],
     /// Link cost of each candidate.
     pub prices: &'r [u64],
     /// `(v, w(u,v))` for positive-weight targets `v ≠ u`. Under partial
@@ -123,14 +124,14 @@ pub(crate) struct OracleView<'r> {
     pub all_live: bool,
 }
 
-impl OracleView<'_> {
+impl<W: RowWord> OracleView<'_, W> {
     #[inline]
     fn n(&self) -> usize {
         self.spec.node_count()
     }
 
     #[inline]
-    fn row(&self, i: usize) -> &[u64] {
+    fn row(&self, i: usize) -> &[W] {
         let n = self.n();
         &self.rows[i * n..(i + 1) * n]
     }
@@ -144,20 +145,20 @@ impl OracleView<'_> {
     }
 
     /// Aggregates a clamped distance row into a cost under the spec's model.
-    pub(crate) fn aggregate(&self, row: &[u64]) -> u64 {
+    pub(crate) fn aggregate(&self, row: &[W]) -> u64 {
         if self.plain_sum() {
-            return row.iter().sum::<u64>() - row[self.node.index()];
+            return row.iter().map(|d| d.widen()).sum::<u64>() - row[self.node.index()].widen();
         }
         match self.spec.cost_model() {
             CostModel::SumDistance => self
                 .weighted_targets
                 .iter()
-                .map(|&(v, w)| w * row[v as usize])
+                .map(|&(v, w)| w * row[v as usize].widen())
                 .sum(),
             CostModel::MaxDistance => self
                 .weighted_targets
                 .iter()
-                .map(|&(v, w)| w * row[v as usize])
+                .map(|&(v, w)| w * row[v as usize].widen())
                 .max()
                 .unwrap_or(0),
         }
@@ -165,22 +166,22 @@ impl OracleView<'_> {
 
     /// Aggregates the elementwise minimum of two clamped rows without
     /// materializing it (the branch-and-bound optimistic bound).
-    pub(crate) fn aggregate_min(&self, a: &[u64], b: &[u64]) -> u64 {
+    pub(crate) fn aggregate_min(&self, a: &[W], b: &[W]) -> u64 {
         if self.plain_sum() {
-            let total: u64 = a.iter().zip(b).map(|(&x, &y)| x.min(y)).sum();
+            let total: u64 = a.iter().zip(b).map(|(&x, &y)| x.min(y).widen()).sum();
             let u = self.node.index();
-            return total - a[u].min(b[u]);
+            return total - a[u].min(b[u]).widen();
         }
         match self.spec.cost_model() {
             CostModel::SumDistance => self
                 .weighted_targets
                 .iter()
-                .map(|&(v, w)| w * a[v as usize].min(b[v as usize]))
+                .map(|&(v, w)| w * a[v as usize].min(b[v as usize]).widen())
                 .sum(),
             CostModel::MaxDistance => self
                 .weighted_targets
                 .iter()
-                .map(|&(v, w)| w * a[v as usize].min(b[v as usize]))
+                .map(|&(v, w)| w * a[v as usize].min(b[v as usize]).widen())
                 .max()
                 .unwrap_or(0),
         }
@@ -315,7 +316,7 @@ pub(crate) fn push_clamped_row(out: &mut Vec<u64>, dist: &[u64], link_len: u64, 
 
 /// `dst[v] = min(dst[v], src[v])` elementwise.
 #[inline]
-pub(crate) fn min_into(dst: &mut [u64], src: &[u64]) {
+pub(crate) fn min_into<W: RowWord>(dst: &mut [W], src: &[W]) {
     for (d, &s) in dst.iter_mut().zip(src) {
         *d = (*d).min(s);
     }
@@ -323,24 +324,28 @@ pub(crate) fn min_into(dst: &mut [u64], src: &[u64]) {
 
 /// `dst[v] = min(a[v], b[v])` elementwise (fused copy+min).
 #[inline]
-fn copy_min(dst: &mut [u64], a: &[u64], b: &[u64]) {
+fn copy_min<W: RowWord>(dst: &mut [W], a: &[W], b: &[W]) {
     for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
         *d = x.min(y);
     }
 }
 
-/// Cost aggregation, monomorphized per game shape so the branch-and-bound
-/// inner loops compile to tight branch-free passes (the generic dispatch in
-/// [`OracleView::aggregate`] costs more than the arithmetic at `n ≈ 24`).
-trait Aggregate {
+/// Cost aggregation, monomorphized per game shape *and* per row word so the
+/// branch-and-bound inner loops compile to tight branch-free passes (the
+/// generic dispatch in [`OracleView::aggregate`] costs more than the
+/// arithmetic at `n ≈ 24`). Minima run at the row width `W`; every running
+/// total widens each term into `u64` first ([`RowWord::widen`] is free for
+/// `u64` and a zero-extension the vectorizer folds into the add for `u32`),
+/// so both widths compute bit-identical costs and bounds.
+trait Aggregate<W: RowWord> {
     /// Cost of a clamped row.
-    fn row(&self, row: &[u64]) -> u64;
+    fn row(&self, row: &[W]) -> u64;
     /// Cost of `min(a, b)` elementwise, without materializing it, used only
     /// as a prune bound: once the running value is provably `≥ cutoff` the
     /// implementation may bail out and return any value `≥ cutoff`.
-    fn min2(&self, a: &[u64], b: &[u64], cutoff: u64) -> u64;
+    fn min2(&self, a: &[W], b: &[W], cutoff: u64) -> u64;
     /// `dst = min(a, b)` elementwise, returning the cost of `dst`.
-    fn copy_min2(&self, dst: &mut [u64], a: &[u64], b: &[u64]) -> u64;
+    fn copy_min2(&self, dst: &mut [W], a: &[W], b: &[W]) -> u64;
 }
 
 /// Unit weights, sum-distance model: cost = Σ row − row[u].
@@ -362,50 +367,66 @@ struct PlainSum {
     allowed2: u64,
 }
 
-impl Aggregate for PlainSum {
+impl<W: RowWord> Aggregate<W> for PlainSum {
+    // Every total below accumulates at the row width `W`, not `u64`: the
+    // tier invariant (`n·M` fits `W`, checked before any `W = u32` engine
+    // is built) bounds any sum of ≤ n clamped entries by `n·M`, and the
+    // packing counters by `n`, so no partial value can wrap. Keeping the
+    // loops at width `W` is what makes the narrow tier pay: u32 lanes
+    // vectorize with native unsigned SIMD min/add (u64 has no unsigned
+    // vector min on common ISAs), and the `u64` instantiation is
+    // bit-identical to accumulating in `u64` directly.
     #[inline(always)]
-    fn row(&self, row: &[u64]) -> u64 {
-        row.iter().sum::<u64>() - row[self.u]
+    fn row(&self, row: &[W]) -> u64 {
+        let mut total = W::ZERO;
+        for &d in row {
+            total = total + d;
+        }
+        total.widen() - row[self.u].widen()
     }
 
     #[inline(always)]
-    fn min2(&self, a: &[u64], b: &[u64], cutoff: u64) -> u64 {
+    fn min2(&self, a: &[W], b: &[W], cutoff: u64) -> u64 {
         // The diagonal term is subtracted at the end; fold it into the limit
         // so the chunked partial sums compare against an exact threshold.
         let sub = a[self.u].min(b[self.u]);
-        let limit = cutoff.saturating_add(sub);
-        let mut total = 0u64;
-        let mut le1 = 0u64;
-        let mut le2 = 0u64;
-        for (ca, cb) in a.chunks(16).zip(b.chunks(16)) {
+        let limit = cutoff.saturating_add(sub.widen());
+        let one = W::ONE;
+        let two = W::ONE + W::ONE;
+        let mut total = W::ZERO;
+        let mut le1 = W::ZERO;
+        let mut le2 = W::ZERO;
+        for (ca, cb) in a.chunks(64).zip(b.chunks(64)) {
             for (&x, &y) in ca.iter().zip(cb) {
                 let v = x.min(y);
-                total += v;
-                le1 += u64::from(v <= 1);
-                le2 += u64::from(v <= 2);
+                total = total + v;
+                le1 = le1 + if v <= one { W::ONE } else { W::ZERO };
+                le2 = le2 + if v <= two { W::ONE } else { W::ZERO };
             }
-            if total >= limit {
+            // Early-exit granularity only decides whether a doomed bound
+            // reports `u64::MAX` or its exact value ≥ cutoff — the caller
+            // prunes either way, so the chunk size is a pure tuning knob.
+            if total.widen() >= limit {
                 return u64::MAX;
             }
         }
         // Exclude the diagonal from the packing counts, then charge the
         // capacity excess at distances 1 and ≤ 2.
-        let diag = a[self.u].min(b[self.u]);
-        le1 -= u64::from(diag <= 1);
-        le2 -= u64::from(diag <= 2);
+        let le1 = le1.widen() - u64::from(sub <= one);
+        let le2 = le2.widen() - u64::from(sub <= two);
         let correction = le1.saturating_sub(self.allowed1) + le2.saturating_sub(self.allowed2);
-        (total - sub).saturating_add(correction)
+        (total.widen() - sub.widen()).saturating_add(correction)
     }
 
     #[inline(always)]
-    fn copy_min2(&self, dst: &mut [u64], a: &[u64], b: &[u64]) -> u64 {
-        let mut total = 0u64;
+    fn copy_min2(&self, dst: &mut [W], a: &[W], b: &[W]) -> u64 {
+        let mut total = W::ZERO;
         for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
             let v = x.min(y);
             *d = v;
-            total += v;
+            total = total + v;
         }
-        total - dst[self.u]
+        total.widen() - dst[self.u].widen()
     }
 }
 
@@ -414,19 +435,22 @@ struct WeightedSum<'a> {
     targets: &'a [(u32, u64)],
 }
 
-impl Aggregate for WeightedSum<'_> {
+impl<W: RowWord> Aggregate<W> for WeightedSum<'_> {
     #[inline(always)]
-    fn row(&self, row: &[u64]) -> u64 {
-        self.targets.iter().map(|&(v, w)| w * row[v as usize]).sum()
+    fn row(&self, row: &[W]) -> u64 {
+        self.targets
+            .iter()
+            .map(|&(v, w)| w * row[v as usize].widen())
+            .sum()
     }
 
     #[inline(always)]
-    fn min2(&self, a: &[u64], b: &[u64], cutoff: u64) -> u64 {
+    fn min2(&self, a: &[W], b: &[W], cutoff: u64) -> u64 {
         let mut total = 0u64;
         for chunk in self.targets.chunks(16) {
             total += chunk
                 .iter()
-                .map(|&(v, w)| w * a[v as usize].min(b[v as usize]))
+                .map(|&(v, w)| w * a[v as usize].min(b[v as usize]).widen())
                 .sum::<u64>();
             if total >= cutoff {
                 return u64::MAX;
@@ -436,7 +460,7 @@ impl Aggregate for WeightedSum<'_> {
     }
 
     #[inline(always)]
-    fn copy_min2(&self, dst: &mut [u64], a: &[u64], b: &[u64]) -> u64 {
+    fn copy_min2(&self, dst: &mut [W], a: &[W], b: &[W]) -> u64 {
         copy_min(dst, a, b);
         self.row(dst)
     }
@@ -447,21 +471,21 @@ struct WeightedMax<'a> {
     targets: &'a [(u32, u64)],
 }
 
-impl Aggregate for WeightedMax<'_> {
+impl<W: RowWord> Aggregate<W> for WeightedMax<'_> {
     #[inline(always)]
-    fn row(&self, row: &[u64]) -> u64 {
+    fn row(&self, row: &[W]) -> u64 {
         self.targets
             .iter()
-            .map(|&(v, w)| w * row[v as usize])
+            .map(|&(v, w)| w * row[v as usize].widen())
             .max()
             .unwrap_or(0)
     }
 
     #[inline(always)]
-    fn min2(&self, a: &[u64], b: &[u64], cutoff: u64) -> u64 {
+    fn min2(&self, a: &[W], b: &[W], cutoff: u64) -> u64 {
         let mut worst = 0u64;
         for &(v, w) in self.targets {
-            worst = worst.max(w * a[v as usize].min(b[v as usize]));
+            worst = worst.max(w * a[v as usize].min(b[v as usize]).widen());
             if worst >= cutoff {
                 return u64::MAX;
             }
@@ -470,7 +494,7 @@ impl Aggregate for WeightedMax<'_> {
     }
 
     #[inline(always)]
-    fn copy_min2(&self, dst: &mut [u64], a: &[u64], b: &[u64]) -> u64 {
+    fn copy_min2(&self, dst: &mut [W], a: &[W], b: &[W]) -> u64 {
         copy_min(dst, a, b);
         self.row(dst)
     }
@@ -479,10 +503,10 @@ impl Aggregate for WeightedMax<'_> {
 /// Reusable branch-and-bound workspace: the suffix-min bound rows and the
 /// per-depth accumulated min-rows, flattened to two arenas so a search
 /// allocates nothing when the scratch is warm.
-#[derive(Clone, Debug, Default)]
-pub(crate) struct SearchScratch {
-    suffix: Vec<u64>,
-    levels: Vec<u64>,
+#[derive(Clone, Debug)]
+pub(crate) struct SearchScratch<W = u64> {
+    suffix: Vec<W>,
+    levels: Vec<W>,
     selection: Vec<usize>,
     /// `min_price_suffix[i]` = cheapest link cost among candidates `i..m`
     /// (`u64::MAX` at `m`): lets the search skip subtrees where the
@@ -490,16 +514,27 @@ pub(crate) struct SearchScratch {
     min_price_suffix: Vec<u64>,
 }
 
-impl SearchScratch {
+impl<W: RowWord> Default for SearchScratch<W> {
+    fn default() -> Self {
+        Self {
+            suffix: Vec::new(),
+            levels: Vec::new(),
+            selection: Vec::new(),
+            min_price_suffix: Vec::new(),
+        }
+    }
+}
+
+impl<W: RowWord> SearchScratch<W> {
     pub(crate) fn new() -> Self {
         Self::default()
     }
 
     fn reserve(&mut self, m: usize, n: usize) {
         self.suffix.clear();
-        self.suffix.resize((m + 1) * n, 0);
+        self.suffix.resize((m + 1) * n, W::ZERO);
         self.levels.clear();
-        self.levels.resize((m + 1) * n, 0);
+        self.levels.resize((m + 1) * n, W::ZERO);
         self.selection.clear();
         self.min_price_suffix.clear();
         self.min_price_suffix.resize(m + 1, u64::MAX);
@@ -570,25 +605,26 @@ pub fn exact_with_oracle(
 /// incumbent). The payoff is that testing an already-stable node — the
 /// dominant operation in walk tails and stability sweeps — prunes almost
 /// the entire subset lattice immediately.
-pub(crate) fn run_search(
-    view: &OracleView<'_>,
+pub(crate) fn run_search<W: RowWord>(
+    view: &OracleView<'_, W>,
     current_cost: u64,
     options: &BestResponseOptions,
-    scratch: &mut SearchScratch,
+    scratch: &mut SearchScratch<W>,
 ) -> Result<BestResponseOutcome> {
     let n = view.n();
     let m = view.candidates.len();
     scratch.reserve(m, n);
+    let penalty = W::from_u64(view.spec.penalty()).expect("penalty fits the row tier");
 
     // Optimistic completion rows: suffix[i] = elementwise min of rows[i..];
     // suffix[m] is all-penalty ("buy nothing more").
-    scratch.suffix[m * n..].fill(view.spec.penalty());
+    scratch.suffix[m * n..].fill(penalty);
     for i in (0..m).rev() {
         let (head, tail) = scratch.suffix.split_at_mut((i + 1) * n);
         copy_min(&mut head[i * n..], &tail[..n], view.row(i));
     }
     // The empty strategy's row: every target at the penalty distance.
-    scratch.levels[..n].fill(view.spec.penalty());
+    scratch.levels[..n].fill(penalty);
     for i in (0..m).rev() {
         scratch.min_price_suffix[i] = scratch.min_price_suffix[i + 1].min(view.prices[i]);
     }
@@ -623,12 +659,12 @@ pub(crate) fn run_search(
     }
 }
 
-fn run_search_with<A: Aggregate>(
-    view: &OracleView<'_>,
+fn run_search_with<W: RowWord, A: Aggregate<W>>(
+    view: &OracleView<'_, W>,
     agg: A,
     current_cost: u64,
     options: &BestResponseOptions,
-    scratch: &mut SearchScratch,
+    scratch: &mut SearchScratch<W>,
 ) -> Result<BestResponseOutcome> {
     let mut search = Search {
         view,
@@ -660,11 +696,11 @@ fn run_search_with<A: Aggregate>(
     })
 }
 
-struct Search<'o, 'r, A: Aggregate> {
-    view: &'o OracleView<'r>,
+struct Search<'o, 'r, W: RowWord, A: Aggregate<W>> {
+    view: &'o OracleView<'r, W>,
     agg: A,
     options: &'o BestResponseOptions,
-    scratch: &'o mut SearchScratch,
+    scratch: &'o mut SearchScratch<W>,
     best_cost: u64,
     best_strategy: Vec<NodeId>,
     evaluations: u64,
@@ -673,7 +709,7 @@ struct Search<'o, 'r, A: Aggregate> {
     done: bool,
 }
 
-impl<A: Aggregate> Search<'_, '_, A> {
+impl<W: RowWord, A: Aggregate<W>> Search<'_, '_, W, A> {
     /// Records one evaluated selection (whose min-row sits at `level` and
     /// costs `cost`) against the incumbent and the evaluation budget.
     fn record(&mut self, _level: usize, cost: u64) -> Result<()> {

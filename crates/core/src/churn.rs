@@ -284,6 +284,30 @@ impl<'a> ChurnSim<'a> {
         }
     }
 
+    /// [`ChurnSim::new`] on an explicit engine row tier (the tier never
+    /// changes a trajectory — the cross-width differential suite pins it —
+    /// so this exists for benchmarks and tier-forcing tests).
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::DistanceEngine::with_tier`].
+    pub fn with_tier(
+        spec: &'a GameSpec,
+        start: Configuration,
+        cfg: ChurnConfig,
+        tier: crate::RowTier,
+    ) -> Result<Self> {
+        let walk = Walk::with_tier(spec, start, tier)?
+            .with_scheduler(cfg.scheduler.clone())
+            .prefill_threads(cfg.prefill_threads);
+        Ok(Self {
+            walk,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            cfg,
+            capacity: spec.node_count(),
+        })
+    }
+
     /// The walk (and engine state) as the simulation left it.
     pub fn walk(&self) -> &Walk<'a> {
         &self.walk

@@ -210,6 +210,33 @@ impl<'a> Walk<'a> {
         Self::from_engine(spec, DistanceEngine::new(spec, config))
     }
 
+    /// [`Walk::new`] on an explicit engine row tier (the differential
+    /// suite pins u32 walks against u64 walks with this).
+    ///
+    /// # Errors
+    ///
+    /// As [`DistanceEngine::with_tier`].
+    pub fn with_tier(
+        spec: &'a GameSpec,
+        config: Configuration,
+        tier: crate::RowTier,
+    ) -> crate::Result<Self> {
+        assert_eq!(
+            config.node_count(),
+            spec.node_count(),
+            "configuration size mismatch"
+        );
+        Ok(Self::from_engine(
+            spec,
+            DistanceEngine::with_tier(spec, config, tier)?,
+        ))
+    }
+
+    /// The row tier the underlying engine runs on.
+    pub fn row_tier(&self) -> crate::RowTier {
+        self.engine.row_tier()
+    }
+
     /// Starts a round-robin walk over a partial membership: nodes outside
     /// `live` are departed peers (see [`DistanceEngine::with_membership`]);
     /// every scheduler offers moves to live nodes only.

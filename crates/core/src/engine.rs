@@ -53,35 +53,77 @@
 //! written back in deterministic `(u, candidate)` order, so thread count
 //! never changes any value.
 
-use bbc_graph::{BitSet, ConnectivityScratch, CsrBfs, CsrDijkstra, CsrGraph, UNREACHABLE};
+use bbc_graph::{
+    BitSet, ClampedBfs, ClampedDijkstra, ConnectivityScratch, CsrBfs, CsrDijkstra, CsrGraph,
+    RowWord, UNREACHABLE,
+};
 
 use crate::{
-    best_response::{
-        min_into, push_clamped_row, run_search, weighted_targets_of, OracleView, SearchScratch,
-    },
+    best_response::{min_into, run_search, weighted_targets_of, OracleView, SearchScratch},
     eval::{cost_from_distances, cost_from_distances_masked},
     BestResponseOptions, BestResponseOutcome, Configuration, Error, GameSpec, NodeId, Result,
 };
 
+/// The word width of the engine's cached deviation rows.
+///
+/// Selected per spec at construction via a checked `n·M` bound: the narrow
+/// tier is valid exactly when every clamped row entry *and* every plain row
+/// sum (at most `n·M`) fits in 32 bits. Both tiers compute bit-identical
+/// decisions, costs, and digests — the cross-width differential suite pins
+/// this — so the tier is purely a bandwidth choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RowTier {
+    /// 32-bit rows: half the memory traffic in the search and BFS hot
+    /// loops. Requires `n·M ≤ u32::MAX`.
+    U32,
+    /// 64-bit rows: always valid (the pre-tier behavior).
+    U64,
+}
+
+impl RowTier {
+    /// The tier [`DistanceEngine::new`] picks for `spec`: [`RowTier::U32`]
+    /// whenever the checked product `n·M` fits `u32`, else [`RowTier::U64`].
+    /// Non-uniform weights and lengths fall back automatically because they
+    /// inflate the spec's penalty past the bound.
+    pub fn auto(spec: &GameSpec) -> Self {
+        if Self::u32_fits(spec) {
+            RowTier::U32
+        } else {
+            RowTier::U64
+        }
+    }
+
+    /// `true` when the u32 tier can represent every clamped row entry and
+    /// plain row sum of `spec` without wrapping.
+    fn u32_fits(spec: &GameSpec) -> bool {
+        (spec.node_count() as u64)
+            .checked_mul(spec.penalty())
+            .is_some_and(|nm| nm <= u64::from(u32::MAX))
+    }
+}
+
 /// A filled row in flight from a worker thread back to the cache:
-/// `(deviating node, candidate index, distances, touched set)`.
-type FilledRow = (usize, usize, Vec<u64>, BitSet);
+/// `(deviating node, candidate index, clamped through-row, touched set)`.
+type FilledRow<W> = (usize, usize, Vec<W>, BitSet);
 
 /// One cached shortest-path row plus its invalidation metadata.
 #[derive(Clone, Debug)]
-struct RowSlot {
+struct RowSlot<W> {
     valid: bool,
-    /// Raw distances (with [`bbc_graph::UNREACHABLE`] preserved).
-    dist: Vec<u64>,
+    /// Oracle slots hold the *clamped through-row* `ℓ(u,c) + d_{G∖u}(c,·)`
+    /// (penalty for unreachable entries) at the engine's row width; eval
+    /// slots hold raw `u64` distances with [`bbc_graph::UNREACHABLE`]
+    /// preserved.
+    dist: Vec<W>,
     /// Nodes whose out-arcs the traversal expanded.
     touched: BitSet,
 }
 
-impl RowSlot {
+impl<W: RowWord> RowSlot<W> {
     fn new(n: usize) -> Self {
         Self {
             valid: false,
-            dist: vec![0; n],
+            dist: vec![W::ZERO; n],
             touched: BitSet::new(n),
         }
     }
@@ -89,15 +131,29 @@ impl RowSlot {
 
 /// Per-deviating-node oracle cache: the static candidate pool and one
 /// [`RowSlot`] per candidate, plus the memoized search outcome.
-#[derive(Debug, Default)]
-struct OracleCache {
+#[derive(Debug)]
+struct OracleCache<W> {
     init: bool,
     candidates: Vec<NodeId>,
     prices: Vec<u64>,
     weighted_targets: Vec<(u32, u64)>,
     budget: u64,
-    rows: Vec<RowSlot>,
+    rows: Vec<RowSlot<W>>,
     outcome: Option<(BestResponseOptions, BestResponseOutcome)>,
+}
+
+impl<W> Default for OracleCache<W> {
+    fn default() -> Self {
+        Self {
+            init: false,
+            candidates: Vec::new(),
+            prices: Vec::new(),
+            weighted_targets: Vec::new(),
+            budget: 0,
+            rows: Vec::new(),
+            outcome: None,
+        }
+    }
 }
 
 /// Per-node cache of the membership-masked weighted target list, stamped
@@ -153,24 +209,63 @@ pub struct EngineStats {
 /// ```
 #[derive(Debug)]
 pub struct DistanceEngine<'a> {
+    inner: EngineInner<'a>,
+}
+
+/// The tier-monomorphized engine body behind [`DistanceEngine`].
+#[derive(Debug)]
+enum EngineInner<'a> {
+    U32(EngineCore<'a, u32>),
+    U64(EngineCore<'a, u64>),
+}
+
+/// Dispatches one method body into the active tier arm. Every public
+/// engine method goes through here; the bodies themselves are written once,
+/// generically, in [`EngineCore`].
+macro_rules! tiered {
+    ($self:expr, $e:ident => $body:expr) => {
+        match &$self.inner {
+            EngineInner::U32($e) => $body,
+            EngineInner::U64($e) => $body,
+        }
+    };
+    (mut $self:expr, $e:ident => $body:expr) => {
+        match &mut $self.inner {
+            EngineInner::U32($e) => $body,
+            EngineInner::U64($e) => $body,
+        }
+    };
+}
+
+#[derive(Debug)]
+struct EngineCore<'a, W: RowWord> {
     spec: &'a GameSpec,
     config: Configuration,
     csr: CsrGraph,
-    bfs: CsrBfs,
-    dijkstra: CsrDijkstra,
+    /// The disconnection penalty at the row width (the clamp every oracle
+    /// row is filled against). The tier check at construction guarantees
+    /// the conversion is exact.
+    penalty: W,
+    bfs: ClampedBfs<W>,
+    dijkstra: ClampedDijkstra<W>,
+    /// Raw-`u64` traversals for evaluator rows (`d_G(u,·)` with
+    /// [`bbc_graph::UNREACHABLE`] preserved — the public
+    /// [`DistanceEngine::distances_from`] contract is width-independent).
+    eval_bfs: CsrBfs,
+    eval_dijkstra: CsrDijkstra,
     conn: ConnectivityScratch,
-    oracle: Vec<OracleCache>,
-    eval_rows: Vec<RowSlot>,
+    oracle: Vec<OracleCache<W>>,
+    eval_rows: Vec<RowSlot<u64>>,
     eval_costs: Vec<Option<u64>>,
     /// Clamped through-rows staged for one search (stride `n`).
-    clamped: Vec<u64>,
+    clamped: Vec<W>,
     /// Candidates staged for one search (live candidates only under
     /// partial membership).
     stage_candidates: Vec<NodeId>,
-    /// Link prices parallel to [`DistanceEngine::stage_candidates`].
+    /// Link prices parallel to `stage_candidates`.
     stage_prices: Vec<u64>,
-    current_row: Vec<u64>,
-    search_scratch: SearchScratch,
+    current_row: Vec<W>,
+    search_scratch: SearchScratch<W>,
     link_scratch: Vec<(u32, u64)>,
     /// Live membership: departed nodes keep their id (and spec row) but
     /// hold no links, receive none, and drop out of every cost aggregate.
@@ -188,18 +283,35 @@ pub struct DistanceEngine<'a> {
 
 impl<'a> DistanceEngine<'a> {
     /// Creates an engine for `spec`, bound to `config`, with every node a
-    /// live member.
+    /// live member. The row tier is chosen automatically
+    /// ([`RowTier::auto`]); use [`DistanceEngine::with_tier`] to force one.
     ///
     /// # Panics
     ///
     /// Panics if `config`'s node count differs from the spec's.
     pub fn new(spec: &'a GameSpec, config: Configuration) -> Self {
+        Self::with_tier(spec, config, RowTier::auto(spec))
+            .expect("the automatic tier always fits the spec")
+    }
+
+    /// Creates an engine on an explicit row tier (full membership).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::RowTierOverflow`] when `tier` is [`RowTier::U32`] and the
+    /// spec's `n·M` product does not fit `u32` — the narrow rows could
+    /// wrap, so the engine refuses instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config`'s node count differs from the spec's.
+    pub fn with_tier(spec: &'a GameSpec, config: Configuration, tier: RowTier) -> Result<Self> {
         let n = spec.node_count();
         let mut all = BitSet::new(n);
         for v in 0..n {
             all.insert(v);
         }
-        Self::with_membership(spec, config, &all).expect("full membership is always valid")
+        Self::with_membership_tier(spec, config, &all, tier)
     }
 
     /// Creates an engine for `spec` bound to `config` with only the nodes
@@ -207,7 +319,8 @@ impl<'a> DistanceEngine<'a> {
     /// [`DistanceEngine::remove_node`] / [`DistanceEngine::add_node`] calls,
     /// and the reference state of the churn determinism contract (a
     /// remove/re-add round trip is byte-identical to this constructor; see
-    /// [`DistanceEngine::state_digest`]).
+    /// [`DistanceEngine::state_digest`]). The row tier is chosen
+    /// automatically.
     ///
     /// # Errors
     ///
@@ -223,6 +336,276 @@ impl<'a> DistanceEngine<'a> {
         config: Configuration,
         live: &BitSet,
     ) -> Result<Self> {
+        Self::with_membership_tier(spec, config, live, RowTier::auto(spec))
+    }
+
+    /// [`DistanceEngine::with_membership`] on an explicit row tier.
+    ///
+    /// # Errors
+    ///
+    /// As [`DistanceEngine::with_membership`], plus
+    /// [`Error::RowTierOverflow`] when the forced tier cannot represent the
+    /// spec (see [`DistanceEngine::with_tier`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config`'s node count differs from the spec's.
+    pub fn with_membership_tier(
+        spec: &'a GameSpec,
+        config: Configuration,
+        live: &BitSet,
+        tier: RowTier,
+    ) -> Result<Self> {
+        let inner = match tier {
+            RowTier::U32 => {
+                if !RowTier::u32_fits(spec) {
+                    return Err(Error::RowTierOverflow {
+                        n: spec.node_count(),
+                        penalty: spec.penalty(),
+                    });
+                }
+                EngineInner::U32(EngineCore::with_membership(spec, config, live)?)
+            }
+            RowTier::U64 => EngineInner::U64(EngineCore::with_membership(spec, config, live)?),
+        };
+        Ok(Self { inner })
+    }
+
+    /// The row tier this engine runs on.
+    pub fn row_tier(&self) -> RowTier {
+        match &self.inner {
+            EngineInner::U32(_) => RowTier::U32,
+            EngineInner::U64(_) => RowTier::U64,
+        }
+    }
+
+    /// The game this engine serves.
+    pub fn spec(&self) -> &'a GameSpec {
+        tiered!(self, e => e.spec)
+    }
+
+    /// The configuration the engine is currently synced to.
+    pub fn config(&self) -> &Configuration {
+        tiered!(self, e => &e.config)
+    }
+
+    /// Consumes the engine, returning the bound configuration without
+    /// copying it.
+    pub fn into_config(self) -> Configuration {
+        match self.inner {
+            EngineInner::U32(e) => e.config,
+            EngineInner::U64(e) => e.config,
+        }
+    }
+
+    /// Cache counters accumulated since construction.
+    pub fn stats(&self) -> EngineStats {
+        tiered!(self, e => e.stats)
+    }
+
+    /// Rewires one node's strategy, patching the CSR mirror in place and
+    /// invalidating exactly the cached rows whose traversal touched `u`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the strategy-validation failure (see
+    /// [`GameSpec::validate_strategy`]), [`Error::NodeNotLive`] when `u` has
+    /// departed, or [`Error::TargetNotLive`] when some target has — all
+    /// without modifying any state.
+    pub fn apply_strategy(&mut self, u: NodeId, targets: Vec<NodeId>) -> Result<()> {
+        tiered!(mut self, e => e.apply_strategy(u, targets))
+    }
+
+    /// Re-syncs the engine to an arbitrary configuration by diffing against
+    /// the bound one: only nodes whose strategy differs are patched and
+    /// invalidated, so stepping an enumeration odometer costs one patch.
+    ///
+    /// # Panics
+    ///
+    /// Panics under partial membership — configurations carry no membership,
+    /// so a diff-sync is only meaningful when every node is live.
+    pub fn sync_to(&mut self, config: &Configuration) {
+        tiered!(mut self, e => e.sync_to(config))
+    }
+
+    /// Exact best response for `u` under the bound configuration, served
+    /// from the outcome memo when nothing it depends on has changed.
+    ///
+    /// Byte-identical to [`crate::best_response::exact`] on the same
+    /// configuration *for either row tier* (the differential suite enforces
+    /// both).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::SearchBudgetExceeded`] exactly as
+    /// [`crate::best_response::exact`].
+    pub fn best_response(
+        &mut self,
+        u: NodeId,
+        options: &BestResponseOptions,
+    ) -> Result<BestResponseOutcome> {
+        tiered!(mut self, e => e.best_response(u, options))
+    }
+
+    /// Cost of node `u` under the bound configuration (cached per node).
+    /// A departed node costs 0 — it plays no strategy and owes no
+    /// distances (see the churn rules in the module docs).
+    pub fn node_cost(&mut self, u: NodeId) -> u64 {
+        tiered!(mut self, e => e.node_cost(u))
+    }
+
+    /// Costs of every node under the bound configuration.
+    pub fn node_costs(&mut self) -> Vec<u64> {
+        tiered!(mut self, e => e.node_costs())
+    }
+
+    /// Social cost (sum of node costs) of the bound configuration.
+    pub fn social_cost(&mut self) -> u64 {
+        tiered!(mut self, e => e.social_cost())
+    }
+
+    /// Shortest-path distances from `u` in the bound configuration's graph
+    /// (cached; unreachable targets hold [`bbc_graph::UNREACHABLE`]).
+    /// Always raw `u64`, whatever the row tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `u` has departed — a dead node has no distances.
+    pub fn distances_from(&mut self, u: NodeId) -> &[u64] {
+        tiered!(mut self, e => e.distances_from(u))
+    }
+
+    /// `true` iff the bound configuration's graph, restricted to the live
+    /// membership, is strongly connected (allocation-free after warm-up).
+    pub fn is_strongly_connected(&mut self) -> bool {
+        tiered!(mut self, e => e.is_strongly_connected())
+    }
+
+    /// Number of ordered live pairs `(u, v)` with positive preference
+    /// weight and `v` unreachable from `u` — the disconnection-penalty
+    /// exposure of the bound configuration (each counted pair is priced at
+    /// `w(u,v)·M` in `u`'s cost; zero-weight pairs cost nothing and play
+    /// has no incentive to connect them, so they are not exposure).
+    pub fn disconnected_live_pairs(&mut self) -> u64 {
+        tiered!(mut self, e => e.disconnected_live_pairs())
+    }
+
+    /// [`DistanceEngine::best_response`] with the oracle BFS fan-out on the
+    /// parallel path: `u`'s missing deviation rows (up to `n − 1`
+    /// traversals) are filled across `threads` OS threads via
+    /// [`DistanceEngine::prefill_oracle_rows`] before the search runs.
+    ///
+    /// Byte-identical to [`DistanceEngine::best_response`] for every thread
+    /// count (prefilling writes exactly the rows the sequential path would
+    /// compute); when the memoized outcome for `(u, options)` is still
+    /// valid, the prefill is skipped so a cache hit stays a cache hit.
+    ///
+    /// # Errors
+    ///
+    /// As [`DistanceEngine::best_response`].
+    pub fn best_response_prefilled(
+        &mut self,
+        u: NodeId,
+        options: &BestResponseOptions,
+        threads: usize,
+    ) -> Result<BestResponseOutcome> {
+        tiered!(mut self, e => e.best_response_prefilled(u, options, threads))
+    }
+
+    /// Fills every invalid oracle row of `nodes` across `threads` OS threads
+    /// (`std::thread::scope`), returning the number of traversals run.
+    ///
+    /// Traversals read the shared CSR immutably; results are written back in
+    /// deterministic `(node, candidate)` order, so any thread count produces
+    /// the same engine state as the sequential path.
+    pub fn prefill_oracle_rows(&mut self, nodes: &[NodeId], threads: usize) -> usize {
+        tiered!(mut self, e => e.prefill_oracle_rows(nodes, threads))
+    }
+
+    /// `true` iff `u` is currently a live member.
+    #[inline]
+    pub fn is_live(&self, u: NodeId) -> bool {
+        tiered!(self, e => e.live.contains(u.index()))
+    }
+
+    /// Number of live members.
+    #[inline]
+    pub fn live_count(&self) -> usize {
+        tiered!(self, e => e.live_count)
+    }
+
+    /// Live members in ascending id order.
+    pub fn live_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        tiered!(self, e => e.live.iter().map(NodeId::new))
+    }
+
+    /// The live membership as a bitset (the exact value a fresh
+    /// [`DistanceEngine::with_membership`] build of this state takes).
+    pub fn live_set(&self) -> &BitSet {
+        tiered!(self, e => &e.live)
+    }
+
+    /// Departs node `u`: strips every live node's link to `u`, clears `u`'s
+    /// own links, retires its CSR slab, and drops it from every cost
+    /// aggregate. `u`'s id stays valid and can rejoin via
+    /// [`DistanceEngine::add_node`].
+    ///
+    /// Invalidation is incremental: each in-link strip and the self-clear
+    /// go through the standard touched-set rule, so deviation rows whose
+    /// traversals met none of the patched nodes survive; only the
+    /// membership-dependent aggregates (outcome memos, eval costs, masked
+    /// target lists) are dropped wholesale — membership is a term in every
+    /// one of them. `u`'s own `d_{G∖u}` rows survive by construction
+    /// (`G∖u` never contained `u`'s arcs), which is what makes a brief
+    /// leave/rejoin cheap.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NodeOutOfBounds`] or [`Error::NodeNotLive`]; no state
+    /// changes on error.
+    pub fn remove_node(&mut self, u: NodeId) -> Result<()> {
+        tiered!(mut self, e => e.remove_node(u))
+    }
+
+    /// (Re)admits node `u` with the given strategy. Targets must be live;
+    /// in-links form later through the other players' best responses, just
+    /// as in a real overlay join.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NodeOutOfBounds`], [`Error::NodeAlreadyLive`],
+    /// [`Error::TargetNotLive`], or the strategy-validation failure; no
+    /// state changes on error.
+    pub fn add_node(&mut self, u: NodeId, targets: Vec<NodeId>) -> Result<()> {
+        tiered!(mut self, e => e.add_node(u, targets))
+    }
+
+    /// Drains the set of nodes whose cached cost was dropped since the last
+    /// drain (by strategy patches or membership changes). Cost-keyed
+    /// schedulers use this to update priority state in `O(changed)` per
+    /// step instead of re-reading every node.
+    pub fn take_dirty_costs(&mut self) -> Vec<NodeId> {
+        tiered!(mut self, e => e.take_dirty_costs())
+    }
+
+    /// FNV-1a digest of the engine's observable state: live membership,
+    /// every strategy, and the physical CSR arenas.
+    ///
+    /// The churn determinism contract (pinned by the round-trip tests):
+    /// after any sequence of [`DistanceEngine::remove_node`] /
+    /// [`DistanceEngine::add_node`] calls, the digest equals that of a
+    /// fresh [`DistanceEngine::with_membership`] over the same
+    /// configuration and membership — caches are warm vs cold, but the
+    /// state they describe is byte-identical. The digest hashes no row
+    /// data, and rows agree across tiers anyway, so it is also row-tier
+    /// independent.
+    pub fn state_digest(&self) -> u64 {
+        tiered!(self, e => e.state_digest())
+    }
+}
+
+impl<'a, W: RowWord> EngineCore<'a, W> {
+    fn with_membership(spec: &'a GameSpec, config: Configuration, live: &BitSet) -> Result<Self> {
         let n = spec.node_count();
         assert_eq!(config.node_count(), n, "configuration size mismatch");
         let mut members = BitSet::new(n);
@@ -255,12 +638,16 @@ impl<'a> DistanceEngine<'a> {
             fill_links(spec, u, config.strategy(u), &mut link_scratch);
             csr.set_out_links(u.index(), &link_scratch);
         }
+        let penalty = W::from_u64(spec.penalty()).expect("tier checked before construction");
         Ok(Self {
             spec,
             config,
             csr,
-            bfs: CsrBfs::new(n),
-            dijkstra: CsrDijkstra::new(n),
+            penalty,
+            bfs: ClampedBfs::new(n),
+            dijkstra: ClampedDijkstra::new(n),
+            eval_bfs: CsrBfs::new(n),
+            eval_dijkstra: CsrDijkstra::new(n),
             conn: ConnectivityScratch::new(),
             oracle: (0..n).map(|_| OracleCache::default()).collect(),
             eval_rows: (0..n).map(|_| RowSlot::new(n)).collect(),
@@ -268,7 +655,7 @@ impl<'a> DistanceEngine<'a> {
             clamped: Vec::new(),
             stage_candidates: Vec::new(),
             stage_prices: Vec::new(),
-            current_row: vec![0; n],
+            current_row: vec![W::ZERO; n],
             search_scratch: SearchScratch::new(),
             link_scratch,
             live: members,
@@ -280,37 +667,7 @@ impl<'a> DistanceEngine<'a> {
         })
     }
 
-    /// The game this engine serves.
-    pub fn spec(&self) -> &'a GameSpec {
-        self.spec
-    }
-
-    /// The configuration the engine is currently synced to.
-    pub fn config(&self) -> &Configuration {
-        &self.config
-    }
-
-    /// Consumes the engine, returning the bound configuration without
-    /// copying it.
-    pub fn into_config(self) -> Configuration {
-        self.config
-    }
-
-    /// Cache counters accumulated since construction.
-    pub fn stats(&self) -> EngineStats {
-        self.stats
-    }
-
-    /// Rewires one node's strategy, patching the CSR mirror in place and
-    /// invalidating exactly the cached rows whose traversal touched `u`.
-    ///
-    /// # Errors
-    ///
-    /// Returns the strategy-validation failure (see
-    /// [`GameSpec::validate_strategy`]), [`Error::NodeNotLive`] when `u` has
-    /// departed, or [`Error::TargetNotLive`] when some target has — all
-    /// without modifying any state.
-    pub fn apply_strategy(&mut self, u: NodeId, targets: Vec<NodeId>) -> Result<()> {
+    fn apply_strategy(&mut self, u: NodeId, targets: Vec<NodeId>) -> Result<()> {
         if self.live_count < self.spec.node_count() {
             if !self.live.contains(u.index()) {
                 return Err(Error::NodeNotLive { node: u });
@@ -334,15 +691,7 @@ impl<'a> DistanceEngine<'a> {
         Ok(())
     }
 
-    /// Re-syncs the engine to an arbitrary configuration by diffing against
-    /// the bound one: only nodes whose strategy differs are patched and
-    /// invalidated, so stepping an enumeration odometer costs one patch.
-    ///
-    /// # Panics
-    ///
-    /// Panics under partial membership — configurations carry no membership,
-    /// so a diff-sync is only meaningful when every node is live.
-    pub fn sync_to(&mut self, config: &Configuration) {
+    fn sync_to(&mut self, config: &Configuration) {
         assert_eq!(
             self.live_count,
             self.config.node_count(),
@@ -423,6 +772,9 @@ impl<'a> DistanceEngine<'a> {
     /// (sequentially). A departed candidate's row is neither needed (it is
     /// filtered out of the search staging) nor meaningful, so it is left
     /// invalid until the candidate rejoins.
+    ///
+    /// Rows are filled penalty-clamped with the link length `ℓ(u,c)` baked
+    /// in at the traversal seed, so staging a search is a plain copy.
     fn ensure_oracle_rows(&mut self, u: NodeId) {
         self.ensure_oracle_init(u);
         let oc = &mut self.oracle[u.index()];
@@ -435,36 +787,26 @@ impl<'a> DistanceEngine<'a> {
                 self.stats.oracle_row_hits += 1;
                 continue;
             }
-            let c = oc.candidates[i].index();
-            let dist = if unit {
-                self.bfs.run_skipping(&self.csr, c, u.index());
-                self.bfs.distances()
+            let c = oc.candidates[i];
+            let offset = W::from_u64(self.spec.link_length(u, c))
+                .expect("link length is below the penalty, which fits the tier");
+            let (dist, touched) = if unit {
+                self.bfs
+                    .run_skipping(&self.csr, c.index(), u.index(), offset, self.penalty);
+                (self.bfs.distances(), self.bfs.touched())
             } else {
-                self.dijkstra.run_skipping(&self.csr, c, u.index());
-                self.dijkstra.distances()
+                self.dijkstra
+                    .run_skipping(&self.csr, c.index(), u.index(), offset, self.penalty);
+                (self.dijkstra.distances(), self.dijkstra.touched())
             };
             slot.dist.copy_from_slice(dist);
-            slot.touched.copy_from(if unit {
-                self.bfs.touched()
-            } else {
-                self.dijkstra.touched()
-            });
+            slot.touched.copy_from(touched);
             slot.valid = true;
             self.stats.oracle_rows_computed += 1;
         }
     }
 
-    /// Exact best response for `u` under the bound configuration, served
-    /// from the outcome memo when nothing it depends on has changed.
-    ///
-    /// Byte-identical to [`crate::best_response::exact`] on the same
-    /// configuration (the differential suite enforces this).
-    ///
-    /// # Errors
-    ///
-    /// [`crate::Error::SearchBudgetExceeded`] exactly as
-    /// [`crate::best_response::exact`].
-    pub fn best_response(
+    fn best_response(
         &mut self,
         u: NodeId,
         options: &BestResponseOptions,
@@ -488,7 +830,8 @@ impl<'a> DistanceEngine<'a> {
 
         // Stage the clamped through-rows for the search — live candidates
         // only, so a departed peer is neither a purchasable target nor a
-        // relay in any priced strategy.
+        // relay in any priced strategy. Cached rows are already clamped
+        // with the link length baked in, so staging is a plain copy.
         self.clamped.clear();
         self.stage_candidates.clear();
         self.stage_prices.clear();
@@ -499,12 +842,7 @@ impl<'a> DistanceEngine<'a> {
             }
             self.stage_candidates.push(c);
             self.stage_prices.push(oc.prices[i]);
-            push_clamped_row(
-                &mut self.clamped,
-                &slot.dist,
-                self.spec.link_length(u, c),
-                self.spec,
-            );
+            self.clamped.extend_from_slice(&slot.dist);
         }
         let view = OracleView {
             spec: self.spec,
@@ -522,7 +860,7 @@ impl<'a> DistanceEngine<'a> {
         };
 
         // Price the node's current strategy through the same rows.
-        self.current_row.fill(self.spec.penalty());
+        self.current_row.fill(self.penalty);
         for &t in self.config.strategy(u) {
             let i = self
                 .stage_candidates
@@ -561,7 +899,7 @@ impl<'a> DistanceEngine<'a> {
     /// Cost of node `u` under the bound configuration (cached per node).
     /// A departed node costs 0 — it plays no strategy and owes no
     /// distances (see the churn rules in the module docs).
-    pub fn node_cost(&mut self, u: NodeId) -> u64 {
+    fn node_cost(&mut self, u: NodeId) -> u64 {
         if !self.live.contains(u.index()) {
             return 0;
         }
@@ -572,17 +910,17 @@ impl<'a> DistanceEngine<'a> {
         if !slot.valid {
             let unit = self.spec.has_unit_lengths();
             let dist = if unit {
-                self.bfs.run(&self.csr, u.index());
-                self.bfs.distances()
+                self.eval_bfs.run(&self.csr, u.index());
+                self.eval_bfs.distances()
             } else {
-                self.dijkstra.run(&self.csr, u.index());
-                self.dijkstra.distances()
+                self.eval_dijkstra.run(&self.csr, u.index());
+                self.eval_dijkstra.distances()
             };
             slot.dist.copy_from_slice(dist);
             slot.touched.copy_from(if unit {
-                self.bfs.touched()
+                self.eval_bfs.touched()
             } else {
-                self.dijkstra.touched()
+                self.eval_dijkstra.touched()
             });
             slot.valid = true;
             self.stats.eval_rows_computed += 1;
@@ -596,25 +934,17 @@ impl<'a> DistanceEngine<'a> {
         cost
     }
 
-    /// Costs of every node under the bound configuration.
-    pub fn node_costs(&mut self) -> Vec<u64> {
+    fn node_costs(&mut self) -> Vec<u64> {
         NodeId::all(self.spec.node_count())
             .map(|u| self.node_cost(u))
             .collect()
     }
 
-    /// Social cost (sum of node costs) of the bound configuration.
-    pub fn social_cost(&mut self) -> u64 {
+    fn social_cost(&mut self) -> u64 {
         self.node_costs().iter().sum()
     }
 
-    /// Shortest-path distances from `u` in the bound configuration's graph
-    /// (cached; unreachable targets hold [`bbc_graph::UNREACHABLE`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics when `u` has departed — a dead node has no distances.
-    pub fn distances_from(&mut self, u: NodeId) -> &[u64] {
+    fn distances_from(&mut self, u: NodeId) -> &[u64] {
         assert!(
             self.live.contains(u.index()),
             "distances_from({u}): node is not a live member"
@@ -623,9 +953,7 @@ impl<'a> DistanceEngine<'a> {
         &self.eval_rows[u.index()].dist
     }
 
-    /// `true` iff the bound configuration's graph, restricted to the live
-    /// membership, is strongly connected (allocation-free after warm-up).
-    pub fn is_strongly_connected(&mut self) -> bool {
+    fn is_strongly_connected(&mut self) -> bool {
         if self.live_count == self.spec.node_count() {
             self.conn.is_strongly_connected(&self.csr)
         } else {
@@ -634,12 +962,7 @@ impl<'a> DistanceEngine<'a> {
         }
     }
 
-    /// Number of ordered live pairs `(u, v)` with positive preference
-    /// weight and `v` unreachable from `u` — the disconnection-penalty
-    /// exposure of the bound configuration (each counted pair is priced at
-    /// `w(u,v)·M` in `u`'s cost; zero-weight pairs cost nothing and play
-    /// has no incentive to connect them, so they are not exposure).
-    pub fn disconnected_live_pairs(&mut self) -> u64 {
+    fn disconnected_live_pairs(&mut self) -> u64 {
         let live: Vec<usize> = self.live.iter().collect();
         let mut total = 0u64;
         for &u in &live {
@@ -657,20 +980,7 @@ impl<'a> DistanceEngine<'a> {
         total
     }
 
-    /// [`DistanceEngine::best_response`] with the oracle BFS fan-out on the
-    /// parallel path: `u`'s missing deviation rows (up to `n − 1`
-    /// traversals) are filled across `threads` OS threads via
-    /// [`DistanceEngine::prefill_oracle_rows`] before the search runs.
-    ///
-    /// Byte-identical to [`DistanceEngine::best_response`] for every thread
-    /// count (prefilling writes exactly the rows the sequential path would
-    /// compute); when the memoized outcome for `(u, options)` is still
-    /// valid, the prefill is skipped so a cache hit stays a cache hit.
-    ///
-    /// # Errors
-    ///
-    /// As [`DistanceEngine::best_response`].
-    pub fn best_response_prefilled(
+    fn best_response_prefilled(
         &mut self,
         u: NodeId,
         options: &BestResponseOptions,
@@ -689,10 +999,7 @@ impl<'a> DistanceEngine<'a> {
     /// Fills every invalid oracle row of `nodes` across `threads` OS threads
     /// (`std::thread::scope`), returning the number of traversals run.
     ///
-    /// Traversals read the shared CSR immutably; results are written back in
-    /// deterministic `(node, candidate)` order, so any thread count produces
-    /// the same engine state as the sequential path.
-    pub fn prefill_oracle_rows(&mut self, nodes: &[NodeId], threads: usize) -> usize {
+    fn prefill_oracle_rows(&mut self, nodes: &[NodeId], threads: usize) -> usize {
         for &u in nodes {
             if self.live.contains(u.index()) {
                 self.ensure_oracle_init(u);
@@ -727,23 +1034,29 @@ impl<'a> DistanceEngine<'a> {
         let unit = self.spec.has_unit_lengths();
         let csr = &self.csr;
         let oracle = &self.oracle;
+        let spec = self.spec;
+        let penalty = self.penalty;
         let chunk = work.len().div_ceil(threads);
-        let results: Vec<Vec<FilledRow>> = std::thread::scope(|scope| {
+        let results: Vec<Vec<FilledRow<W>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = work
                 .chunks(chunk)
                 .map(|items| {
                     scope.spawn(move || {
-                        let mut bfs = CsrBfs::new(n);
-                        let mut dij = CsrDijkstra::new(n);
+                        let mut bfs = ClampedBfs::<W>::new(n);
+                        let mut dij = ClampedDijkstra::<W>::new(n);
                         items
                             .iter()
                             .map(|&(u, i)| {
-                                let c = oracle[u].candidates[i].index();
+                                let c = oracle[u].candidates[i];
+                                let offset = W::from_u64(spec.link_length(NodeId::new(u), c))
+                                    .expect(
+                                        "link length is below the penalty, which fits the tier",
+                                    );
                                 let (dist, touched) = if unit {
-                                    bfs.run_skipping(csr, c, u);
+                                    bfs.run_skipping(csr, c.index(), u, offset, penalty);
                                     (bfs.distances().to_vec(), bfs.touched().clone())
                                 } else {
-                                    dij.run_skipping(csr, c, u);
+                                    dij.run_skipping(csr, c.index(), u, offset, penalty);
                                     (dij.distances().to_vec(), dij.touched().clone())
                                 };
                                 (u, i, dist, touched)
@@ -770,48 +1083,7 @@ impl<'a> DistanceEngine<'a> {
 
     // ----- node lifecycle (churn) ------------------------------------
 
-    /// `true` iff `u` is currently a live member.
-    #[inline]
-    pub fn is_live(&self, u: NodeId) -> bool {
-        self.live.contains(u.index())
-    }
-
-    /// Number of live members.
-    #[inline]
-    pub fn live_count(&self) -> usize {
-        self.live_count
-    }
-
-    /// Live members in ascending id order.
-    pub fn live_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.live.iter().map(NodeId::new)
-    }
-
-    /// The live membership as a bitset (the exact value a fresh
-    /// [`DistanceEngine::with_membership`] build of this state takes).
-    pub fn live_set(&self) -> &BitSet {
-        &self.live
-    }
-
-    /// Departs node `u`: strips every live node's link to `u`, clears `u`'s
-    /// own links, retires its CSR slab, and drops it from every cost
-    /// aggregate. `u`'s id stays valid and can rejoin via
-    /// [`DistanceEngine::add_node`].
-    ///
-    /// Invalidation is incremental: each in-link strip and the self-clear
-    /// go through the standard touched-set rule, so deviation rows whose
-    /// traversals met none of the patched nodes survive; only the
-    /// membership-dependent aggregates (outcome memos, eval costs, masked
-    /// target lists) are dropped wholesale — membership is a term in every
-    /// one of them. `u`'s own `d_{G∖u}` rows survive by construction
-    /// (`G∖u` never contained `u`'s arcs), which is what makes a brief
-    /// leave/rejoin cheap.
-    ///
-    /// # Errors
-    ///
-    /// [`Error::NodeOutOfBounds`] or [`Error::NodeNotLive`]; no state
-    /// changes on error.
-    pub fn remove_node(&mut self, u: NodeId) -> Result<()> {
+    fn remove_node(&mut self, u: NodeId) -> Result<()> {
         let n = self.spec.node_count();
         if u.index() >= n {
             return Err(Error::NodeOutOfBounds { node: u, n });
@@ -844,16 +1116,7 @@ impl<'a> DistanceEngine<'a> {
         Ok(())
     }
 
-    /// (Re)admits node `u` with the given strategy. Targets must be live;
-    /// in-links form later through the other players' best responses, just
-    /// as in a real overlay join.
-    ///
-    /// # Errors
-    ///
-    /// [`Error::NodeOutOfBounds`], [`Error::NodeAlreadyLive`],
-    /// [`Error::TargetNotLive`], or the strategy-validation failure; no
-    /// state changes on error.
-    pub fn add_node(&mut self, u: NodeId, targets: Vec<NodeId>) -> Result<()> {
+    fn add_node(&mut self, u: NodeId, targets: Vec<NodeId>) -> Result<()> {
         let n = self.spec.node_count();
         if u.index() >= n {
             return Err(Error::NodeOutOfBounds { node: u, n });
@@ -893,26 +1156,13 @@ impl<'a> DistanceEngine<'a> {
         }
     }
 
-    /// Drains the set of nodes whose cached cost was dropped since the last
-    /// drain (by strategy patches or membership changes). Cost-keyed
-    /// schedulers use this to update priority state in `O(changed)` per
-    /// step instead of re-reading every node.
-    pub fn take_dirty_costs(&mut self) -> Vec<NodeId> {
+    fn take_dirty_costs(&mut self) -> Vec<NodeId> {
         let dirty: Vec<NodeId> = self.eval_dirty.iter().map(NodeId::new).collect();
         self.eval_dirty.clear();
         dirty
     }
 
-    /// FNV-1a digest of the engine's observable state: live membership,
-    /// every strategy, and the physical CSR arenas.
-    ///
-    /// The churn determinism contract (pinned by the round-trip tests):
-    /// after any sequence of [`DistanceEngine::remove_node`] /
-    /// [`DistanceEngine::add_node`] calls, the digest equals that of a
-    /// fresh [`DistanceEngine::with_membership`] over the same
-    /// configuration and membership — caches are warm vs cold, but the
-    /// state they describe is byte-identical.
-    pub fn state_digest(&self) -> u64 {
+    fn state_digest(&self) -> u64 {
         let mut h = bbc_graph::digest::Fnv1a::new();
         h.write_u64(self.live_count as u64);
         for v in self.live.iter() {
@@ -1335,5 +1585,67 @@ mod tests {
         assert!(engine.is_strongly_connected());
         engine.apply_strategy(NodeId::new(0), vec![]).unwrap();
         assert!(!engine.is_strongly_connected());
+    }
+
+    // ----- row tiers -------------------------------------------------
+
+    #[test]
+    fn tier_auto_straddles_the_u32_boundary() {
+        // n = 16, so n·M crosses 2³² exactly at M = 2²⁸. One below fits
+        // the narrow word; at the boundary the product equals 2³² which
+        // exceeds u32::MAX = 2³² − 1, so the engine must fall back.
+        let below = GameSpec::uniform(16, 1)
+            .with_penalty((1 << 28) - 1)
+            .unwrap();
+        let at = GameSpec::uniform(16, 1).with_penalty(1 << 28).unwrap();
+        assert_eq!(RowTier::auto(&below), RowTier::U32);
+        assert_eq!(RowTier::auto(&at), RowTier::U64);
+        assert_eq!(
+            DistanceEngine::new(&below, Configuration::empty(16)).row_tier(),
+            RowTier::U32
+        );
+        assert_eq!(
+            DistanceEngine::new(&at, Configuration::empty(16)).row_tier(),
+            RowTier::U64
+        );
+    }
+
+    #[test]
+    fn tier_auto_survives_penalty_products_beyond_u64() {
+        // n·M overflows u64 entirely; checked_mul must trip, not wrap.
+        let spec = GameSpec::uniform(64, 1).with_penalty(u64::MAX / 2).unwrap();
+        assert_eq!(RowTier::auto(&spec), RowTier::U64);
+    }
+
+    #[test]
+    fn forced_u32_rejects_an_oversized_spec() {
+        let spec = GameSpec::uniform(16, 1).with_penalty(1 << 28).unwrap();
+        let err = DistanceEngine::with_tier(&spec, Configuration::empty(16), RowTier::U32)
+            .expect_err("a 2³² product cannot ride the u32 tier");
+        assert_eq!(
+            err,
+            Error::RowTierOverflow {
+                n: 16,
+                penalty: 1 << 28
+            }
+        );
+    }
+
+    #[test]
+    fn forced_u64_matches_the_u32_tier_exactly() {
+        let spec = GameSpec::uniform(8, 2);
+        assert_eq!(RowTier::auto(&spec), RowTier::U32);
+        for seed in 0..4 {
+            let cfg = Configuration::random(&spec, seed);
+            let mut narrow = DistanceEngine::new(&spec, cfg.clone());
+            let mut wide = DistanceEngine::with_tier(&spec, cfg, RowTier::U64).unwrap();
+            assert_eq!(narrow.node_costs(), wide.node_costs(), "seed {seed}");
+            for u in NodeId::all(8) {
+                let a = narrow.best_response(u, &opts()).unwrap();
+                let b = wide.best_response(u, &opts()).unwrap();
+                assert_eq!(a, b, "seed {seed} node {u}");
+            }
+            assert_eq!(narrow.state_digest(), wide.state_digest());
+        }
     }
 }

@@ -286,7 +286,8 @@ pub fn find_equilibria_parallel(
 /// — the *checkpoint* unit must be machine-independent: a scan killed on an
 /// 8-core host has to resume exactly where a 2-core host would. This is a
 /// **persistence-format constant**, deliberately not aliased to the tunable
-/// [`MAX_SHARD_PROFILES`] work-stealing knob: retuning that for performance
+/// `MAX_SHARD_PROFILES` work-stealing knob (private): retuning that for
+/// performance
 /// must never reinterpret previously recorded shard ranges (the persistence
 /// layer additionally pins this width in its stream fingerprints, so a
 /// deliberate change here invalidates old checkpoints instead of silently

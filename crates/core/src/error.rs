@@ -88,6 +88,15 @@ pub enum Error {
         /// The departed target.
         target: NodeId,
     },
+    /// A forced-u32 engine was requested for a spec whose clamped rows do
+    /// not fit the narrow word: `n·M` must stay within `u32::MAX` so that
+    /// every row aggregate is representable without wrapping.
+    RowTierOverflow {
+        /// The game size.
+        n: usize,
+        /// The configured disconnection penalty.
+        penalty: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -136,6 +145,12 @@ impl fmt::Display for Error {
                 write!(
                     f,
                     "node {node} links to {target}, which is not a live member"
+                )
+            }
+            Error::RowTierOverflow { n, penalty } => {
+                write!(
+                    f,
+                    "u32 row tier cannot hold n*penalty = {n}*{penalty}; use the u64 tier"
                 )
             }
         }

@@ -1,0 +1,432 @@
+//! ALT-style landmark lower bounds for the deviation search.
+//!
+//! The exact deviation oracle ([`crate::DeviationOracle`]) prices a
+//! candidate subset by running one shortest-path traversal per affordable
+//! candidate — `m` traversals before the branch-and-bound search even
+//! starts. This module trades exactness in the *bound* for traversal
+//! laziness: a small landmark set `L` (each landmark costs one traversal in
+//! `G∖u`) yields the classic ALT lower bound
+//!
+//! ```text
+//! d_{G∖u}(c, v)  ≥  d_{G∖u}(l, v) − d_{G∖u}(l, c)      for every l ∈ L
+//! ```
+//!
+//! (rearranged triangle inequality: any `l → v` path is at most the `l → c`
+//! prefix plus a `c → v` path). When `l` reaches `c` but not `v`, `c`
+//! cannot reach `v` either — the bound jumps to the disconnection penalty.
+//! These bounds replace the exact suffix-min rows in the search's
+//! optimistic-completion prune; exact rows are materialized lazily, only
+//! for candidates the search actually *includes*. Bounds are admissible
+//! (never above the true clamped through-distance), so the search explores
+//! a superset of the exact search's nodes, records the identical incumbent
+//! sequence, and returns the same decision — only `evaluations` grows.
+//!
+//! The oracle is a snapshot of one configuration: any strategy patch,
+//! rewire, or membership change invalidates it wholesale (landmark rows are
+//! whole-graph objects with no touched-set story). Callers rebuild per
+//! deviation; the walk and experiment paths deliberately do not use this
+//! module — it is an opt-in alternative for one-shot deviation queries on
+//! large sparse instances.
+
+use bbc_graph::{BfsBuffer, DijkstraBuffer, UNREACHABLE};
+
+use crate::best_response::{weighted_targets_of, BestResponseOptions, BestResponseOutcome};
+use crate::{Configuration, CostModel, Error, GameSpec, NodeId, Result};
+
+/// Per-deviating-node landmark distance rows in `G∖u`.
+///
+/// Built by [`LandmarkOracle::build`]; consumed by
+/// [`best_response_landmark`] and directly testable through
+/// [`LandmarkOracle::lower_bound`].
+#[derive(Debug)]
+pub struct LandmarkOracle<'a> {
+    spec: &'a GameSpec,
+    node: NodeId,
+    landmarks: Vec<NodeId>,
+    /// Raw `d_{G∖u}(l, ·)` rows, flattened with stride `n`
+    /// ([`UNREACHABLE`] sentinel, *not* penalty-clamped).
+    rows: Vec<u64>,
+}
+
+impl<'a> LandmarkOracle<'a> {
+    /// Builds landmark rows for deviations of `u` under `config`: strips
+    /// `u`'s out-links and runs one traversal per landmark.
+    ///
+    /// Landmarks are picked deterministically — up to `count` nodes evenly
+    /// spaced over the id range, excluding `u` — so repeated builds of the
+    /// same state bound identically.
+    pub fn build(spec: &'a GameSpec, config: &Configuration, u: NodeId, count: usize) -> Self {
+        let n = spec.node_count();
+        let mut graph = config.to_graph(spec);
+        graph.take_out_arcs(u.index());
+
+        let pool: Vec<NodeId> = NodeId::all(n).filter(|&v| v != u).collect();
+        let count = count.min(pool.len());
+        let landmarks: Vec<NodeId> = (0..count)
+            .map(|j| pool[j * pool.len() / count.max(1)])
+            .collect();
+
+        let mut rows = Vec::with_capacity(landmarks.len() * n);
+        if spec.has_unit_lengths() {
+            let mut bfs = BfsBuffer::new(n);
+            for &l in &landmarks {
+                bfs.run(&graph, l.index());
+                rows.extend_from_slice(bfs.distances());
+            }
+        } else {
+            let mut dij = DijkstraBuffer::new(n);
+            for &l in &landmarks {
+                dij.run(&graph, l.index());
+                rows.extend_from_slice(dij.distances());
+            }
+        }
+
+        Self {
+            spec,
+            node: u,
+            landmarks,
+            rows,
+        }
+    }
+
+    /// The deviating node `u` (rows live in `G∖u`).
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The landmark set, in selection order.
+    pub fn landmarks(&self) -> &[NodeId] {
+        &self.landmarks
+    }
+
+    /// Lower bound on the penalty-clamped distance `d_{G∖u}(c, v)`:
+    /// at most the exact clamped distance, exactly the penalty when some
+    /// landmark proves `v` unreachable from `c`.
+    pub fn lower_bound(&self, c: NodeId, v: NodeId) -> u64 {
+        if c == v {
+            return 0;
+        }
+        let n = self.spec.node_count();
+        let m = self.spec.penalty();
+        let mut best = 0u64;
+        for k in 0..self.landmarks.len() {
+            let row = &self.rows[k * n..(k + 1) * n];
+            let lc = row[c.index()];
+            if lc == UNREACHABLE {
+                // The landmark sees neither endpoint's relation; no info.
+                continue;
+            }
+            let lv = row[v.index()];
+            if lv == UNREACHABLE {
+                // l reaches c but not v, so no c → v path exists (it would
+                // extend l → c into l → v).
+                return m;
+            }
+            best = best.max(lv.saturating_sub(lc));
+        }
+        best.min(m)
+    }
+
+    /// The clamped through-row bound for candidate `c`:
+    /// `min(M, ℓ(u,c) + lower_bound(c, v))` for every `v`.
+    fn through_bound_row(&self, c: NodeId, out: &mut Vec<u64>) {
+        let n = self.spec.node_count();
+        let m = self.spec.penalty();
+        let link = self.spec.link_length(self.node, c);
+        out.clear();
+        out.extend(NodeId::all(n).map(|v| (link + self.lower_bound(c, v)).min(m)));
+    }
+}
+
+/// Exact best response for `u`, pruned by landmark bounds instead of exact
+/// suffix rows, with exact through-rows materialized lazily (one traversal
+/// per candidate the search actually includes, plus the current strategy's
+/// targets, plus `landmarks` traversals for the oracle itself).
+///
+/// Returns the identical decision to [`crate::best_response::exact`] —
+/// same `best_strategy`, `best_cost`, `current_cost` — because the bounds
+/// are admissible and the DFS visits candidates in the same order; only
+/// `evaluations` can be larger (weaker prunes evaluate more subsets).
+///
+/// # Errors
+///
+/// [`Error::SearchBudgetExceeded`] as in the exact search.
+pub fn best_response_landmark(
+    spec: &GameSpec,
+    config: &Configuration,
+    u: NodeId,
+    options: &BestResponseOptions,
+    landmarks: usize,
+) -> Result<BestResponseOutcome> {
+    let n = spec.node_count();
+    let oracle = LandmarkOracle::build(spec, config, u, landmarks);
+
+    let candidates = spec.affordable_targets(u);
+    let m = candidates.len();
+    let prices: Vec<u64> = candidates.iter().map(|&c| spec.link_cost(u, c)).collect();
+    let weighted = weighted_targets_of(spec, u);
+    let penalty = spec.penalty();
+
+    // Optimistic completion rows from the landmark bounds: suffix[i] =
+    // elementwise min of the through-bound rows of candidates i..; suffix[m]
+    // is all-penalty ("buy nothing more"). Entirely traversal-free.
+    let mut suffix = vec![penalty; (m + 1) * n];
+    let mut bound_row = Vec::with_capacity(n);
+    for i in (0..m).rev() {
+        oracle.through_bound_row(candidates[i], &mut bound_row);
+        let (head, tail) = suffix.split_at_mut((i + 1) * n);
+        for v in 0..n {
+            head[i * n + v] = tail[v].min(bound_row[v]);
+        }
+    }
+    let mut min_price_suffix = vec![u64::MAX; m + 1];
+    for i in (0..m).rev() {
+        min_price_suffix[i] = min_price_suffix[i + 1].min(prices[i]);
+    }
+
+    let mut search = LmSearch {
+        spec,
+        u,
+        graph: {
+            let mut g = config.to_graph(spec);
+            g.take_out_arcs(u.index());
+            g
+        },
+        bfs: BfsBuffer::new(n),
+        dij: DijkstraBuffer::new(n),
+        candidates: &candidates,
+        prices: &prices,
+        budget: spec.budget(u),
+        weighted: &weighted,
+        exact_rows: vec![None; m],
+        suffix,
+        min_price_suffix,
+        levels: vec![penalty; (m + 1) * n],
+        selection: Vec::new(),
+        options,
+        best_cost: 0,
+        best_strategy: Vec::new(),
+        evaluations: 0,
+        current_cost: 0,
+        done: false,
+    };
+
+    // Price the node's current strategy through exact rows (identical to
+    // DeviationOracle::strategy_cost) to seed the incumbent.
+    let mut current_row = vec![penalty; n];
+    for &t in config.strategy(u) {
+        let i = candidates
+            .binary_search(&t)
+            .unwrap_or_else(|_| panic!("{t} is not a candidate target of {u}"));
+        let row = search.exact_row(i).to_vec();
+        for (d, s) in current_row.iter_mut().zip(&row) {
+            *d = (*d).min(*s);
+        }
+    }
+    let current_cost = aggregate(spec, &weighted, &current_row);
+    search.current_cost = current_cost;
+    search.best_cost = current_cost.saturating_add(1);
+
+    // The empty strategy is always feasible; evaluate it as the baseline.
+    let empty_cost = aggregate(spec, &weighted, &search.levels[..n]);
+    search.record(empty_cost)?;
+    search.dfs(0, 0, 0)?;
+
+    Ok(BestResponseOutcome {
+        node: u,
+        current_cost,
+        best_cost: search.best_cost,
+        best_strategy: search.best_strategy,
+        evaluations: search.evaluations,
+        optimal: !search.done,
+    })
+}
+
+/// Cost of a clamped min-row under the spec's aggregation (value-identical
+/// to the exact search's monomorphized aggregators).
+fn aggregate(spec: &GameSpec, weighted: &[(u32, u64)], row: &[u64]) -> u64 {
+    match spec.cost_model() {
+        CostModel::SumDistance => weighted.iter().map(|&(v, w)| w * row[v as usize]).sum(),
+        CostModel::MaxDistance => weighted
+            .iter()
+            .map(|&(v, w)| w * row[v as usize])
+            .max()
+            .unwrap_or(0),
+    }
+}
+
+struct LmSearch<'s> {
+    spec: &'s GameSpec,
+    u: NodeId,
+    graph: bbc_graph::DiGraph,
+    bfs: BfsBuffer,
+    dij: DijkstraBuffer,
+    candidates: &'s [NodeId],
+    prices: &'s [u64],
+    budget: u64,
+    weighted: &'s [(u32, u64)],
+    /// Lazily materialized clamped through-rows, one slot per candidate.
+    exact_rows: Vec<Option<Vec<u64>>>,
+    /// Landmark-bound suffix-min rows, stride `n` (`m + 1` rows).
+    suffix: Vec<u64>,
+    min_price_suffix: Vec<u64>,
+    /// Exact min-rows per DFS level, stride `n` (`m + 1` rows).
+    levels: Vec<u64>,
+    selection: Vec<usize>,
+    options: &'s BestResponseOptions,
+    best_cost: u64,
+    best_strategy: Vec<NodeId>,
+    evaluations: u64,
+    current_cost: u64,
+    done: bool,
+}
+
+impl LmSearch<'_> {
+    /// The exact clamped through-row of candidate `i`, materializing it on
+    /// first use (one traversal in `G∖u`).
+    fn exact_row(&mut self, i: usize) -> &[u64] {
+        if self.exact_rows[i].is_none() {
+            let c = self.candidates[i];
+            let link = self.spec.link_length(self.u, c);
+            let m = self.spec.penalty();
+            let dist = if self.spec.has_unit_lengths() {
+                self.bfs.run(&self.graph, c.index());
+                self.bfs.distances()
+            } else {
+                self.dij.run(&self.graph, c.index());
+                self.dij.distances()
+            };
+            let row: Vec<u64> = dist
+                .iter()
+                .map(|&d| if d == UNREACHABLE { m } else { link + d })
+                .collect();
+            self.exact_rows[i] = Some(row);
+        }
+        self.exact_rows[i].as_deref().expect("row just filled")
+    }
+
+    fn record(&mut self, cost: u64) -> Result<()> {
+        self.evaluations += 1;
+        if self.evaluations > self.options.evaluation_limit {
+            return Err(Error::SearchBudgetExceeded {
+                limit: self.options.evaluation_limit,
+            });
+        }
+        if cost < self.best_cost {
+            self.best_cost = cost;
+            self.best_strategy = self.selection.iter().map(|&i| self.candidates[i]).collect();
+            self.best_strategy.sort_unstable();
+            if self.options.stop_at_first_improvement && cost < self.current_cost {
+                self.done = true;
+            }
+        }
+        Ok(())
+    }
+
+    fn dfs(&mut self, i: usize, level: usize, spent: u64) -> Result<()> {
+        if self.done || i == self.candidates.len() {
+            return Ok(());
+        }
+        if spent.saturating_add(self.min_price_suffix[i]) > self.budget {
+            return Ok(());
+        }
+        let n = self.spec.node_count();
+        // Optimistic bound: current exact min-row completed by the landmark
+        // suffix bound. Admissible (suffix ≤ exact completion elementwise),
+        // so a prune here can never hide the exact search's winner.
+        let bound = {
+            let cur = &self.levels[level * n..(level + 1) * n];
+            let sfx = &self.suffix[i * n..(i + 1) * n];
+            match self.spec.cost_model() {
+                CostModel::SumDistance => self
+                    .weighted
+                    .iter()
+                    .map(|&(v, w)| w * cur[v as usize].min(sfx[v as usize]))
+                    .sum(),
+                CostModel::MaxDistance => self
+                    .weighted
+                    .iter()
+                    .map(|&(v, w)| w * cur[v as usize].min(sfx[v as usize]))
+                    .max()
+                    .unwrap_or(0),
+            }
+        };
+        if bound >= self.best_cost {
+            return Ok(());
+        }
+
+        // Include candidate i if affordable.
+        let price = self.prices[i];
+        if spent + price <= self.budget {
+            let row = self.exact_row(i).to_vec();
+            let (cur, next) = self.levels.split_at_mut((level + 1) * n);
+            for v in 0..n {
+                next[v] = cur[level * n + v].min(row[v]);
+            }
+            let cost = aggregate(self.spec, self.weighted, &next[..n]);
+            self.selection.push(i);
+            self.record(cost)?;
+            self.dfs(i + 1, level + 1, spent + price)?;
+            self.selection.pop();
+        }
+        // Exclude candidate i.
+        self.dfs(i + 1, level, spent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::best_response;
+
+    fn opts() -> BestResponseOptions {
+        BestResponseOptions::default()
+    }
+
+    #[test]
+    fn landmark_search_matches_exact_uniform() {
+        let spec = GameSpec::uniform(9, 2);
+        for seed in 0..6 {
+            let cfg = Configuration::random(&spec, seed);
+            for u in NodeId::all(9) {
+                let ex = best_response::exact(&spec, &cfg, u, &opts()).unwrap();
+                for k in [0, 1, 3, 8] {
+                    let lm = best_response_landmark(&spec, &cfg, u, &opts(), k).unwrap();
+                    assert!(
+                        ex.same_decision(&lm),
+                        "seed {seed} node {u} landmarks {k}: {ex:?} vs {lm:?}"
+                    );
+                    assert_eq!(ex.best_cost, lm.best_cost);
+                    assert_eq!(ex.current_cost, lm.current_cost);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_bounds_never_exceed_exact_distances() {
+        let spec = GameSpec::uniform(10, 2);
+        let cfg = Configuration::random(&spec, 7);
+        let u = NodeId::new(3);
+        let lm = LandmarkOracle::build(&spec, &cfg, u, 4);
+        let mut g = cfg.to_graph(&spec);
+        g.take_out_arcs(u.index());
+        let mut bfs = BfsBuffer::new(10);
+        for c in NodeId::all(10).filter(|&c| c != u) {
+            bfs.run(&g, c.index());
+            let dist = bfs.distances();
+            for v in NodeId::all(10) {
+                let exact = if dist[v.index()] == UNREACHABLE {
+                    spec.penalty()
+                } else {
+                    dist[v.index()]
+                };
+                assert!(
+                    lm.lower_bound(c, v) <= exact,
+                    "bound({c},{v}) = {} above exact {exact}",
+                    lm.lower_bound(c, v)
+                );
+            }
+        }
+    }
+}

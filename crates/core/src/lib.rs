@@ -51,6 +51,7 @@ pub mod engine;
 pub mod enumerate;
 pub mod error;
 pub mod eval;
+pub mod landmark;
 pub mod node;
 pub mod reference;
 pub mod spec;
@@ -60,10 +61,11 @@ pub use best_response::{BestResponseOptions, BestResponseOutcome, DeviationOracl
 pub use churn::{ChurnConfig, ChurnEvent, ChurnReport, ChurnSim};
 pub use config::Configuration;
 pub use dynamics::{MoveRecord, Scheduler, Walk, WalkOutcome, WalkStats};
-pub use engine::{DistanceEngine, EngineStats};
+pub use engine::{DistanceEngine, EngineStats, RowTier};
 pub use enumerate::{EnumerationResult, ProfileSpace};
 pub use error::{Error, Result};
 pub use eval::Evaluator;
+pub use landmark::{best_response_landmark, LandmarkOracle};
 pub use node::NodeId;
 pub use spec::{CostModel, GameSpec, GameSpecBuilder};
 pub use stability::{Deviation, StabilityChecker, StabilityReport};

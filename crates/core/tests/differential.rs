@@ -14,8 +14,9 @@
 //! invalidation (a stale row would surface here as a cost mismatch).
 
 use bbc_core::{
-    best_response, enumerate, reference, BestResponseOptions, BestResponseOutcome, Configuration,
-    CostModel, DistanceEngine, GameSpec, NodeId, StabilityChecker, Walk, WalkOutcome,
+    best_response, best_response_landmark, enumerate, reference, BestResponseOptions,
+    BestResponseOutcome, Configuration, CostModel, DistanceEngine, GameSpec, LandmarkOracle,
+    NodeId, RowTier, Scheduler, StabilityChecker, Walk, WalkOutcome,
 };
 use proptest::prelude::*;
 
@@ -399,6 +400,264 @@ proptest! {
                 let cold = fresh.best_response(u, &options).expect("search fits");
                 prop_assert_eq!(warm, cold, "step {}: best response of {} diverged", step, u);
             }
+        }
+    }
+}
+
+// ===== cross-width differential: u32 tier vs u64 tier ===================
+//
+// The u32 row kernel's contract is byte-identity, not approximation: every
+// cost, decision, digest, and walk trajectory must equal the u64 tier's.
+// Aggregation totals accumulate in u64 on both tiers, so any divergence
+// here means a narrow-word wrap or a traversal-order change — exactly the
+// bugs this suite exists to catch.
+
+/// Both tiers of an engine over the same instance; the small proptest
+/// instances always fit u32 (`n ≤ 9`, penalty ≤ n·maxℓ+1 scale).
+fn both_tiers<'a>(
+    spec: &'a GameSpec,
+    cfg: &Configuration,
+) -> (DistanceEngine<'a>, DistanceEngine<'a>) {
+    let narrow = DistanceEngine::with_tier(spec, cfg.clone(), RowTier::U32)
+        .expect("proptest instances fit the u32 tier");
+    let wide = DistanceEngine::with_tier(spec, cfg.clone(), RowTier::U64).expect("u64 always fits");
+    (narrow, wide)
+}
+
+proptest! {
+    #[test]
+    fn u32_tier_matches_u64_on_uniform_games((spec, cfg) in arb_uniform_instance()) {
+        let options = BestResponseOptions::default();
+        let (mut narrow, mut wide) = both_tiers(&spec, &cfg);
+        prop_assert_eq!(narrow.node_costs(), wide.node_costs());
+        prop_assert_eq!(narrow.social_cost(), wide.social_cost());
+        for u in NodeId::all(spec.node_count()) {
+            let a = narrow.best_response(u, &options).expect("search fits");
+            let b = wide.best_response(u, &options).expect("search fits");
+            // Full equality, not just same_decision: the search prunes on
+            // u64 totals on both tiers, so even `evaluations` must agree.
+            prop_assert_eq!(a, b, "node {} diverged across tiers", u);
+            prop_assert_eq!(narrow.distances_from(u), wide.distances_from(u));
+        }
+        prop_assert_eq!(narrow.state_digest(), wide.state_digest());
+    }
+
+    #[test]
+    fn u32_tier_matches_u64_on_weighted_games((spec, cfg) in arb_weighted_instance()) {
+        // Non-unit lengths exercise the clamped Dijkstra kernel (u64
+        // relaxation, narrow storage).
+        let options = BestResponseOptions::default();
+        let (mut narrow, mut wide) = both_tiers(&spec, &cfg);
+        prop_assert_eq!(narrow.node_costs(), wide.node_costs());
+        for u in NodeId::all(spec.node_count()) {
+            let a = narrow.best_response(u, &options).expect("search fits");
+            let b = wide.best_response(u, &options).expect("search fits");
+            prop_assert_eq!(a, b, "node {} diverged across tiers", u);
+        }
+        prop_assert_eq!(narrow.state_digest(), wide.state_digest());
+    }
+
+    #[test]
+    fn u32_tier_matches_u64_across_rewiring_scripts(
+        (spec, cfg) in arb_uniform_instance(),
+        script in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..10),
+    ) {
+        // Incremental invalidation must keep the tiers in lockstep, not
+        // just fresh builds.
+        let options = BestResponseOptions::default();
+        let (mut narrow, mut wide) = both_tiers(&spec, &cfg);
+        for (step, (node_sel, seed)) in script.into_iter().enumerate() {
+            let u = NodeId::new((node_sel % spec.node_count() as u64) as usize);
+            let replacement = Configuration::random(&spec, seed);
+            narrow.apply_strategy(u, replacement.strategy(u).to_vec()).expect("valid");
+            wide.apply_strategy(u, replacement.strategy(u).to_vec()).expect("valid");
+            prop_assert_eq!(
+                narrow.node_costs(),
+                wide.node_costs(),
+                "step {}: costs diverged", step
+            );
+            let a = narrow.best_response(u, &options).expect("search fits");
+            let b = wide.best_response(u, &options).expect("search fits");
+            prop_assert_eq!(a, b, "step {}: decision diverged", step);
+        }
+    }
+
+    #[test]
+    fn churn_scripts_preserve_tier_equality(
+        (spec, cfg) in arb_uniform_instance(),
+        script in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 1..10),
+    ) {
+        // Leave/rejoin/rewire scripts drive both tiers through the same
+        // membership history; the physical state digest must stay equal
+        // after every event.
+        let n = spec.node_count();
+        let (mut narrow, mut wide) = both_tiers(&spec, &cfg);
+        for (step, (action, node_sel, seed)) in script.into_iter().enumerate() {
+            match action % 3 {
+                0 => {
+                    let i = (node_sel % narrow.live_count() as u64) as usize;
+                    let u = narrow.live_nodes().nth(i).expect("live index");
+                    let s = seeded_live_strategy(&spec, &narrow, u, seed);
+                    narrow.apply_strategy(u, s.clone()).expect("valid");
+                    wide.apply_strategy(u, s).expect("valid");
+                }
+                1 => {
+                    if narrow.live_count() <= 1 {
+                        continue;
+                    }
+                    let i = (node_sel % narrow.live_count() as u64) as usize;
+                    let u = narrow.live_nodes().nth(i).expect("live index");
+                    narrow.remove_node(u).expect("live node departs");
+                    wide.remove_node(u).expect("live node departs");
+                }
+                _ => {
+                    let dead: Vec<NodeId> =
+                        NodeId::all(n).filter(|&u| !narrow.is_live(u)).collect();
+                    if dead.is_empty() {
+                        continue;
+                    }
+                    let u = dead[(node_sel % dead.len() as u64) as usize];
+                    let s = seeded_live_strategy(&spec, &narrow, u, seed);
+                    narrow.add_node(u, s.clone()).expect("valid join");
+                    wide.add_node(u, s).expect("valid join");
+                }
+            }
+            prop_assert_eq!(
+                narrow.state_digest(),
+                wide.state_digest(),
+                "step {}: digests diverged", step
+            );
+            for u in NodeId::all(n) {
+                prop_assert_eq!(
+                    narrow.node_cost(u),
+                    wide.node_cost(u),
+                    "step {}: cost of {} diverged", step, u
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn walks_replay_identically_across_tiers(
+        (spec, cfg) in arb_uniform_instance(),
+        sched_sel in 0usize..3,
+        rng_seed in any::<u64>(),
+    ) {
+        // Same scheduler, same instance, every prefill width: the u32 walk
+        // must apply the identical move sequence and land in the identical
+        // state as the u64 walk.
+        let scheduler = match sched_sel {
+            0 => Scheduler::RoundRobin,
+            1 => Scheduler::MaxCostFirst,
+            _ => Scheduler::Random { seed: rng_seed },
+        };
+        let mut runs = Vec::new();
+        for tier in [RowTier::U32, RowTier::U64] {
+            for threads in [1usize, 2, 4] {
+                let mut walk = Walk::with_tier(&spec, cfg.clone(), tier)
+                    .expect("proptest instances fit both tiers")
+                    .with_scheduler(scheduler.clone())
+                    .detect_cycles(false)
+                    .record_trace(true)
+                    .prefill_threads(threads);
+                let outcome = walk.run(300).expect("walk fits");
+                runs.push((
+                    tier,
+                    threads,
+                    outcome,
+                    walk.trace().to_vec(),
+                    walk.state_digest(),
+                    walk.into_config(),
+                ));
+            }
+        }
+        let (_, _, outcome0, trace0, digest0, config0) = runs[0].clone();
+        for (tier, threads, outcome, trace, digest, config) in &runs[1..] {
+            prop_assert_eq!(
+                &outcome0, outcome,
+                "outcome diverged on {:?} x {} threads", tier, threads
+            );
+            prop_assert_eq!(
+                &trace0, trace,
+                "trace diverged on {:?} x {} threads", tier, threads
+            );
+            prop_assert_eq!(
+                digest0, *digest,
+                "digest diverged on {:?} x {} threads", tier, threads
+            );
+            prop_assert_eq!(
+                &config0, config,
+                "final config diverged on {:?} x {} threads", tier, threads
+            );
+        }
+    }
+}
+
+// ===== landmark bounds: soundness against the exact substrate ===========
+
+proptest! {
+    #[test]
+    fn landmark_bounds_never_exceed_exact_distances(
+        (spec, cfg) in arb_uniform_instance(),
+        u_sel in any::<u64>(),
+        count in 0usize..=6,
+    ) {
+        use bbc_graph::{BfsBuffer, UNREACHABLE};
+        let n = spec.node_count();
+        let u = NodeId::new((u_sel % n as u64) as usize);
+        let lm = LandmarkOracle::build(&spec, &cfg, u, count);
+        let mut g = cfg.to_graph(&spec);
+        g.take_out_arcs(u.index());
+        let mut bfs = BfsBuffer::new(n);
+        for c in NodeId::all(n).filter(|&c| c != u) {
+            bfs.run(&g, c.index());
+            let dist = bfs.distances();
+            for v in NodeId::all(n) {
+                let exact = if dist[v.index()] == UNREACHABLE {
+                    spec.penalty()
+                } else {
+                    dist[v.index()]
+                };
+                prop_assert!(
+                    lm.lower_bound(c, v) <= exact,
+                    "bound({}, {}) = {} above exact {}", c, v, lm.lower_bound(c, v), exact
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_search_never_prunes_the_exact_winner(
+        (spec, cfg) in arb_uniform_instance(),
+        count in 0usize..=6,
+    ) {
+        // The admissibility claim, end to end: the landmark-pruned search
+        // must report the frozen reference's decision for every node —
+        // a pruned subtree containing the winner would surface here.
+        let options = BestResponseOptions::default();
+        for u in NodeId::all(spec.node_count()) {
+            let frozen = reference::exact(&spec, &cfg, u, &options).expect("search fits");
+            let lm = best_response_landmark(&spec, &cfg, u, &options, count)
+                .expect("search fits");
+            assert_same_decision(&frozen, &lm, "landmark");
+        }
+    }
+
+    #[test]
+    fn landmark_search_matches_exact_on_weighted_games(
+        (spec, cfg) in arb_weighted_instance(),
+        count in 0usize..=4,
+    ) {
+        let options = BestResponseOptions::default();
+        for u in NodeId::all(spec.node_count()) {
+            let exact = best_response::exact(&spec, &cfg, u, &options).expect("search fits");
+            let lm = best_response_landmark(&spec, &cfg, u, &options, count)
+                .expect("search fits");
+            assert_same_decision(&exact, &lm, "landmark-weighted");
         }
     }
 }

@@ -130,3 +130,50 @@ fn e13_fast_sweep_completes_with_parallel_prefill() {
     let resumed = e13::run(&RESUME);
     assert_eq!(resumed.report.csv, outcome.report.csv);
 }
+
+/// The `--full` 512-peer sweep point, cross-width: the u32 row kernel
+/// (which [`bbc_core::RowTier::auto`] selects for every overlay in the E13
+/// grid — n·M = 512·512² fits u32) must walk the identical trajectory as
+/// the u64 tier, pinned by one shared fixed-seed digest so *any* kernel
+/// drift fails loudly rather than as a silent fingerprint change.
+/// Release-only: 64 best-response steps at 512 peers is a release-grade
+/// workload.
+#[cfg(not(debug_assertions))]
+#[test]
+fn e13_512_point_walks_identically_on_both_tiers() {
+    use bbc_constructions::CayleyGraph;
+    use bbc_core::{RowTier, Walk};
+
+    let overlay = CayleyGraph::circulant(512, &[1, 23]).expect("valid circulant");
+    let spec = overlay.spec();
+    assert_eq!(
+        RowTier::auto(&spec),
+        RowTier::U32,
+        "the E13 512-peer point must ride the narrow kernel by default"
+    );
+
+    let mut runs = Vec::new();
+    for tier in [RowTier::U32, RowTier::U64] {
+        for threads in [1usize, 2] {
+            let mut walk = Walk::with_tier(&spec, overlay.configuration(), tier)
+                .expect("512-peer overlay fits both tiers")
+                .detect_cycles(false)
+                .prefill_threads(threads);
+            walk.run(64).expect("walk fits");
+            runs.push((tier, threads, walk.stats().moves, walk.state_digest()));
+        }
+    }
+    let (_, _, moves, digest) = runs[0];
+    for &(tier, threads, m, d) in &runs[1..] {
+        assert_eq!(
+            (m, d),
+            (moves, digest),
+            "trajectory diverged on {tier:?} x {threads} threads"
+        );
+    }
+    assert_eq!(
+        (moves, digest),
+        (64, 0x9063_8573_30da_fd0fu64),
+        "the fixed-seed 512-peer trajectory drifted"
+    );
+}

@@ -34,6 +34,7 @@ pub mod dijkstra;
 pub mod dot;
 pub mod matrix;
 pub mod reach;
+pub mod rows;
 pub mod scc;
 
 pub use bfs::BfsBuffer;
@@ -44,6 +45,7 @@ pub use digraph::{Arc, DiGraph};
 pub use dijkstra::DijkstraBuffer;
 pub use matrix::DistanceMatrix;
 pub use reach::reach_counts;
+pub use rows::{ClampedBfs, ClampedDijkstra, RowWord};
 pub use scc::{condensation, is_strongly_connected, strongly_connected_components, Condensation};
 
 /// Sentinel distance for "no path exists".
