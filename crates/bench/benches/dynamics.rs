@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bbc_constructions::{CayleyGraph, RingWithPath};
 use bbc_core::{
-    reference, BestResponseOptions, ChurnConfig, ChurnSim, Configuration, GameSpec, NodeId,
-    RowTier, Walk,
+    reference, BestResponseOptions, ChurnConfig, ChurnSim, Configuration, GameSpec, LandmarkPolicy,
+    NodeId, RowTier, Walk,
 };
 
 /// Round-robin walk over the frozen pre-refactor best response
@@ -188,7 +188,9 @@ fn bench_e13_point_tiers(c: &mut Criterion) {
     // on the circulant{1,23} overlay, the workload the u32 row kernel
     // exists for (rows and search scratch at n = 512 stop fitting cache at
     // u64 width). Both tiers run the identical trajectory (asserted), so
-    // the median ratio is a pure kernel speedup.
+    // the median ratio is a pure kernel speedup. The landmark policy is
+    // pinned `Off`: this group is the exact-path kernel baseline — the
+    // engine's default (`Auto`) path is timed by `e13_point_512_landmark`.
     let overlay = CayleyGraph::circulant(512, &[1, 23]).expect("valid circulant");
     let spec = overlay.spec();
     let designed = overlay.configuration();
@@ -197,7 +199,8 @@ fn bench_e13_point_tiers(c: &mut Criterion) {
     let run = |tier: RowTier| {
         let mut walk = Walk::with_tier(&spec, designed.clone(), tier)
             .expect("512-peer overlay fits both tiers")
-            .detect_cycles(false);
+            .detect_cycles(false)
+            .with_landmarks(LandmarkPolicy::Off);
         walk.run(STEPS).expect("walk fits");
         (walk.stats().moves, walk.state_digest())
     };
@@ -217,6 +220,80 @@ fn bench_e13_point_tiers(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_landmark_step(c: &mut Criterion) {
+    // The landmark bound cache's unit of work: a fixed round-robin walk on
+    // the 128-peer circulant under each landmark policy. Admissible bounds
+    // never change a decision, so all three runs replay the identical
+    // trajectory (asserted) — the timing difference is pure row pruning:
+    // `Off` materializes every deviation row, `Auto`/`Forced` only the rows
+    // the bound tier cannot exclude.
+    let overlay = CayleyGraph::circulant(128, &[1, 11]).expect("valid circulant");
+    let spec = overlay.spec();
+    let designed = overlay.configuration();
+    const STEPS: u64 = 32;
+
+    let run = |policy: LandmarkPolicy| {
+        let mut walk = Walk::new(&spec, designed.clone())
+            .detect_cycles(false)
+            .with_landmarks(policy);
+        walk.run(STEPS).expect("walk fits");
+        (walk.stats().moves, walk.state_digest())
+    };
+    let exact = run(LandmarkPolicy::Off);
+    for policy in [LandmarkPolicy::Auto, LandmarkPolicy::Forced(11)] {
+        assert_eq!(run(policy), exact, "policies diverged on the walk");
+    }
+
+    let mut group = c.benchmark_group("landmark_step");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("off", LandmarkPolicy::Off),
+        ("auto", LandmarkPolicy::Auto),
+        ("forced11", LandmarkPolicy::Forced(11)),
+    ] {
+        group.bench_function(format!("n128_steps32_{name}"), |b| b.iter(|| run(policy)));
+    }
+    group.finish();
+}
+
+fn bench_e13_point_512_landmark(c: &mut Criterion) {
+    // The E13 512-peer sweep point on the landmark bound cache — the same
+    // 24-step workload as `e13_point_512`, with the engine consulting the
+    // cached `Auto` landmark tier (√512 → 22 landmarks) before
+    // materializing exact deviation rows. Digest equality against the
+    // exact path is asserted per tier before timing, so the speedup over
+    // `e13_point_512/steps24_*` is pure bound-layer pruning.
+    let overlay = CayleyGraph::circulant(512, &[1, 23]).expect("valid circulant");
+    let spec = overlay.spec();
+    let designed = overlay.configuration();
+    const STEPS: u64 = 24;
+
+    let run = |tier: RowTier, policy: LandmarkPolicy| {
+        let mut walk = Walk::with_tier(&spec, designed.clone(), tier)
+            .expect("512-peer overlay fits both tiers")
+            .detect_cycles(false)
+            .with_landmarks(policy);
+        walk.run(STEPS).expect("walk fits");
+        (walk.stats().moves, walk.state_digest())
+    };
+    for tier in [RowTier::U32, RowTier::U64] {
+        assert_eq!(
+            run(tier, LandmarkPolicy::Auto),
+            run(tier, LandmarkPolicy::Off),
+            "landmark path diverged on the e13 point"
+        );
+    }
+
+    let mut group = c.benchmark_group("e13_point_512_landmark");
+    group.sample_size(10);
+    for tier in [RowTier::U32, RowTier::U64] {
+        group.bench_function(format!("steps24_{tier:?}_auto").to_lowercase(), |b| {
+            b.iter(|| run(tier, LandmarkPolicy::Auto))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine_vs_reference,
@@ -224,6 +301,8 @@ criterion_group!(
     bench_ring_with_path,
     bench_loop_detection,
     bench_churn_step,
-    bench_e13_point_tiers
+    bench_e13_point_tiers,
+    bench_landmark_step,
+    bench_e13_point_512_landmark
 );
 criterion_main!(benches);

@@ -54,7 +54,13 @@ impl Default for BestResponseOptions {
 }
 
 /// Result of a best-response computation for one node.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Equality compares the game-theoretic fields plus `evaluations`;
+/// the pruning-effort counters ([`BestResponseOutcome::bounds_hit`],
+/// [`BestResponseOutcome::rows_materialized`]) are excluded — they describe
+/// how a particular engine configuration (landmark policy, prefill, cache
+/// warmth) reached the identical answer, not the answer itself.
+#[derive(Clone, Debug)]
 pub struct BestResponseOutcome {
     /// The deviating node.
     pub node: NodeId,
@@ -68,14 +74,36 @@ pub struct BestResponseOutcome {
     /// Number of strategies whose cost was evaluated — an *effort* counter,
     /// not part of the game-theoretic result. It depends on how aggressively
     /// the search pruned (e.g. [`crate::reference::exact`] evaluates more
-    /// subsets than the incumbent-seeded search here, for identical
+    /// subsets than the incumbent-seeded search here, and the landmark-bounded
+    /// engine path prunes differently again, for identical
     /// `best_cost`/`best_strategy`), so only the other fields are pinned by
     /// the differential suite.
     pub evaluations: u64,
     /// `true` when the search provably examined the whole strategy space
     /// (no early exit): `best_cost` is then the node's exact optimum.
     pub optimal: bool,
+    /// Subtrees cut by the cached landmark/block bound cascade (0 on the
+    /// exact path). Effort counter; excluded from equality.
+    pub bounds_hit: u64,
+    /// Exact deviation rows computed on demand *during this call* (landmark
+    /// path: rows the bound cascade failed to prove unnecessary; 0 when every
+    /// needed row was already cached or prefilled). Effort counter; excluded
+    /// from equality.
+    pub rows_materialized: u64,
 }
+
+impl PartialEq for BestResponseOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.node == other.node
+            && self.current_cost == other.current_cost
+            && self.best_cost == other.best_cost
+            && self.best_strategy == other.best_strategy
+            && self.evaluations == other.evaluations
+            && self.optimal == other.optimal
+    }
+}
+
+impl Eq for BestResponseOutcome {}
 
 impl BestResponseOutcome {
     /// `true` when the node can strictly lower its cost by switching.
@@ -346,6 +374,27 @@ trait Aggregate<W: RowWord> {
     fn min2(&self, a: &[W], b: &[W], cutoff: u64) -> u64;
     /// `dst = min(a, b)` elementwise, returning the cost of `dst`.
     fn copy_min2(&self, dst: &mut [W], a: &[W], b: &[W]) -> u64;
+    /// Upper bound on `min2(a, b, ·)`'s non-bailout value over **every**
+    /// possible `a`: a level-independent ceiling on what the prune bound
+    /// against `b` can reach. The landmark search gates its per-node `min2`
+    /// pass on this (`ceiling < incumbent` ⇒ the bound cannot prune, skip
+    /// it). The default — the plain cost of `b` — is valid for any
+    /// implementation whose bound only shrinks as `a` shrinks; [`PlainSum`]
+    /// overrides to also cover its packing correction.
+    fn min2_ceiling(&self, b: &[W]) -> u64 {
+        self.row(b)
+    }
+    /// *Exact* cost of `min(a, b)` elementwise without materializing it,
+    /// except that once the value is provably `≥ cutoff` the implementation
+    /// may bail out with any value `≥ cutoff`. Unlike [`Aggregate::min2`]
+    /// this must never over-report a value `< cutoff` (no admissible-bound
+    /// corrections): the landmark search records it as a real strategy cost
+    /// at budget-leaf nodes. The default is correct wherever `min2` is
+    /// already exact-or-bailout; [`PlainSum`] overrides to drop its packing
+    /// correction.
+    fn eval2(&self, a: &[W], b: &[W], cutoff: u64) -> u64 {
+        self.min2(a, b, cutoff)
+    }
 }
 
 /// Unit weights, sum-distance model: cost = Σ row − row[u].
@@ -427,6 +476,37 @@ impl<W: RowWord> Aggregate<W> for PlainSum {
             total = total + v;
         }
         total.widen() - dst[self.u].widen()
+    }
+
+    #[inline(always)]
+    fn min2_ceiling(&self, b: &[W]) -> u64 {
+        // `min2` returns `Σ min(a,b) − diag + correction ≤ Σ b + correction`,
+        // and each packing count is at most `n` targets, so the correction
+        // caps at `(n − A_d)⁺` per distance class.
+        let mut total = W::ZERO;
+        for &d in b {
+            total = total + d;
+        }
+        let n = b.len() as u64;
+        total.widen() + n.saturating_sub(self.allowed1) + n.saturating_sub(self.allowed2)
+    }
+
+    #[inline(always)]
+    fn eval2(&self, a: &[W], b: &[W], cutoff: u64) -> u64 {
+        // Exact (no packing correction — that is a *bound* device and would
+        // over-report a recordable cost); same chunked early exit as `min2`.
+        let sub = a[self.u].min(b[self.u]);
+        let limit = cutoff.saturating_add(sub.widen());
+        let mut total = W::ZERO;
+        for (ca, cb) in a.chunks(64).zip(b.chunks(64)) {
+            for (&x, &y) in ca.iter().zip(cb) {
+                total = total + x.min(y);
+            }
+            if total.widen() >= limit {
+                return u64::MAX;
+            }
+        }
+        total.widen() - sub.widen()
     }
 }
 
@@ -533,6 +613,13 @@ impl<W: RowWord> SearchScratch<W> {
     fn reserve(&mut self, m: usize, n: usize) {
         self.suffix.clear();
         self.suffix.resize((m + 1) * n, W::ZERO);
+        self.reserve_without_suffix(m, n);
+    }
+
+    /// [`SearchScratch::reserve`] minus the suffix arena — the landmark
+    /// search replaces the `m × n` suffix-min rows with `groups × n` cached
+    /// bound rows, so it never builds (or touches) `suffix`.
+    fn reserve_without_suffix(&mut self, m: usize, n: usize) {
         self.levels.clear();
         self.levels.resize((m + 1) * n, W::ZERO);
         self.selection.clear();
@@ -693,6 +780,8 @@ fn run_search_with<W: RowWord, A: Aggregate<W>>(
         best_strategy: search.best_strategy,
         evaluations: search.evaluations,
         optimal: !search.done,
+        bounds_hit: 0,
+        rows_materialized: 0,
     })
 }
 
@@ -770,6 +859,456 @@ impl<W: RowWord, A: Aggregate<W>> Search<'_, '_, W, A> {
             self.scratch.selection.pop();
         }
         // Exclude candidate i.
+        self.dfs(i + 1, level, spent)
+    }
+}
+
+/// Reusable workspace for the landmark-bounded search: the per-query bound
+/// rows that replace the exact suffix-min arena, plus their construction
+/// scratch. Owned by the engine so a warm query allocates nothing.
+///
+/// Candidates arrive ascending by id, so consecutive candidates sharing a
+/// [`BlockPartition`] block form contiguous *groups*. Per group `g` the
+/// build computes one admissible bound row over the whole candidate suffix
+/// starting at `g`'s first member:
+///
+/// ```text
+/// bsfx[g][v] = min(M, ℓmin_g + max( max_l (r_l[v] − SMA_l,g)⁺ ,
+///                                   cfx_g[block(v)] ))
+/// ```
+///
+/// where `SMA_l,g = max r_l[c]` and `ℓmin_g = min ℓ(u,c)` over candidates in
+/// groups `≥ g`, and `cfx_g` is the elementwise min of the block-envelope
+/// rows of those groups' blocks. Every term lower-bounds `d_G(c, v) ≤
+/// d_{G∖u}(c, v)` for *each* remaining candidate `c`, so `bsfx[g]`
+/// elementwise lower-bounds the exact suffix-min row at any position inside
+/// group `g` — an admissible stand-in for `suffix[i]` that costs
+/// `O(groups · n)` to store instead of `O(m · n)` to rebuild per query.
+#[derive(Clone, Debug)]
+pub(crate) struct LandmarkScratch<W = u64> {
+    /// Group index of each staged candidate.
+    group_of: Vec<u32>,
+    /// Per-group bound rows, stride `n`.
+    bsfx: Vec<W>,
+    /// Per-group [`Aggregate::min2_ceiling`] of `bsfx` (the O(1) gate);
+    /// filled inside the monomorphized search.
+    hi: Vec<u64>,
+    groups: usize,
+    /// Suffix-max of each landmark row over candidate groups (landmark-major,
+    /// stride `groups`). Transient build scratch.
+    sma: Vec<W>,
+    /// Suffix-min link length per group. Transient build scratch.
+    lmin: Vec<W>,
+    /// Suffix-combined envelope rows per group, stride `block_count`.
+    /// Transient build scratch.
+    cfx: Vec<W>,
+}
+
+impl<W: RowWord> Default for LandmarkScratch<W> {
+    fn default() -> Self {
+        Self {
+            group_of: Vec::new(),
+            bsfx: Vec::new(),
+            hi: Vec::new(),
+            groups: 0,
+            sma: Vec::new(),
+            lmin: Vec::new(),
+            cfx: Vec::new(),
+        }
+    }
+}
+
+impl<W: RowWord> LandmarkScratch<W> {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Builds the per-query bound rows (see [`LandmarkScratch`]) from the
+/// engine's cached full-`G` landmark rows and block envelope.
+///
+/// `lengths[i]` must be the link *length* `ℓ(u, candidates[i])` at row
+/// width; `lm_rows` are clamped `d_G(l, ·)` rows. Admissibility chain per
+/// remaining candidate `c` and target `v`: `(r_l[v] − r_l[c])⁺ ≤ d_G(c, v)`
+/// (triangle inequality, safe on clamped rows) and the block envelope is a
+/// further coarsening of the same bound, while `d_G ≤ d_{G∖u}` because
+/// removing `u`'s arcs only lengthens paths.
+#[allow(clippy::too_many_arguments)] // one call site, engine-internal plumbing
+pub(crate) fn build_landmark_bounds<W: RowWord>(
+    scratch: &mut LandmarkScratch<W>,
+    candidates: &[NodeId],
+    lengths: &[W],
+    lm_rows: &[&[W]],
+    part: &bbc_graph::BlockPartition,
+    env: &bbc_graph::BlockEnvelope<W>,
+    n: usize,
+    penalty: W,
+) {
+    let m = candidates.len();
+    scratch.group_of.clear();
+    scratch.groups = 0;
+    if m == 0 {
+        scratch.bsfx.clear();
+        return;
+    }
+
+    // Contiguous block groups + each group's block id and first member.
+    let mut group_block: Vec<u32> = Vec::new();
+    let mut group_start: Vec<u32> = Vec::new();
+    let mut cur_block = usize::MAX;
+    for (i, c) in candidates.iter().enumerate() {
+        let b = part.block_of(c.index());
+        if b != cur_block {
+            cur_block = b;
+            group_block.push(b as u32);
+            group_start.push(i as u32);
+        }
+        scratch.group_of.push((group_block.len() - 1) as u32);
+    }
+    let groups = group_block.len();
+    scratch.groups = groups;
+
+    // Suffix-min link length per group.
+    scratch.lmin.clear();
+    scratch.lmin.resize(groups, penalty);
+    let mut running = penalty;
+    for g in (0..groups).rev() {
+        let start = group_start[g] as usize;
+        let end = if g + 1 < groups {
+            group_start[g + 1] as usize
+        } else {
+            m
+        };
+        for &len in &lengths[start..end] {
+            running = running.min(len);
+        }
+        scratch.lmin[g] = running;
+    }
+
+    // Suffix-max of each landmark row over the candidates of groups ≥ g.
+    let lcount = lm_rows.len();
+    scratch.sma.clear();
+    scratch.sma.resize(lcount * groups, W::ZERO);
+    for (l, row) in lm_rows.iter().enumerate() {
+        let sma = &mut scratch.sma[l * groups..(l + 1) * groups];
+        let mut running = W::ZERO;
+        for g in (0..groups).rev() {
+            let start = group_start[g] as usize;
+            let end = if g + 1 < groups {
+                group_start[g + 1] as usize
+            } else {
+                m
+            };
+            for c in &candidates[start..end] {
+                running = running.max(row[c.index()]);
+            }
+            sma[g] = running;
+        }
+    }
+
+    // Suffix-combined block-envelope rows: cfx[g][B] = min over the blocks
+    // of groups ≥ g of env[block][B].
+    let blocks = part.block_count();
+    scratch.cfx.clear();
+    scratch.cfx.resize(groups * blocks, W::ZERO);
+    for g in (0..groups).rev() {
+        let a = group_block[g] as usize;
+        if g + 1 < groups {
+            let (head, tail) = scratch.cfx.split_at_mut((g + 1) * blocks);
+            let dst = &mut head[g * blocks..];
+            let prev = &tail[..blocks];
+            for (b, (d, &p)) in dst.iter_mut().zip(prev).enumerate() {
+                *d = p.min(env.bound(a, b));
+            }
+        } else {
+            for (b, d) in scratch.cfx[g * blocks..(g + 1) * blocks]
+                .iter_mut()
+                .enumerate()
+            {
+                *d = env.bound(a, b);
+            }
+        }
+    }
+
+    // Final bound rows, built in three vector passes per group: seed with
+    // the coarse block term, raise by each landmark term, then add the
+    // suffix-min link length and clamp at the penalty.
+    scratch.bsfx.clear();
+    scratch.bsfx.resize(groups * n, W::ZERO);
+    for g in 0..groups {
+        let dst = &mut scratch.bsfx[g * n..(g + 1) * n];
+        let cfx = &scratch.cfx[g * blocks..(g + 1) * blocks];
+        for (v, d) in dst.iter_mut().enumerate() {
+            *d = cfx[part.block_of(v)];
+        }
+        for (l, row) in lm_rows.iter().enumerate() {
+            let s = scratch.sma[l * groups + g];
+            for (d, &r) in dst.iter_mut().zip(*row) {
+                // (r − s)⁺, branchless.
+                *d = (*d).max(r.max(s) - s);
+            }
+        }
+        let lmin = scratch.lmin[g];
+        for d in dst.iter_mut() {
+            *d = penalty.min(lmin + *d);
+        }
+    }
+}
+
+/// The landmark-bounded branch-and-bound: identical DFS preorder, record
+/// semantics, and incumbent seeding as [`run_search`], with two changes that
+/// provably never alter a reported decision field:
+///
+/// * the exact suffix-min bound rows are replaced by the cached
+///   [`LandmarkScratch`] bound rows (admissible ⇒ every subtree holding a
+///   would-be incumbent update survives pruning in both searches, and every
+///   subtree pruned here is update-free in the exact search too — only the
+///   `evaluations`/`bounds_hit` effort counters may differ);
+/// * candidate rows are *fetched on demand* the first time a candidate is
+///   included (`fetch` fills exact rows into the staged arena), and a
+///   budget-leaf include (no deeper candidate affordable) is costed with
+///   [`Aggregate::eval2`] instead of materializing a next-level row the
+///   recursion would never read.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_search_landmark<W: RowWord>(
+    view: &OracleView<'_, W>,
+    rows: &mut [W],
+    present: &mut [bool],
+    fetch: &mut dyn FnMut(usize, &mut [W]),
+    bounds: &mut LandmarkScratch<W>,
+    current_cost: u64,
+    options: &BestResponseOptions,
+    scratch: &mut SearchScratch<W>,
+) -> Result<BestResponseOutcome> {
+    let n = view.n();
+    let m = view.candidates.len();
+    scratch.reserve_without_suffix(m, n);
+    let penalty = W::from_u64(view.spec.penalty()).expect("penalty fits the row tier");
+    scratch.levels[..n].fill(penalty);
+    for i in (0..m).rev() {
+        scratch.min_price_suffix[i] = scratch.min_price_suffix[i + 1].min(view.prices[i]);
+    }
+
+    if view.plain_sum() {
+        let k = view
+            .spec
+            .uniform_k()
+            .expect("plain_sum implies a uniform game");
+        let agg = PlainSum {
+            u: view.node.index(),
+            allowed1: k,
+            allowed2: k.saturating_add(k.saturating_mul(k)),
+        };
+        run_search_landmark_with(
+            view,
+            agg,
+            rows,
+            present,
+            fetch,
+            bounds,
+            current_cost,
+            options,
+            scratch,
+        )
+    } else {
+        match view.spec.cost_model() {
+            CostModel::SumDistance => {
+                let agg = WeightedSum {
+                    targets: view.weighted_targets,
+                };
+                run_search_landmark_with(
+                    view,
+                    agg,
+                    rows,
+                    present,
+                    fetch,
+                    bounds,
+                    current_cost,
+                    options,
+                    scratch,
+                )
+            }
+            CostModel::MaxDistance => {
+                let agg = WeightedMax {
+                    targets: view.weighted_targets,
+                };
+                run_search_landmark_with(
+                    view,
+                    agg,
+                    rows,
+                    present,
+                    fetch,
+                    bounds,
+                    current_cost,
+                    options,
+                    scratch,
+                )
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_search_landmark_with<W: RowWord, A: Aggregate<W>>(
+    view: &OracleView<'_, W>,
+    agg: A,
+    rows: &mut [W],
+    present: &mut [bool],
+    fetch: &mut dyn FnMut(usize, &mut [W]),
+    bounds: &mut LandmarkScratch<W>,
+    current_cost: u64,
+    options: &BestResponseOptions,
+    scratch: &mut SearchScratch<W>,
+) -> Result<BestResponseOutcome> {
+    let n = view.n();
+    // Per-group ceilings for the O(1) bound gate. Static per query; the gate
+    // fires more and more as the incumbent drops below the ceilings.
+    bounds.hi.clear();
+    for g in 0..bounds.groups {
+        bounds
+            .hi
+            .push(agg.min2_ceiling(&bounds.bsfx[g * n..(g + 1) * n]));
+    }
+
+    let mut search = LandmarkSearch {
+        view,
+        agg,
+        options,
+        scratch,
+        bounds,
+        rows,
+        present,
+        fetch,
+        best_cost: current_cost.saturating_add(1),
+        best_strategy: Vec::new(),
+        evaluations: 0,
+        current_cost,
+        done: false,
+        bounds_hit: 0,
+    };
+
+    let empty_cost = {
+        let n = search.view.n();
+        search.agg.row(&search.scratch.levels[..n])
+    };
+    search.record(empty_cost)?;
+    search.dfs(0, 0, 0)?;
+
+    Ok(BestResponseOutcome {
+        node: view.node,
+        current_cost,
+        best_cost: search.best_cost,
+        best_strategy: search.best_strategy,
+        evaluations: search.evaluations,
+        optimal: !search.done,
+        bounds_hit: search.bounds_hit,
+        rows_materialized: 0, // filled by the engine from its row counters
+    })
+}
+
+struct LandmarkSearch<'o, 'r, W: RowWord, A: Aggregate<W>> {
+    view: &'o OracleView<'r, W>,
+    agg: A,
+    options: &'o BestResponseOptions,
+    scratch: &'o mut SearchScratch<W>,
+    bounds: &'o LandmarkScratch<W>,
+    /// Staged candidate rows (stride `n`); entries with `present[i] == false`
+    /// hold placeholders until `fetch` materializes them.
+    rows: &'o mut [W],
+    present: &'o mut [bool],
+    fetch: &'o mut dyn FnMut(usize, &mut [W]),
+    best_cost: u64,
+    best_strategy: Vec<NodeId>,
+    evaluations: u64,
+    current_cost: u64,
+    done: bool,
+    bounds_hit: u64,
+}
+
+impl<W: RowWord, A: Aggregate<W>> LandmarkSearch<'_, '_, W, A> {
+    /// Mirror of [`Search::record`] — byte-identical incumbent semantics.
+    fn record(&mut self, cost: u64) -> Result<()> {
+        self.evaluations += 1;
+        if self.evaluations > self.options.evaluation_limit {
+            return Err(Error::SearchBudgetExceeded {
+                limit: self.options.evaluation_limit,
+            });
+        }
+        if cost < self.best_cost {
+            self.best_cost = cost;
+            self.best_strategy = self
+                .scratch
+                .selection
+                .iter()
+                .map(|&i| self.view.candidates[i])
+                .collect();
+            self.best_strategy.sort_unstable();
+            if self.options.stop_at_first_improvement && cost < self.current_cost {
+                self.done = true;
+            }
+        }
+        Ok(())
+    }
+
+    fn dfs(&mut self, i: usize, level: usize, spent: u64) -> Result<()> {
+        if self.done || i == self.view.candidates.len() {
+            return Ok(());
+        }
+        if spent.saturating_add(self.scratch.min_price_suffix[i]) > self.view.budget {
+            return Ok(());
+        }
+        let n = self.view.n();
+        let g = self.bounds.group_of[i] as usize;
+        // O(1) gate: when the group ceiling is below the incumbent, the
+        // bound pass cannot prune — skip it (skipping a prune never changes
+        // any recorded field; see the admissibility note on
+        // [`run_search_landmark`]).
+        if self.bounds.hi[g] >= self.best_cost {
+            let bound = self.agg.min2(
+                &self.scratch.levels[level * n..(level + 1) * n],
+                &self.bounds.bsfx[g * n..(g + 1) * n],
+                self.best_cost,
+            );
+            if bound >= self.best_cost {
+                self.bounds_hit += 1;
+                return Ok(());
+            }
+        }
+
+        let price = self.view.prices[i];
+        if spent + price <= self.view.budget {
+            if !self.present[i] {
+                (self.fetch)(i, &mut self.rows[i * n..(i + 1) * n]);
+                self.present[i] = true;
+            }
+            if (spent + price).saturating_add(self.scratch.min_price_suffix[i + 1])
+                > self.view.budget
+            {
+                // Budget leaf: the exact search's recursion below this
+                // include exits at its own price check before recording
+                // anything, so the next-level row is write-only — cost the
+                // selection without materializing it.
+                let cost = self.agg.eval2(
+                    &self.scratch.levels[level * n..(level + 1) * n],
+                    &self.rows[i * n..(i + 1) * n],
+                    self.best_cost,
+                );
+                self.scratch.selection.push(i);
+                self.record(cost)?;
+                self.scratch.selection.pop();
+            } else {
+                let (cur, next) = self.scratch.levels.split_at_mut((level + 1) * n);
+                let cost = self.agg.copy_min2(
+                    &mut next[..n],
+                    &cur[level * n..],
+                    &self.rows[i * n..(i + 1) * n],
+                );
+                self.scratch.selection.push(i);
+                self.record(cost)?;
+                self.dfs(i + 1, level + 1, spent + price)?;
+                self.scratch.selection.pop();
+            }
+        }
         self.dfs(i + 1, level, spent)
     }
 }
@@ -873,6 +1412,8 @@ pub fn greedy_with_oracle(
             best_strategy: config.strategy(u).to_vec(),
             evaluations,
             optimal: false,
+            bounds_hit: 0,
+            rows_materialized: 0,
         };
     }
     BestResponseOutcome {
@@ -882,6 +1423,8 @@ pub fn greedy_with_oracle(
         best_strategy,
         evaluations,
         optimal: false,
+        bounds_hit: 0,
+        rows_materialized: 0,
     }
 }
 

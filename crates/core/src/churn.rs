@@ -308,6 +308,17 @@ impl<'a> ChurnSim<'a> {
         })
     }
 
+    /// Sets the engine's landmark bound policy ([`crate::LandmarkPolicy`])
+    /// for every settle phase. Deliberately *not* part of [`ChurnConfig`]:
+    /// admissible bounds never change an event draw, trajectory, or
+    /// [`ChurnReport`] digest, so the policy is a runtime knob rather than
+    /// a fingerprinted simulation parameter.
+    #[must_use]
+    pub fn with_landmarks(mut self, policy: crate::LandmarkPolicy) -> Self {
+        self.walk.set_landmark_policy(policy);
+        self
+    }
+
     /// The walk (and engine state) as the simulation left it.
     pub fn walk(&self) -> &Walk<'a> {
         &self.walk

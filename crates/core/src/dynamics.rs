@@ -127,6 +127,14 @@ pub struct WalkStats {
     /// First step index after which the network was strongly connected
     /// (0 if it started that way); `None` while never observed.
     pub steps_to_strong_connectivity: Option<u64>,
+    /// Landmark-bound prunes accumulated over every stability test
+    /// (always 0 when the engine's [`crate::LandmarkPolicy`] resolves to
+    /// the exact path). Effort counter: never affects the trajectory.
+    pub bounds_hit: u64,
+    /// Exact deviation rows materialized inside landmark-bounded searches
+    /// (always 0 on the exact path, where rows are built eagerly and
+    /// counted by [`crate::EngineStats::oracle_rows_computed`] instead).
+    pub rows_materialized: u64,
 }
 
 /// A best-response walk in progress.
@@ -398,6 +406,24 @@ impl<'a> Walk<'a> {
         self
     }
 
+    /// Sets the engine's landmark bound policy ([`crate::LandmarkPolicy`]).
+    ///
+    /// Admissible bounds never change the walk — trajectory, moves, steps,
+    /// and final configuration are byte-identical across policies; only the
+    /// [`WalkStats::bounds_hit`] / [`WalkStats::rows_materialized`] effort
+    /// counters and the engine's traversal counts vary.
+    #[must_use]
+    pub fn with_landmarks(mut self, policy: crate::LandmarkPolicy) -> Self {
+        self.engine.set_landmark_policy(policy);
+        self
+    }
+
+    /// In-place form of [`Walk::with_landmarks`], for a walk already owned
+    /// by a simulation (e.g. [`crate::ChurnSim`]).
+    pub fn set_landmark_policy(&mut self, policy: crate::LandmarkPolicy) {
+        self.engine.set_landmark_policy(policy);
+    }
+
     /// The game this walk plays.
     pub fn spec(&self) -> &'a GameSpec {
         self.spec
@@ -524,8 +550,12 @@ impl<'a> Walk<'a> {
     /// One stability test through the engine, honouring the walk's prefill
     /// policy (the single call site shared by every scheduler).
     fn test_node(&mut self, u: NodeId) -> Result<crate::BestResponseOutcome> {
-        self.engine
-            .best_response_prefilled(u, &self.options, self.prefill)
+        let out = self
+            .engine
+            .best_response_prefilled(u, &self.options, self.prefill)?;
+        self.stats.bounds_hit += out.bounds_hit;
+        self.stats.rows_materialized += out.rows_materialized;
+        Ok(out)
     }
 
     /// Offers `u` a best-response step; returns whether it moved.

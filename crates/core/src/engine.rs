@@ -54,14 +54,18 @@
 //! never changes any value.
 
 use bbc_graph::{
-    BitSet, ClampedBfs, ClampedDijkstra, ConnectivityScratch, CsrBfs, CsrDijkstra, CsrGraph,
-    RowWord, UNREACHABLE,
+    BitSet, BlockEnvelope, BlockPartition, ClampedBfs, ClampedDijkstra, ConnectivityScratch,
+    CsrBfs, CsrDijkstra, CsrGraph, RowWord, UNREACHABLE,
 };
 
 use crate::{
-    best_response::{min_into, run_search, weighted_targets_of, OracleView, SearchScratch},
+    best_response::{
+        build_landmark_bounds, min_into, run_search, run_search_landmark, weighted_targets_of,
+        LandmarkScratch, OracleView, SearchScratch,
+    },
     eval::{cost_from_distances, cost_from_distances_masked},
-    BestResponseOptions, BestResponseOutcome, Configuration, Error, GameSpec, NodeId, Result,
+    BestResponseOptions, BestResponseOutcome, Configuration, Error, GameSpec, LandmarkPolicy,
+    NodeId, Result,
 };
 
 /// The word width of the engine's cached deviation rows.
@@ -140,6 +144,14 @@ struct OracleCache<W> {
     budget: u64,
     rows: Vec<RowSlot<W>>,
     outcome: Option<(BestResponseOptions, BestResponseOutcome)>,
+    /// Whether the memoized outcome's graph-dependence is fully captured by
+    /// the valid rows' touched sets. The exact path materializes every live
+    /// candidate row, so its memos always are; a landmark-bounded search may
+    /// prune a candidate without ever computing its row, in which case the
+    /// memo also depends on the *bounds* that stood in for it — such a memo
+    /// cannot ride the touched-set invalidation rule and must be dropped on
+    /// any move.
+    outcome_complete: bool,
 }
 
 impl<W> Default for OracleCache<W> {
@@ -152,8 +164,31 @@ impl<W> Default for OracleCache<W> {
             budget: 0,
             rows: Vec::new(),
             outcome: None,
+            outcome_complete: true,
         }
     }
+}
+
+/// Engine-owned landmark bound layer: a handful of full-`G` clamped
+/// distance rows (shared across every deviating node) plus the coarse
+/// block-pair envelope derived from them. Rows follow the standard
+/// touched-set invalidation rule — with **no** mover exemption, since a
+/// landmark row covers the full graph including the mover's arcs — and are
+/// refreshed lazily at the next landmark-path query. The landmark *set* is
+/// re-picked (and every row dropped) only when the live membership or the
+/// policy changes, so ordinary walk steps keep reusing warm rows.
+#[derive(Debug)]
+struct LandmarkCache<W> {
+    /// Membership version the landmark set was picked against (0 = never
+    /// picked; real versions start at 1).
+    version: u64,
+    landmarks: Vec<NodeId>,
+    rows: Vec<RowSlot<W>>,
+    partition: BlockPartition,
+    envelope: BlockEnvelope<W>,
+    /// `false` whenever some contributing row changed since the envelope
+    /// was last rebuilt.
+    env_valid: bool,
 }
 
 /// Per-node cache of the membership-masked weighted target list, stamped
@@ -177,12 +212,17 @@ pub struct EngineStats {
     pub outcome_hits: u64,
     /// Best-response searches actually run.
     pub searches_run: u64,
-    /// Cached rows invalidated by strategy patches.
+    /// Cached rows invalidated by strategy patches (deviation, eval, and
+    /// landmark rows alike — all follow the same touched-set rule).
     pub rows_invalidated: u64,
     /// Strategy patches applied to the CSR mirror.
     pub patches_applied: u64,
     /// Traversals run for evaluator (distance-from-`u`) rows.
     pub eval_rows_computed: u64,
+    /// Full-graph traversals run to (re)fill cached landmark rows. Separate
+    /// from [`EngineStats::oracle_rows_computed`]: landmark rows are shared
+    /// across every deviating node, deviation rows are per-node.
+    pub landmark_rows_computed: u64,
 }
 
 /// A shared, cached, incrementally-patched shortest-path engine bound to one
@@ -264,8 +304,18 @@ struct EngineCore<'a, W: RowWord> {
     stage_candidates: Vec<NodeId>,
     /// Link prices parallel to `stage_candidates`.
     stage_prices: Vec<u64>,
+    /// Landmark path: per staged candidate, its index in the oracle row
+    /// cache (on-demand fills write through to the cached slot).
+    stage_oracle_idx: Vec<u32>,
+    /// Landmark path: whether the staged row holds exact data yet.
+    stage_present: Vec<bool>,
+    /// Landmark path: link *length* `ℓ(u, c)` per staged candidate.
+    stage_lengths: Vec<W>,
     current_row: Vec<W>,
     search_scratch: SearchScratch<W>,
+    lm_policy: LandmarkPolicy,
+    lm: LandmarkCache<W>,
+    lm_scratch: LandmarkScratch<W>,
     link_scratch: Vec<(u32, u64)>,
     /// Live membership: departed nodes keep their id (and spec row) but
     /// hold no links, receive none, and drop out of every cost aggregate.
@@ -401,6 +451,27 @@ impl<'a> DistanceEngine<'a> {
     /// Cache counters accumulated since construction.
     pub fn stats(&self) -> EngineStats {
         tiered!(self, e => e.stats)
+    }
+
+    /// Builder form of [`DistanceEngine::set_landmark_policy`].
+    #[must_use]
+    pub fn with_landmarks(mut self, policy: LandmarkPolicy) -> Self {
+        self.set_landmark_policy(policy);
+        self
+    }
+
+    /// Sets the landmark bound policy (see [`LandmarkPolicy`]). Changing the
+    /// policy drops the cached landmark rows (they are re-picked at the next
+    /// landmark-path query) but keeps every deviation row and outcome memo —
+    /// the bounds are admissible, so decisions are policy-independent and
+    /// stay valid.
+    pub fn set_landmark_policy(&mut self, policy: LandmarkPolicy) {
+        tiered!(mut self, e => e.set_landmark_policy(policy));
+    }
+
+    /// The landmark bound policy in force.
+    pub fn landmark_policy(&self) -> LandmarkPolicy {
+        tiered!(self, e => e.lm_policy)
     }
 
     /// Rewires one node's strategy, patching the CSR mirror in place and
@@ -655,8 +726,21 @@ impl<'a, W: RowWord> EngineCore<'a, W> {
             clamped: Vec::new(),
             stage_candidates: Vec::new(),
             stage_prices: Vec::new(),
+            stage_oracle_idx: Vec::new(),
+            stage_present: Vec::new(),
+            stage_lengths: Vec::new(),
             current_row: vec![W::ZERO; n],
             search_scratch: SearchScratch::new(),
+            lm_policy: LandmarkPolicy::default(),
+            lm: LandmarkCache {
+                version: 0,
+                landmarks: Vec::new(),
+                rows: Vec::new(),
+                partition: BlockPartition::new(n),
+                envelope: BlockEnvelope::new(),
+                env_valid: false,
+            },
+            lm_scratch: LandmarkScratch::new(),
             link_scratch,
             live: members,
             live_count,
@@ -715,6 +799,12 @@ impl<'a, W: RowWord> EngineCore<'a, W> {
             if !oc.init {
                 continue;
             }
+            if !oc.outcome_complete {
+                // A landmark-pruned memo depends on rows the search never
+                // materialized — their dependence on the mover is unknown,
+                // so the touched-set rule below cannot protect it.
+                oc.outcome = None;
+            }
             if u2 == moved {
                 // `G∖u2` never contained u2's arcs: rows stay, but the
                 // node's own strategy (hence its current cost) changed.
@@ -745,6 +835,16 @@ impl<'a, W: RowWord> EngineCore<'a, W> {
                     self.eval_dirty.insert(i);
                 }
                 *cost = None;
+                self.stats.rows_invalidated += 1;
+            }
+        }
+        // Landmark rows cover the full graph (mover's arcs included), so
+        // they get no mover exemption: a landmark's own rewire always lands
+        // in its touched set and drops the row.
+        for slot in &mut self.lm.rows {
+            if slot.valid && slot.touched.contains(moved) {
+                slot.valid = false;
+                self.lm.env_valid = false;
                 self.stats.rows_invalidated += 1;
             }
         }
@@ -806,6 +906,83 @@ impl<'a, W: RowWord> EngineCore<'a, W> {
         }
     }
 
+    /// Computes one oracle row of `u` (by candidate index) if invalid — the
+    /// single-row core of [`EngineCore::ensure_oracle_rows`], also behind
+    /// the landmark path's on-demand fills.
+    fn fill_oracle_row(&mut self, u: NodeId, i: usize) {
+        let oc = &mut self.oracle[u.index()];
+        let slot = &mut oc.rows[i];
+        if slot.valid {
+            return;
+        }
+        let c = oc.candidates[i];
+        let offset = W::from_u64(self.spec.link_length(u, c))
+            .expect("link length is below the penalty, which fits the tier");
+        let (dist, touched) = if self.spec.has_unit_lengths() {
+            self.bfs
+                .run_skipping(&self.csr, c.index(), u.index(), offset, self.penalty);
+            (self.bfs.distances(), self.bfs.touched())
+        } else {
+            self.dijkstra
+                .run_skipping(&self.csr, c.index(), u.index(), offset, self.penalty);
+            (self.dijkstra.distances(), self.dijkstra.touched())
+        };
+        slot.dist.copy_from_slice(dist);
+        slot.touched.copy_from(touched);
+        slot.valid = true;
+        self.stats.oracle_rows_computed += 1;
+    }
+
+    /// Picks/refreshes the cached landmark layer for `k` landmarks: re-pick
+    /// evenly over the live set when the membership or requested count
+    /// changed, lazily re-run the full-`G` traversal of each invalidated
+    /// row, and rebuild the block envelope if anything moved.
+    fn ensure_landmarks(&mut self, k: usize) {
+        let n = self.spec.node_count();
+        if self.lm.version != self.membership_version || self.lm.landmarks.len() != k {
+            let live: Vec<NodeId> = self.live.iter().map(NodeId::new).collect();
+            self.lm.landmarks = (0..k).map(|j| live[j * live.len() / k]).collect();
+            self.lm.rows = (0..k).map(|_| RowSlot::new(n)).collect();
+            self.lm.version = self.membership_version;
+            self.lm.env_valid = false;
+        }
+        let unit = self.spec.has_unit_lengths();
+        for (idx, slot) in self.lm.rows.iter_mut().enumerate() {
+            if slot.valid {
+                continue;
+            }
+            let l = self.lm.landmarks[idx];
+            let (dist, touched) = if unit {
+                self.bfs.run(&self.csr, l.index(), W::ZERO, self.penalty);
+                (self.bfs.distances(), self.bfs.touched())
+            } else {
+                self.dijkstra
+                    .run(&self.csr, l.index(), W::ZERO, self.penalty);
+                (self.dijkstra.distances(), self.dijkstra.touched())
+            };
+            slot.dist.copy_from_slice(dist);
+            slot.touched.copy_from(touched);
+            slot.valid = true;
+            self.stats.landmark_rows_computed += 1;
+            self.lm.env_valid = false;
+        }
+        if !self.lm.env_valid {
+            let LandmarkCache {
+                rows,
+                partition,
+                envelope,
+                env_valid,
+                ..
+            } = &mut self.lm;
+            envelope.rebuild(
+                partition,
+                rows.iter().map(|s| s.dist.as_slice()),
+                self.penalty,
+            );
+            *env_valid = true;
+        }
+    }
+
     fn best_response(
         &mut self,
         u: NodeId,
@@ -819,6 +996,10 @@ impl<'a, W: RowWord> EngineCore<'a, W> {
                 self.stats.outcome_hits += 1;
                 return Ok(outcome.clone());
             }
+        }
+        let lm_count = self.lm_policy.resolve(self.live_count);
+        if lm_count > 0 {
+            return self.best_response_bounded(u, options, lm_count);
         }
         self.ensure_oracle_rows(u);
         let n = self.spec.node_count();
@@ -873,6 +1054,182 @@ impl<'a, W: RowWord> EngineCore<'a, W> {
         let outcome = run_search(&view, current_cost, options, &mut self.search_scratch)?;
         self.stats.searches_run += 1;
         self.oracle[u.index()].outcome = Some((*options, outcome.clone()));
+        self.oracle[u.index()].outcome_complete = true;
+        Ok(outcome)
+    }
+
+    /// The landmark-bounded twin of the exact staging path: identical
+    /// decisions (the bound rows are admissible and the search preserves the
+    /// exact DFS preorder and record semantics), but cached bound rows stand
+    /// in for the per-query suffix-min arena and exact deviation rows are
+    /// materialized on demand — an invalid row is computed only when the
+    /// search actually includes its candidate, and the fill writes through
+    /// to the oracle cache so later queries keep it.
+    fn best_response_bounded(
+        &mut self,
+        u: NodeId,
+        options: &BestResponseOptions,
+        lm_count: usize,
+    ) -> Result<BestResponseOutcome> {
+        let rows_before = self.stats.oracle_rows_computed;
+        self.ensure_landmarks(lm_count);
+        self.ensure_oracle_init(u);
+        let n = self.spec.node_count();
+        let all_live = self.live_count == n;
+        if !all_live {
+            self.ensure_masked_targets(u);
+        }
+        // The node's current strategy is priced through exact rows (the
+        // search compares every candidate strategy against it, so it cannot
+        // be bounded); everything else waits for the search to ask.
+        let strategy = self.config.strategy(u).to_vec();
+        for &t in &strategy {
+            let i = self.oracle[u.index()]
+                .candidates
+                .binary_search(&t)
+                .expect("a held strategy target is always an affordable candidate");
+            self.fill_oracle_row(u, i);
+        }
+
+        // Split the engine into disjoint field borrows: the on-demand fill
+        // closure traverses via `bfs`/`dijkstra` and writes through to the
+        // oracle slots while the search holds the staged arenas.
+        let EngineCore {
+            spec,
+            csr,
+            penalty,
+            bfs,
+            dijkstra,
+            oracle,
+            clamped,
+            stage_candidates,
+            stage_prices,
+            stage_oracle_idx,
+            stage_present,
+            stage_lengths,
+            current_row,
+            search_scratch,
+            masked_targets,
+            live,
+            stats,
+            lm,
+            lm_scratch,
+            ..
+        } = &mut *self;
+        let spec = *spec;
+        let penalty = *penalty;
+        let u_idx = u.index();
+        let oc = &mut oracle[u_idx];
+
+        clamped.clear();
+        stage_candidates.clear();
+        stage_prices.clear();
+        stage_oracle_idx.clear();
+        stage_present.clear();
+        stage_lengths.clear();
+        for (i, slot) in oc.rows.iter().enumerate() {
+            let c = oc.candidates[i];
+            if !all_live && !live.contains(c.index()) {
+                continue;
+            }
+            stage_candidates.push(c);
+            stage_prices.push(oc.prices[i]);
+            stage_oracle_idx.push(i as u32);
+            stage_lengths.push(
+                W::from_u64(spec.link_length(u, c))
+                    .expect("link length is below the penalty, which fits the tier"),
+            );
+            if slot.valid {
+                clamped.extend_from_slice(&slot.dist);
+                stage_present.push(true);
+                stats.oracle_row_hits += 1;
+            } else {
+                let start = clamped.len();
+                clamped.resize(start + n, penalty);
+                stage_present.push(false);
+            }
+        }
+
+        let view = OracleView {
+            spec,
+            node: u,
+            candidates: stage_candidates,
+            rows: &[],
+            prices: stage_prices,
+            weighted_targets: if all_live {
+                &oc.weighted_targets
+            } else {
+                &masked_targets[u_idx].targets
+            },
+            budget: oc.budget,
+            all_live,
+        };
+
+        // Price the current strategy (its rows are exact and staged).
+        current_row.fill(penalty);
+        for &t in &strategy {
+            let i = stage_candidates
+                .binary_search(&t)
+                .expect("a held strategy target is always a live, affordable candidate");
+            min_into(current_row, &clamped[i * n..(i + 1) * n]);
+        }
+        let current_cost = view.aggregate(current_row);
+
+        let lm_rows: Vec<&[W]> = lm.rows.iter().map(|s| s.dist.as_slice()).collect();
+        build_landmark_bounds(
+            lm_scratch,
+            stage_candidates,
+            stage_lengths,
+            &lm_rows,
+            &lm.partition,
+            &lm.envelope,
+            n,
+            penalty,
+        );
+
+        let unit = spec.has_unit_lengths();
+        let oc_rows = &mut oc.rows;
+        let mut fetch = |i: usize, dst: &mut [W]| {
+            let slot = &mut oc_rows[stage_oracle_idx[i] as usize];
+            if !slot.valid {
+                let c = stage_candidates[i];
+                let offset = stage_lengths[i];
+                let (dist, touched) = if unit {
+                    bfs.run_skipping(csr, c.index(), u_idx, offset, penalty);
+                    (bfs.distances(), bfs.touched())
+                } else {
+                    dijkstra.run_skipping(csr, c.index(), u_idx, offset, penalty);
+                    (dijkstra.distances(), dijkstra.touched())
+                };
+                slot.dist.copy_from_slice(dist);
+                slot.touched.copy_from(touched);
+                slot.valid = true;
+                stats.oracle_rows_computed += 1;
+            }
+            dst.copy_from_slice(&slot.dist);
+        };
+
+        let mut outcome = run_search_landmark(
+            &view,
+            clamped,
+            stage_present,
+            &mut fetch,
+            lm_scratch,
+            current_cost,
+            options,
+            search_scratch,
+        )?;
+        stats.searches_run += 1;
+        outcome.rows_materialized = stats.oracle_rows_computed - rows_before;
+        let complete = {
+            let oc = &self.oracle[u_idx];
+            self.stage_oracle_idx
+                .iter()
+                .all(|&i| oc.rows[i as usize].valid)
+        };
+        let oc = &mut self.oracle[u_idx];
+        oc.outcome_complete = complete;
+        oc.outcome = Some((*options, outcome.clone()));
         Ok(outcome)
     }
 
@@ -1153,6 +1510,16 @@ impl<'a, W: RowWord> EngineCore<'a, W> {
         for (i, cost) in self.eval_costs.iter_mut().enumerate() {
             *cost = None;
             self.eval_dirty.insert(i);
+        }
+        // Landmarks are picked evenly over the live set; force a re-pick
+        // (which drops every landmark row) at the next landmark-path query.
+        self.lm.version = 0;
+    }
+
+    fn set_landmark_policy(&mut self, policy: LandmarkPolicy) {
+        if policy != self.lm_policy {
+            self.lm_policy = policy;
+            self.lm.version = 0;
         }
     }
 
@@ -1647,5 +2014,122 @@ mod tests {
             }
             assert_eq!(narrow.state_digest(), wide.state_digest());
         }
+    }
+
+    // ----- landmark bound cache --------------------------------------
+
+    #[test]
+    fn unchanged_engine_never_rebuilds_landmark_rows() {
+        let spec = GameSpec::uniform(10, 2);
+        let cfg = Configuration::random(&spec, 5);
+        let mut engine = DistanceEngine::new(&spec, cfg).with_landmarks(LandmarkPolicy::Forced(4));
+        engine.best_response(NodeId::new(0), &opts()).unwrap();
+        let rows_after_first = engine.stats().landmark_rows_computed;
+        assert_eq!(rows_after_first, 4, "first query builds the forced set");
+        engine.best_response(NodeId::new(1), &opts()).unwrap();
+        engine.best_response(NodeId::new(2), &opts()).unwrap();
+        assert_eq!(
+            engine.stats().landmark_rows_computed,
+            rows_after_first,
+            "consecutive queries on an unchanged engine must reuse every cached landmark row"
+        );
+    }
+
+    #[test]
+    fn landmark_engine_tracks_moves_and_stays_exact() {
+        let spec = GameSpec::uniform(9, 2);
+        let mut cfg = Configuration::random(&spec, 8);
+        let mut pruned =
+            DistanceEngine::new(&spec, cfg.clone()).with_landmarks(LandmarkPolicy::Forced(3));
+        assert_eq!(pruned.landmark_policy(), LandmarkPolicy::Forced(3));
+        for step in 0..40u64 {
+            let mover = NodeId::new((step % 9) as usize);
+            let out = pruned.best_response(mover, &opts()).unwrap();
+            let exact = best_response::exact(&spec, &cfg, mover, &opts()).unwrap();
+            assert!(
+                out.same_decision(&exact),
+                "step {step}: {out:?} vs {exact:?}"
+            );
+            assert_eq!(out.best_cost, exact.best_cost, "step {step}");
+            assert_eq!(out.current_cost, exact.current_cost, "step {step}");
+            if out.improves() {
+                pruned
+                    .apply_strategy(mover, out.best_strategy.clone())
+                    .unwrap();
+                cfg.set_strategy(&spec, mover, out.best_strategy).unwrap();
+            }
+        }
+        let stats = pruned.stats();
+        assert!(
+            stats.landmark_rows_computed >= 3,
+            "the forced set was built at least once"
+        );
+    }
+
+    #[test]
+    fn landmark_decisions_match_exact_across_membership_churn() {
+        let spec = GameSpec::uniform(12, 2);
+        let cfg = Configuration::random(&spec, 2);
+        let mut pruned =
+            DistanceEngine::new(&spec, cfg.clone()).with_landmarks(LandmarkPolicy::Forced(4));
+        let mut plain = DistanceEngine::new(&spec, cfg);
+        let compare_all = |a: &mut DistanceEngine, b: &mut DistanceEngine| {
+            let live: Vec<NodeId> = a.live_nodes().collect();
+            for u in live {
+                let x = a.best_response(u, &opts()).unwrap();
+                let y = b.best_response(u, &opts()).unwrap();
+                assert!(x.same_decision(&y), "node {u}: {x:?} vs {y:?}");
+                assert_eq!(x.best_cost, y.best_cost, "node {u}");
+            }
+        };
+        compare_all(&mut pruned, &mut plain);
+        for victim in [NodeId::new(5), NodeId::new(0)] {
+            pruned.remove_node(victim).unwrap();
+            plain.remove_node(victim).unwrap();
+            compare_all(&mut pruned, &mut plain);
+        }
+        pruned
+            .add_node(NodeId::new(5), vec![NodeId::new(3)])
+            .unwrap();
+        plain
+            .add_node(NodeId::new(5), vec![NodeId::new(3)])
+            .unwrap();
+        compare_all(&mut pruned, &mut plain);
+        // Landmarks were re-picked over the live set after each membership
+        // change; none may ever be a departed node.
+        assert!(pruned.stats().landmark_rows_computed >= 4);
+    }
+
+    #[test]
+    fn policy_change_resets_the_landmark_set() {
+        let spec = GameSpec::uniform(10, 2);
+        let cfg = Configuration::random(&spec, 3);
+        let mut engine =
+            DistanceEngine::new(&spec, cfg.clone()).with_landmarks(LandmarkPolicy::Forced(2));
+        let u = NodeId::new(4);
+        let a = engine.best_response(u, &opts()).unwrap();
+        assert_eq!(engine.stats().landmark_rows_computed, 2);
+        engine.set_landmark_policy(LandmarkPolicy::Forced(5));
+        // Memoized outcome survives the policy switch (decisions are
+        // policy-independent); a different node forces a fresh search.
+        assert_eq!(engine.best_response(u, &opts()).unwrap(), a);
+        let v = NodeId::new(7);
+        let b = engine.best_response(v, &opts()).unwrap();
+        assert_eq!(
+            engine.stats().landmark_rows_computed,
+            2 + 5,
+            "resizing rebuilds the whole set"
+        );
+        assert!(b.same_decision(&best_response::exact(&spec, &cfg, v, &opts()).unwrap()));
+        engine.set_landmark_policy(LandmarkPolicy::Off);
+        let c = engine.best_response(NodeId::new(8), &opts()).unwrap();
+        assert_eq!(
+            engine.stats().landmark_rows_computed,
+            7,
+            "Off builds nothing"
+        );
+        assert!(
+            c.same_decision(&best_response::exact(&spec, &cfg, NodeId::new(8), &opts()).unwrap())
+        );
     }
 }

@@ -3,41 +3,132 @@
 //! The exact deviation oracle ([`crate::DeviationOracle`]) prices a
 //! candidate subset by running one shortest-path traversal per affordable
 //! candidate — `m` traversals before the branch-and-bound search even
-//! starts. This module trades exactness in the *bound* for traversal
-//! laziness: a small landmark set `L` (each landmark costs one traversal in
-//! `G∖u`) yields the classic ALT lower bound
+//! starts. Landmark bounds trade exactness in the *bound* for traversal
+//! laziness: a small landmark set `L` yields the classic ALT lower bound
 //!
 //! ```text
-//! d_{G∖u}(c, v)  ≥  d_{G∖u}(l, v) − d_{G∖u}(l, c)      for every l ∈ L
+//! d(c, v)  ≥  d(l, v) − d(l, c)      for every l ∈ L
 //! ```
 //!
 //! (rearranged triangle inequality: any `l → v` path is at most the `l → c`
-//! prefix plus a `c → v` path). When `l` reaches `c` but not `v`, `c`
-//! cannot reach `v` either — the bound jumps to the disconnection penalty.
-//! These bounds replace the exact suffix-min rows in the search's
-//! optimistic-completion prune; exact rows are materialized lazily, only
-//! for candidates the search actually *includes*. Bounds are admissible
-//! (never above the true clamped through-distance), so the search explores
-//! a superset of the exact search's nodes, records the identical incumbent
-//! sequence, and returns the same decision — only `evaluations` grows.
+//! prefix plus a `c → v` path). These bounds replace the exact suffix-min
+//! rows in the search's optimistic-completion prune; exact rows are
+//! materialized lazily, only for candidates the search actually *includes*.
+//! Bounds are admissible (never above the true clamped through-distance),
+//! so the search records the identical incumbent sequence and returns the
+//! same decision — only effort counters (`evaluations`, `bounds_hit`,
+//! `rows_materialized`) may differ.
 //!
-//! The oracle is a snapshot of one configuration: any strategy patch,
-//! rewire, or membership change invalidates it wholesale (landmark rows are
-//! whole-graph objects with no touched-set story). Callers rebuild per
-//! deviation; the walk and experiment paths deliberately do not use this
-//! module — it is an opt-in alternative for one-shot deviation queries on
-//! large sparse instances.
+//! Since the bound layer moved into the engine, the *default*
+//! [`crate::DistanceEngine`] outcome path consults cached, touched-set
+//! invalidated landmark rows whenever the [`LandmarkPolicy`] resolves to a
+//! nonzero landmark count — walks, churn sims, and sweeps get the pruning
+//! for free. [`LandmarkOracle`] remains as the frozen per-query reference
+//! (rows in `G∖u`, rebuilt from scratch), pinned by the tests below;
+//! [`best_response_landmark`] now routes through a fresh engine with
+//! [`LandmarkPolicy::Forced`], so every caller exercises the cached path.
 
 use bbc_graph::{BfsBuffer, DijkstraBuffer, UNREACHABLE};
 
-use crate::best_response::{weighted_targets_of, BestResponseOptions, BestResponseOutcome};
-use crate::{Configuration, CostModel, Error, GameSpec, NodeId, Result};
+use crate::best_response::{BestResponseOptions, BestResponseOutcome};
+use crate::{Configuration, DistanceEngine, GameSpec, NodeId, Result};
+
+/// How many cached landmark rows the engine's default best-response path
+/// keeps (and therefore whether the landmark-bounded search runs at all).
+///
+/// The bounds are admissible, so the policy never changes a decision, cost,
+/// walk trajectory, or stream digest — only effort counters
+/// ([`crate::BestResponseOutcome::evaluations`],
+/// [`crate::BestResponseOutcome::bounds_hit`],
+/// [`crate::BestResponseOutcome::rows_materialized`], and the
+/// [`crate::EngineStats`] traversal counts) vary with it. The differential
+/// suite pins this byte-identity across `Off`/`Auto`/`Forced`.
+///
+/// # Examples
+///
+/// ```
+/// use bbc_core::{
+///     BestResponseOptions, Configuration, DistanceEngine, GameSpec, LandmarkPolicy, NodeId,
+/// };
+///
+/// let spec = GameSpec::uniform(12, 2);
+/// let cfg = Configuration::random(&spec, 7);
+/// let options = BestResponseOptions::default();
+/// let u = NodeId::new(0);
+///
+/// let exact = DistanceEngine::new(&spec, cfg.clone())
+///     .with_landmarks(LandmarkPolicy::Off)
+///     .best_response(u, &options)?;
+/// let pruned = DistanceEngine::new(&spec, cfg)
+///     .with_landmarks(LandmarkPolicy::Forced(4))
+///     .best_response(u, &options)?;
+/// // Identical decision; only effort counters may differ.
+/// assert!(exact.same_decision(&pruned));
+///
+/// // Auto keeps small instances on the exact path (n = 12 < 32).
+/// assert_eq!(LandmarkPolicy::Auto.resolve(12), 0);
+/// // …and scales √n-ish with a measured cap beyond that.
+/// assert_eq!(LandmarkPolicy::Auto.resolve(512), 22);
+/// assert_eq!(LandmarkPolicy::Forced(40).resolve(512), 40);
+/// # Ok::<(), bbc_core::Error>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum LandmarkPolicy {
+    /// Never run the landmark-bounded search (the pre-landmark engine
+    /// behavior, byte-identical counters included).
+    Off,
+    /// Size the landmark set from the live node count: 0 below 32 live
+    /// nodes (bound building would cost more than the tiny search it
+    /// prunes — and the exact path's counters stay pinned for the small
+    /// instances the unit suites replay), else `⌊√live⌋` clamped to
+    /// `[4, 24]` (the measured knee: more landmarks sharpen bounds
+    /// sub-linearly while each costs a full-graph traversal to refresh
+    /// after an invalidation).
+    #[default]
+    Auto,
+    /// Exactly `k` landmarks (capped at the live count), even on tiny
+    /// instances. This is how tests force the landmark path where `Auto`
+    /// would stay exact, and how sweeps pin a size across churn.
+    Forced(usize),
+}
+
+impl LandmarkPolicy {
+    /// The landmark count this policy resolves to at `live` live nodes;
+    /// `0` means "run the exact path".
+    pub fn resolve(self, live: usize) -> usize {
+        match self {
+            LandmarkPolicy::Off => 0,
+            LandmarkPolicy::Auto => {
+                if live < 32 {
+                    0
+                } else {
+                    isqrt(live).clamp(4, 24)
+                }
+            }
+            LandmarkPolicy::Forced(k) => k.min(live),
+        }
+    }
+}
+
+/// `⌊√n⌋` without floating-point edge cases.
+fn isqrt(n: usize) -> usize {
+    let mut s = (n as f64).sqrt() as usize;
+    while (s + 1) * (s + 1) <= n {
+        s += 1;
+    }
+    while s * s > n {
+        s -= 1;
+    }
+    s
+}
 
 /// Per-deviating-node landmark distance rows in `G∖u`.
 ///
-/// Built by [`LandmarkOracle::build`]; consumed by
-/// [`best_response_landmark`] and directly testable through
-/// [`LandmarkOracle::lower_bound`].
+/// The frozen *reference* form of the landmark bound: built per query,
+/// rows in `G∖u` with the [`UNREACHABLE`] sentinel preserved. The engine's
+/// cached layer bounds through full-`G` rows instead (admissible because
+/// `d_G ≤ d_{G∖u}`); this struct pins the sharper per-query semantics the
+/// admissibility tests check against.
 #[derive(Debug)]
 pub struct LandmarkOracle<'a> {
     spec: &'a GameSpec,
@@ -126,31 +217,26 @@ impl<'a> LandmarkOracle<'a> {
         }
         best.min(m)
     }
-
-    /// The clamped through-row bound for candidate `c`:
-    /// `min(M, ℓ(u,c) + lower_bound(c, v))` for every `v`.
-    fn through_bound_row(&self, c: NodeId, out: &mut Vec<u64>) {
-        let n = self.spec.node_count();
-        let m = self.spec.penalty();
-        let link = self.spec.link_length(self.node, c);
-        out.clear();
-        out.extend(NodeId::all(n).map(|v| (link + self.lower_bound(c, v)).min(m)));
-    }
 }
 
-/// Exact best response for `u`, pruned by landmark bounds instead of exact
-/// suffix rows, with exact through-rows materialized lazily (one traversal
-/// per candidate the search actually includes, plus the current strategy's
-/// targets, plus `landmarks` traversals for the oracle itself).
+/// Exact best response for `u`, pruned by the engine's cached landmark
+/// bound layer forced to `landmarks` rows ([`LandmarkPolicy::Forced`]).
 ///
 /// Returns the identical decision to [`crate::best_response::exact`] —
 /// same `best_strategy`, `best_cost`, `current_cost` — because the bounds
 /// are admissible and the DFS visits candidates in the same order; only
-/// `evaluations` can be larger (weaker prunes evaluate more subsets).
+/// the effort counters can differ. `landmarks = 0` degenerates to the
+/// exact engine path.
+///
+/// One-shot convenience: builds a throwaway engine per call. Callers with
+/// more than one query should hold a [`DistanceEngine`] and set
+/// [`DistanceEngine::set_landmark_policy`] themselves — consecutive
+/// queries then reuse the cached landmark rows instead of rebuilding them
+/// (the regression test on the engine pins that reuse).
 ///
 /// # Errors
 ///
-/// [`Error::SearchBudgetExceeded`] as in the exact search.
+/// [`crate::Error::SearchBudgetExceeded`] as in the exact search.
 pub fn best_response_landmark(
     spec: &GameSpec,
     config: &Configuration,
@@ -158,220 +244,9 @@ pub fn best_response_landmark(
     options: &BestResponseOptions,
     landmarks: usize,
 ) -> Result<BestResponseOutcome> {
-    let n = spec.node_count();
-    let oracle = LandmarkOracle::build(spec, config, u, landmarks);
-
-    let candidates = spec.affordable_targets(u);
-    let m = candidates.len();
-    let prices: Vec<u64> = candidates.iter().map(|&c| spec.link_cost(u, c)).collect();
-    let weighted = weighted_targets_of(spec, u);
-    let penalty = spec.penalty();
-
-    // Optimistic completion rows from the landmark bounds: suffix[i] =
-    // elementwise min of the through-bound rows of candidates i..; suffix[m]
-    // is all-penalty ("buy nothing more"). Entirely traversal-free.
-    let mut suffix = vec![penalty; (m + 1) * n];
-    let mut bound_row = Vec::with_capacity(n);
-    for i in (0..m).rev() {
-        oracle.through_bound_row(candidates[i], &mut bound_row);
-        let (head, tail) = suffix.split_at_mut((i + 1) * n);
-        for v in 0..n {
-            head[i * n + v] = tail[v].min(bound_row[v]);
-        }
-    }
-    let mut min_price_suffix = vec![u64::MAX; m + 1];
-    for i in (0..m).rev() {
-        min_price_suffix[i] = min_price_suffix[i + 1].min(prices[i]);
-    }
-
-    let mut search = LmSearch {
-        spec,
-        u,
-        graph: {
-            let mut g = config.to_graph(spec);
-            g.take_out_arcs(u.index());
-            g
-        },
-        bfs: BfsBuffer::new(n),
-        dij: DijkstraBuffer::new(n),
-        candidates: &candidates,
-        prices: &prices,
-        budget: spec.budget(u),
-        weighted: &weighted,
-        exact_rows: vec![None; m],
-        suffix,
-        min_price_suffix,
-        levels: vec![penalty; (m + 1) * n],
-        selection: Vec::new(),
-        options,
-        best_cost: 0,
-        best_strategy: Vec::new(),
-        evaluations: 0,
-        current_cost: 0,
-        done: false,
-    };
-
-    // Price the node's current strategy through exact rows (identical to
-    // DeviationOracle::strategy_cost) to seed the incumbent.
-    let mut current_row = vec![penalty; n];
-    for &t in config.strategy(u) {
-        let i = candidates
-            .binary_search(&t)
-            .unwrap_or_else(|_| panic!("{t} is not a candidate target of {u}"));
-        let row = search.exact_row(i).to_vec();
-        for (d, s) in current_row.iter_mut().zip(&row) {
-            *d = (*d).min(*s);
-        }
-    }
-    let current_cost = aggregate(spec, &weighted, &current_row);
-    search.current_cost = current_cost;
-    search.best_cost = current_cost.saturating_add(1);
-
-    // The empty strategy is always feasible; evaluate it as the baseline.
-    let empty_cost = aggregate(spec, &weighted, &search.levels[..n]);
-    search.record(empty_cost)?;
-    search.dfs(0, 0, 0)?;
-
-    Ok(BestResponseOutcome {
-        node: u,
-        current_cost,
-        best_cost: search.best_cost,
-        best_strategy: search.best_strategy,
-        evaluations: search.evaluations,
-        optimal: !search.done,
-    })
-}
-
-/// Cost of a clamped min-row under the spec's aggregation (value-identical
-/// to the exact search's monomorphized aggregators).
-fn aggregate(spec: &GameSpec, weighted: &[(u32, u64)], row: &[u64]) -> u64 {
-    match spec.cost_model() {
-        CostModel::SumDistance => weighted.iter().map(|&(v, w)| w * row[v as usize]).sum(),
-        CostModel::MaxDistance => weighted
-            .iter()
-            .map(|&(v, w)| w * row[v as usize])
-            .max()
-            .unwrap_or(0),
-    }
-}
-
-struct LmSearch<'s> {
-    spec: &'s GameSpec,
-    u: NodeId,
-    graph: bbc_graph::DiGraph,
-    bfs: BfsBuffer,
-    dij: DijkstraBuffer,
-    candidates: &'s [NodeId],
-    prices: &'s [u64],
-    budget: u64,
-    weighted: &'s [(u32, u64)],
-    /// Lazily materialized clamped through-rows, one slot per candidate.
-    exact_rows: Vec<Option<Vec<u64>>>,
-    /// Landmark-bound suffix-min rows, stride `n` (`m + 1` rows).
-    suffix: Vec<u64>,
-    min_price_suffix: Vec<u64>,
-    /// Exact min-rows per DFS level, stride `n` (`m + 1` rows).
-    levels: Vec<u64>,
-    selection: Vec<usize>,
-    options: &'s BestResponseOptions,
-    best_cost: u64,
-    best_strategy: Vec<NodeId>,
-    evaluations: u64,
-    current_cost: u64,
-    done: bool,
-}
-
-impl LmSearch<'_> {
-    /// The exact clamped through-row of candidate `i`, materializing it on
-    /// first use (one traversal in `G∖u`).
-    fn exact_row(&mut self, i: usize) -> &[u64] {
-        if self.exact_rows[i].is_none() {
-            let c = self.candidates[i];
-            let link = self.spec.link_length(self.u, c);
-            let m = self.spec.penalty();
-            let dist = if self.spec.has_unit_lengths() {
-                self.bfs.run(&self.graph, c.index());
-                self.bfs.distances()
-            } else {
-                self.dij.run(&self.graph, c.index());
-                self.dij.distances()
-            };
-            let row: Vec<u64> = dist
-                .iter()
-                .map(|&d| if d == UNREACHABLE { m } else { link + d })
-                .collect();
-            self.exact_rows[i] = Some(row);
-        }
-        self.exact_rows[i].as_deref().expect("row just filled")
-    }
-
-    fn record(&mut self, cost: u64) -> Result<()> {
-        self.evaluations += 1;
-        if self.evaluations > self.options.evaluation_limit {
-            return Err(Error::SearchBudgetExceeded {
-                limit: self.options.evaluation_limit,
-            });
-        }
-        if cost < self.best_cost {
-            self.best_cost = cost;
-            self.best_strategy = self.selection.iter().map(|&i| self.candidates[i]).collect();
-            self.best_strategy.sort_unstable();
-            if self.options.stop_at_first_improvement && cost < self.current_cost {
-                self.done = true;
-            }
-        }
-        Ok(())
-    }
-
-    fn dfs(&mut self, i: usize, level: usize, spent: u64) -> Result<()> {
-        if self.done || i == self.candidates.len() {
-            return Ok(());
-        }
-        if spent.saturating_add(self.min_price_suffix[i]) > self.budget {
-            return Ok(());
-        }
-        let n = self.spec.node_count();
-        // Optimistic bound: current exact min-row completed by the landmark
-        // suffix bound. Admissible (suffix ≤ exact completion elementwise),
-        // so a prune here can never hide the exact search's winner.
-        let bound = {
-            let cur = &self.levels[level * n..(level + 1) * n];
-            let sfx = &self.suffix[i * n..(i + 1) * n];
-            match self.spec.cost_model() {
-                CostModel::SumDistance => self
-                    .weighted
-                    .iter()
-                    .map(|&(v, w)| w * cur[v as usize].min(sfx[v as usize]))
-                    .sum(),
-                CostModel::MaxDistance => self
-                    .weighted
-                    .iter()
-                    .map(|&(v, w)| w * cur[v as usize].min(sfx[v as usize]))
-                    .max()
-                    .unwrap_or(0),
-            }
-        };
-        if bound >= self.best_cost {
-            return Ok(());
-        }
-
-        // Include candidate i if affordable.
-        let price = self.prices[i];
-        if spent + price <= self.budget {
-            let row = self.exact_row(i).to_vec();
-            let (cur, next) = self.levels.split_at_mut((level + 1) * n);
-            for v in 0..n {
-                next[v] = cur[level * n + v].min(row[v]);
-            }
-            let cost = aggregate(self.spec, self.weighted, &next[..n]);
-            self.selection.push(i);
-            self.record(cost)?;
-            self.dfs(i + 1, level + 1, spent + price)?;
-            self.selection.pop();
-        }
-        // Exclude candidate i.
-        self.dfs(i + 1, level, spent)
-    }
+    DistanceEngine::new(spec, config.clone())
+        .with_landmarks(LandmarkPolicy::Forced(landmarks))
+        .best_response(u, options)
 }
 
 #[cfg(test)]
@@ -401,6 +276,20 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn auto_policy_schedule() {
+        assert_eq!(LandmarkPolicy::Auto.resolve(2), 0);
+        assert_eq!(LandmarkPolicy::Auto.resolve(31), 0);
+        assert_eq!(LandmarkPolicy::Auto.resolve(32), 5);
+        assert_eq!(LandmarkPolicy::Auto.resolve(64), 8);
+        assert_eq!(LandmarkPolicy::Auto.resolve(100), 10);
+        assert_eq!(LandmarkPolicy::Auto.resolve(1024), 24, "cap at 24");
+        assert_eq!(LandmarkPolicy::Off.resolve(512), 0);
+        assert_eq!(LandmarkPolicy::Forced(6).resolve(512), 6);
+        assert_eq!(LandmarkPolicy::Forced(6).resolve(3), 3, "capped at live");
+        assert_eq!(LandmarkPolicy::default(), LandmarkPolicy::Auto);
     }
 
     #[test]

@@ -93,6 +93,8 @@ pub fn exact(
         best_strategy: search.best_strategy,
         evaluations: search.evaluations,
         optimal: !search.done,
+        bounds_hit: 0,
+        rows_materialized: 0,
     })
 }
 

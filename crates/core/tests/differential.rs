@@ -15,8 +15,9 @@
 
 use bbc_core::{
     best_response, best_response_landmark, enumerate, reference, BestResponseOptions,
-    BestResponseOutcome, Configuration, CostModel, DistanceEngine, GameSpec, LandmarkOracle,
-    NodeId, RowTier, Scheduler, StabilityChecker, Walk, WalkOutcome,
+    BestResponseOutcome, ChurnConfig, ChurnSim, Configuration, CostModel, DistanceEngine, GameSpec,
+    LandmarkOracle, LandmarkPolicy, NodeId, RowTier, Scheduler, StabilityChecker, Walk,
+    WalkOutcome,
 };
 use proptest::prelude::*;
 
@@ -658,6 +659,199 @@ proptest! {
             let lm = best_response_landmark(&spec, &cfg, u, &options, count)
                 .expect("search fits");
             assert_same_decision(&exact, &lm, "landmark-weighted");
+        }
+    }
+
+    #[test]
+    fn stale_landmark_bounds_never_survive_churn_scripts(
+        (spec, cfg) in arb_uniform_instance(),
+        script in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 1..10),
+    ) {
+        // The invalidation contract under fire: a warm Forced(4) engine
+        // driven through an arbitrary rewire/leave/join script must answer
+        // every live query with the decision a fresh engine (which cannot
+        // hold a stale landmark row) computes. A bound that survived past
+        // its invalidation event would over-prune and surface here.
+        let options = BestResponseOptions::default();
+        let n = spec.node_count();
+        let mut engine =
+            DistanceEngine::new(&spec, cfg).with_landmarks(LandmarkPolicy::Forced(4));
+        for (step, (action, node_sel, seed)) in script.into_iter().enumerate() {
+            match action % 3 {
+                0 => {
+                    let i = (node_sel % engine.live_count() as u64) as usize;
+                    let u = engine.live_nodes().nth(i).expect("live index");
+                    let s = seeded_live_strategy(&spec, &engine, u, seed);
+                    engine.apply_strategy(u, s).expect("seeded strategy validates");
+                }
+                1 => {
+                    if engine.live_count() <= 1 {
+                        continue;
+                    }
+                    let i = (node_sel % engine.live_count() as u64) as usize;
+                    let u = engine.live_nodes().nth(i).expect("live index");
+                    engine.remove_node(u).expect("live node departs");
+                }
+                _ => {
+                    let dead: Vec<NodeId> =
+                        NodeId::all(n).filter(|&u| !engine.is_live(u)).collect();
+                    if dead.is_empty() {
+                        continue;
+                    }
+                    let u = dead[(node_sel % dead.len() as u64) as usize];
+                    let s = seeded_live_strategy(&spec, &engine, u, seed);
+                    engine.add_node(u, s).expect("seeded join validates");
+                }
+            }
+            let live = engine.live_set().clone();
+            let mut fresh =
+                DistanceEngine::with_membership(&spec, engine.config().clone(), &live)
+                    .expect("engine state is always a valid membership");
+            for u in engine.live_nodes().collect::<Vec<_>>() {
+                let warm = engine.best_response(u, &options).expect("search fits");
+                let cold = fresh.best_response(u, &options).expect("search fits");
+                prop_assert!(
+                    warm.same_decision(&cold),
+                    "step {}: {} diverged: {:?} vs {:?}", step, u, warm, cold
+                );
+                prop_assert_eq!(warm.best_cost, cold.best_cost, "step {}: {}", step, u);
+                prop_assert_eq!(warm.current_cost, cold.current_cost, "step {}: {}", step, u);
+            }
+        }
+    }
+}
+
+// ===== landmark bound cache: byte-identity on the default path ===========
+//
+// Proptest sizes (n ≤ 9) keep `LandmarkPolicy::Auto` on the exact path, so
+// the default-on behaviour needs a deterministic instance above the n = 32
+// threshold. The contract is the tentpole's: decisions, costs, trajectories
+// and churn digests are invariant across Off/Auto/Forced and both row
+// tiers — only effort counters move.
+
+/// A 36-node circulant-ish start (`i → {i+1, i+6}`): big enough that
+/// `Auto` resolves to 6 landmarks, small enough for debug-mode replays.
+fn auto_scale_instance() -> (GameSpec, Configuration) {
+    let n = 36;
+    let spec = GameSpec::uniform(n, 2);
+    let strategies: Vec<Vec<NodeId>> = (0..n)
+        .map(|i| vec![NodeId::new((i + 1) % n), NodeId::new((i + 6) % n)])
+        .collect();
+    let cfg = Configuration::from_strategies(&spec, strategies).expect("circulant validates");
+    (spec, cfg)
+}
+
+const POLICIES: [LandmarkPolicy; 3] = [
+    LandmarkPolicy::Off,
+    LandmarkPolicy::Auto,
+    LandmarkPolicy::Forced(5),
+];
+
+#[test]
+fn landmark_policies_never_change_walks_at_auto_scale() {
+    let (spec, cfg) = auto_scale_instance();
+    let mut runs = Vec::new();
+    for tier in [RowTier::U32, RowTier::U64] {
+        for policy in POLICIES {
+            let mut walk = Walk::with_tier(&spec, cfg.clone(), tier)
+                .expect("fits both tiers")
+                .detect_cycles(false)
+                .record_trace(true)
+                .with_landmarks(policy);
+            let outcome = walk.run(72).expect("walk fits");
+            let lm_rows = walk.engine_stats().landmark_rows_computed;
+            if policy == LandmarkPolicy::Off {
+                assert_eq!(lm_rows, 0, "{tier:?}: Off must build nothing");
+            } else {
+                assert!(lm_rows > 0, "{tier:?}/{policy:?}: the bounded path ran");
+            }
+            runs.push((
+                tier,
+                policy,
+                outcome,
+                walk.trace().to_vec(),
+                walk.stats().steps,
+                walk.stats().moves,
+                walk.into_config(),
+            ));
+        }
+    }
+    let (_, _, outcome0, trace0, steps0, moves0, config0) = runs[0].clone();
+    for (tier, policy, outcome, trace, steps, moves, config) in &runs[1..] {
+        assert_eq!(
+            &outcome0, outcome,
+            "outcome diverged on {tier:?}/{policy:?}"
+        );
+        assert_eq!(&trace0, trace, "trace diverged on {tier:?}/{policy:?}");
+        assert_eq!(steps0, *steps, "steps diverged on {tier:?}/{policy:?}");
+        assert_eq!(moves0, *moves, "moves diverged on {tier:?}/{policy:?}");
+        assert_eq!(
+            &config0, config,
+            "final config diverged on {tier:?}/{policy:?}"
+        );
+    }
+}
+
+#[test]
+fn landmark_policies_never_change_churn_digests() {
+    let (spec, cfg) = auto_scale_instance();
+    let churn_cfg = ChurnConfig {
+        seed: 11,
+        events: 5,
+        min_live: 18,
+        settle_steps: 36,
+        leave_weight: 1,
+        join_weight: 1,
+        shock_weight: 0,
+        prefill_threads: 1,
+        scheduler: Scheduler::RoundRobin,
+    };
+    let reports: Vec<_> = POLICIES
+        .iter()
+        .map(|&policy| {
+            ChurnSim::new(&spec, cfg.clone(), churn_cfg.clone())
+                .with_landmarks(policy)
+                .run()
+                .expect("churn fits the search budget")
+        })
+        .collect();
+    for (policy, report) in POLICIES.iter().zip(&reports[1..]) {
+        assert_eq!(
+            reports[0].trajectory_digest, report.trajectory_digest,
+            "digest diverged under {policy:?}"
+        );
+        assert_eq!(&reports[0], report, "report diverged under {policy:?}");
+    }
+}
+
+#[test]
+fn landmark_decisions_match_exact_at_auto_scale() {
+    // Full-equality spot check on the 36-node instance: every node's
+    // pruned decision (u32 and u64 tiers, Auto and Forced) against the
+    // one-shot exact search.
+    let (spec, cfg) = auto_scale_instance();
+    let options = BestResponseOptions::default();
+    for tier in [RowTier::U32, RowTier::U64] {
+        for policy in [LandmarkPolicy::Auto, LandmarkPolicy::Forced(5)] {
+            let mut engine = DistanceEngine::with_tier(&spec, cfg.clone(), tier)
+                .expect("fits both tiers")
+                .with_landmarks(policy);
+            for u in NodeId::all(spec.node_count()) {
+                let pruned = engine.best_response(u, &options).expect("search fits");
+                let exact = best_response::exact(&spec, &cfg, u, &options).expect("search fits");
+                assert!(
+                    pruned.same_decision(&exact),
+                    "{tier:?}/{policy:?} node {u}: {pruned:?} vs {exact:?}"
+                );
+                assert_eq!(
+                    pruned.best_cost, exact.best_cost,
+                    "{tier:?}/{policy:?} node {u}"
+                );
+                assert_eq!(
+                    pruned.current_cost, exact.current_cost,
+                    "{tier:?}/{policy:?} node {u}"
+                );
+            }
         }
     }
 }

@@ -102,7 +102,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
             "cost-ratio",
             "diam(designed)",
             "diam(churned)",
-            "bfs-rows",
+            "searches",
         ],
         &fingerprint,
         opts.resume,
@@ -149,7 +149,8 @@ pub fn run(opts: &RunOptions) -> Outcome {
         let budget = rounds * peers;
         let mut walk = Walk::new(&spec, designed)
             .detect_cycles(false)
-            .prefill_threads(crate::default_threads());
+            .prefill_threads(crate::default_threads())
+            .with_landmarks(crate::landmark_policy_from_env());
         let outcome = walk.run(budget).expect("walk fits budget");
         let settled = matches!(
             outcome,
@@ -158,7 +159,12 @@ pub fn run(opts: &RunOptions) -> Outcome {
         any_settled |= settled;
         let moves = walk.stats().moves;
         total_moves += moves;
-        let bfs_rows = walk.engine_stats().oracle_rows_computed;
+        // Decision-level effort unit: traversal counts vary with the
+        // landmark policy and thread count, but the number of best-response
+        // *calls* (memo hits + searches run) is fixed by the trajectory — the
+        // stream digest must reproduce under every `BBC_LANDMARKS` value.
+        let stats = walk.engine_stats();
+        let searches = stats.searches_run + stats.outcome_hits;
         let churned = walk.into_config();
         let churned_cost = social::social_cost(&spec, &churned);
         let churned_diam = eccentricity(&churned.to_graph(&spec)).diameter();
@@ -180,7 +186,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
                 format!("{ratio:.3}"),
                 designed_diam.map_or("∞".to_string(), |d| d.to_string()),
                 churned_diam.map_or("∞".to_string(), |d| d.to_string()),
-                bfs_rows.to_string(),
+                searches.to_string(),
             ],
             &[unstable.to_string(), moves.to_string(), settled.to_string()],
         );
@@ -198,8 +204,10 @@ pub fn run(opts: &RunOptions) -> Outcome {
     let mut outcome = finish_streamed(report, table, measured, agrees);
     outcome.report.notes.push(
         "churn walks run with Walk::prefill_threads (the oracle BFS fan-out on the \
-         engine's parallel prefill path); trajectories are byte-identical at any \
-         thread count, so the sweep is reproducible on any machine"
+         engine's parallel prefill path) and the engine's landmark bound cache \
+         (BBC_LANDMARKS=off|auto|forced:<k>, default auto); trajectories are \
+         byte-identical at any thread count and landmark policy, so the sweep is \
+         reproducible on any machine"
             .to_string(),
     );
     outcome

@@ -184,6 +184,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
         let designed = overlay.configuration();
         let cfg = churn_config(point, crate::default_threads());
         let sim_report = ChurnSim::new(&spec, designed.clone(), cfg)
+            .with_landmarks(crate::landmark_policy_from_env())
             .run()
             .expect("churn phases fit the search budget");
 
@@ -193,6 +194,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
         let deterministic = if i == 0 {
             let other_threads = if crate::default_threads() == 1 { 2 } else { 1 };
             let again = ChurnSim::new(&spec, designed, churn_config(point, other_threads))
+                .with_landmarks(crate::landmark_policy_from_env())
                 .run()
                 .expect("cross-check fits the search budget");
             again.trajectory_digest == sim_report.trajectory_digest

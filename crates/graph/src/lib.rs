@@ -26,6 +26,7 @@
 
 pub mod bfs;
 pub mod bitset;
+pub mod blocks;
 pub mod csr;
 pub mod diameter;
 pub mod digest;
@@ -39,6 +40,7 @@ pub mod scc;
 
 pub use bfs::BfsBuffer;
 pub use bitset::BitSet;
+pub use blocks::{BlockEnvelope, BlockPartition};
 pub use csr::{ConnectivityScratch, CsrBfs, CsrDijkstra, CsrGraph};
 pub use diameter::{diameter, eccentricity, Eccentricities};
 pub use digraph::{Arc, DiGraph};

@@ -27,9 +27,19 @@ use crate::{bitset::BitSet, csr::CsrGraph};
 /// and `u64` (always valid). The trait carries just enough arithmetic for
 /// the traversal kernels and the row-aggregation loops; everything wider
 /// than a single row entry (weighted terms, running totals that may exceed
-/// the clamp) goes through [`RowWord::widen`] into `u64`.
+/// the clamp) goes through [`RowWord::widen`] into `u64`. `Sub` is only ever
+/// used in the non-wrapping pattern `max(a, b) - b` (a branchless positive
+/// difference), so unsigned words need no saturating variant.
 pub trait RowWord:
-    Copy + Ord + Eq + Send + Sync + std::fmt::Debug + std::ops::Add<Output = Self> + 'static
+    Copy
+    + Ord
+    + Eq
+    + Send
+    + Sync
+    + std::fmt::Debug
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + 'static
 {
     /// The additive identity.
     const ZERO: Self;

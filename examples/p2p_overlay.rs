@@ -31,7 +31,15 @@
 //! cargo run --release --example p2p_overlay                   # 64 peers (default)
 //! cargo run --release --example p2p_overlay -- 256            # 256 peers
 //! cargo run --release --example p2p_overlay -- 64 --churn     # + membership churn
+//! cargo run --release --example p2p_overlay -- 64 --landmarks # + landmark bound cache
 //! ```
+//!
+//! `--landmarks` turns on the engine's cached landmark bound tier
+//! ([`LandmarkPolicy::Auto`]): every stability test consults ~√n cached
+//! full-graph distance rows before materializing exact deviation rows, and
+//! the run reports how many candidate subtrees the bounds pruned versus how
+//! many exact rows the searches still had to compute. The trajectory is
+//! byte-identical either way — admissible bounds never change a decision.
 
 use bbc::prelude::*;
 use bbc_graph::diameter::eccentricity;
@@ -42,13 +50,21 @@ fn main() -> Result<()> {
     // is CLI-tunable; 64 keeps the default run a few seconds.
     let mut peers: u64 = 64;
     let mut churn_mode = false;
+    let mut landmarks = false;
     for arg in std::env::args().skip(1) {
         if arg == "--churn" {
             churn_mode = true;
+        } else if arg == "--landmarks" {
+            landmarks = true;
         } else {
             peers = arg.parse().expect("peer count must be a number");
         }
     }
+    let policy = if landmarks {
+        LandmarkPolicy::Auto
+    } else {
+        LandmarkPolicy::Off
+    };
     let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
     let overlay = CayleyGraph::circulant(peers, &[1, 5]).expect("valid circulant");
     let spec = overlay.spec();
@@ -82,7 +98,8 @@ fn main() -> Result<()> {
     let budget = if peers <= 64 { 15_000 } else { 4 * peers };
     let mut walk = Walk::new(&spec, designed)
         .detect_cycles(false)
-        .prefill_threads(threads);
+        .prefill_threads(threads)
+        .with_landmarks(policy);
     let outcome = walk.run(budget)?;
     let selfish = walk.config();
     let selfish_cost = social_cost(&spec, selfish);
@@ -91,6 +108,19 @@ fn main() -> Result<()> {
         "after {} selfish rewirings ({outcome:?}): social cost {selfish_cost}, diameter {selfish_diam:?}",
         walk.stats().moves
     );
+    if landmarks {
+        let stats = walk.stats();
+        let engine = walk.engine_stats();
+        println!(
+            "landmark bound cache: {} landmark rows computed, {} candidate subtrees \
+             pruned by bounds, {} exact deviation rows still materialized \
+             (vs {} oracle traversals total)",
+            engine.landmark_rows_computed,
+            stats.bounds_hit,
+            stats.rows_materialized,
+            engine.oracle_rows_computed,
+        );
+    }
 
     // The stable-but-irregular alternative: a Forest of Willows of similar
     // scale and degree (k=2, h=4: 62 nodes).
@@ -120,7 +150,7 @@ fn main() -> Result<()> {
             prefill_threads: threads,
             ..ChurnConfig::default()
         };
-        let mut sim = ChurnSim::new(&spec, overlay.configuration(), cfg);
+        let mut sim = ChurnSim::new(&spec, overlay.configuration(), cfg).with_landmarks(policy);
         let report = sim.run()?;
         for (i, e) in report.events.iter().enumerate() {
             let what = match &e.event {
