@@ -6,11 +6,11 @@
 //! random games for no-equilibrium witnesses (used to pin down Theorem 7's
 //! BBC-max claim with a concrete, machine-checkable instance).
 
-use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 
+use bbc_core::det::DetHashSet;
 use bbc_core::{enumerate, Configuration, CostModel, GameSpec, Result, Walk, WalkOutcome};
 
 /// Outcome of a seeded dynamics harvest.
@@ -89,6 +89,7 @@ pub fn harvest_equilibria_parallel(
     }
     let mut merger = HarvestMerger::default();
     for (i, slot) in slots.into_iter().enumerate() {
+        // bbc-lint: allow(panic, the work-stealing loop fills every slot below the stop point before exiting)
         match slot.expect("seeds below the first failure are always processed") {
             Ok(verdict) => merger.absorb(seeds.start + i as u64, verdict),
             Err(e) => return Err(e),
@@ -125,7 +126,7 @@ fn walk_seed(spec: &GameSpec, seed: u64, max_steps: u64) -> Result<SeedVerdict> 
 /// both produce identical [`Harvest`] records by construction.
 #[derive(Default)]
 struct HarvestMerger {
-    seen: HashSet<Configuration>,
+    seen: DetHashSet<Configuration>,
     harvest: Harvest,
 }
 
@@ -194,6 +195,7 @@ fn run_walks_stealing(
             .collect();
         handles
             .into_iter()
+            // bbc-lint: allow(panic, the harvest driver returns a Vec, so re-raising the worker panic is the only sound option)
             .map(|h| h.join().expect("harvest worker panicked"))
             .collect()
     });
@@ -292,6 +294,7 @@ pub fn random_preference_game(
             }
         }
     }
+    // bbc-lint: allow(panic, the builder gets in-range weights and the default budget, which always validate)
     b.build().expect("random preference game is valid")
 }
 

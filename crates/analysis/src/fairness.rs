@@ -59,6 +59,7 @@ pub fn fairness_with(eval: &mut Evaluator<'_>, config: &Configuration) -> Fairne
     let spec = eval.spec();
     let k = spec
         .uniform_k()
+        // bbc-lint: allow(panic, documented # Panics contract: fairness bounds apply to uniform games only)
         .expect("fairness bounds apply to uniform games");
     let n = spec.node_count() as u64;
     let costs = eval.node_costs(config);

@@ -3,6 +3,8 @@
 //! instance search, and the table/report plumbing shared by the experiment
 //! binaries.
 
+#![forbid(unsafe_code)]
+
 pub mod equilibria;
 pub mod fairness;
 pub mod report;

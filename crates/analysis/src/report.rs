@@ -76,6 +76,7 @@ impl ExperimentReport {
         if let Some(parent) = path.parent() {
             fs::create_dir_all(parent)?;
         }
+        // bbc-lint: allow(panic, the report is a plain data struct; serialization cannot fail)
         let json = serde_json::to_string_pretty(self).expect("report serializes");
         fs::write(path, json)
     }

@@ -75,6 +75,7 @@ pub fn uniform_social_lower_bound(spec: &GameSpec) -> u64 {
     let n = spec.node_count();
     let k = spec
         .uniform_k()
+        // bbc-lint: allow(panic, documented # Panics contract: the bound applies to uniform games only)
         .expect("lower bound applies to uniform games");
     match spec.cost_model() {
         CostModel::SumDistance => n as u64 * uniform_min_node_cost(n, k),

@@ -1,1 +1,3 @@
 //! Criterion benchmarks for the BBC workspace (see benches/).
+
+#![forbid(unsafe_code)]

@@ -176,6 +176,7 @@ impl ForestOfWillows {
             }
         }
         Configuration::from_strategies(&self.spec(), strategies)
+            // bbc-lint: allow(panic, every willow node buys at most its budget in unit links by construction)
             .expect("forest of willows construction is within budget")
     }
 

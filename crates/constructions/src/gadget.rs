@@ -246,6 +246,7 @@ impl Gadget {
             }
         }
 
+        // bbc-lint: allow(panic, the Theorem 1 gadget parameters are fixed constants validated by the crate's tests)
         b.build().expect("gadget spec is valid")
     }
 
@@ -296,6 +297,7 @@ impl Gadget {
             for &(u, v) in links {
                 lists[u.index()].push(v);
             }
+            // bbc-lint: allow(panic, pennies states buy one affordable link per center by construction)
             Configuration::from_strategies(spec, lists).expect("pennies state is valid")
         };
         let tops = [
@@ -350,6 +352,7 @@ pub fn minimal_no_ne_witness() -> GameSpec {
             }
         }
     }
+    // bbc-lint: allow(panic, the witness spec parameters are fixed constants validated by the crate's tests)
     b.build().expect("witness spec is valid")
 }
 
@@ -384,6 +387,7 @@ pub fn max_gadget_spec() -> GameSpec {
     }
     b.cost_model(CostModel::MaxDistance)
         .build()
+        // bbc-lint: allow(panic, the max-gadget parameters are fixed constants validated by the crate's tests)
         .expect("max gadget spec is valid")
 }
 

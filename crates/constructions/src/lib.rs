@@ -16,6 +16,8 @@
 //! * [`basic`] — directed cycles, stars and near-optimal trees used as
 //!   baselines.
 
+#![forbid(unsafe_code)]
+
 pub mod basic;
 pub mod cayley;
 pub mod dynamics_lower_bound;

@@ -132,6 +132,7 @@ impl MaxPoaGraph {
                 lists[node.index()] = targets;
             }
         }
+        // bbc-lint: allow(panic, the construction spends exactly the per-node budget by design)
         Configuration::from_strategies(&spec, lists).expect("construction is within budget")
     }
 }

@@ -311,6 +311,7 @@ impl<'a> DeviationOracle<'a> {
             let i = self
                 .candidates
                 .binary_search(&t)
+                // bbc-lint: allow(panic, documented # Panics contract: callers must pass candidate targets)
                 .unwrap_or_else(|_| panic!("{t} is not a candidate target of {}", self.node));
             min_into(&mut row, view.row(i));
         }
@@ -324,6 +325,7 @@ pub(crate) fn weighted_targets_of(spec: &GameSpec, u: NodeId) -> Vec<(u32, u64)>
         .filter(|&v| v != u)
         .filter_map(|v| {
             let w = spec.weight(u, v);
+            // bbc-lint: allow(narrowing-cast, node ids are < n <= u32::MAX per GameSpec validation)
             (w > 0).then_some((v.index() as u32, w))
         })
         .collect()
@@ -701,6 +703,7 @@ pub(crate) fn run_search<W: RowWord>(
     let n = view.n();
     let m = view.candidates.len();
     scratch.reserve(m, n);
+    // bbc-lint: allow(panic, the engine's tier check proved the penalty representable in W)
     let penalty = W::from_u64(view.spec.penalty()).expect("penalty fits the row tier");
 
     // Optimistic completion rows: suffix[i] = elementwise min of rows[i..];
@@ -721,6 +724,7 @@ pub(crate) fn run_search<W: RowWord>(
         let k = view
             .spec
             .uniform_k()
+            // bbc-lint: allow(panic, plain_sum() returns true only for uniform sum games)
             .expect("plain_sum implies a uniform game");
         let agg = PlainSum {
             u: view.node.index(),
@@ -960,9 +964,10 @@ pub(crate) fn build_landmark_bounds<W: RowWord>(
         let b = part.block_of(c.index());
         if b != cur_block {
             cur_block = b;
-            group_block.push(b as u32);
-            group_start.push(i as u32);
+            group_block.push(b as u32); // bbc-lint: allow(narrowing-cast, block ids are < n <= u32::MAX)
+            group_start.push(i as u32); // bbc-lint: allow(narrowing-cast, i indexes candidates, bounded by n)
         }
+        // bbc-lint: allow(narrowing-cast, one group per block, so the count is bounded by n <= u32::MAX)
         scratch.group_of.push((group_block.len() - 1) as u32);
     }
     let groups = group_block.len();
@@ -1083,6 +1088,7 @@ pub(crate) fn run_search_landmark<W: RowWord>(
     let n = view.n();
     let m = view.candidates.len();
     scratch.reserve_without_suffix(m, n);
+    // bbc-lint: allow(panic, the engine's tier check proved the penalty representable in W)
     let penalty = W::from_u64(view.spec.penalty()).expect("penalty fits the row tier");
     scratch.levels[..n].fill(penalty);
     for i in (0..m).rev() {
@@ -1093,6 +1099,7 @@ pub(crate) fn run_search_landmark<W: RowWord>(
         let k = view
             .spec
             .uniform_k()
+            // bbc-lint: allow(panic, plain_sum() returns true only for uniform sum games)
             .expect("plain_sum implies a uniform game");
         let agg = PlainSum {
             u: view.node.index(),

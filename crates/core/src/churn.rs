@@ -444,6 +444,7 @@ impl<'a> ChurnSim<'a> {
         NodeId::all(self.capacity)
             .filter(|&u| self.walk.is_live(u) == live)
             .nth(i)
+            // bbc-lint: allow(panic, callers draw i below the live or departed member count)
             .expect("index drawn below the member count")
     }
 

@@ -1,0 +1,84 @@
+//! Deterministic hashed collections: the blessed pattern for `bbc-lint`'s
+//! L1 determinism rule.
+//!
+//! `std`'s default hasher is seeded per process and its algorithm is
+//! explicitly unspecified across Rust versions. A randomly-seeded map is
+//! fine right up until someone iterates it — at which point a byte-identity
+//! contract (decisions, trajectories, stream digests) silently depends on
+//! process entropy. Rather than audit every future call site for
+//! iteration, library code uses these version-pinned FNV-1a aliases
+//! wholesale: lookups behave identically, iteration order is a pure
+//! function of the inserted keys, and the allocation/timing profile stays
+//! reproducible in traces and benchmarks.
+//!
+//! FNV-1a is not DoS-resistant; nothing here hashes attacker-controlled
+//! input. If that ever changes, swap the hasher for a keyed one seeded
+//! from the run's fingerprint — not from process entropy.
+
+use std::collections::{HashMap, HashSet}; // bbc-lint: allow(determinism, this module defines the pinned-hasher aliases)
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a with the fixed 64-bit offset basis; version-pinned constants.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// `HashMap` with the pinned FNV-1a hasher: deterministic iteration order
+/// for a given insertion history, across processes and Rust versions.
+pub type DetHashMap<K, V> = HashMap<K, V, BuildHasherDefault<Fnv1a>>;
+
+/// `HashSet` with the pinned FNV-1a hasher.
+pub type DetHashSet<K> = HashSet<K, BuildHasherDefault<Fnv1a>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn hash_values_are_version_pinned() {
+        // FNV-1a reference vectors: any drift here would change walk-history
+        // memory layouts (and anything that ever iterates a Det map).
+        let hash = |bytes: &[u8]| {
+            let mut h = Fnv1a::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn iteration_order_is_a_function_of_insertions() {
+        let build = || {
+            let mut m = DetHashMap::default();
+            for k in [3u64, 1, 4, 1, 5, 9, 2, 6] {
+                m.insert(k, k * 10);
+            }
+            m.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+
+        let hasher = BuildHasherDefault::<Fnv1a>::default();
+        assert_eq!(hasher.hash_one(7u64), hasher.hash_one(7u64));
+    }
+}

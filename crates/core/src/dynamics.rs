@@ -11,48 +11,21 @@
 //! * the first step at which the network becomes strongly connected, the
 //!   quantity bounded by `n²` in Theorem 6.
 
-use std::collections::{BTreeSet, HashMap};
-use std::hash::{BuildHasherDefault, Hasher};
+use std::collections::BTreeSet;
 use std::ops::Bound;
 
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+// The walk history map is lookup-only (keys are compared with `Eq` and the
+// map is never iterated), so even a random hasher could not leak into walk
+// *outcomes* — but the pinned [`crate::det`] hasher keeps the walk's memory
+// layout, and therefore its exact allocation/timing profile in traces and
+// benchmarks, reproducible too.
+use crate::det::DetHashMap;
 use crate::{
     best_response::BestResponseOptions, Configuration, DistanceEngine, GameSpec, NodeId, Result,
 };
-
-/// FNV-1a, fixed offset basis — a deterministic hasher for the walk history.
-///
-/// `std`'s default hasher is seeded per process and its algorithm is
-/// explicitly unspecified across Rust versions. Neither can leak into walk
-/// *outcomes* (the history map is lookup-only: keys are compared with `Eq`
-/// and the map is never iterated), but a version-pinned hash keeps the
-/// walk's memory layout — and therefore its exact allocation/timing profile
-/// in traces and benchmarks — reproducible too.
-#[derive(Clone, Copy, Debug)]
-struct Fnv1a(u64);
-
-impl Default for Fnv1a {
-    fn default() -> Self {
-        Self(0xcbf2_9ce4_8422_2325)
-    }
-}
-
-impl Hasher for Fnv1a {
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-type DetHashMap<K, V> = HashMap<K, V, BuildHasherDefault<Fnv1a>>;
 
 /// Which node moves next.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -293,6 +266,7 @@ impl<'a> Walk<'a> {
     ///
     /// Panics if a [`Scheduler::RoundRobinOrder`] is not a permutation of all
     /// nodes.
+    #[must_use]
     pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
         match &scheduler {
             Scheduler::RoundRobinOrder(order) => {
@@ -340,6 +314,7 @@ impl<'a> Walk<'a> {
     }
 
     /// Overrides best-response search options.
+    #[must_use]
     pub fn with_options(mut self, options: BestResponseOptions) -> Self {
         self.options = BestResponseOptions {
             stop_at_first_improvement: false,
@@ -357,6 +332,7 @@ impl<'a> Walk<'a> {
     /// [`Scheduler::Random`] — a revisited configuration does not imply a
     /// loop when moves are drawn randomly — but revives if the walk is
     /// switched back to a deterministic policy before running.
+    #[must_use]
     pub fn detect_cycles(mut self, yes: bool) -> Self {
         self.want_cycles = yes;
         self.reconcile_history();
@@ -401,6 +377,7 @@ impl<'a> Walk<'a> {
     /// outcome, configuration, steps, moves — is byte-identical for every
     /// thread count; only wall-clock changes. Values ≤ 1 keep the
     /// sequential path.
+    #[must_use]
     pub fn prefill_threads(mut self, threads: usize) -> Self {
         self.prefill = threads.max(1);
         self
@@ -507,6 +484,7 @@ impl<'a> Walk<'a> {
                     let i = self
                         .rng
                         .as_mut()
+                        // bbc-lint: allow(panic, the constructor builds an rng whenever the scheduler is Random)
                         .expect("random scheduler has rng")
                         .gen_range(0..live_count);
                     // Under full membership the i-th live node *is* node i;
@@ -517,6 +495,7 @@ impl<'a> Walk<'a> {
                         self.engine
                             .live_nodes()
                             .nth(i)
+                            // bbc-lint: allow(panic, gen_range drew i below live_count, so the iterator has an i-th element)
                             .expect("index drawn below live count")
                     };
                     let moved = self.step_node(u)?;
@@ -619,6 +598,7 @@ impl<'a> Walk<'a> {
         let mut cursor: Option<(u64, u32)> = None;
         loop {
             let next = {
+                // bbc-lint: allow(panic, the match arm above constructed self.mcf before looping)
                 let state = self.mcf.as_ref().expect("built above");
                 match cursor {
                     None => state.queue.first().copied(),
@@ -689,6 +669,7 @@ impl<'a> Walk<'a> {
         }
         self.engine
             .apply_strategy(u, new)
+            // bbc-lint: allow(panic, the best response came from the same spec and engine that validate it)
             .expect("best response produced an invalid strategy");
         self.stats.moves += 1;
         self.note_connectivity();

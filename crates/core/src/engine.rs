@@ -341,6 +341,7 @@ impl<'a> DistanceEngine<'a> {
     /// Panics if `config`'s node count differs from the spec's.
     pub fn new(spec: &'a GameSpec, config: Configuration) -> Self {
         Self::with_tier(spec, config, RowTier::auto(spec))
+            // bbc-lint: allow(panic, RowTier::auto picks u64 whenever u32 does not fit, and the u64 tier never errs)
             .expect("the automatic tier always fits the spec")
     }
 
@@ -709,6 +710,7 @@ impl<'a, W: RowWord> EngineCore<'a, W> {
             fill_links(spec, u, config.strategy(u), &mut link_scratch);
             csr.set_out_links(u.index(), &link_scratch);
         }
+        // bbc-lint: allow(panic, with_tier validated the penalty against the tier before reaching here)
         let penalty = W::from_u64(spec.penalty()).expect("tier checked before construction");
         Ok(Self {
             spec,
@@ -789,6 +791,7 @@ impl<'a, W: RowWord> EngineCore<'a, W> {
         for u in NodeId::all(self.config.node_count()) {
             if self.config.strategy(u) != config.strategy(u) {
                 self.apply_strategy(u, config.strategy(u).to_vec())
+                    // bbc-lint: allow(panic, the synced configuration came from a sibling engine that already validated it)
                     .expect("synced configuration holds valid strategies");
             }
         }
@@ -889,6 +892,7 @@ impl<'a, W: RowWord> EngineCore<'a, W> {
             }
             let c = oc.candidates[i];
             let offset = W::from_u64(self.spec.link_length(u, c))
+                // bbc-lint: allow(panic, link lengths are below the penalty, which the tier check proved representable)
                 .expect("link length is below the penalty, which fits the tier");
             let (dist, touched) = if unit {
                 self.bfs
@@ -917,6 +921,7 @@ impl<'a, W: RowWord> EngineCore<'a, W> {
         }
         let c = oc.candidates[i];
         let offset = W::from_u64(self.spec.link_length(u, c))
+            // bbc-lint: allow(panic, link lengths are below the penalty, which the tier check proved representable)
             .expect("link length is below the penalty, which fits the tier");
         let (dist, touched) = if self.spec.has_unit_lengths() {
             self.bfs
@@ -1046,6 +1051,7 @@ impl<'a, W: RowWord> EngineCore<'a, W> {
             let i = self
                 .stage_candidates
                 .binary_search(&t)
+                // bbc-lint: allow(panic, apply_strategy validated every held target as a live affordable candidate)
                 .expect("a held strategy target is always a live, affordable candidate");
             min_into(&mut self.current_row, &self.clamped[i * n..(i + 1) * n]);
         }
@@ -1087,6 +1093,7 @@ impl<'a, W: RowWord> EngineCore<'a, W> {
             let i = self.oracle[u.index()]
                 .candidates
                 .binary_search(&t)
+                // bbc-lint: allow(panic, apply_strategy validated every held target as an affordable candidate)
                 .expect("a held strategy target is always an affordable candidate");
             self.fill_oracle_row(u, i);
         }
@@ -1134,9 +1141,11 @@ impl<'a, W: RowWord> EngineCore<'a, W> {
             }
             stage_candidates.push(c);
             stage_prices.push(oc.prices[i]);
+            // bbc-lint: allow(narrowing-cast, i indexes the candidate list, bounded by n <= u32::MAX)
             stage_oracle_idx.push(i as u32);
             stage_lengths.push(
                 W::from_u64(spec.link_length(u, c))
+                    // bbc-lint: allow(panic, link lengths are below the penalty, which the tier check proved representable)
                     .expect("link length is below the penalty, which fits the tier"),
             );
             if slot.valid {
@@ -1170,6 +1179,7 @@ impl<'a, W: RowWord> EngineCore<'a, W> {
         for &t in &strategy {
             let i = stage_candidates
                 .binary_search(&t)
+                // bbc-lint: allow(panic, apply_strategy validated every held target as a live affordable candidate)
                 .expect("a held strategy target is always a live, affordable candidate");
             min_into(current_row, &clamped[i * n..(i + 1) * n]);
         }
@@ -1247,6 +1257,7 @@ impl<'a, W: RowWord> EngineCore<'a, W> {
             }
             let w = self.spec.weight(u, v);
             if w > 0 {
+                // bbc-lint: allow(narrowing-cast, node ids are < n <= u32::MAX per GameSpec validation)
                 mt.targets.push((v.index() as u32, w));
             }
         }
@@ -1406,6 +1417,7 @@ impl<'a, W: RowWord> EngineCore<'a, W> {
                             .map(|&(u, i)| {
                                 let c = oracle[u].candidates[i];
                                 let offset = W::from_u64(spec.link_length(NodeId::new(u), c))
+                                    // bbc-lint: allow(panic, link lengths are below the penalty, which the tier check proved representable)
                                     .expect(
                                         "link length is below the penalty, which fits the tier",
                                     );
@@ -1424,6 +1436,7 @@ impl<'a, W: RowWord> EngineCore<'a, W> {
                 .collect();
             handles
                 .into_iter()
+                // bbc-lint: allow(panic, prefill returns a traversal count, not a Result; re-raising the worker panic is the only sound option)
                 .map(|h| h.join().expect("row-filling thread panicked"))
                 .collect()
         });
@@ -1461,10 +1474,12 @@ impl<'a, W: RowWord> EngineCore<'a, W> {
                     .filter(|&t| t != u)
                     .collect();
                 self.apply_strategy(w, stripped)
+                    // bbc-lint: allow(panic, removing a target from a valid strategy cannot violate budget or liveness)
                     .expect("dropping a target keeps a strategy valid");
             }
         }
         self.apply_strategy(u, Vec::new())
+            // bbc-lint: allow(panic, the empty strategy is trivially valid for any live node)
             .expect("the empty strategy is always valid");
         self.live.remove(u.index());
         self.live_count -= 1;
@@ -1490,6 +1505,7 @@ impl<'a, W: RowWord> EngineCore<'a, W> {
         self.live.insert(u.index());
         self.live_count += 1;
         self.apply_strategy(u, targets)
+            // bbc-lint: allow(panic, the loop above checked every target live, and the spec validated the strategy)
             .expect("strategy pre-validated against spec and membership");
         self.after_membership_change();
         Ok(())
@@ -1553,6 +1569,7 @@ fn fill_links(spec: &GameSpec, u: NodeId, targets: &[NodeId], out: &mut Vec<(u32
     out.extend(
         targets
             .iter()
+            // bbc-lint: allow(narrowing-cast, node ids are < n <= u32::MAX per GameSpec validation)
             .map(|&v| (v.index() as u32, spec.link_length(u, v))),
     );
 }

@@ -223,6 +223,8 @@ pub fn find_equilibria_parallel(
     let cursor = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
     let per_worker: Vec<Vec<(u64, Result<EnumerationResult>)>> = std::thread::scope(|scope| {
+        // Returns Result so a panicked worker surfaces as a typed error in
+        // the caller's thread instead of re-raising the panic here.
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
@@ -257,9 +259,13 @@ pub fn find_equilibria_parallel(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("enumeration worker panicked"))
-            .collect()
-    });
+            .map(|h| {
+                h.join().map_err(|_| Error::WorkerPanicked {
+                    section: "equilibrium enumeration",
+                })
+            })
+            .collect::<Result<_>>()
+    })?;
 
     let mut by_shard: Vec<(u64, Result<EnumerationResult>)> =
         per_worker.into_iter().flatten().collect();
@@ -419,11 +425,13 @@ pub fn find_equilibria_parallel_resumable(
                         Ok(()) => {
                             flush
                                 .lock()
+                                // bbc-lint: allow(panic, poison means a sibling worker already panicked; joining that crash is the only sound move from a closure returning unit)
                                 .expect("flush lock poisoned")
                                 .complete(shard, result);
                         }
                         Err(e) => {
                             stop.store(true, Ordering::Relaxed);
+                            // bbc-lint: allow(panic, poison means a sibling worker already panicked; joining that crash is the only sound move from a closure returning unit)
                             let mut slot = first_error.lock().expect("error lock poisoned");
                             if slot.as_ref().is_none_or(|(s, _)| shard < *s) {
                                 *slot = Some((shard, e));
@@ -435,10 +443,18 @@ pub fn find_equilibria_parallel_resumable(
             });
         }
     });
-    if let Some((_, e)) = first_error.into_inner().expect("error lock poisoned") {
+    // Back in the caller's thread a poisoned lock can surface as a typed
+    // error instead of a second panic.
+    let worker_panicked = Error::WorkerPanicked {
+        section: "resumable enumeration",
+    };
+    if let Some((_, e)) = first_error
+        .into_inner()
+        .map_err(|_| worker_panicked.clone())?
+    {
         return Err(e);
     }
-    let flush = flush.into_inner().expect("flush lock poisoned");
+    let flush = flush.into_inner().map_err(|_| worker_panicked)?;
     debug_assert!(
         flush.pending.is_empty(),
         "error-free scan flushed every shard"
@@ -501,6 +517,7 @@ impl<'a> ShardWorker<'a> {
             // patching exactly the digits the carry resets.
             let mut d = n - 1;
             loop {
+                // bbc-lint: allow(panic, scan_linear_range seeks before ticking, so idx is Some by construction)
                 let idx = self.idx.as_mut().expect("seek positioned the odometer");
                 idx[d] += 1;
                 if idx[d] < self.sizes[d] {
@@ -552,10 +569,12 @@ impl<'a> ShardWorker<'a> {
 
     /// Rewires node `d` to its current odometer digit's strategy.
     fn set_digit(&mut self, d: usize) {
+        // bbc-lint: allow(panic, both callers write self.idx = Some(..) before calling set_digit)
         let i = self.idx.as_ref().expect("odometer positioned")[d];
         let strategy = self.space.per_node[d][i].clone();
         self.engine
             .apply_strategy(NodeId::new(d), strategy)
+            // bbc-lint: allow(panic, ProfileSpace constructors validate every candidate against the spec)
             .expect("candidates pre-validated");
     }
 }

@@ -88,6 +88,14 @@ pub enum Error {
         /// The departed target.
         target: NodeId,
     },
+    /// A parallel worker thread panicked (or poisoned a shared lock while
+    /// panicking). The underlying panic payload has already been printed by
+    /// the default hook; this variant lets the driver fail its whole batch
+    /// with a typed error instead of re-raising in the caller's thread.
+    WorkerPanicked {
+        /// Which parallel section lost the worker.
+        section: &'static str,
+    },
     /// A forced-u32 engine was requested for a spec whose clamped rows do
     /// not fit the narrow word: `n·M` must stay within `u32::MAX` so that
     /// every row aggregate is representable without wrapping.
@@ -146,6 +154,9 @@ impl fmt::Display for Error {
                     f,
                     "node {node} links to {target}, which is not a live member"
                 )
+            }
+            Error::WorkerPanicked { section } => {
+                write!(f, "a {section} worker thread panicked")
             }
             Error::RowTierOverflow { n, penalty } => {
                 write!(

@@ -43,9 +43,12 @@
 //! # Ok::<(), bbc_core::Error>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod best_response;
 pub mod churn;
 pub mod config;
+pub mod det;
 pub mod dynamics;
 pub mod engine;
 pub mod enumerate;

@@ -162,6 +162,7 @@ impl<'a> Oracle<'a> {
             let i = self
                 .candidates
                 .binary_search(&t)
+                // bbc-lint: allow(panic, frozen reference: callers pass candidate targets by contract)
                 .unwrap_or_else(|_| panic!("{t} is not a candidate target of {}", self.node));
             min_into(&mut row, &self.rows[i]);
         }

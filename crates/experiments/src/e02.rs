@@ -99,12 +99,14 @@ pub fn run(opts: &RunOptions) -> Outcome {
         let spec = reduction.spec();
         let space = reduction
             .profile_space(&spec)
+            // bbc-lint: allow(panic, reduction spaces for the pinned formulas are small by construction)
             .expect("candidate space builds");
         let profile_count = space.profile_count();
 
         let (game_ne, profiles_str) = if profile_count <= 3_000_000 {
             let threads = crate::default_threads();
             let result = enumerate::find_equilibria_parallel(&spec, &space, 3_000_000, threads)
+                // bbc-lint: allow(panic, run() has no error channel; the profile_count gate above bounds the scan)
                 .expect("scan fits budget");
             (
                 !result.equilibria.is_empty(),
@@ -116,6 +118,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
             let canonical = reduction.canonical_equilibrium(&spec, assignment);
             let stable = StabilityChecker::new(&spec)
                 .is_stable(&canonical)
+                // bbc-lint: allow(panic, run() has no error channel; stability checks on the pinned formulas fit the default budget)
                 .expect("stability check fits budget");
             (stable, format!("canonical/{profile_count}"))
         } else {

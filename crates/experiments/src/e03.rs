@@ -66,6 +66,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
         let mut last_rel: f64 = f64::NAN;
         for &d in resolutions {
             let rel = if let Some(rows) = table.begin_point() {
+                // bbc-lint: allow(panic, a claimed checkpoint point always replays the row it wrote)
                 rows.first().expect("lattice row recorded").raw_f64(0)
             } else {
                 let game = FractionalGame::new(spec, d);
@@ -77,6 +78,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
                     rounds,
                     &options,
                 )
+                // bbc-lint: allow(panic, run() has no error channel; the lattice budget is sized above the pinned resolutions)
                 .expect("lattice search fits budget");
                 let rel = regret as f64 / d as f64;
                 table.row_raw(

@@ -85,6 +85,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
         let (mode, stable) = if n <= 64 {
             let stable = StabilityChecker::new(&spec)
                 .is_stable(&cfg)
+                // bbc-lint: allow(panic, run() has no error channel; the n <= 64 gate keeps the exact check in budget)
                 .expect("exact check fits budget");
             ("full-exact", stable)
         } else {
@@ -94,6 +95,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
             let mut stable = true;
             for (_, rep) in fow.representative_nodes() {
                 let out = best_response::exact(&spec, &cfg, rep, &options)
+                    // bbc-lint: allow(panic, run() has no error channel; representative best responses fit the default budget)
                     .expect("exact best response fits budget");
                 if out.improves() {
                     stable = false;

@@ -109,6 +109,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
         let best_ratio = social::price_ratio(&best.spec(), &best.configuration());
         pos_ratios.push(best_ratio);
 
+        // bbc-lint: allow(panic, the (k,h,l) grid is pre-filtered to constructible willows)
         let worst = ForestOfWillows::new(k, h, l).expect("constrained tail exists");
         let n_worst = worst.node_count();
         let worst_ratio = social::price_ratio(&worst.spec(), &worst.configuration());
@@ -118,6 +119,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
 
         // Lemma 7: the diameter of any stable graph is O(√(n·log_k n)).
         let diam = bbc_graph::diameter::diameter(&worst.configuration().to_graph(&worst.spec()))
+            // bbc-lint: allow(panic, willow equilibria are strongly connected by Lemma 7, so the diameter exists)
             .expect("willows are strongly connected");
         let logk = (n_worst as f64).ln() / (k as f64).ln();
         let l7_bound = (n_worst as f64 * logk).sqrt();

@@ -65,6 +65,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
         let mut engine = DistanceEngine::new(&spec, cfg.clone());
         let stable = StabilityChecker::new(&spec)
             .is_stable_with_engine(&mut engine)
+            // bbc-lint: allow(panic, run() has no error channel; the pinned constructions fit the default budget)
             .expect("exact max-model check fits budget");
         all_stable &= stable;
         let cost = engine.social_cost();

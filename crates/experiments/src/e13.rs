@@ -140,6 +140,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
                 stop_at_first_improvement: true,
             },
         )
+        // bbc-lint: allow(panic, run() has no error channel; the k=2 subset search fits the default budget)
         .expect("k=2 subset search fits budget");
         let unstable = deviation.improves();
         all_unstable &= unstable;
@@ -151,6 +152,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
             .detect_cycles(false)
             .prefill_threads(crate::default_threads())
             .with_landmarks(crate::landmark_policy_from_env());
+        // bbc-lint: allow(panic, run() has no error channel; walk budgets are sized above the pinned grid)
         let outcome = walk.run(budget).expect("walk fits budget");
         let settled = matches!(
             outcome,

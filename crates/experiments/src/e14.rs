@@ -186,6 +186,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
         let sim_report = ChurnSim::new(&spec, designed.clone(), cfg)
             .with_landmarks(crate::landmark_policy_from_env())
             .run()
+            // bbc-lint: allow(panic, run() has no error channel; churn budgets are sized above the pinned phases)
             .expect("churn phases fit the search budget");
 
         // Determinism cross-check on the first (cheapest) point: a second
@@ -196,6 +197,7 @@ pub fn run(opts: &RunOptions) -> Outcome {
             let again = ChurnSim::new(&spec, designed, churn_config(point, other_threads))
                 .with_landmarks(crate::landmark_policy_from_env())
                 .run()
+                // bbc-lint: allow(panic, run() has no error channel; churn budgets are sized above the pinned phases)
                 .expect("cross-check fits the search budget");
             again.trajectory_digest == sim_report.trajectory_digest
         } else {

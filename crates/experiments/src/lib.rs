@@ -21,6 +21,8 @@
 //! | [`e13`] | Thm 5 / §4.3 / §1.1 | 256-peer overlay churn sweep (parallel oracle prefill) |
 //! | [`e14`] | §1.1 / §4.3 churn runtime | dynamic-membership sweep: join/leave events × peer count |
 
+#![forbid(unsafe_code)]
+
 use bbc_analysis::{ExperimentReport, Table};
 
 pub mod scan;

@@ -84,6 +84,7 @@ pub fn resumable_scan(
             point_claimed = true;
             break;
         };
+        // bbc-lint: allow(panic, the scan writes exactly one row per checkpoint point, enforced at write time)
         let row = rows.first().expect("each checkpoint point has one row");
         assert_eq!(
             row.raw_u64(0),
@@ -92,6 +93,7 @@ pub fn resumable_scan(
         );
         merged.profiles_checked += row.raw_u64(1);
         let equilibria: Vec<Configuration> = serde_json::from_str(row.raw_str(2))
+            // bbc-lint: allow(panic, a corrupt checkpoint is unrecoverable by design; the message tells the user to rerun --fresh)
             .expect("corrupt scan checkpoint replay state; rerun with --fresh");
         merged.equilibria.extend(equilibria);
         groups_done += 1;
@@ -117,6 +119,7 @@ pub fn resumable_scan(
                 debug_assert!(claimed.is_none(), "scanning past the replayed prefix");
             }
             let equilibria_json =
+                // bbc-lint: allow(panic, configurations are plain data structs; serialization cannot fail)
                 serde_json::to_string(&range.equilibria).expect("configurations serialize");
             table.row_raw(
                 &[

@@ -210,6 +210,7 @@ impl StreamRecord {
     /// As [`StreamRecord::raw_f64`].
     pub fn raw_str(&self, i: usize) -> &str {
         self.raw.get(i).map_or_else(
+            // bbc-lint: allow(panic, documented # Panics contract: a corrupt resume stream is unrecoverable by design)
             || panic!("{}", Self::raw_corrupt(&self.experiment, self.seq, i)),
             String::as_str,
         )
@@ -219,6 +220,7 @@ impl StreamRecord {
         self.raw
             .get(i)
             .and_then(|s| s.parse().ok())
+            // bbc-lint: allow(panic, documented # Panics contract: a corrupt resume stream is unrecoverable by design)
             .unwrap_or_else(|| panic!("{}", Self::raw_corrupt(&self.experiment, self.seq, i)))
     }
 
@@ -340,6 +342,7 @@ impl StreamingTable {
         }
         let mut rows = Vec::new();
         while self.replay.front().is_some_and(|r| r.point == point) {
+            // bbc-lint: allow(panic, the loop guard just proved the front record exists)
             let record = self.replay.pop_front().expect("front exists");
             self.table.row(&record.cells);
             self.seq += 1;
@@ -377,6 +380,7 @@ impl StreamingTable {
             raw: raw.iter().map(|r| r.as_ref().to_string()).collect(),
         };
         self.seq += 1;
+        // bbc-lint: allow(panic, stream records are plain data structs; serialization cannot fail)
         let line = serde_json::to_string(&record).expect("stream record serializes");
         self.write_line(&line);
     }
@@ -427,6 +431,7 @@ impl StreamingTable {
             rows: self.seq,
             points: self.next_point,
         };
+        // bbc-lint: allow(panic, the stream footer is a plain data struct; serialization cannot fail)
         let line = serde_json::to_string(&end).expect("stream footer serializes");
         self.write_line(&line);
         self.table
@@ -472,6 +477,7 @@ impl StreamingTable {
             schema: STREAM_SCHEMA,
             fingerprint: self.fingerprint.clone(),
         };
+        // bbc-lint: allow(panic, the stream header is a plain data struct; serialization cannot fail)
         let line = serde_json::to_string(&header).expect("stream header serializes");
         self.write_line(&line);
     }
@@ -595,6 +601,7 @@ fn scan_stream(
             Some(last) => {
                 let tail_point = last.point;
                 while records.last().is_some_and(|r| r.point == tail_point) {
+                    // bbc-lint: allow(panic, the while guard just proved the last record exists)
                     let dropped = records.pop().expect("last exists");
                     keep_bytes -= dropped_line_len(text, keep_bytes);
                     debug_assert_eq!(dropped.point, tail_point);

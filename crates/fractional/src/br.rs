@@ -93,6 +93,7 @@ pub fn best_response(
             }
             scratch
                 .set_allocation(game, u, current.clone())
+                // bbc-lint: allow(panic, the enumerator only yields allocations on the budget simplex)
                 .expect("enumerated allocation is valid");
             let cost = game.node_cost_scaled(scratch, u);
             if cost < *best_cost {
@@ -188,6 +189,7 @@ pub fn iterate_best_responses(
             if out.regret() > 0 {
                 config
                     .set_allocation(game, u, out.best_allocation)
+                    // bbc-lint: allow(panic, best_response returns allocations validated against the same game)
                     .expect("best response allocation is valid");
                 moved = true;
             }
@@ -230,6 +232,7 @@ pub fn min_regret_along_dynamics(
             if out.regret() > 0 {
                 config
                     .set_allocation(game, u, out.best_allocation)
+                    // bbc-lint: allow(panic, best_response returns allocations validated against the same game)
                     .expect("best response allocation is valid");
                 moved = true;
             }
@@ -280,6 +283,7 @@ pub fn averaged_play_regret(
             if out.regret() > 0 {
                 config
                     .set_allocation(game, u, out.best_allocation)
+                    // bbc-lint: allow(panic, best_response returns allocations validated against the same game)
                     .expect("best response allocation is valid");
             }
         }
@@ -294,6 +298,7 @@ pub fn averaged_play_regret(
             let alloc = round_average_to_lattice(game, NodeId::new(u), sum_row, round as u64);
             averaged
                 .set_allocation(game, NodeId::new(u), alloc)
+                // bbc-lint: allow(panic, rounding preserves the row sum, which equals the budget)
                 .expect("rounded average respects the budget");
         }
         let regret = max_regret(game, &averaged, options)?;
@@ -304,6 +309,7 @@ pub fn averaged_play_regret(
             break;
         }
     }
+    // bbc-lint: allow(panic, the loop body runs at least once and always sets best)
     Ok(best.expect("at least one round ran"))
 }
 

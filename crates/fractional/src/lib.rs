@@ -27,6 +27,8 @@
 //! # Ok::<(), bbc_core::Error>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod br;
 pub mod flow;
 pub mod game;

@@ -146,6 +146,7 @@ impl CsrGraph {
                 self.targets[start + i] = to;
                 self.lengths[start + i] = len;
             }
+            // bbc-lint: allow(narrowing-cast, len <= cap already fits the span word)
             self.spans[u].len = links.len() as u32;
             return;
         }
@@ -164,9 +165,9 @@ impl CsrGraph {
         self.targets.resize(start + cap, 0);
         self.lengths.resize(start + cap, 0);
         self.spans[u] = Span {
-            start: start as u32,
-            len: links.len() as u32,
-            cap: cap as u32,
+            start: start as u32, // bbc-lint: allow(narrowing-cast, start+cap <= u32::MAX asserted above)
+            len: links.len() as u32, // bbc-lint: allow(narrowing-cast, len < cap <= u32::MAX asserted above)
+            cap: cap as u32, // bbc-lint: allow(narrowing-cast, start+cap <= u32::MAX asserted above)
         };
 
         if self.dead_slots > self.targets.len() / 2 && self.targets.len() > 64 {
@@ -201,6 +202,7 @@ impl CsrGraph {
         for w in 0..self.spans.len() {
             if w != u {
                 assert!(
+                    // bbc-lint: allow(narrowing-cast, u < spans.len() <= u32::MAX per the constructor assert)
                     !self.out_targets(w).contains(&(u as u32)),
                     "node {w} still links to removed node {u}"
                 );
@@ -265,6 +267,7 @@ impl CsrGraph {
         let mut targets = Vec::with_capacity(total_cap);
         let mut lengths = Vec::with_capacity(total_cap);
         for s in &mut self.spans {
+            // bbc-lint: allow(narrowing-cast, compaction only shrinks an arena already asserted to fit u32)
             let start = targets.len() as u32;
             let range = s.start as usize..(s.start + s.len) as usize;
             targets.extend_from_slice(&self.targets[range.clone()]);
@@ -353,6 +356,7 @@ impl CsrBfs {
         self.touched.clear();
         self.queue.clear();
         self.dist[source] = 0;
+        // bbc-lint: allow(narrowing-cast, source < n <= u32::MAX per the constructor assert)
         self.queue.push(source as u32);
         let mut head = 0;
         while head < self.queue.len() {
@@ -440,6 +444,7 @@ impl CsrDijkstra {
         self.touched.clear();
         self.heap.clear();
         self.dist[source] = 0;
+        // bbc-lint: allow(narrowing-cast, source < n <= u32::MAX per the constructor assert)
         self.heap.push(std::cmp::Reverse((0, source as u32)));
         while let Some(std::cmp::Reverse((d, u))) = self.heap.pop() {
             let u = u as usize;
@@ -518,7 +523,12 @@ impl ConnectivityScratch {
         }
         let root = match live {
             None => 0,
-            Some(l) => l.iter().next().expect("live_count > 1") as u32,
+            Some(l) => {
+                // bbc-lint: allow(panic, the live_count() > 1 early-return above guarantees a live node)
+                let first = l.iter().next().expect("live_count > 1");
+                // bbc-lint: allow(narrowing-cast, live node ids are < n <= u32::MAX per the constructor assert)
+                first as u32
+            }
         };
         // Forward sweep from the first live node.
         self.visited.clear();
@@ -559,6 +569,7 @@ impl ConnectivityScratch {
         for u in 0..n {
             for &t in g.out_targets(u) {
                 let slot = self.cursor[t as usize];
+                // bbc-lint: allow(narrowing-cast, u < n <= u32::MAX per the constructor assert)
                 self.rev_targets[slot as usize] = u as u32;
                 self.cursor[t as usize] += 1;
             }

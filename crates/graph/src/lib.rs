@@ -24,6 +24,8 @@
 //! assert!(bbc_graph::scc::is_strongly_connected(&g));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bfs;
 pub mod bitset;
 pub mod blocks;

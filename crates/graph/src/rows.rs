@@ -154,6 +154,7 @@ impl<W: RowWord> ClampedBfs<W> {
         self.touched.clear();
         self.queue.clear();
         self.dist[source] = offset;
+        // bbc-lint: allow(narrowing-cast, source < n <= u32::MAX per the CSR constructor assert)
         self.queue.push(source as u32);
         let mut head = 0;
         while head < self.queue.len() {
@@ -242,6 +243,7 @@ impl<W: RowWord> ClampedDijkstra<W> {
         self.touched.clear();
         self.heap.clear();
         self.dist[source] = offset;
+        // bbc-lint: allow(narrowing-cast, source < n <= u32::MAX per the CSR constructor assert)
         self.heap.push(std::cmp::Reverse((offset, source as u32)));
         while let Some(std::cmp::Reverse((d, u))) = self.heap.pop() {
             let u = u as usize;
@@ -258,6 +260,7 @@ impl<W: RowWord> ClampedDijkstra<W> {
                 let nd = d.widen() + len;
                 if nd < self.dist[v].widen() {
                     debug_assert!(nd < clamp.widen(), "finite distance saturated the clamp");
+                    // bbc-lint: allow(panic, nd < dist[v] <= clamp, and the tier guarantees clamp fits W)
                     let nd = W::from_u64(nd).expect("relaxed distance below the clamp");
                     self.dist[v] = nd;
                     self.heap.push(std::cmp::Reverse((nd, t)));

@@ -163,6 +163,7 @@ impl TarjanState {
     fn close_component(&mut self, root: usize) {
         let mut comp = Vec::new();
         loop {
+            // bbc-lint: allow(panic, tarjan pushes root before recursing, so the stack holds the component)
             let w = self.stack.pop().expect("tarjan stack underflow") as usize;
             self.on_stack[w] = false;
             comp.push(w);

@@ -1,0 +1,15 @@
+// bbc-lint-fixture:
+// Suppression hygiene: an allow without a reason is malformed (and does
+// not suppress), an allow that suppresses nothing is dead weight, and an
+// unknown lint id is rejected.
+
+pub fn missing_reason(o: Option<u32>) -> u32 {
+    o.unwrap() // bbc-lint: allow(panic) ~ ERROR malformed-allow ~ ERROR panic
+}
+
+// bbc-lint: allow(panic, nothing on the next line panics) ~ ERROR unused-allow
+pub fn nothing_to_suppress() {}
+
+pub fn unknown_lint(o: Option<u32>) -> u32 {
+    o.unwrap() // bbc-lint: allow(panics-ok, typo'd id) ~ ERROR malformed-allow ~ ERROR panic
+}

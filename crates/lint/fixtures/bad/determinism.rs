@@ -1,0 +1,30 @@
+// bbc-lint-fixture:
+// L1: default-hasher collections and nondeterminism sources must fire.
+use std::collections::HashMap; //~ ERROR determinism
+use std::collections::HashSet; //~ ERROR determinism
+
+pub fn iteration_order_leaks(m: HashMap<u32, u64>) -> Vec<u32> { //~ ERROR determinism
+    m.keys().copied().collect()
+}
+
+pub fn seen() -> HashSet<u64> { //~ ERROR determinism
+    HashSet::new() //~ ERROR determinism
+}
+
+pub fn wall_clock() -> u128 {
+    let t = Instant::now(); //~ ERROR determinism
+    t.elapsed().as_nanos()
+}
+
+pub fn os_time() -> u64 {
+    let _t = SystemTime::now(); //~ ERROR determinism
+    0
+}
+
+pub fn entropy() -> u64 {
+    thread_rng().gen() //~ ERROR determinism
+}
+
+pub fn seeded_state(s: RandomState) -> u64 { //~ ERROR determinism
+    0
+}

@@ -1,0 +1,10 @@
+// bbc-lint-fixture: reference
+// L3 (reference half): the frozen spec may not import engine/landmark.
+
+use crate::engine::DistanceEngine; //~ ERROR layering
+use crate::{eval, landmark}; //~ ERROR layering
+
+pub fn reach_in() -> u64 {
+    let _cache = crate::engine::EngineStats::default(); //~ ERROR layering
+    0
+}

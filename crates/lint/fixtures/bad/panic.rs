@@ -1,0 +1,26 @@
+// bbc-lint-fixture:
+// L5: panicking constructs in library code must fire.
+
+pub fn take(o: Option<u32>) -> u32 {
+    o.unwrap() //~ ERROR panic
+}
+
+pub fn take_with_message(o: Option<u32>) -> u32 {
+    o.expect("present by construction") //~ ERROR panic
+}
+
+pub fn boom() {
+    panic!("library code must not panic"); //~ ERROR panic
+}
+
+pub fn later() {
+    todo!() //~ ERROR panic
+}
+
+pub fn never() {
+    unimplemented!() //~ ERROR panic
+}
+
+pub fn fallible_combinators_are_fine(o: Option<u32>) -> u32 {
+    o.unwrap_or(0).max(o.unwrap_or_default())
+}

@@ -1,0 +1,35 @@
+// bbc-lint-fixture: narrowing
+// The blessed patterns: pinned hashers, reasoned suppressions, RowWord
+// conversions, typed errors. This file must produce zero diagnostics.
+
+// bbc-lint: allow(determinism, defining the pinned-hasher alias needs the std names)
+use std::collections::{HashMap, HashSet};
+use std::hash::BuildHasherDefault;
+
+pub type DetHashMap<K, V> = HashMap<K, V, BuildHasherDefault<Fnv1a>>;
+pub type DetHashSet<K> = HashSet<K, BuildHasherDefault<Fnv1a>>;
+
+pub fn pinned_map() -> DetHashMap<u32, u64> {
+    DetHashMap::default()
+}
+
+pub fn spelled_out_hasher(m: HashMap<u32, u64, BuildHasherDefault<Fnv1a>>) -> usize {
+    m.len()
+}
+
+pub fn narrow_with_reason(x: usize) -> u32 {
+    x as u32 // bbc-lint: allow(narrowing-cast, node index < n ≤ u32::MAX, checked at build)
+}
+
+pub fn narrow_through_row_word(x: u64) -> Option<u32> {
+    RowWord::from_u64(x)
+}
+
+pub fn typed_error(o: Option<u32>) -> Result<u32, Error> {
+    o.ok_or(Error::Missing)
+}
+
+pub fn provable_invariant(o: Option<u32>) -> u32 {
+    // bbc-lint: allow(panic, the caller inserted the key one line above)
+    o.expect("inserted above")
+}

@@ -1,0 +1,35 @@
+// bbc-lint-fixture: narrowing
+// Lexer stress: every panicking / nondeterministic spelling below lives
+// inside a comment, string, raw string, or char literal — none of it is
+// code, so this file must produce zero diagnostics.
+
+/* outer /* nested o.unwrap() panic!("x") */ still one comment SystemTime */
+
+pub fn tricky<'a>(s: &'a str) -> &'static str {
+    let _quote: char = '"';
+    let _escaped: char = '\'';
+    let _newline: char = '\n';
+    let _string = "call .unwrap() // and panic!() and HashMap::new()";
+    let _raw = r#"thread_rng() " quote, // comment, as u32, all inert"#;
+    let _raw_hashes = r##"even "# inside: o.expect("x")"##;
+    let _byte = b"panic!(bytes)";
+    "ok"
+}
+
+/// Doc examples are comments too:
+/// ```
+/// let x = Some(1).unwrap();
+/// let m = std::collections::HashMap::new();
+/// ```
+pub fn documented() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let m: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        assert_eq!(m.len(), 0);
+        Some(1).unwrap();
+        let _ = 7usize as u32;
+    }
+}

@@ -1,0 +1,11 @@
+// bbc-lint-fixture: reference
+// A reference.rs-shaped file that imports only from the allowed modules.
+
+use bbc_graph::{BfsBuffer, DijkstraBuffer};
+
+use crate::{eval::cost_from_distances, Configuration, GameSpec, NodeId, Result};
+
+pub fn node_costs(spec: &GameSpec, config: &Configuration) -> Result<Vec<u64>> {
+    let _ = (spec, config);
+    Ok(Vec::new())
+}

@@ -1,0 +1,265 @@
+//! The workspace-level lints: L3 crate-layering direction rules (from
+//! Cargo manifests and cross-crate `use` statements) and L4, the frozen
+//! `reference.rs` drift gate.
+//!
+//! The layer map is the architecture the README documents, made
+//! executable: substrates at the bottom, the engine above them, the
+//! measurement/derivation layer above that, and the experiment harness on
+//! top. A crate may only depend on *strictly lower* layers, so dependency
+//! (and therefore invalidation-knowledge) flows one way:
+//!
+//! | rank | crates |
+//! |------|--------|
+//! | 0 | `bbc-graph`, `bbc-sat` |
+//! | 1 | `bbc-core` |
+//! | 2 | `bbc-analysis`, `bbc-constructions`, `bbc-fractional` |
+//! | 3 | `bbc-experiments` |
+//! | 4 | `bbc` (facade), `bbc-bench` |
+//!
+//! `bbc-lint` itself sits outside the map: it may depend on **nothing**
+//! from the workspace, so it can never participate in the cycles it
+//! polices.
+
+use std::path::Path;
+
+use crate::lints::{fnv1a, Diagnostic};
+
+/// Layer ranks; dependencies must strictly descend.
+pub const LAYERS: &[(&str, u32)] = &[
+    ("bbc-graph", 0),
+    ("bbc-sat", 0),
+    ("bbc-core", 1),
+    ("bbc-analysis", 2),
+    ("bbc-constructions", 2),
+    ("bbc-fractional", 2),
+    ("bbc-experiments", 3),
+    ("bbc", 4),
+    ("bbc-bench", 4),
+];
+
+/// Pinned FNV-1a 64-bit hash of `crates/core/src/reference.rs` (L4). The
+/// frozen executable spec must not drift silently: an intentional edit
+/// bumps this constant in the same commit, with the new value printed by
+/// `cargo run -p bbc-lint -- --hash crates/core/src/reference.rs` (the
+/// update procedure is documented in `LINTS.md`).
+pub const REFERENCE_RS_FNV1A: u64 = 0xa60d_8fb2_73ba_c8a4;
+
+/// Repo-relative path of the frozen file.
+pub const REFERENCE_RS: &str = "crates/core/src/reference.rs";
+
+fn rank(krate: &str) -> Option<u32> {
+    LAYERS.iter().find(|(c, _)| *c == krate).map(|&(_, r)| r)
+}
+
+/// Crate name for a repo-relative source path, e.g.
+/// `crates/core/src/engine.rs` → `bbc-core`, `src/lib.rs` → `bbc`.
+pub fn crate_of(rel: &str) -> Option<String> {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let dir = rest.split('/').next()?;
+        return Some(if dir == "lint" {
+            "bbc-lint".to_string()
+        } else {
+            format!("bbc-{dir}")
+        });
+    }
+    rel.starts_with("src/").then(|| "bbc".to_string())
+}
+
+/// L3 (manifest half): checks one `Cargo.toml`'s `[dependencies]` section
+/// against the layer map. `manifest_rel` is the repo-relative path used in
+/// diagnostics; `krate` is the crate the manifest belongs to.
+pub fn check_manifest(manifest_rel: &str, krate: &str, toml: &str, out: &mut Vec<Diagnostic>) {
+    let mut in_deps = false;
+    for (idx, raw) in toml.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = (idx + 1) as u32;
+        if line.starts_with('[') {
+            // Only runtime [dependencies] create layering obligations;
+            // dev-dependencies may reach anywhere (cargo itself rejects the
+            // cycles that would matter).
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        let Some(dep) = line
+            .split(['=', ' ', '\t', '.'])
+            .next()
+            .filter(|d| d.starts_with("bbc-") || *d == "bbc")
+        else {
+            continue;
+        };
+        let mut bad = |msg: String| {
+            out.push(Diagnostic {
+                file: manifest_rel.to_string(),
+                line: lineno,
+                lint: "layering",
+                message: msg,
+            });
+        };
+        if krate == "bbc-lint" {
+            bad(format!(
+                "bbc-lint must stay dependency-free of the workspace; remove `{dep}`"
+            ));
+            continue;
+        }
+        let (Some(kr), Some(dr)) = (rank(krate), rank(dep)) else {
+            bad(format!(
+                "`{dep}` (or `{krate}`) is not in the layer map; add it to \
+                 LAYERS in crates/lint/src/layering.rs with a rank"
+            ));
+            continue;
+        };
+        if dr >= kr {
+            bad(format!(
+                "`{krate}` (layer {kr}) may not depend on `{dep}` (layer {dr}); \
+                 dependencies must strictly descend the layer map"
+            ));
+        }
+    }
+}
+
+/// L3 (use half): a `bbc_x` path mention inside `krate`'s sources must
+/// refer to a strictly lower layer. Token-level scan lives here so the
+/// per-file pass stays manifest-agnostic.
+pub fn check_use(
+    file: &str,
+    krate: &str,
+    tokens: &[crate::lexer::Token],
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(kr) = rank(krate) else {
+        return; // unranked crate: the manifest rule already forbids bbc deps.
+    };
+    for t in tokens {
+        if t.kind != crate::lexer::TokenKind::Ident || !t.text.starts_with("bbc_") {
+            continue;
+        }
+        let dep = t.text.replace('_', "-");
+        if dep == krate {
+            continue; // self-references (doctest-style paths) are harmless
+        }
+        let Some(dr) = rank(&dep) else {
+            continue;
+        };
+        if dr >= kr {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: t.line,
+                lint: "layering",
+                message: format!(
+                    "`{krate}` (layer {kr}) references `{dep}` (layer {dr}); \
+                     dependencies must strictly descend the layer map"
+                ),
+            });
+        }
+    }
+}
+
+/// L4: recomputes the frozen-reference hash and compares it to the pin.
+pub fn check_reference_drift(repo_root: &Path, out: &mut Vec<Diagnostic>) {
+    let path = repo_root.join(REFERENCE_RS);
+    let (line, message) = match std::fs::read(&path) {
+        Ok(bytes) => {
+            let got = fnv1a(&bytes);
+            if got == REFERENCE_RS_FNV1A {
+                return;
+            }
+            (
+                1,
+                format!(
+                    "frozen reference drifted: content hash {got:#018x} != pinned \
+                     {REFERENCE_RS_FNV1A:#018x}; if the edit is intentional, update \
+                     REFERENCE_RS_FNV1A (procedure in LINTS.md)"
+                ),
+            )
+        }
+        Err(e) => (1, format!("cannot read the frozen reference: {e}")),
+    };
+    out.push(Diagnostic {
+        file: REFERENCE_RS.to_string(),
+        line,
+        lint: "reference-drift",
+        message,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest_ids(krate: &str, toml: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        check_manifest("Cargo.toml", krate, toml, &mut out);
+        out.into_iter().map(|d| d.message).collect()
+    }
+
+    #[test]
+    fn descending_dependencies_pass() {
+        let toml = "[dependencies]\nbbc-graph.workspace = true\nserde.workspace = true\n";
+        assert!(manifest_ids("bbc-core", toml).is_empty());
+    }
+
+    #[test]
+    fn reversed_dependencies_fail() {
+        let toml = "[dependencies]\nbbc-core.workspace = true\n";
+        let msgs = manifest_ids("bbc-graph", toml);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("strictly descend"), "{msgs:?}");
+    }
+
+    #[test]
+    fn same_layer_dependencies_fail() {
+        let toml = "[dependencies]\nbbc-analysis.workspace = true\n";
+        assert_eq!(manifest_ids("bbc-constructions", toml).len(), 1);
+    }
+
+    #[test]
+    fn dev_dependencies_are_exempt() {
+        let toml = "[dev-dependencies]\nbbc-core.workspace = true\n";
+        assert!(manifest_ids("bbc-graph", toml).is_empty());
+    }
+
+    #[test]
+    fn lint_crate_may_depend_on_nothing() {
+        let toml = "[dependencies]\nbbc-graph.workspace = true\n";
+        let msgs = manifest_ids("bbc-lint", toml);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("dependency-free"), "{msgs:?}");
+    }
+
+    #[test]
+    fn unknown_crates_must_be_mapped() {
+        let toml = "[dependencies]\nbbc-newthing.workspace = true\n";
+        let msgs = manifest_ids("bbc-core", toml);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("layer map"), "{msgs:?}");
+    }
+
+    #[test]
+    fn use_scan_flags_upward_references() {
+        let tokens = crate::lexer::lex("use bbc_experiments::RunOptions;\n");
+        let mut out = Vec::new();
+        check_use("crates/core/src/lib.rs", "bbc-core", &tokens, &mut out);
+        assert_eq!(out.len(), 1);
+        let tokens = crate::lexer::lex("use bbc_graph::BfsBuffer;\n");
+        let mut out = Vec::new();
+        check_use("crates/core/src/lib.rs", "bbc-core", &tokens, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn crate_paths_resolve() {
+        assert_eq!(
+            crate_of("crates/core/src/engine.rs").as_deref(),
+            Some("bbc-core")
+        );
+        assert_eq!(crate_of("src/lib.rs").as_deref(), Some("bbc"));
+        assert_eq!(
+            crate_of("crates/lint/src/main.rs").as_deref(),
+            Some("bbc-lint")
+        );
+        assert_eq!(crate_of("README.md"), None);
+    }
+}

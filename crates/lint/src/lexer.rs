@@ -1,0 +1,434 @@
+//! A small hand-rolled Rust lexer: just enough tokenization for the lint
+//! catalog to reason about *code* (identifiers, punctuation, literals) and
+//! *comments* (allow annotations) separately, without ever being fooled by
+//! `unwrap()` inside a string literal, `//` inside a raw string, a nested
+//! block comment, or a lifetime that looks like an unterminated char
+//! literal.
+//!
+//! This is not a full Rust lexer — it does not classify keywords, float
+//! exponents, or numeric suffixes — but every construct that affects
+//! *where comments and strings begin and end* is handled exactly:
+//! nested `/* /* */ */`, raw strings `r#"…"#` with any hash count, raw
+//! identifiers `r#type`, byte/raw-byte strings, char literals (including
+//! `'"'` and `'\''`), and lifetimes.
+
+/// What a token is, as far as the lints care.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`as`, `use`, `HashMap`, `r#type`, …).
+    Ident,
+    /// A lifetime (`'a`, `'static`, `'_`) — no closing quote.
+    Lifetime,
+    /// Single punctuation character (`.`, `:`, `<`, `!`, …).
+    Punct,
+    /// Any string-ish literal: `"…"`, `r#"…"#`, `b"…"`, `'c'`, `b'c'`.
+    Literal,
+    /// Numeric literal (`42`, `0xFF`, `1_000`, `2.5`).
+    Number,
+    /// `// …` (including `///` and `//!` doc comments) up to end of line.
+    LineComment,
+    /// `/* … */`, nesting handled; may span lines.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based starting line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Classification used by the lint passes.
+    pub kind: TokenKind,
+    /// Source text of the token (comments keep their delimiters).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for the comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Tokenizes `src` in one pass. Unterminated constructs (string, block
+/// comment) consume the rest of the file rather than erroring: the lints
+/// run on code that `rustc` already accepted, so recovery precision is not
+/// worth the complexity.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, counting newlines.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => {
+                    while let Some(c) = self.peek(0) {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    self.push(TokenKind::LineComment, start, line);
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    self.block_comment(start, line);
+                }
+                '\'' => self.char_or_lifetime(start, line),
+                '"' => {
+                    self.bump();
+                    self.string_body();
+                    self.push(TokenKind::Literal, start, line);
+                }
+                _ if is_ident_start(c) => self.word(start, line),
+                _ if c.is_ascii_digit() => self.number(start, line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, start, line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    /// `/* … */` with nesting: `/* a /* b */ c */` is one comment.
+    fn block_comment(&mut self, start: usize, line: u32) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.push(TokenKind::BlockComment, start, line);
+    }
+
+    /// Body of a `"…"` string, starting after the opening quote; consumes
+    /// the closing quote. Escapes hide the next char, so `"\""` works.
+    fn string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Raw string after the introducer: counts `#`s, then scans for the
+    /// matching `"##…#` closer. Returns false if this is not actually a raw
+    /// string opener (caller falls back to an identifier).
+    fn raw_string_body(&mut self) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) != Some('"') {
+            return false;
+        }
+        for _ in 0..=hashes {
+            self.bump();
+        }
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        true
+    }
+
+    /// Identifier, or one of the string-literal introducers spelled like an
+    /// identifier: `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `b'c'`, `br#"…"#`.
+    fn word(&mut self, start: usize, line: u32) {
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            self.bump();
+        }
+        let word: String = self.chars[start..self.pos].iter().collect();
+        match (word.as_str(), self.peek(0)) {
+            ("r" | "br" | "b", Some('"')) | ("r" | "br", Some('#')) => {
+                if self.raw_string_body() {
+                    self.push(TokenKind::Literal, start, line);
+                } else if word == "r" && self.peek(0) == Some('#') {
+                    // Raw identifier `r#type`: consume the hash + ident.
+                    self.bump();
+                    while let Some(c) = self.peek(0) {
+                        if !is_ident_continue(c) {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    self.push(TokenKind::Ident, start, line);
+                } else {
+                    self.push(TokenKind::Ident, start, line);
+                }
+            }
+            ("b", Some('\'')) => {
+                self.bump();
+                self.string_like_char();
+                self.push(TokenKind::Literal, start, line);
+            }
+            _ => self.push(TokenKind::Ident, start, line),
+        }
+    }
+
+    /// After a consumed `'`: body of a definite char literal (first char
+    /// already known not to start a lifetime, or an escape).
+    fn string_like_char(&mut self) {
+        match self.bump() {
+            Some('\\') => {
+                self.bump();
+                // Scan to the closing quote (covers \u{…} escapes).
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+            }
+            Some(_) => {
+                self.bump(); // closing quote
+            }
+            None => {}
+        }
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime): a quote two chars
+    /// ahead means char literal; an escape means char literal; otherwise an
+    /// identifier-start char means lifetime.
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        self.bump(); // opening quote
+        match self.peek(0) {
+            Some('\\') => {
+                self.string_like_char();
+                self.push(TokenKind::Literal, start, line);
+            }
+            Some(c) if is_ident_continue(c) && self.peek(1) != Some('\'') => {
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    self.bump();
+                }
+                self.push(TokenKind::Lifetime, start, line);
+            }
+            Some(_) => {
+                self.string_like_char();
+                self.push(TokenKind::Literal, start, line);
+            }
+            None => self.push(TokenKind::Punct, start, line),
+        }
+    }
+
+    /// Number: digits, underscores, letters (hex, suffixes), and a decimal
+    /// point only when a digit follows (so `1..n` and `1.max(2)` keep their
+    /// punctuation).
+    fn number(&mut self, start: usize, line: u32) {
+        while let Some(c) = self.peek(0) {
+            let in_number = is_ident_continue(c)
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if !in_number {
+                break;
+            }
+            self.bump();
+        }
+        self.push(TokenKind::Number, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn code_idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let toks = kinds("a /* x /* y */ z */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0], (TokenKind::Ident, "a".into()));
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert_eq!(toks[1].1, "/* x /* y */ z */");
+        assert_eq!(toks[2], (TokenKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn unwrap_inside_strings_is_not_an_ident() {
+        let src = r#"let s = "x.unwrap() // not a comment"; s.len()"#;
+        let idents = code_idents(src);
+        assert_eq!(idents, ["let", "s", "s", "len"]);
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_comment_markers() {
+        let src = r##"let s = r#"quote " and /* and // inside"#; t()"##;
+        let idents = code_idents(src);
+        assert_eq!(idents, ["let", "s", "t"]);
+        assert!(lex(src).iter().all(|t| !t.is_comment()));
+    }
+
+    #[test]
+    fn raw_string_hash_counts_must_match() {
+        let src = "r##\"has \"# inside\"##.len()";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::Literal);
+        assert_eq!(toks[0].1, "r##\"has \"# inside\"##");
+        assert_eq!(toks[2], (TokenKind::Ident, "len".into()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str, y: &'_ u8) -> &'static str { x }";
+        let lifetimes: Vec<String> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'_", "'static"]);
+    }
+
+    #[test]
+    fn char_literals_including_quote_and_escape() {
+        for src in ["'a'", "'\"'", "'\\''", "'\\u{1F600}'", "' '", "b'x'"] {
+            let toks = kinds(src);
+            assert_eq!(toks.len(), 1, "{src:?} lexed as {toks:?}");
+            assert_eq!(toks[0].0, TokenKind::Literal, "{src:?}");
+        }
+    }
+
+    #[test]
+    fn char_literal_followed_by_code_does_not_eat_the_line() {
+        let toks = kinds("let c = 'x'; done()");
+        assert_eq!(toks.last().map(|t| t.1.as_str()), Some(")"));
+        assert!(toks.iter().any(|t| t.1 == "done"));
+    }
+
+    #[test]
+    fn line_comments_stop_at_newline_and_keep_text() {
+        let toks = kinds("a // trailing unwrap()\nb");
+        assert_eq!(toks[1].0, TokenKind::LineComment);
+        assert_eq!(toks[1].1, "// trailing unwrap()");
+        assert_eq!(toks[2], (TokenKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let toks = kinds("/// x.unwrap()\n//! y.unwrap()\n/** z */ fn f() {}");
+        let comments = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::LineComment)
+            .count()
+            + toks
+                .iter()
+                .filter(|t| t.0 == TokenKind::BlockComment)
+                .count();
+        assert_eq!(comments, 3);
+        assert!(toks.iter().any(|t| t.1 == "fn"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = kinds("let r#type = 1;");
+        assert_eq!(toks[1], (TokenKind::Ident, "r#type".into()));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "a\n/* two\nlines */\n\"str\ning\"\nb";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 6);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_method_calls() {
+        let texts: Vec<String> = lex("0..n; 1.5; 2.max(3); 0xFF_u64")
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
+        assert!(texts.contains(&"0".to_string()));
+        assert!(texts.contains(&"1.5".to_string()));
+        assert!(texts.contains(&"2".to_string()));
+        assert!(texts.contains(&"max".to_string()));
+        assert!(texts.contains(&"0xFF_u64".to_string()));
+    }
+}

@@ -1,0 +1,117 @@
+//! Fixture-based integration tests: drive the real `bbc-lint` binary the
+//! way CI does and assert each lint fires on its bad fixture and stays
+//! silent on the good ones.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint lives two levels under the repo root")
+        .to_path_buf()
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bbc-lint"))
+        .args(args)
+        .output()
+        .expect("bbc-lint binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn fixture(rel: &str) -> String {
+    repo_root()
+        .join("crates/lint/fixtures")
+        .join(rel)
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn fixture_self_test_passes() {
+    let out = run(&["--fixtures"]);
+    let text = stdout(&out);
+    assert!(
+        out.status.success(),
+        "--fixtures failed:\n{text}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(text.contains("all matched"), "unexpected summary: {text}");
+}
+
+#[test]
+fn bad_fixtures_fail_with_file_line_diagnostics() {
+    for (file, lint) in [
+        ("bad/determinism.rs", "[determinism]"),
+        ("bad/narrowing.rs", "[narrowing-cast]"),
+        ("bad/panic.rs", "[panic]"),
+        ("bad/layering.rs", "[layering]"),
+        ("bad/allow.rs", "[malformed-allow]"),
+    ] {
+        let out = run(&[&fixture(file)]);
+        let text = stdout(&out);
+        assert!(!out.status.success(), "{file} unexpectedly clean");
+        assert!(text.contains(lint), "{file} output missing {lint}:\n{text}");
+        // Machine-readable shape: every diagnostic line is file:line: [lint] …
+        let diag = text.lines().next().unwrap_or_default();
+        let rest = diag.rsplit_once(".rs:").map(|(_, r)| r).unwrap_or_default();
+        assert!(
+            rest.split(':')
+                .next()
+                .is_some_and(|n| n.parse::<u32>().is_ok()),
+            "diagnostic not file:line-shaped: {diag}"
+        );
+    }
+}
+
+#[test]
+fn good_fixtures_are_silent() {
+    for file in [
+        "good/blessed_patterns.rs",
+        "good/lexer_tricky.rs",
+        "good/reference_clean.rs",
+    ] {
+        let out = run(&[&fixture(file)]);
+        let text = stdout(&out);
+        assert!(out.status.success(), "{file} not clean:\n{text}");
+        assert!(text.is_empty(), "{file} produced output:\n{text}");
+    }
+}
+
+#[test]
+fn hash_mode_matches_fnv1a_of_the_bytes() {
+    // Same constants as the L4 gate; recomputed here so a hash-function
+    // regression in the binary cannot hide behind its own --hash output.
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+    let target = fixture("good/reference_clean.rs");
+    let expect = fnv1a(&std::fs::read(&target).expect("fixture readable"));
+    let out = run(&["--hash", &target]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out).trim(), format!("{expect:#018x}"));
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    // The whole point: the committed tree satisfies its own contracts.
+    // (CI runs this same invocation as a dedicated leg; having it in
+    // tier-1 means `cargo test` locally catches violations first.)
+    let out = run(&[]);
+    assert!(
+        out.status.success(),
+        "workspace has lint diagnostics:\n{}\n{}",
+        stdout(&out),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

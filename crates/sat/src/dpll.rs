@@ -57,6 +57,7 @@ fn clause_state(clause: &[Lit], assignment: &[Option<bool>]) -> ClauseState {
     }
     match unassigned_count {
         0 => ClauseState::Conflict,
+        // bbc-lint: allow(panic, unassigned_count == 1 means the Option was filled in the scan above)
         1 => ClauseState::Unit(unassigned.expect("counted one unassigned literal")),
         _ => ClauseState::Open,
     }

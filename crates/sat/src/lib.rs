@@ -16,6 +16,8 @@
 //! assert!(f.is_satisfied_by(&model));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cnf;
 pub mod dpll;
 pub mod gen;

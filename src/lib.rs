@@ -47,6 +47,8 @@
 //! # Ok::<(), bbc::Error>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use bbc_analysis as analysis;
 pub use bbc_constructions as constructions;
 pub use bbc_core as core;
