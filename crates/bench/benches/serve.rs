@@ -1,0 +1,115 @@
+//! Service-runtime benchmarks: the cost of one request through the
+//! bounded queue + owner thread (the `bbc-serve` dispatch path), with and
+//! without the Unix-socket framing on top. The loadgen latency figure
+//! (`serve/loadgen_latency`) is recorded separately by
+//! `bbc-serve --loadgen --bench`, which drives the full daemon the way CI
+//! does; these groups isolate the layers underneath it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bbc_serve::protocol::{Op, Probe, Reply, RequestFrame};
+use bbc_serve::socket::{run_listener, temp_socket_path, Client};
+use bbc_serve::{Dispatch, ServeConfig, Service};
+
+fn cfg() -> ServeConfig {
+    ServeConfig {
+        peers: 32,
+        budget: 2,
+        ..ServeConfig::default()
+    }
+}
+
+fn call(handle: &bbc_serve::Handle, client: u64, seq: u64, op: Op) -> Reply {
+    match handle.call(RequestFrame { client, seq, op }) {
+        Dispatch::Reply(frame) => frame.reply,
+        other => panic!("request dropped: {other:?}"),
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    // One round trip through the sync_channel queue and the engine-owner
+    // thread, no socket involved: the floor every protocol request pays.
+    // The engine is settled first so probes measure steady-state serving,
+    // not cold-cache warmup.
+    let service = Service::start(cfg()).expect("service boots");
+    let handle = service.handle();
+    match call(&handle, 1, 1, Op::Settle { max_steps: 100_000 }) {
+        Reply::Phase { .. } => {}
+        other => panic!("settle failed: {other:?}"),
+    }
+
+    let mut group = c.benchmark_group("serve_dispatch");
+    group.sample_size(20);
+    group.bench_function("digest_probe", |b| {
+        b.iter(|| call(&handle, 1, 0, Op::Query(Probe::Digest)))
+    });
+    group.bench_function("social_cost_probe", |b| {
+        b.iter(|| call(&handle, 1, 0, Op::Query(Probe::SocialCost)))
+    });
+    group.bench_function("advise_node0", |b| {
+        b.iter(|| call(&handle, 1, 0, Op::Advise { node: 0 }))
+    });
+    // A leave/rejoin pair — the mutating path: duplicate check, journal
+    // bookkeeping (memory-only here), engine churn + CSR canonicalization.
+    let mut seq = 1u64;
+    group.bench_function("churn_pair_node1", |b| {
+        b.iter(|| {
+            seq += 1;
+            let left = call(&handle, 1, seq, Op::Leave { node: 1 });
+            seq += 1;
+            let joined = call(
+                &handle,
+                1,
+                seq,
+                Op::Join {
+                    node: 1,
+                    strategy: vec![0, 2],
+                },
+            );
+            assert!(
+                matches!((&left, &joined), (Reply::Ok { .. }, Reply::Ok { .. })),
+                "churn pair failed: {left:?} / {joined:?}"
+            );
+        })
+    });
+    group.finish();
+
+    let _ = call(&handle, 1, 0, Op::Shutdown);
+    service.join().expect("clean shutdown");
+}
+
+fn bench_socket_round_trip(c: &mut Criterion) {
+    // The same digest probe, through the full line-delimited JSON framing
+    // over a Unix socket: encode, write, owner round trip, decode. The
+    // difference against `serve_dispatch/digest_probe` is the protocol tax.
+    let service = Service::start(cfg()).expect("service boots");
+    let handle = service.handle();
+    let path = temp_socket_path("bench");
+    let listen = path.clone();
+    std::thread::spawn(move || {
+        let _ = run_listener(&listen, &handle);
+    });
+    while !path.exists() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let mut client = Client::connect(&path, 1).expect("connect");
+
+    let mut group = c.benchmark_group("serve_socket");
+    group.sample_size(20);
+    group.bench_function("digest_probe", |b| {
+        b.iter(|| {
+            let reply = client
+                .request(Op::Query(Probe::Digest))
+                .expect("round trip");
+            assert!(matches!(reply, Reply::Digest { .. }), "{reply:?}");
+        })
+    });
+    group.finish();
+
+    let _ = client.request(Op::Shutdown);
+    service.join().expect("clean shutdown");
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group!(benches, bench_dispatch, bench_socket_round_trip);
+criterion_main!(benches);

@@ -765,6 +765,87 @@ impl<'a> Walk<'a> {
         self.note_connectivity();
     }
 
+    // ----- service hooks ---------------------------------------------
+
+    /// Resets the per-phase scheduler state — the round-robin cursor, the
+    /// no-move streak, the cycle-detection history, and the max-cost queue
+    /// — exactly as a churn event does, without touching the engine.
+    ///
+    /// After a reset the next [`Walk::run`] is a pure function of
+    /// `(configuration, membership, scheduler)`: this is the hook the
+    /// `bbc-serve` daemon uses to make every best-response round
+    /// snapshot-compactable (a service restored from
+    /// `(configuration, membership)` alone replays identical phases, with
+    /// no hidden cursor state to capture). Accumulated [`WalkStats`] are
+    /// kept — they are observability counters, not trajectory state.
+    pub fn reset_phase(&mut self) {
+        self.after_churn_event();
+    }
+
+    /// Compacts the engine's arenas to the canonical layout
+    /// ([`DistanceEngine::canonicalize`]) and resets scheduler state like a
+    /// churn event. After this, [`Walk::state_digest`] equals that of a
+    /// fresh [`Walk::with_membership`] over the current configuration and
+    /// membership — the invariant a snapshot's certified digest rests on.
+    pub fn canonicalize(&mut self) {
+        self.engine.canonicalize();
+        self.after_churn_event();
+    }
+
+    /// Best-response *advice* for `u`: runs the engine's stability test —
+    /// honouring the walk's search options, prefill policy, and landmark
+    /// bounds — without applying the move, counting a step, or touching
+    /// any scheduler state.
+    ///
+    /// The outcome's effort counters ([`crate::BestResponseOutcome::bounds_hit`],
+    /// [`crate::BestResponseOutcome::rows_materialized`]) accumulate into
+    /// [`WalkStats`] like every other stability test. Advice warms the
+    /// engine's caches but never changes observable state: the
+    /// [`Walk::state_digest`] before and after is identical.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::NodeOutOfBounds`] for ids outside the game;
+    /// [`crate::Error::NodeNotLive`] when `u` has departed;
+    /// [`crate::Error::SearchBudgetExceeded`] from the search itself.
+    pub fn advise(&mut self, u: NodeId) -> Result<crate::BestResponseOutcome> {
+        self.check_queryable(u)?;
+        self.test_node(u)
+    }
+
+    /// Cost of live node `u` under the current configuration (cached by
+    /// the engine).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::NodeOutOfBounds`] for ids outside the game;
+    /// [`crate::Error::NodeNotLive`] when `u` has departed (a departed
+    /// node owes no distances; the engine would report 0, which a service
+    /// client could mistake for a real cost).
+    pub fn node_cost(&mut self, u: NodeId) -> Result<u64> {
+        self.check_queryable(u)?;
+        Ok(self.engine.node_cost(u))
+    }
+
+    /// Per-node query guard, in the same error order as the churn ops:
+    /// out-of-range ids are [`crate::Error::NodeOutOfBounds`], in-range
+    /// dead ones [`crate::Error::NodeNotLive`].
+    fn check_queryable(&self, u: NodeId) -> Result<()> {
+        let n = self.spec.node_count();
+        if u.index() >= n {
+            return Err(crate::Error::NodeOutOfBounds { node: u, n });
+        }
+        if !self.engine.is_live(u) {
+            return Err(crate::Error::NodeNotLive { node: u });
+        }
+        Ok(())
+    }
+
+    /// The live members in ascending id order.
+    pub fn live_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.engine.live_nodes()
+    }
+
     /// Number of live members.
     pub fn live_count(&self) -> usize {
         self.engine.live_count()
@@ -1197,6 +1278,94 @@ mod tests {
         }
         assert_eq!(walk.config(), fresh.config());
         assert_eq!(walk.state_digest(), fresh.state_digest());
+    }
+
+    #[test]
+    fn reset_phase_makes_runs_pure_in_config_and_membership() {
+        // The bbc-serve snapshot contract: after reset_phase(), a run is a
+        // pure function of (configuration, membership, scheduler), so a
+        // walk restored from those alone replays the identical phase even
+        // when the original was interrupted mid-round.
+        let spec = GameSpec::uniform(7, 2);
+        let mut walk = Walk::new(&spec, Configuration::random(&spec, 11));
+        let _ = walk.run(3).unwrap(); // park the cursor mid-round
+        walk.remove_node(v(5)).unwrap();
+        let mid = walk.config().clone();
+        let live = walk.engine.live_set().clone();
+        walk.reset_phase();
+        let steps_before = walk.stats().steps;
+        let target = steps_before + 50_000;
+        let outcome = walk.run(target).unwrap();
+
+        let mut restored = Walk::with_membership(&spec, mid, &live).unwrap();
+        let restored_outcome = restored.run(50_000).unwrap();
+        match (outcome, restored_outcome) {
+            (WalkOutcome::Equilibrium { steps }, WalkOutcome::Equilibrium { steps: r }) => {
+                assert_eq!(steps - steps_before, r, "same post-reset step count");
+            }
+            (a, b) => panic!("outcomes diverged: {a:?} vs {b:?}"),
+        }
+        assert_eq!(walk.config(), restored.config());
+        assert_eq!(walk.state_digest(), restored.state_digest());
+    }
+
+    #[test]
+    fn canonicalize_makes_the_digest_rebuildable() {
+        // The snapshot contract: state_digest hashes the physical CSR
+        // arenas, and strategy patches (best-response moves, shocks) leave
+        // them history-dependent. canonicalize() must land the walk on the
+        // exact digest a fresh with_membership build of the same semantic
+        // state produces — that is what lets a snapshot certify a digest a
+        // restore can verify.
+        let spec = GameSpec::uniform(9, 2);
+        let mut walk = Walk::new(&spec, Configuration::empty(9));
+        let _ = walk.run(50_000).unwrap(); // settle: patches on a fresh arena
+        walk.remove_node(v(3)).unwrap(); // canonical again here
+        let target = walk.stats().steps + 50_000;
+        let _ = walk.run(target).unwrap(); // re-settle: patches on top
+        walk.shock_node(v(0), vec![v(1)]).unwrap();
+
+        let rebuilt =
+            Walk::with_membership(&spec, walk.config().clone(), walk.engine.live_set()).unwrap();
+        walk.canonicalize();
+        assert_eq!(
+            walk.state_digest(),
+            rebuilt.state_digest(),
+            "canonicalized digest equals the fresh-rebuild digest"
+        );
+        assert_eq!(walk.config(), rebuilt.config(), "semantic state untouched");
+    }
+
+    #[test]
+    fn advise_observes_without_mutating() {
+        let spec = GameSpec::uniform(5, 1);
+        let mut walk = Walk::new(&spec, Configuration::empty(5));
+        let before = walk.state_digest();
+        let advice = walk.advise(v(0)).unwrap();
+        assert!(advice.improves(), "empty start: any link beats isolation");
+        assert_eq!(walk.state_digest(), before, "advice never mutates state");
+        assert_eq!(walk.stats().steps, 0, "advice costs no walk step");
+        assert_eq!(walk.config(), &Configuration::empty(5));
+    }
+
+    #[test]
+    fn service_queries_guard_liveness() {
+        let spec = GameSpec::uniform(6, 1);
+        let mut walk = Walk::new(&spec, Configuration::empty(6));
+        walk.remove_node(v(2)).unwrap();
+        assert!(matches!(
+            walk.advise(v(2)),
+            Err(crate::Error::NodeNotLive { node }) if node == v(2)
+        ));
+        assert!(matches!(
+            walk.node_cost(v(2)),
+            Err(crate::Error::NodeNotLive { node }) if node == v(2)
+        ));
+        assert!(walk.node_cost(v(0)).unwrap() > 0, "isolated node pays M");
+        assert_eq!(
+            walk.live_nodes().collect::<Vec<_>>(),
+            vec![v(0), v(1), v(3), v(4), v(5)]
+        );
     }
 
     #[test]

@@ -674,6 +674,18 @@ impl<'a> DistanceEngine<'a> {
     pub fn state_digest(&self) -> u64 {
         tiered!(self, e => e.state_digest())
     }
+
+    /// Compacts the CSR arenas to the canonical layout a fresh
+    /// [`DistanceEngine::with_membership`] build would produce — the
+    /// snapshot hook: [`DistanceEngine::state_digest`] hashes the physical
+    /// arenas, which strategy patches leave history-dependent, so a
+    /// serialized `(configuration, membership)` pair can only certify the
+    /// digest of a *canonicalized* engine. Costs one arena rebuild plus the
+    /// same cache drops as a membership change; observable game state
+    /// (membership, strategies, costs) is untouched.
+    pub fn canonicalize(&mut self) {
+        tiered!(mut self, e => e.canonicalize())
+    }
 }
 
 impl<'a, W: RowWord> EngineCore<'a, W> {
@@ -1530,6 +1542,13 @@ impl<'a, W: RowWord> EngineCore<'a, W> {
         // Landmarks are picked evenly over the live set; force a re-pick
         // (which drops every landmark row) at the next landmark-path query.
         self.lm.version = 0;
+    }
+
+    fn canonicalize(&mut self) {
+        // A membership change already is "canonicalize + drop dependent
+        // aggregates"; reuse it wholesale so warm-vs-cold byte-identity
+        // keeps being pinned by one code path.
+        self.after_membership_change();
     }
 
     fn set_landmark_policy(&mut self, policy: LandmarkPolicy) {

@@ -35,6 +35,23 @@ impl BitSet {
         }
     }
 
+    /// Builds a set of fixed capacity `n` from an index iterator — the
+    /// membership-snapshot hook: a service restoring a game of `n` slots
+    /// from a persisted live-id list needs the capacity pinned to the game
+    /// size, not to the maximum surviving id (which
+    /// [`BitSet::from_iter`] would use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= n`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(n: usize, indices: I) -> Self {
+        let mut s = Self::new(n);
+        for v in indices {
+            s.insert(v);
+        }
+        s
+    }
+
     /// Upper bound (exclusive) on storable values.
     #[inline]
     pub fn capacity(&self) -> usize {
@@ -225,6 +242,22 @@ mod tests {
         let empty: BitSet = std::iter::empty::<usize>().collect();
         assert!(empty.is_empty());
         assert_eq!(empty.capacity(), 0);
+    }
+
+    #[test]
+    fn from_indices_pins_capacity_to_the_bound() {
+        let s = BitSet::from_indices(16, [0usize, 3, 7]);
+        assert_eq!(s.capacity(), 16, "capacity is the bound, not max+1");
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3, 7]);
+        let empty = BitSet::from_indices(8, std::iter::empty());
+        assert!(empty.is_empty());
+        assert_eq!(empty.capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds bitset capacity")]
+    fn from_indices_rejects_out_of_bound() {
+        BitSet::from_indices(4, [4usize]);
     }
 
     #[test]

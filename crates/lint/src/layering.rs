@@ -14,7 +14,7 @@
 //! | 1 | `bbc-core` |
 //! | 2 | `bbc-analysis`, `bbc-constructions`, `bbc-fractional` |
 //! | 3 | `bbc-experiments` |
-//! | 4 | `bbc` (facade), `bbc-bench` |
+//! | 4 | `bbc` (facade), `bbc-bench`, `bbc-serve` |
 //!
 //! `bbc-lint` itself sits outside the map: it may depend on **nothing**
 //! from the workspace, so it can never participate in the cycles it
@@ -35,6 +35,7 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("bbc-experiments", 3),
     ("bbc", 4),
     ("bbc-bench", 4),
+    ("bbc-serve", 4),
 ];
 
 /// Pinned FNV-1a 64-bit hash of `crates/core/src/reference.rs` (L4). The

@@ -1,0 +1,111 @@
+//! Overlay-as-a-service: a long-lived BBC engine behind a line-delimited
+//! JSON protocol over a Unix-domain socket.
+//!
+//! The repository's other crates treat a game as a batch artifact — build
+//! an instance, walk it, write a stream. This crate keeps one
+//! [`bbc_core::DistanceEngine`] (wrapped in a [`bbc_core::Walk`]) alive and
+//! lets many concurrent clients churn and query it, while preserving the
+//! engine's replayability contract: a **single owner thread** drains a
+//! bounded FIFO queue, so however clients interleave at the sockets, the
+//! engine observes one total order of accepted requests, and replaying that
+//! order single-threaded ([`oracle_digest`]) reproduces the identical
+//! [`bbc_core::DistanceEngine::state_digest`].
+//!
+//! Layer by layer:
+//!
+//! - [`protocol`] — the wire format: newline-delimited JSON frames
+//!   ([`RequestFrame`] in, [`ReplyFrame`] out), a 64 KiB frame cap, and
+//!   decoding that turns every malformed input into a typed
+//!   [`Reply::Error`] instead of a panic or a wedged connection.
+//! - [`service`] — the engine-owner loop: duplicate suppression via
+//!   per-client sequence numbers, journaled-then-applied mutations,
+//!   snapshot/restore in the fingerprinted stream format, auto-settle
+//!   batching, and the single-threaded replay oracles.
+//! - [`socket`] — thread-per-connection Unix-socket plumbing over a
+//!   [`Handle`], plus the blocking [`socket::Client`] used by tests and the
+//!   load generator.
+//! - [`loadgen`] — a seeded multi-client load generator
+//!   (`bbc-serve --loadgen N`) whose serial mode produces a CI-pinnable
+//!   digest and whose report lands in `BENCH_results.json`.
+//!
+//! # Protocol in one example
+//!
+//! Requests are JSON objects `{"client", "seq", "op"}`; replies echo `seq`.
+//! The full frame vocabulary is [`protocol::Op`] and [`protocol::Reply`].
+//! In-process use needs no socket at all:
+//!
+//! ```
+//! use bbc_serve::protocol::{decode_request, encode_line, Op, Probe, Reply};
+//! use bbc_serve::{Dispatch, ServeConfig, Service};
+//!
+//! let service = Service::start(ServeConfig {
+//!     peers: 8,
+//!     budget: 1,
+//!     ..ServeConfig::default()
+//! })?;
+//! let handle = service.handle();
+//!
+//! // What a client writes on the wire, one line per request:
+//! let lines = [
+//!     r#"{"client":1,"seq":1,"op":{"Settle":{"max_steps":10000}}}"#,
+//!     r#"{"client":1,"seq":2,"op":{"Leave":{"node":3}}}"#,
+//!     r#"{"client":1,"seq":2,"op":{"Leave":{"node":3}}}"#, // duplicate!
+//!     r#"{"client":1,"seq":3,"op":{"Advise":{"node":0}}}"#,
+//!     r#"{"client":1,"seq":4,"op":{"Query":"Digest"}}"#,
+//! ];
+//! let mut replies = Vec::new();
+//! for line in lines {
+//!     let frame = decode_request(line.as_bytes()).expect("well-formed");
+//!     match handle.call(frame) {
+//!         Dispatch::Reply(reply) => {
+//!             // …and what it reads back (also one JSON line each):
+//!             let _wire = encode_line(&reply).expect("encodable");
+//!             replies.push(reply);
+//!         }
+//!         other => panic!("{other:?}"),
+//!     }
+//! }
+//! assert!(matches!(replies[0].reply, Reply::Phase { .. }));
+//! assert!(matches!(replies[1].reply, Reply::Ok { .. }));
+//! assert!(matches!(replies[2].reply, Reply::Skipped { last: 2 }));
+//! assert!(matches!(replies[3].reply, Reply::Advice { .. }));
+//! // The digest every reply quotes is the engine's replayable state
+//! // digest — the same value a single-threaded replay of the accepted
+//! // order computes:
+//! let Reply::Digest { ref digest } = replies[4].reply else { panic!() };
+//! let accepted: Vec<_> = lines[..2]
+//!     .iter()
+//!     .map(|l| decode_request(l.as_bytes()).expect("well-formed"))
+//!     .collect();
+//! let cfg = ServeConfig { peers: 8, budget: 1, ..ServeConfig::default() };
+//! assert_eq!(*digest, bbc_serve::oracle_digest(&cfg, &accepted)?);
+//!
+//! match handle.call(decode_request(
+//!     br#"{"client":1,"seq":5,"op":"Shutdown"}"#,
+//! ).expect("well-formed")) {
+//!     Dispatch::Reply(r) => assert!(matches!(r.reply, Reply::Bye)),
+//!     other => panic!("{other:?}"),
+//! }
+//! service.join()?;
+//! # Ok::<(), bbc_serve::ServeError>(())
+//! ```
+//!
+//! # Determinism boundary
+//!
+//! Everything that decides a trajectory lives in [`ServeConfig`] and the
+//! accepted request order; both are captured on disk (fingerprint header +
+//! journal). Wall-clock, thread scheduling, and connection interleavings
+//! only decide *which* order gets accepted, never what a given order
+//! produces. [`Scheduler::Random`](bbc_core::Scheduler::Random) is
+//! rejected at validation because its RNG state is the one piece of
+//! trajectory the snapshot format does not capture.
+
+pub mod loadgen;
+pub mod protocol;
+pub mod service;
+pub mod socket;
+
+pub use protocol::{Op, Probe, Reply, ReplyFrame, RequestFrame};
+pub use service::{
+    oracle_digest, replay_digest, Dispatch, Handle, ServeConfig, ServeError, Service,
+};

@@ -1,0 +1,238 @@
+//! Protocol differential suite: whatever interleaving of client request
+//! streams the service accepts, the final `state_digest` equals the same
+//! sequence replayed single-threaded ([`bbc_serve::oracle_digest`] /
+//! journal replay). This is the machine-checked form of the daemon's core
+//! claim — one owner thread makes concurrency a question of *order*, never
+//! of *outcome*.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bbc_serve::loadgen::client_ops;
+use bbc_serve::protocol::{Op, Probe, Reply, RequestFrame};
+use bbc_serve::{oracle_digest, replay_digest, Dispatch, ServeConfig, Service};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn cfg() -> ServeConfig {
+    ServeConfig {
+        peers: 10,
+        budget: 2,
+        ..ServeConfig::default()
+    }
+}
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bbc-serve-diff-{}-{tag}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Merges `k` per-client op streams into one interleaved frame sequence,
+/// choosing the next client with `merge_seed`'s rng. With `duplicates`,
+/// occasionally resends a client's previous mutating frame verbatim (the
+/// exactly-once path must make those no-ops).
+fn interleave(
+    seed: u64,
+    k: u64,
+    ops_per_client: u64,
+    merge_seed: u64,
+    duplicates: bool,
+) -> Vec<RequestFrame> {
+    let cfg = cfg();
+    let mut streams: Vec<(u64, std::vec::IntoIter<Op>)> = (1..=k)
+        .map(|c| (c, client_ops(seed, c, ops_per_client, &cfg).into_iter()))
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(merge_seed);
+    let mut seqs: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut last_mutating: BTreeMap<u64, RequestFrame> = BTreeMap::new();
+    let mut frames = Vec::new();
+    while !streams.is_empty() {
+        let pick = rng.gen_range(0..streams.len() as u64) as usize;
+        let (client, stream) = &mut streams[pick];
+        let client = *client;
+        match stream.next() {
+            None => {
+                streams.swap_remove(pick);
+            }
+            Some(op) => {
+                if duplicates && rng.gen_range(0u32..8) == 0 {
+                    if let Some(dup) = last_mutating.get(&client) {
+                        frames.push(dup.clone());
+                    }
+                }
+                let seq = if op.mutates() {
+                    let next = seqs.get(&client).copied().unwrap_or(0) + 1;
+                    seqs.insert(client, next);
+                    next
+                } else {
+                    0
+                };
+                let frame = RequestFrame { client, seq, op };
+                if frame.op.mutates() {
+                    last_mutating.insert(client, frame.clone());
+                }
+                frames.push(frame);
+            }
+        }
+    }
+    frames
+}
+
+fn service_digest_of(frames: &[RequestFrame]) -> String {
+    let service = Service::start(cfg()).expect("service boots");
+    let handle = service.handle();
+    let mut skipped = 0u64;
+    for frame in frames {
+        match handle.call(frame.clone()) {
+            Dispatch::Reply(reply) => {
+                if matches!(reply.reply, Reply::Skipped { .. }) {
+                    skipped += 1;
+                }
+            }
+            other => panic!("service dropped a request: {other:?}"),
+        }
+    }
+    // Every duplicate the generator injected must have been suppressed.
+    let mutating: Vec<(u64, u64)> = frames
+        .iter()
+        .filter(|f| f.op.mutates())
+        .map(|f| (f.client, f.seq))
+        .collect();
+    let distinct = mutating
+        .iter()
+        .collect::<std::collections::BTreeSet<_>>()
+        .len() as u64;
+    assert_eq!(
+        skipped,
+        mutating.len() as u64 - distinct,
+        "duplicate frames answered Skipped"
+    );
+    let digest = match handle.call(RequestFrame {
+        client: 0,
+        seq: 0,
+        op: Op::Query(Probe::Digest),
+    }) {
+        Dispatch::Reply(r) => match r.reply {
+            Reply::Digest { digest } => digest,
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    };
+    drop(handle);
+    match handle_shutdown(&service) {
+        Ok(()) => {}
+        Err(e) => panic!("{e}"),
+    }
+    digest
+}
+
+fn handle_shutdown(service: &Service) -> Result<(), String> {
+    match service.handle().call(RequestFrame {
+        client: 0,
+        seq: 0,
+        op: Op::Shutdown,
+    }) {
+        Dispatch::Reply(_) => Ok(()),
+        other => Err(format!("{other:?}")),
+    }
+}
+
+proptest! {
+    /// Any submitted interleaving, run through the real queue + owner
+    /// thread, lands on the oracle's digest for that exact sequence.
+    #[test]
+    fn accepted_order_replays_to_the_same_digest(
+        seed in any::<u64>(),
+        k in 2u64..6,
+        merge_seed in any::<u64>(),
+    ) {
+        let frames = interleave(seed, k, 8, merge_seed, false);
+        prop_assert_eq!(service_digest_of(&frames), oracle_digest(&cfg(), &frames).expect("valid cfg"));
+    }
+
+    /// Same property with duplicate mutating frames injected: the
+    /// sequence-number suppression keeps the service and the oracle in
+    /// byte-for-byte agreement.
+    #[test]
+    fn duplicates_never_diverge_from_the_oracle(
+        seed in any::<u64>(),
+        k in 2u64..5,
+        merge_seed in any::<u64>(),
+    ) {
+        let frames = interleave(seed, k, 6, merge_seed, true);
+        prop_assert_eq!(service_digest_of(&frames), oracle_digest(&cfg(), &frames).expect("valid cfg"));
+    }
+
+    /// Two different interleavings of the same client streams generally
+    /// reach different states (churn ops do not commute) — but each one
+    /// matches ITS OWN single-threaded replay. Checking both halves guards
+    /// against a digest that ignores order entirely.
+    #[test]
+    fn each_interleaving_matches_its_own_replay(
+        seed in any::<u64>(),
+        merge_a in any::<u64>(),
+        merge_b in any::<u64>(),
+    ) {
+        let a = interleave(seed, 4, 8, merge_a, false);
+        let b = interleave(seed, 4, 8, merge_b, false);
+        prop_assert_eq!(service_digest_of(&a), oracle_digest(&cfg(), &a).expect("valid cfg"));
+        prop_assert_eq!(service_digest_of(&b), oracle_digest(&cfg(), &b).expect("valid cfg"));
+    }
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(8))]
+
+    /// True concurrency: k threads blast their streams through cloned
+    /// handles with no coordination, so the accepted order is whatever the
+    /// queue serialized. The journal captures that order; replaying it
+    /// single-threaded reproduces the live digest exactly.
+    #[test]
+    fn concurrent_submission_matches_journal_replay(
+        seed in any::<u64>(),
+        k in 2u64..6,
+    ) {
+        let dir = fresh_dir("conc");
+        let cfg = ServeConfig { state_dir: Some(dir.clone()), ..cfg() };
+        let service = Service::start(cfg.clone()).expect("service boots");
+        std::thread::scope(|scope| {
+            for client in 1..=k {
+                let handle = service.handle();
+                let stream_cfg = cfg.clone();
+                scope.spawn(move || {
+                    let mut seq = 0u64;
+                    for op in client_ops(seed, client, 10, &stream_cfg) {
+                        let s = if op.mutates() { seq += 1; seq } else { 0 };
+                        let frame = RequestFrame { client, seq: s, op };
+                        assert!(
+                            matches!(handle.call(frame), Dispatch::Reply(_)),
+                            "request dropped"
+                        );
+                    }
+                });
+            }
+        });
+        let live = match service.handle().call(RequestFrame {
+            client: 0,
+            seq: 0,
+            op: Op::Query(Probe::Digest),
+        }) {
+            Dispatch::Reply(r) => match r.reply {
+                Reply::Digest { digest } => digest,
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        };
+        handle_shutdown(&service).expect("shutdown");
+        let (replayed, _) = replay_digest(&cfg, &dir).expect("replay");
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert_eq!(live, replayed);
+    }
+}

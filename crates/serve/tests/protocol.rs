@@ -1,0 +1,304 @@
+//! Malformed-input corpus, driven over a real Unix socket: truncated
+//! lines, invalid JSON, unknown ops, dead/out-of-range node ids, empty
+//! lines, binary garbage, and oversized frames. The contract under test:
+//! **every** malformed input produces a typed [`Reply::Error`] — the daemon
+//! never panics, never wedges, and keeps serving valid traffic on the same
+//! connection afterwards.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+use bbc_serve::protocol::{ErrorCode, Op, Probe, Reply, ReplyFrame, MAX_FRAME};
+use bbc_serve::socket::{run_listener, temp_socket_path, Client};
+use bbc_serve::{oracle_digest, RequestFrame, ServeConfig, Service};
+
+fn cfg() -> ServeConfig {
+    ServeConfig {
+        peers: 8,
+        budget: 1,
+        ..ServeConfig::default()
+    }
+}
+
+fn start_daemon(tag: &str) -> (PathBuf, Service) {
+    let path = temp_socket_path(tag);
+    let service = Service::start(cfg()).expect("service boots");
+    let handle = service.handle();
+    let listen = path.clone();
+    std::thread::spawn(move || {
+        let _ = run_listener(&listen, &handle);
+    });
+    while !path.exists() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    (path, service)
+}
+
+fn shutdown(path: &PathBuf, service: Service) {
+    let mut c = Client::connect(path, 0).expect("connect for shutdown");
+    let _ = c.request(Op::Shutdown);
+    service.join().expect("clean join");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn malformed_corpus_yields_typed_errors_and_keeps_the_connection() {
+    let (path, service) = start_daemon("malformed");
+
+    // Each corpus entry: (payload, expected error code, must echo seq).
+    let corpus: Vec<(Vec<u8>, ErrorCode, u64)> = vec![
+        // Invalid JSON.
+        (
+            b"{\"client\":1,\"seq\":1,\"op\":".to_vec(),
+            ErrorCode::Json,
+            0,
+        ),
+        // Binary garbage (invalid UTF-8).
+        (vec![0xFF, 0xFE, 0x00, 0x9B], ErrorCode::Json, 0),
+        // Valid JSON, wrong shape.
+        (b"[1,2,3]".to_vec(), ErrorCode::Json, 0),
+        // Unknown op: envelope decodes, so the reply echoes seq 9.
+        (
+            br#"{"client":1,"seq":9,"op":{"Frobnicate":{"x":1}}}"#.to_vec(),
+            ErrorCode::Request,
+            9,
+        ),
+        // Unknown probe string.
+        (
+            br#"{"client":1,"seq":4,"op":{"Query":"Nonsense"}}"#.to_vec(),
+            ErrorCode::Request,
+            4,
+        ),
+        // Empty line.
+        (Vec::new(), ErrorCode::Json, 0),
+    ];
+
+    let mut stream = UnixStream::connect(&path).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    for (payload, want_code, want_seq) in corpus {
+        let mut framed = payload.clone();
+        framed.push(b'\n');
+        stream.write_all(&framed).expect("write");
+        stream.flush().expect("flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read reply");
+        let reply: ReplyFrame = serde_json::from_str(&line).expect("reply decodes");
+        assert_eq!(reply.seq, want_seq, "for payload {payload:?}");
+        match reply.reply {
+            Reply::Error { code, .. } => {
+                assert_eq!(code, want_code, "for payload {payload:?}")
+            }
+            other => panic!("payload {payload:?} got non-error reply {other:?}"),
+        }
+        // The connection survives every malformed frame: a valid request
+        // still round-trips.
+        let probe = br#"{"client":7,"seq":0,"op":{"Query":"SocialCost"}}"#;
+        stream.write_all(probe).expect("write probe");
+        stream.write_all(b"\n").expect("newline");
+        stream.flush().expect("flush");
+        let mut ok_line = String::new();
+        reader.read_line(&mut ok_line).expect("read probe reply");
+        let ok: ReplyFrame = serde_json::from_str(&ok_line).expect("probe reply decodes");
+        assert!(
+            matches!(ok.reply, Reply::SocialCost { .. }),
+            "connection wedged after {payload:?}: {ok:?}"
+        );
+    }
+
+    shutdown(&path, service);
+}
+
+#[test]
+fn dead_and_out_of_range_nodes_are_typed_game_errors() {
+    let (path, service) = start_daemon("deadnode");
+    let mut client = Client::connect(&path, 1).expect("connect");
+
+    // Kill node 3, then poke the corpse from every angle.
+    assert!(matches!(
+        client.request(Op::Leave { node: 3 }).expect("leave"),
+        Reply::Ok { .. }
+    ));
+    for (op, want) in [
+        (Op::Leave { node: 3 }, ErrorCode::NotLive),
+        (Op::Advise { node: 3 }, ErrorCode::NotLive),
+        (Op::Query(Probe::NodeCost { node: 3 }), ErrorCode::NotLive),
+        (
+            Op::Shock {
+                node: 3,
+                strategy: vec![0],
+            },
+            ErrorCode::NotLive,
+        ),
+        // Joining an already-live node is the mirror error.
+        (
+            Op::Join {
+                node: 0,
+                strategy: vec![1],
+            },
+            ErrorCode::NotLive,
+        ),
+        // Out-of-range ids never index anything.
+        (Op::Leave { node: 1_000_000 }, ErrorCode::Game),
+        (Op::Advise { node: 1_000_000 }, ErrorCode::Game),
+        (
+            Op::Query(Probe::NodeCost { node: 1_000_000 }),
+            ErrorCode::Game,
+        ),
+        // Joining a dead node pointing at a dead target.
+        (
+            Op::Join {
+                node: 3,
+                strategy: vec![3],
+            },
+            ErrorCode::Game,
+        ),
+    ] {
+        match client.request(op.clone()).expect("request") {
+            Reply::Error { code, .. } => assert_eq!(code, want, "for {op:?}"),
+            other => panic!("{op:?} got {other:?}"),
+        }
+    }
+
+    // The errored ops were all accepted (journaled order); the digest still
+    // matches a single-threaded replay including them.
+    let sent: Vec<RequestFrame> = vec![
+        RequestFrame {
+            client: 1,
+            seq: 1,
+            op: Op::Leave { node: 3 },
+        },
+        RequestFrame {
+            client: 1,
+            seq: 2,
+            op: Op::Leave { node: 3 },
+        },
+        RequestFrame {
+            client: 1,
+            seq: 3,
+            op: Op::Shock {
+                node: 3,
+                strategy: vec![0],
+            },
+        },
+        RequestFrame {
+            client: 1,
+            seq: 4,
+            op: Op::Join {
+                node: 0,
+                strategy: vec![1],
+            },
+        },
+        RequestFrame {
+            client: 1,
+            seq: 5,
+            op: Op::Leave { node: 1_000_000 },
+        },
+        RequestFrame {
+            client: 1,
+            seq: 6,
+            op: Op::Join {
+                node: 3,
+                strategy: vec![3],
+            },
+        },
+    ];
+    match client.request(Op::Query(Probe::Digest)).expect("digest") {
+        Reply::Digest { digest } => {
+            assert_eq!(digest, oracle_digest(&cfg(), &sent).expect("oracle"));
+        }
+        other => panic!("{other:?}"),
+    }
+    shutdown(&path, service);
+}
+
+#[test]
+fn oversized_frames_are_rejected_and_drained() {
+    let (path, service) = start_daemon("oversized");
+    let mut stream = UnixStream::connect(&path).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // A line past the frame cap: typed Frame error, and the rest of the
+    // oversized line is drained so the connection stays aligned.
+    let huge = vec![b'x'; MAX_FRAME + 512];
+    stream.write_all(&huge).expect("write huge");
+    stream.write_all(b"\n").expect("newline");
+    stream.flush().expect("flush");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read reply");
+    let reply: ReplyFrame = serde_json::from_str(&line).expect("reply decodes");
+    match reply.reply {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Frame),
+        other => panic!("oversized frame got {other:?}"),
+    }
+
+    // Alignment check: the next (valid) request is parsed from a clean
+    // line boundary, not from the middle of the drained line.
+    stream
+        .write_all(br#"{"client":1,"seq":1,"op":{"Query":"Members"}}"#)
+        .expect("write");
+    stream.write_all(b"\n").expect("newline");
+    stream.flush().expect("flush");
+    let mut ok_line = String::new();
+    reader.read_line(&mut ok_line).expect("read reply");
+    let ok: ReplyFrame = serde_json::from_str(&ok_line).expect("reply decodes");
+    assert!(matches!(ok.reply, Reply::Members { .. }), "{ok:?}");
+
+    shutdown(&path, service);
+}
+
+#[test]
+fn truncated_final_line_gets_an_error_reply_then_close() {
+    let (path, service) = start_daemon("truncated");
+    let mut stream = UnixStream::connect(&path).expect("connect");
+    // A frame cut off mid-JSON with no trailing newline, then half-close:
+    // the daemon answers a typed Frame error and closes its side.
+    stream
+        .write_all(br#"{"client":1,"seq":1,"op":{"Lea"#)
+        .expect("write");
+    stream.flush().expect("flush");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read reply");
+    let reply: ReplyFrame = serde_json::from_str(&line).expect("reply decodes");
+    match reply.reply {
+        Reply::Error { code, message } => {
+            assert_eq!(code, ErrorCode::Frame);
+            assert!(message.contains("truncated"), "{message}");
+        }
+        other => panic!("truncated frame got {other:?}"),
+    }
+    // EOF follows — the connection is closed, not wedged.
+    let mut rest = String::new();
+    assert_eq!(reader.read_line(&mut rest).expect("eof"), 0);
+
+    // And the daemon itself is still alive for new connections.
+    let mut c = Client::connect(&path, 2).expect("reconnect");
+    assert!(matches!(
+        c.request(Op::Query(Probe::SocialCost)).expect("probe"),
+        Reply::SocialCost { .. }
+    ));
+    shutdown(&path, service);
+}
+
+#[test]
+fn abrupt_disconnects_leave_the_daemon_serving() {
+    let (path, service) = start_daemon("abrupt");
+    // Connect-and-slam repeatedly, including mid-request.
+    for i in 0..10 {
+        let mut stream = UnixStream::connect(&path).expect("connect");
+        if i % 2 == 0 {
+            let _ = stream.write_all(br#"{"client":1,"#);
+        }
+        drop(stream); // no shutdown handshake at all
+    }
+    let mut c = Client::connect(&path, 1).expect("connect");
+    assert!(matches!(
+        c.request(Op::Query(Probe::Members)).expect("probe"),
+        Reply::Members { .. }
+    ));
+    shutdown(&path, service);
+}

@@ -10,11 +10,12 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-const EXAMPLES: [&str; 4] = [
+const EXAMPLES: [&str; 5] = [
     "quickstart",
     "p2p_overlay",
     "social_influence",
     "fractional_peering",
+    "overlay_service",
 ];
 
 fn workspace_root() -> PathBuf {

@@ -211,6 +211,14 @@ fn record_result(name: &str, median_ns: u128) {
         .push((name.to_string(), median_ns));
 }
 
+/// Records an externally-measured median into the process registry, for
+/// tools that time themselves instead of going through [`Bencher`] (the
+/// `bbc-serve` load generator reports its request latencies this way).
+/// Flush with [`write_results`].
+pub fn record(name: &str, median_ns: u128) {
+    record_result(name, median_ns);
+}
+
 /// Merges this process's recorded medians into the results file. Called by
 /// [`criterion_main!`]; harmless to call with nothing recorded.
 pub fn write_results() {
@@ -226,15 +234,31 @@ pub fn write_results() {
             .ok()
             .map(|text| parse_results(&text))
             .unwrap_or_default();
-    merged.extend(recorded.into_iter().map(|(name, median_ns)| {
-        (
+    for (name, median_ns) in recorded {
+        // A baseline recorded on a different core count measures a
+        // different thing (a 1-core box times coordination overhead, not
+        // speedup), so flag the apples-to-oranges diff instead of letting
+        // it overwrite silently.
+        if let Some(prev) = merged.get(&name) {
+            if prev.available_parallelism != 0
+                && parallelism != 0
+                && prev.available_parallelism != parallelism
+            {
+                eprintln!(
+                    "warning: `{name}` baseline was recorded at available_parallelism={}, \
+                     this run has {parallelism}; the numbers are not comparable",
+                    prev.available_parallelism
+                );
+            }
+        }
+        merged.insert(
             name,
             BenchRecord {
                 median_ns,
                 available_parallelism: parallelism,
             },
-        )
-    }));
+        );
+    }
     let mut out = String::from("{\n");
     for (i, (name, record)) in merged.iter().enumerate() {
         let comma = if i + 1 == merged.len() { "" } else { "," };
