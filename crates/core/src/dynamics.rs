@@ -426,6 +426,28 @@ impl<'a> Walk<'a> {
         self.engine.stats()
     }
 
+    /// Publishes the walk's effort counters (names under `walk/`) and the
+    /// underlying engine's (under `engine/`) into a metrics registry,
+    /// including the landmark bound hit-rate gauge
+    /// (`walk/landmark_bound_hit_rate_permille`: prunes over prunes +
+    /// materialized exact rows). Observational only — the registry is
+    /// write-only from the walk's point of view, so trajectories and
+    /// digests are untouched.
+    pub fn publish_metrics(&self, reg: &mut bbc_obs::Registry) {
+        reg.set_counter("walk/steps", self.stats.steps);
+        reg.set_counter("walk/moves", self.stats.moves);
+        reg.set_counter("walk/bounds_hit", self.stats.bounds_hit);
+        reg.set_counter("walk/rows_materialized", self.stats.rows_materialized);
+        reg.set_gauge(
+            "walk/landmark_bound_hit_rate_permille",
+            bbc_obs::permille(
+                self.stats.bounds_hit,
+                self.stats.bounds_hit + self.stats.rows_materialized,
+            ),
+        );
+        self.engine.publish_metrics(reg);
+    }
+
     /// Recorded moves (empty unless [`Walk::record_trace`] was enabled).
     pub fn trace(&self) -> &[MoveRecord] {
         self.trace.as_deref().unwrap_or(&[])
@@ -897,6 +919,33 @@ mod tests {
                 .is_stable(walk.config())
                 .unwrap());
         }
+    }
+
+    #[test]
+    fn publishing_metrics_is_observational_only() {
+        let n = 8;
+        let spec = GameSpec::uniform(n, 2);
+        let mut walk = Walk::new(&spec, Configuration::random_sparse(&spec, 5, 1));
+        let _ = walk.run(500).unwrap();
+        let digest = walk.state_digest();
+        let mut reg = bbc_obs::Registry::new();
+        walk.publish_metrics(&mut reg);
+        let first = reg.to_json();
+        assert_eq!(walk.state_digest(), digest, "publishing must not mutate");
+        // Publishing is idempotent on a quiescent walk, and the walk
+        // continues exactly as if nothing had been read.
+        walk.publish_metrics(&mut reg);
+        assert_eq!(reg.to_json(), first);
+        assert_eq!(reg.counter("walk/steps"), Some(walk.stats().steps));
+        let _ = walk.run(1_000).unwrap();
+        let mut untouched = Walk::new(&spec, Configuration::random_sparse(&spec, 5, 1));
+        let _ = untouched.run(500).unwrap();
+        let _ = untouched.run(1_000).unwrap();
+        assert_eq!(
+            walk.state_digest(),
+            untouched.state_digest(),
+            "a metrics read must not fork the trajectory"
+        );
     }
 
     #[test]

@@ -225,6 +225,33 @@ pub struct EngineStats {
     pub landmark_rows_computed: u64,
 }
 
+impl EngineStats {
+    /// Publishes these counters into `reg` under `engine/`, with the
+    /// derived cache hit-rate gauges (`engine/oracle_hit_rate_permille`,
+    /// `engine/outcome_hit_rate_permille`) the ROADMAP's tuning work reads.
+    pub fn publish_metrics(&self, reg: &mut bbc_obs::Registry) {
+        reg.set_counter("engine/searches_run", self.searches_run);
+        reg.set_counter("engine/outcome_hits", self.outcome_hits);
+        reg.set_counter("engine/oracle_rows_computed", self.oracle_rows_computed);
+        reg.set_counter("engine/oracle_row_hits", self.oracle_row_hits);
+        reg.set_counter("engine/eval_rows_computed", self.eval_rows_computed);
+        reg.set_counter("engine/landmark_rows_computed", self.landmark_rows_computed);
+        reg.set_counter("engine/rows_invalidated", self.rows_invalidated);
+        reg.set_counter("engine/patches_applied", self.patches_applied);
+        reg.set_gauge(
+            "engine/oracle_hit_rate_permille",
+            bbc_obs::permille(
+                self.oracle_row_hits,
+                self.oracle_row_hits + self.oracle_rows_computed,
+            ),
+        );
+        reg.set_gauge(
+            "engine/outcome_hit_rate_permille",
+            bbc_obs::permille(self.outcome_hits, self.outcome_hits + self.searches_run),
+        );
+    }
+}
+
 /// A shared, cached, incrementally-patched shortest-path engine bound to one
 /// game and tracking one configuration.
 ///
@@ -452,6 +479,15 @@ impl<'a> DistanceEngine<'a> {
     /// Cache counters accumulated since construction.
     pub fn stats(&self) -> EngineStats {
         tiered!(self, e => e.stats)
+    }
+
+    /// Publishes the engine's effort counters into a metrics registry
+    /// (names under `engine/`), plus two derived gauges: the oracle-row
+    /// cache hit rate and the best-response outcome-memo hit rate, both in
+    /// permille. Observational only — reads a [`EngineStats`] snapshot and
+    /// touches no engine state, so digests and decisions are unaffected.
+    pub fn publish_metrics(&self, reg: &mut bbc_obs::Registry) {
+        self.stats().publish_metrics(reg);
     }
 
     /// Builder form of [`DistanceEngine::set_landmark_policy`].

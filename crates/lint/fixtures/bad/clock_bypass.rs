@@ -1,0 +1,23 @@
+// bbc-lint-fixture:
+// The blessed-clock half of L1: wall-clock reads outside
+// crates/obs/src/clock.rs bypass the `&dyn bbc_obs::Clock` boundary and
+// must fire even when the surrounding code looks like instrumentation.
+
+pub struct Latency {
+    started_ns: u64,
+}
+
+pub fn time_a_request() -> Latency {
+    // Measuring "just telemetry" is exactly the temptation the boundary
+    // exists for: take a Clock instead.
+    let t0 = Instant::now(); //~ ERROR determinism
+    Latency {
+        started_ns: t0.elapsed().as_nanos() as u64,
+    }
+}
+
+pub fn stamp_a_snapshot() -> u64 {
+    let stamp = SystemTime::now(); //~ ERROR determinism
+    let _ = stamp;
+    0
+}

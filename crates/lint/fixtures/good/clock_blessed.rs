@@ -1,0 +1,28 @@
+// bbc-lint-fixture: clock
+// The blessed wall-clock boundary (crates/obs/src/clock.rs, flagged here
+// via the fixture header): raw Instant::now/SystemTime are waived inside
+// the WallClock impl — and only the wall-clock checks are waived; the rest
+// of L1 still applies, so this file must stay free of default hashers and
+// entropy sources. Zero diagnostics expected.
+
+pub struct WallClock {
+    base: Instant,
+}
+
+impl WallClock {
+    pub fn new() -> Self {
+        Self {
+            base: Instant::now(),
+        }
+    }
+
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.base.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+pub fn os_timestamp_ns() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+}

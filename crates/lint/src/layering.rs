@@ -10,7 +10,7 @@
 //!
 //! | rank | crates |
 //! |------|--------|
-//! | 0 | `bbc-graph`, `bbc-sat` |
+//! | 0 | `bbc-graph`, `bbc-sat`, `bbc-obs` |
 //! | 1 | `bbc-core` |
 //! | 2 | `bbc-analysis`, `bbc-constructions`, `bbc-fractional` |
 //! | 3 | `bbc-experiments` |
@@ -28,6 +28,7 @@ use crate::lints::{fnv1a, Diagnostic};
 pub const LAYERS: &[(&str, u32)] = &[
     ("bbc-graph", 0),
     ("bbc-sat", 0),
+    ("bbc-obs", 0),
     ("bbc-core", 1),
     ("bbc-analysis", 2),
     ("bbc-constructions", 2),

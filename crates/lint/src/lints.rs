@@ -6,7 +6,11 @@
 //!
 //! * **L1 `determinism`** — no `HashMap`/`HashSet` with the default
 //!   (randomly seeded) hasher, no `Instant::now`/`SystemTime`/`thread_rng`
-//!   in non-bench library code.
+//!   in non-bench library code. Wall-clock reads are additionally fenced by
+//!   the blessed-clock pattern: the only file allowed to touch
+//!   `Instant::now`/`SystemTime` at all is `crates/obs/src/clock.rs` (the
+//!   `bbc_obs::WallClock` impl) — everything else routes timing through a
+//!   `&dyn bbc_obs::Clock`.
 //! * **L2 `narrowing-cast`** — no bare `as u32`/`as u16`/`as u8` in the
 //!   row-width-critical files; conversions go through
 //!   `RowWord::from_u64`/`widen` or carry a reasoned allow.
@@ -60,7 +64,16 @@ pub struct FileRules {
     pub bench: bool,
     /// Apply the `reference.rs` import restriction (part of L3).
     pub reference_imports: bool,
+    /// The blessed wall-clock boundary (`bbc_obs::WallClock` only): exempt
+    /// from the L1 `Instant::now`/`SystemTime` checks while every other L1
+    /// rule still applies.
+    pub clock: bool,
 }
+
+/// The single file allowed to read the wall clock directly: the
+/// `bbc_obs::WallClock` impl. Everything else takes a `&dyn bbc_obs::Clock`
+/// so timing stays injectable (and deterministic under `ManualClock`).
+pub const BLESSED_CLOCK_FILE: &str = "crates/obs/src/clock.rs";
 
 /// Repo-relative paths where bare narrowing casts are forbidden (L2): the
 /// row-width kernels and the engine hot paths that feed them.
@@ -80,6 +93,7 @@ impl FileRules {
             narrowing: NARROWING_FILES.contains(&rel),
             bench: rel.starts_with("crates/bench/"),
             reference_imports: rel == "crates/core/src/reference.rs",
+            clock: rel == BLESSED_CLOCK_FILE,
         }
     }
 
@@ -91,6 +105,7 @@ impl FileRules {
                 "narrowing" => self.narrowing = true,
                 "bench" => self.bench = true,
                 "reference" => self.reference_imports = true,
+                "clock" => self.clock = true,
                 _ => {}
             }
         }
@@ -117,7 +132,7 @@ pub fn lint_source(file: &str, src: &str, rules: &FileRules) -> Vec<Diagnostic> 
 
     let mut raw = Vec::new();
     if !rules.bench {
-        determinism(file, &code, &mut raw);
+        determinism(file, &code, rules.clock, &mut raw);
     }
     if rules.narrowing {
         narrowing(file, &code, &mut raw);
@@ -332,7 +347,10 @@ fn push(out: &mut Vec<Diagnostic>, file: &str, line: u32, lint: &'static str, me
 }
 
 /// L1: default-hasher collections and wall-clock / OS-entropy sources.
-fn determinism(file: &str, code: &[&Token], out: &mut Vec<Diagnostic>) {
+/// `clock` marks the blessed wall-clock boundary ([`BLESSED_CLOCK_FILE`]):
+/// there — and only there — the `Instant::now`/`SystemTime` checks are
+/// waived, while the hasher and entropy rules still apply.
+fn determinism(file: &str, code: &[&Token], clock: bool, out: &mut Vec<Diagnostic>) {
     for (i, t) in code.iter().enumerate() {
         if t.kind != TokenKind::Ident {
             continue;
@@ -367,7 +385,7 @@ fn determinism(file: &str, code: &[&Token], out: &mut Vec<Diagnostic>) {
                     t.text
                 ),
             ),
-            "SystemTime" | "thread_rng" => push(
+            "thread_rng" => push(
                 out,
                 file,
                 t.line,
@@ -377,8 +395,19 @@ fn determinism(file: &str, code: &[&Token], out: &mut Vec<Diagnostic>) {
                     t.text
                 ),
             ),
+            "SystemTime" if !clock => push(
+                out,
+                file,
+                t.line,
+                "determinism",
+                "SystemTime bypasses the blessed clock boundary; take a \
+                 &dyn bbc_obs::Clock (bbc_obs::WallClock is the only sanctioned \
+                 wall-clock source)"
+                    .to_string(),
+            ),
             "Instant"
-                if code.get(i + 1).is_some_and(|t| t.text == ":")
+                if !clock
+                    && code.get(i + 1).is_some_and(|t| t.text == ":")
                     && code.get(i + 2).is_some_and(|t| t.text == ":")
                     && code.get(i + 3).is_some_and(|t| t.text == "now") =>
             {
@@ -387,7 +416,10 @@ fn determinism(file: &str, code: &[&Token], out: &mut Vec<Diagnostic>) {
                     file,
                     t.line,
                     "determinism",
-                    "Instant::now in library code; timing belongs to the bench harness".to_string(),
+                    "Instant::now bypasses the blessed clock boundary; take a \
+                     &dyn bbc_obs::Clock (bbc_obs::WallClock is the only sanctioned \
+                     wall-clock source)"
+                        .to_string(),
                 );
             }
             _ => {}
@@ -629,6 +661,27 @@ mod tests {
             ..FileRules::default()
         };
         assert!(ids("let t = Instant::now();", &bench).is_empty());
+    }
+
+    #[test]
+    fn blessed_clock_file_may_read_the_wall_clock_but_nothing_else() {
+        let clock = FileRules {
+            clock: true,
+            ..FileRules::default()
+        };
+        // The waiver covers exactly the wall-clock sources…
+        assert!(ids("let t = Instant::now();", &clock).is_empty());
+        assert!(ids("let t = SystemTime::now();", &clock).is_empty());
+        // …while the rest of L1 still applies inside the blessed file.
+        assert_eq!(ids("let r = thread_rng();", &clock), [("determinism", 1)]);
+        assert_eq!(
+            ids("use std::collections::HashMap;", &clock),
+            [("determinism", 1)]
+        );
+        // And the repo path map blesses only the WallClock impl.
+        assert!(FileRules::for_repo_path(BLESSED_CLOCK_FILE).clock);
+        assert!(!FileRules::for_repo_path("crates/obs/src/lib.rs").clock);
+        assert!(!FileRules::for_repo_path("crates/serve/src/loadgen.rs").clock);
     }
 
     #[test]

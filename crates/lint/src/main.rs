@@ -193,6 +193,7 @@ fn run_files(root: &Path, args: &[String]) -> ExitCode {
         rules.narrowing |= fixture.narrowing;
         rules.bench |= fixture.bench;
         rules.reference_imports |= fixture.reference_imports;
+        rules.clock |= fixture.clock;
         diags.extend(lints::lint_source(&rel, &src, &rules));
     }
     report(diags)

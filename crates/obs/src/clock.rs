@@ -1,0 +1,125 @@
+//! The blessed wall-clock boundary.
+//!
+//! The workspace's L1 determinism contract (see `LINTS.md`) forbids
+//! `Instant::now`/`SystemTime` in library code: wall-clock readings must
+//! never reach a decision, digest, or fingerprint. Timing-instrumented code
+//! therefore accepts a [`Clock`] and lets the *caller* decide whether time
+//! is real ([`WallClock`]) or scripted ([`ManualClock`]). This file is the
+//! one place bbc-lint's `clock` rule blesses a raw `Instant::now` — every
+//! other occurrence anywhere in the workspace is a diagnostic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotone nanosecond clock. Implementations must be monotone
+/// non-decreasing; the epoch is implementation-defined (callers only ever
+/// subtract two readings).
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's (arbitrary) epoch.
+    fn now_ns(&self) -> u64;
+}
+
+/// Real wall-clock time, measured as elapsed nanoseconds since the clock
+/// was constructed. The single sanctioned `Instant::now` site in the
+/// workspace.
+#[derive(Clone, Debug)]
+pub struct WallClock {
+    base: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is the moment of construction.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            base: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        // Instant is monotone; 2^64 ns is ~584 years of uptime, so the
+        // saturation arm is unreachable in practice but keeps this total.
+        u64::try_from(self.base.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A scripted clock for deterministic tests: time advances only when the
+/// test says so. Interior-mutable so it can stand behind the same
+/// `&dyn Clock` as [`WallClock`].
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at `start_ns`.
+    #[must_use]
+    pub fn new(start_ns: u64) -> Self {
+        Self {
+            now: AtomicU64::new(start_ns),
+        }
+    }
+
+    /// Moves time forward by `delta_ns` (saturating).
+    pub fn advance(&self, delta_ns: u64) {
+        // fetch_update with a saturating add; a plain fetch_add could wrap.
+        let _ = self
+            .now
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| {
+                Some(t.saturating_add(delta_ns))
+            });
+    }
+
+    /// Sets the absolute reading. Monotonicity is the caller's obligation.
+    pub fn set(&self, now_ns: u64) {
+        self.now.store(now_ns, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone_nondecreasing() {
+        let clock = WallClock::new();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_is_scripted() {
+        let clock = ManualClock::new(100);
+        assert_eq!(clock.now_ns(), 100);
+        clock.advance(42);
+        assert_eq!(clock.now_ns(), 142);
+        clock.set(7);
+        assert_eq!(clock.now_ns(), 7);
+        clock.advance(u64::MAX);
+        assert_eq!(clock.now_ns(), u64::MAX, "advance saturates");
+    }
+
+    #[test]
+    fn clocks_share_the_trait_object_surface() {
+        let manual = ManualClock::new(5);
+        let wall = WallClock::new();
+        let clocks: Vec<&dyn Clock> = vec![&manual, &wall];
+        assert_eq!(clocks[0].now_ns(), 5);
+        let _ = clocks[1].now_ns();
+    }
+}

@@ -1,0 +1,229 @@
+//! A log-bucketed latency histogram.
+//!
+//! HDR-style with power-of-two buckets: bucket 0 holds the value 0, bucket
+//! `i ≥ 1` holds values in `[2^(i-1), 2^i)`, bucket 64 tops out at
+//! `u64::MAX`. That gives a fixed 65-slot footprint, constant-time
+//! recording, and quantiles with ≤ 2× relative error — plenty for the
+//! latency telemetry this crate serves, where the interesting signal is
+//! orders of magnitude, not nanoseconds. Count, sum, and max are exact.
+
+/// Number of buckets: one for zero plus one per bit position.
+pub const BUCKET_COUNT: usize = 65;
+
+/// A fixed-footprint power-of-two-bucket histogram of `u64` samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKET_COUNT],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a sample: 0 for 0, else `64 - leading_zeros`.
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket: 0, 1, 3, 7, …, `u64::MAX`.
+fn bucket_upper(index: usize) -> u64 {
+    if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The quantile `num/den` (e.g. `quantile(99, 100)` for p99): the upper
+    /// bound of the first bucket whose cumulative count reaches the target
+    /// rank, clamped to the exact max. Returns 0 on an empty histogram;
+    /// `den` of 0 is treated as 1 (total function, no panics).
+    #[must_use]
+    pub fn quantile(&self, num: u64, den: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let den = den.max(1);
+        // Target rank, 1-based, ceiling division in u128 so count*num
+        // cannot overflow.
+        let target = (u128::from(self.count) * u128::from(num))
+            .div_ceil(u128::from(den))
+            .max(1);
+        let mut seen: u128 = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += u128::from(n);
+            if seen >= target {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(50, 100)
+    }
+
+    /// 90th percentile.
+    #[must_use]
+    pub fn p90(&self) -> u64 {
+        self.quantile(90, 100)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(99, 100)
+    }
+
+    /// The populated buckets, in ascending order, as
+    /// `(inclusive_upper_bound, count)` pairs — the sparse form the JSON
+    /// document renders.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_upper(i), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_geometry() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        // Every value lands in a bucket whose bound admits it.
+        for v in [0u64, 1, 2, 3, 4, 1023, 1024, 1 << 40, u64::MAX] {
+            assert!(v <= bucket_upper(bucket_index(v)), "{v}");
+        }
+    }
+
+    #[test]
+    fn exact_aggregates() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        for v in [3u64, 9, 1000, 0, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1021);
+        assert_eq!(h.max(), 1000);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn quantiles_are_bucket_bounds_clamped_to_max() {
+        let mut h = Histogram::new();
+        // 99 fast samples in [8,15], one slow outlier.
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(5000);
+        assert_eq!(h.p50(), 15, "p50 reports the fast bucket's bound");
+        assert_eq!(h.p90(), 15);
+        assert_eq!(h.p99(), 15);
+        assert_eq!(h.quantile(100, 100), 5000, "p100 is the exact max");
+        assert_eq!(h.max(), 5000);
+    }
+
+    #[test]
+    fn quantile_edge_cases_are_total() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), 0, "empty histogram");
+        let mut h = Histogram::new();
+        h.record(7);
+        assert_eq!(h.quantile(1, 0), 7, "zero denominator is tolerated");
+        assert_eq!(h.quantile(0, 100), 7, "p0 still needs rank ≥ 1");
+    }
+
+    #[test]
+    fn merge_is_bucketwise() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(4);
+        b.record(4);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 108);
+        assert_eq!(a.max(), 100);
+        let buckets: Vec<_> = a.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(7, 2), (127, 1)]);
+    }
+}

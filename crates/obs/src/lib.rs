@@ -1,0 +1,69 @@
+//! Observability substrate for the BBC workspace.
+//!
+//! Three pieces, all observational by construction:
+//!
+//! - [`Registry`] — a named counter/gauge/histogram store with
+//!   **insertion-stable iteration**, so rendering the same sequence of
+//!   publishes always produces byte-identical documents. Effort metrics
+//!   (search counters, cache hit rates, queue depths) flow through here and
+//!   never feed back into a decision, digest, or fingerprint.
+//! - [`Histogram`] — log-bucketed (power-of-two, HDR-style) latency
+//!   histogram with p50/p90/p99/max extraction and exact count/sum/max.
+//! - [`Clock`] — the workspace's only sanctioned route to wall-clock time.
+//!   Library code takes a `&dyn Clock`; [`WallClock`] is the single blessed
+//!   `Instant::now` site (machine-enforced by bbc-lint's L1 contract), and
+//!   [`ManualClock`] makes timing-dependent code deterministically testable.
+//!
+//! The crate renders two wire formats itself (it is dependency-free, so no
+//! serde): a versioned single-line JSON document ([`Registry::to_json`],
+//! schema version [`METRICS_SCHEMA_VERSION`]) and Prometheus text
+//! exposition ([`Registry::to_prometheus`]).
+//!
+//! # The observational-only invariant
+//!
+//! Nothing in this crate may influence engine state: metrics are published
+//! *from* snapshots of existing counters, never consulted by the code that
+//! produces them. The serve/experiments differential suites pin that
+//! invariant end to end — every state digest and stream fingerprint is
+//! byte-identical with metrics on, off, or sampled.
+
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod histogram;
+pub mod registry;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use histogram::Histogram;
+pub use registry::Registry;
+
+/// Version stamped into every JSON metrics document (`"version"` field).
+/// Bump when the document's shape changes incompatibly.
+pub const METRICS_SCHEMA_VERSION: u64 = 1;
+
+/// Integer rate in parts per thousand: `1000 * num / den`, 0 when `den`
+/// is 0. Hit-rate gauges use this so the registry stays float-free (floats
+/// would make rendered documents platform-sensitive).
+#[must_use]
+pub fn permille(num: u64, den: u64) -> u64 {
+    if den == 0 {
+        return 0;
+    }
+    let scaled = u128::from(num).saturating_mul(1000) / u128::from(den);
+    u64::try_from(scaled).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::permille;
+
+    #[test]
+    fn permille_handles_edges() {
+        assert_eq!(permille(0, 0), 0);
+        assert_eq!(permille(5, 0), 0);
+        assert_eq!(permille(1, 2), 500);
+        assert_eq!(permille(2, 3), 666);
+        assert_eq!(permille(3, 3), 1000);
+        assert_eq!(permille(u64::MAX, 1), u64::MAX);
+    }
+}

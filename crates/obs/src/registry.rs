@@ -1,0 +1,398 @@
+//! The deterministic metric registry.
+//!
+//! Named counters (monotone), gauges (point-in-time), and latency
+//! [`Histogram`]s, iterated and rendered in **insertion order** — never
+//! hash order — so the same publish sequence always renders the same bytes.
+//! The name index is a `HashMap` with the workspace's version-pinned FNV-1a
+//! hasher spelled out (this crate is rank 0 and cannot import
+//! `bbc_core::det`, so it carries its own copy of the pinned constants);
+//! the hash only accelerates lookup and never decides order.
+//!
+//! Kind mismatches (observing into a counter, adding to a histogram) are
+//! silently ignored: an observability layer must never panic or steer the
+//! code it watches, so misuse degrades to a missing metric, not a fault.
+
+// bbc-lint: allow(determinism, the alias below pins the hasher; the raw name is needed to define it)
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::histogram::Histogram;
+use crate::METRICS_SCHEMA_VERSION;
+
+/// Version-pinned FNV-1a 64 (same constants as `bbc_core::det::Fnv1a` and
+/// the L4 content hash): offset `0xcbf2_9ce4_8422_2325`, prime
+/// `0x0000_0100_0000_01b3`.
+#[derive(Clone, Debug)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// One registered metric.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Slot {
+    Counter(u64),
+    Gauge(u64),
+    // Boxed: a histogram is ~550 bytes of buckets, the other variants one
+    // word — an unboxed variant would balloon every entry to bucket size.
+    Histogram(Box<Histogram>),
+}
+
+/// A metric's current value, as surfaced by [`Registry::iter`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Metric<'a> {
+    /// A monotone counter.
+    Counter(u64),
+    /// A point-in-time gauge.
+    Gauge(u64),
+    /// A latency histogram.
+    Histogram(&'a Histogram),
+}
+
+/// Insertion-ordered counter/gauge/histogram store.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    entries: Vec<(String, Slot)>,
+    index: HashMap<String, usize, BuildHasherDefault<Fnv1a>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot_mut(&mut self, name: &str, make: impl FnOnce() -> Slot) -> &mut Slot {
+        let at = match self.index.get(name) {
+            Some(&at) => at,
+            None => {
+                let at = self.entries.len();
+                self.entries.push((name.to_string(), make()));
+                self.index.insert(name.to_string(), at);
+                at
+            }
+        };
+        // The index only ever stores offsets of entries it just pushed.
+        &mut self.entries[at].1
+    }
+
+    /// Adds `delta` to a counter, creating it at 0 first.
+    pub fn add_counter(&mut self, name: &str, delta: u64) {
+        if let Slot::Counter(v) = self.slot_mut(name, || Slot::Counter(0)) {
+            *v = v.saturating_add(delta);
+        }
+    }
+
+    /// Stores an absolute counter reading (for publishing an existing
+    /// monotone counter wholesale). Keeps the larger of old and new so a
+    /// stale publisher cannot make a counter regress.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        if let Slot::Counter(v) = self.slot_mut(name, || Slot::Counter(0)) {
+            *v = (*v).max(value);
+        }
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&mut self, name: &str, value: u64) {
+        if let Slot::Gauge(v) = self.slot_mut(name, || Slot::Gauge(0)) {
+            *v = value;
+        }
+    }
+
+    /// Records one sample into a histogram, creating it empty first.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if let Slot::Histogram(h) = self.slot_mut(name, || Slot::Histogram(Box::default())) {
+            h.record(value);
+        }
+    }
+
+    /// Merges a whole histogram under `name`.
+    pub fn merge_histogram(&mut self, name: &str, other: &Histogram) {
+        if let Slot::Histogram(h) = self.slot_mut(name, || Slot::Histogram(Box::default())) {
+            h.merge(other);
+        }
+    }
+
+    /// A counter's value, if `name` is a counter.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.lookup(name) {
+            Some(Slot::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// A gauge's value, if `name` is a gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        match self.lookup(name) {
+            Some(Slot::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// A histogram, if `name` is one.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.lookup(name) {
+            Some(Slot::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Slot> {
+        self.index
+            .get(name)
+            .and_then(|&at| self.entries.get(at))
+            .map(|(_, s)| s)
+    }
+
+    /// Number of registered metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All metrics in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Metric<'_>)> {
+        self.entries.iter().map(|(name, slot)| {
+            let metric = match slot {
+                Slot::Counter(v) => Metric::Counter(*v),
+                Slot::Gauge(v) => Metric::Gauge(*v),
+                Slot::Histogram(h) => Metric::Histogram(h),
+            };
+            (name.as_str(), metric)
+        })
+    }
+
+    /// Renders the versioned single-line JSON metrics document:
+    ///
+    /// ```json
+    /// {"version":1,"counters":{…},"gauges":{…},"histograms":{"name":
+    ///  {"count":N,"sum":S,"max":M,"p50":…,"p90":…,"p99":…,
+    ///   "buckets":[[le,count],…]}}}
+    /// ```
+    ///
+    /// Keys appear in registry insertion order; the document is a pure
+    /// function of the publish sequence.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut histograms = String::new();
+        for (name, slot) in &self.entries {
+            match slot {
+                Slot::Counter(v) => append_kv(&mut counters, name, &v.to_string()),
+                Slot::Gauge(v) => append_kv(&mut gauges, name, &v.to_string()),
+                Slot::Histogram(h) => append_kv(&mut histograms, name, &histogram_json(h)),
+            }
+        }
+        format!(
+            "{{\"version\":{METRICS_SCHEMA_VERSION},\"counters\":{{{counters}}},\
+             \"gauges\":{{{gauges}}},\"histograms\":{{{histograms}}}}}"
+        )
+    }
+
+    /// Renders Prometheus text exposition (metric names sanitized to the
+    /// Prometheus charset, histograms as cumulative `_bucket{le=…}` series
+    /// plus `_sum`/`_count`).
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, slot) in &self.entries {
+            let name = sanitize(name);
+            match slot {
+                Slot::Counter(v) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+                }
+                Slot::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+                }
+                Slot::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let mut cumulative = 0u64;
+                    for (le, count) in h.nonzero_buckets() {
+                        cumulative += count;
+                        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                    }
+                    out.push_str(&format!(
+                        "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+                        h.count(),
+                        h.sum(),
+                        h.count()
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Appends `"key":value` (JSON-escaping the key) with a comma separator.
+fn append_kv(out: &mut String, key: &str, value: &str) {
+    if !out.is_empty() {
+        out.push(',');
+    }
+    out.push('"');
+    for c in key.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push_str("\":");
+    out.push_str(value);
+}
+
+fn histogram_json(h: &Histogram) -> String {
+    let buckets: Vec<String> = h
+        .nonzero_buckets()
+        .map(|(le, n)| format!("[{le},{n}]"))
+        .collect();
+    format!(
+        "{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[{}]}}",
+        h.count(),
+        h.sum(),
+        h.max(),
+        h.p50(),
+        h.p90(),
+        h.p99(),
+        buckets.join(",")
+    )
+}
+
+/// Maps a registry name onto the Prometheus charset `[a-zA-Z0-9_:]`,
+/// prefixing names that would start with a digit.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_the_pinned_vectors() {
+        let hash = |bytes: &[u8]| {
+            let mut h = Fnv1a::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn iteration_is_insertion_ordered_not_hash_ordered() {
+        let mut reg = Registry::new();
+        for name in ["zebra", "alpha", "middle", "aardvark"] {
+            reg.add_counter(name, 1);
+        }
+        reg.set_gauge("gauge/later", 9);
+        let names: Vec<&str> = reg.iter().map(|(n, _)| n).collect();
+        assert_eq!(
+            names,
+            ["zebra", "alpha", "middle", "aardvark", "gauge/later"]
+        );
+    }
+
+    #[test]
+    fn counters_accumulate_and_never_regress() {
+        let mut reg = Registry::new();
+        reg.add_counter("c", 2);
+        reg.add_counter("c", 3);
+        assert_eq!(reg.counter("c"), Some(5));
+        reg.set_counter("c", 4);
+        assert_eq!(reg.counter("c"), Some(5), "set_counter keeps the max");
+        reg.set_counter("c", 50);
+        assert_eq!(reg.counter("c"), Some(50));
+        assert_eq!(reg.counter("missing"), None);
+    }
+
+    #[test]
+    fn kind_mismatches_are_ignored_not_panics() {
+        let mut reg = Registry::new();
+        reg.add_counter("c", 1);
+        reg.observe("c", 100); // wrong kind: dropped
+        reg.set_gauge("c", 100); // wrong kind: dropped
+        assert_eq!(reg.counter("c"), Some(1));
+        assert_eq!(reg.histogram("c"), None);
+        assert_eq!(reg.gauge("c"), None);
+    }
+
+    #[test]
+    fn json_document_is_versioned_and_stable() {
+        let mut reg = Registry::new();
+        reg.add_counter("requests", 3);
+        reg.set_gauge("queue_depth", 2);
+        reg.observe("latency_ns", 10);
+        reg.observe("latency_ns", 1000);
+        let doc = reg.to_json();
+        assert!(doc.starts_with("{\"version\":1,"), "{doc}");
+        assert!(doc.contains("\"counters\":{\"requests\":3}"), "{doc}");
+        assert!(doc.contains("\"gauges\":{\"queue_depth\":2}"), "{doc}");
+        assert!(doc.contains("\"latency_ns\":{\"count\":2,"), "{doc}");
+        assert!(doc.contains("\"buckets\":[[15,1],[1023,1]]"), "{doc}");
+        assert_eq!(doc, reg.to_json(), "rendering is pure");
+        assert!(!doc.contains('\n'), "single line, jsonl-embeddable");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_sanitized() {
+        let mut reg = Registry::new();
+        reg.add_counter("serve/requests", 7);
+        reg.observe("op latency", 3);
+        reg.observe("op latency", 200);
+        let text = reg.to_prometheus();
+        assert!(
+            text.contains("# TYPE serve_requests counter\nserve_requests 7\n"),
+            "{text}"
+        );
+        assert!(text.contains("op_latency_bucket{le=\"3\"} 1\n"), "{text}");
+        assert!(text.contains("op_latency_bucket{le=\"255\"} 2\n"), "{text}");
+        assert!(
+            text.contains("op_latency_bucket{le=\"+Inf\"} 2\n"),
+            "{text}"
+        );
+        assert!(text.contains("op_latency_sum 203\n"), "{text}");
+        assert!(text.contains("op_latency_count 2\n"), "{text}");
+    }
+}

@@ -51,6 +51,7 @@
 //!     r#"{"client":1,"seq":2,"op":{"Leave":{"node":3}}}"#,
 //!     r#"{"client":1,"seq":2,"op":{"Leave":{"node":3}}}"#, // duplicate!
 //!     r#"{"client":1,"seq":3,"op":{"Advise":{"node":0}}}"#,
+//!     r#"{"client":1,"seq":0,"op":{"Query":"Metrics"}}"#,
 //!     r#"{"client":1,"seq":4,"op":{"Query":"Digest"}}"#,
 //! ];
 //! let mut replies = Vec::new();
@@ -69,10 +70,20 @@
 //! assert!(matches!(replies[1].reply, Reply::Ok { .. }));
 //! assert!(matches!(replies[2].reply, Reply::Skipped { last: 2 }));
 //! assert!(matches!(replies[3].reply, Reply::Advice { .. }));
+//! // `Query(Metrics)` returns the owner thread's versioned metrics
+//! // document (counters/gauges/histograms; see `bbc_obs`). Metrics are
+//! // observational only — reading them never moves the digest, which the
+//! // differential suite pins by wedging this probe after every frame:
+//! let Reply::Metrics { ref metrics } = replies[4].reply else { panic!() };
+//! let doc = metrics.as_map().expect("metrics document is an object");
+//! assert!(matches!(
+//!     serde::map_get(doc, "version"),
+//!     Some(serde_json::Value::U64(bbc_obs::METRICS_SCHEMA_VERSION))
+//! ));
 //! // The digest every reply quotes is the engine's replayable state
 //! // digest — the same value a single-threaded replay of the accepted
 //! // order computes:
-//! let Reply::Digest { ref digest } = replies[4].reply else { panic!() };
+//! let Reply::Digest { ref digest } = replies[5].reply else { panic!() };
 //! let accepted: Vec<_> = lines[..2]
 //!     .iter()
 //!     .map(|l| decode_request(l.as_bytes()).expect("well-formed"))

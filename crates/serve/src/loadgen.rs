@@ -16,15 +16,17 @@
 //!   state directory ([`LoadGen::verify_state_dir`]) to check that via
 //!   [`replay_digest`].
 //!
-//! Latency medians land in `BENCH_results.json` through the bench shim's
-//! [`criterion::record`] registry when [`LoadReport::record_bench`] is
-//! called, tagged with the host's `available_parallelism` like every other
-//! baseline.
+//! Latency quantiles (p50/p95/max) land in `BENCH_results.json` through
+//! the bench shim's [`criterion::record`] registry when
+//! [`LoadReport::record_bench`] is called, tagged with the host's
+//! `available_parallelism` like every other baseline. All timing goes
+//! through [`bbc_obs::WallClock`] — the workspace's one blessed wall-clock
+//! boundary; it only ever feeds the latency report, never game state.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
 
+use bbc_obs::{Clock as _, WallClock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -103,10 +105,13 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
-    /// Records the run's latency median into the bench registry (flush
-    /// with [`criterion::write_results`]).
+    /// Records the run's latency quantiles into the bench registry (flush
+    /// with [`criterion::write_results`]): the median under the historical
+    /// `serve/loadgen_latency` key, plus the p95 and worst-case tails.
     pub fn record_bench(&self) {
         criterion::record("serve/loadgen_latency", u128::from(self.latency_p50_ns));
+        criterion::record("serve/loadgen_latency_p95", u128::from(self.latency_p95_ns));
+        criterion::record("serve/loadgen_latency_max", u128::from(self.latency_max_ns));
     }
 }
 
@@ -189,11 +194,6 @@ pub fn serial_frames(load: &LoadGen, cfg: &ServeConfig) -> Vec<RequestFrame> {
     frames
 }
 
-fn now() -> Instant {
-    // bbc-lint: allow(determinism, wall-clock here measures the loadgen's own latency report, never game state)
-    Instant::now()
-}
-
 /// Runs the load against a daemon listening on `socket`. `cfg` must match
 /// the daemon's game configuration (it parameterizes op generation and the
 /// oracle).
@@ -214,13 +214,14 @@ pub fn run(load: &LoadGen, cfg: &ServeConfig, socket: &Path) -> Result<LoadRepor
             "client ids collide with the reserved service client".to_string(),
         ));
     }
-    let started = now();
+    let clock = WallClock::new();
+    let started = clock.now_ns();
     let (latencies, errors, busy_retries, sent) = if load.serial {
         run_serial(load, cfg, socket)?
     } else {
         run_concurrent(load, cfg, socket)?
     };
-    let elapsed_ns = saturating_ns(started.elapsed().as_nanos());
+    let elapsed_ns = clock.now_ns().saturating_sub(started);
 
     // Final digest, read over a fresh connection.
     let mut probe = Client::connect(socket, 0)?;
@@ -272,20 +273,21 @@ type RunTallies = (Vec<u64>, u64, u64, u64);
 
 fn run_serial(load: &LoadGen, cfg: &ServeConfig, socket: &Path) -> Result<RunTallies, ServeError> {
     let frames = serial_frames(load, cfg);
+    let clock = WallClock::new();
     let mut conn = Client::connect(socket, 0)?;
     let mut latencies = Vec::with_capacity(frames.len());
     let mut errors = 0u64;
     let mut busy = 0u64;
     let sent = frames.len() as u64;
     for frame in frames {
-        let t0 = now();
+        let t0 = clock.now_ns();
         let mut reply = send_frame(&mut conn, &frame)?;
         while let Reply::Busy { .. } = reply {
             busy += 1;
             std::thread::sleep(std::time::Duration::from_micros(100));
             reply = send_frame(&mut conn, &frame)?;
         }
-        latencies.push(saturating_ns(t0.elapsed().as_nanos()));
+        latencies.push(clock.now_ns().saturating_sub(t0));
         if matches!(reply, Reply::Error { .. }) {
             errors += 1;
         }
@@ -324,6 +326,7 @@ fn run_concurrent(
                         )
                     })
                     .collect();
+                let clock = WallClock::new();
                 let mut conn = Client::connect(socket, 0)?;
                 let mut latencies = Vec::new();
                 let (mut errors, mut busy, mut sent) = (0u64, 0u64, 0u64);
@@ -340,14 +343,14 @@ fn run_concurrent(
                             0
                         };
                         conn.client = *client;
-                        let t0 = now();
+                        let t0 = clock.now_ns();
                         let mut reply = conn.request_seq(frame_seq, op.clone())?;
                         while let Reply::Busy { .. } = reply {
                             busy += 1;
                             std::thread::sleep(std::time::Duration::from_micros(100));
                             reply = conn.request_seq(frame_seq, op.clone())?;
                         }
-                        latencies.push(saturating_ns(t0.elapsed().as_nanos()));
+                        latencies.push(clock.now_ns().saturating_sub(t0));
                         sent += 1;
                         if matches!(reply, Reply::Error { .. }) {
                             errors += 1;
@@ -384,10 +387,6 @@ fn percentiles(mut latencies: Vec<u64>) -> (u64, u64, u64) {
     let p50 = latencies[n / 2];
     let p95 = latencies[(n * 95 / 100).min(n - 1)];
     (p50, p95, latencies[n - 1])
-}
-
-fn saturating_ns(ns: u128) -> u64 {
-    u64::try_from(ns).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 //!           [--scheduler round-robin|max-cost-first]
 //!           [--state-dir DIR] [--restore]
 //!           [--queue-depth D] [--auto-settle EVERY:BUDGET]
+//!           [--metrics-file PATH] [--metrics-every N]
 //!
 //! bbc-serve --loadgen CLIENTS --socket PATH [--requests R] [--seed S]
 //!           [--connections C] [--serial] [--state-dir DIR]
@@ -39,7 +40,8 @@ struct Args {
 fn usage() -> &'static str {
     "usage:\n  bbc-serve --socket PATH [--peers N] [--budget K] \
      [--scheduler round-robin|max-cost-first] [--state-dir DIR] [--restore] \
-     [--queue-depth D] [--auto-settle EVERY:BUDGET]\n  bbc-serve --loadgen CLIENTS \
+     [--queue-depth D] [--auto-settle EVERY:BUDGET] [--metrics-file PATH] \
+     [--metrics-every N]\n  bbc-serve --loadgen CLIENTS \
      --socket PATH [--requests R] [--seed S] [--connections C] [--serial] \
      [--state-dir DIR] [--expect-digest HEX] [--bench] [--peers N] [--budget K]"
 }
@@ -90,6 +92,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--queue-depth" => {
                 args.cfg.queue_depth =
                     parse_num(value("--queue-depth")?, "--queue-depth")? as usize;
+            }
+            "--metrics-file" => {
+                args.cfg.metrics_file = Some(PathBuf::from(value("--metrics-file")?));
+            }
+            "--metrics-every" => {
+                args.cfg.metrics_every = parse_num(value("--metrics-every")?, "--metrics-every")?;
             }
             "--auto-settle" => {
                 let spec = value("--auto-settle")?;

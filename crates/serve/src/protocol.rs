@@ -44,6 +44,10 @@ pub enum Probe {
         /// The logical client id to look up.
         client: u64,
     },
+    /// The service metrics document (versioned JSON: counters, gauges,
+    /// latency histograms). Observational only — querying it never changes
+    /// engine state, and its contents never feed back into a trajectory.
+    Metrics,
 }
 
 /// One request operation.
@@ -193,6 +197,13 @@ pub enum Reply {
     Members {
         /// Live member ids, ascending.
         nodes: Vec<u32>,
+    },
+    /// [`Probe::Metrics`] result: the whole metrics document, inline.
+    Metrics {
+        /// A versioned JSON object (`bbc_obs::METRICS_SCHEMA_VERSION`) with
+        /// `counters`, `gauges`, and `histograms` sections. Timings vary run
+        /// to run; everything else is deterministic.
+        metrics: serde_json::Value,
     },
     /// [`Probe::ClientSeq`] result.
     Seq {
@@ -544,6 +555,7 @@ mod tests {
         assert!(Op::Step { steps: 1 }.mutates());
         assert!(Op::Settle { max_steps: 1 }.mutates());
         assert!(!Op::Query(Probe::Digest).mutates());
+        assert!(!Op::Query(Probe::Metrics).mutates());
         assert!(!Op::Advise { node: 0 }.mutates());
         assert!(!Op::Snapshot.mutates());
         assert!(!Op::Restore.mutates());

@@ -29,17 +29,35 @@
 //! pre-crash digest. Duplicate suppression (client sequence numbers,
 //! [`crate::protocol::Reply::Skipped`]) gives reconnecting clients
 //! exactly-once semantics on top.
+//!
+//! # Observability
+//!
+//! The owner thread keeps a [`bbc_obs::Registry`]: per-op dispatch-latency
+//! histograms (`serve/op_latency/<op>`), journal append/rotation timings,
+//! request/error counters, and — folded in at read time — the engine's own
+//! counters via `Walk::publish_metrics` plus the cross-thread
+//! [`Reply::Busy`] and queue-depth atomics shared with every [`Handle`].
+//! [`Probe::Metrics`] returns the whole document as versioned JSON, and
+//! [`ServeConfig::metrics_file`] dumps Prometheus text every
+//! [`ServeConfig::metrics_every`] handled requests (a deterministic
+//! trigger). Metrics are strictly observational: they are journaled
+//! nowhere, hash into no digest, and no control path reads them back — the
+//! kill/restore and differential suites pin that replies and
+//! `state_digest` are byte-identical with metrics on, off, or sampled.
 
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use bbc_core::{Configuration, GameSpec, NodeId, Scheduler, Walk, WalkOutcome};
 use bbc_experiments::Fingerprint;
 use bbc_graph::BitSet;
+use bbc_obs::{Clock, Registry, WallClock};
 use serde::{Deserialize, Serialize};
 
 use crate::protocol::{
@@ -84,6 +102,15 @@ pub struct ServeConfig {
     pub auto_settle_every: u64,
     /// Step budget of each auto-settle round.
     pub auto_settle_budget: u64,
+    /// Dump the metrics registry as Prometheus text to this path (atomic
+    /// tmp + rename) every [`metrics_every`](Self::metrics_every) handled
+    /// requests. `None` disables the dump; [`Probe::Metrics`] works either
+    /// way. Purely observational — never part of the fingerprint.
+    pub metrics_file: Option<PathBuf>,
+    /// Request-count period of the metrics dump. Counting handled requests
+    /// (not wall time) keeps the trigger deterministic for a given accepted
+    /// order.
+    pub metrics_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +124,8 @@ impl Default for ServeConfig {
             restore: false,
             auto_settle_every: 0,
             auto_settle_budget: 100_000,
+            metrics_file: None,
+            metrics_every: 64,
         }
     }
 }
@@ -129,6 +158,11 @@ impl ServeConfig {
                 "the request queue needs depth of at least 1".to_string(),
             ));
         }
+        if self.metrics_file.is_some() && self.metrics_every == 0 {
+            return Err(ServeError::Config(
+                "a metrics file needs a dump period of at least 1 request".to_string(),
+            ));
+        }
         match &self.scheduler {
             Scheduler::Random { .. } => Err(ServeError::Config(
                 "the random scheduler's RNG state is not snapshot-capturable; \
@@ -156,8 +190,9 @@ impl ServeConfig {
     /// The canonical fingerprint persisted in every journal and snapshot
     /// header; restore refuses state written under a different one.
     /// Runtime knobs that never change a trajectory (queue depth, state
-    /// dir, restore flag) are deliberately excluded; auto-settle rounds are
-    /// *journaled*, so they replay from the records, not from the knobs.
+    /// dir, restore flag, metrics file/period) are deliberately excluded;
+    /// auto-settle rounds are *journaled*, so they replay from the records,
+    /// not from the knobs.
     pub fn fingerprint(&self) -> String {
         let scheduler = match &self.scheduler {
             Scheduler::RoundRobin => "round-robin".to_string(),
@@ -286,6 +321,19 @@ struct Job {
     reply: Sender<ReplyFrame>,
 }
 
+/// Counters that live on the caller side of the queue, where the owner
+/// thread never executes: Busy rejections happen in [`Handle::try_call`]
+/// and queue occupancy changes on every send/recv. Plain relaxed atomics —
+/// the owner folds point-in-time readings into the registry when a metrics
+/// document is built, and nothing orders against them.
+#[derive(Clone, Debug, Default)]
+struct SharedCounters {
+    /// Total [`Dispatch::Busy`] rejections across all handles.
+    busy: Arc<AtomicU64>,
+    /// Requests currently queued or being processed.
+    in_flight: Arc<AtomicU64>,
+}
+
 /// How a dispatched request fared at the queue layer.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Dispatch {
@@ -305,6 +353,7 @@ pub enum Dispatch {
 pub struct Handle {
     tx: SyncSender<Job>,
     depth: usize,
+    shared: SharedCounters,
 }
 
 impl Handle {
@@ -322,10 +371,13 @@ impl Handle {
         {
             return Dispatch::Gone;
         }
-        match reply_rx.recv() {
+        self.shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        let dispatch = match reply_rx.recv() {
             Ok(reply) => Dispatch::Reply(reply),
             Err(_) => Dispatch::Gone,
-        }
+        };
+        self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+        dispatch
     }
 
     /// Submits a request without blocking on a full queue: the socket
@@ -337,13 +389,21 @@ impl Handle {
             frame,
             reply: reply_tx,
         }) {
-            Ok(()) => match reply_rx.recv() {
-                Ok(reply) => Dispatch::Reply(reply),
-                Err(_) => Dispatch::Gone,
-            },
-            Err(TrySendError::Full(_)) => Dispatch::Busy {
-                depth: self.depth as u64,
-            },
+            Ok(()) => {
+                self.shared.in_flight.fetch_add(1, Ordering::Relaxed);
+                let dispatch = match reply_rx.recv() {
+                    Ok(reply) => Dispatch::Reply(reply),
+                    Err(_) => Dispatch::Gone,
+                };
+                self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+                dispatch
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.busy.fetch_add(1, Ordering::Relaxed);
+                Dispatch::Busy {
+                    depth: self.depth as u64,
+                }
+            }
             Err(TrySendError::Disconnected(_)) => Dispatch::Gone,
         }
     }
@@ -368,15 +428,17 @@ impl Service {
     pub fn start(cfg: ServeConfig) -> Result<Self, ServeError> {
         cfg.validate()?;
         let depth = cfg.queue_depth;
+        let shared = SharedCounters::default();
+        let owner_shared = shared.clone();
         let (tx, rx) = std::sync::mpsc::sync_channel(depth);
         let (ready_tx, ready_rx) = std::sync::mpsc::channel();
         let thread = std::thread::Builder::new()
             .name("bbc-serve-owner".to_string())
-            .spawn(move || owner_loop(cfg, rx, &ready_tx))
+            .spawn(move || owner_loop(cfg, owner_shared, rx, &ready_tx))
             .map_err(|e| ServeError::Config(format!("cannot spawn the owner thread: {e}")))?;
         match ready_rx.recv() {
             Ok(Ok(())) => Ok(Self {
-                handle: Handle { tx, depth },
+                handle: Handle { tx, depth, shared },
                 thread,
             }),
             Ok(Err(e)) => {
@@ -410,11 +472,12 @@ impl Service {
 
 fn owner_loop(
     cfg: ServeConfig,
+    shared: SharedCounters,
     rx: Receiver<Job>,
     ready: &Sender<Result<(), ServeError>>,
 ) -> Result<(), ServeError> {
     let spec = GameSpec::uniform(cfg.peers, cfg.budget);
-    let mut state = match OwnerState::boot(&spec, &cfg) {
+    let mut state = match OwnerState::boot(&spec, &cfg, shared) {
         Ok(state) => {
             let _ = ready.send(Ok(()));
             state
@@ -451,6 +514,19 @@ struct OwnerState<'a> {
     journal: Option<File>,
     journal_gen: u64,
     events_since_settle: u64,
+    /// The metrics registry. Written on every handled request, read only
+    /// when a document is built — never by any state transition.
+    metrics: Registry,
+    /// The wall clock behind every latency observation. A trait object so
+    /// tests can substitute [`bbc_obs::ManualClock`]; production uses the
+    /// one blessed [`WallClock`].
+    clock: Box<dyn Clock>,
+    /// Caller-side atomics (Busy rejections, queue occupancy) folded into
+    /// the registry at document-build time.
+    shared: SharedCounters,
+    /// Requests handled since boot; drives the deterministic
+    /// [`ServeConfig::metrics_every`] dump trigger.
+    requests_handled: u64,
 }
 
 /// What a state-directory load produced.
@@ -468,8 +544,14 @@ fn fresh_walk<'a>(spec: &'a GameSpec, cfg: &ServeConfig) -> Walk<'a> {
 }
 
 impl<'a> OwnerState<'a> {
-    fn boot(spec: &'a GameSpec, cfg: &'a ServeConfig) -> Result<Self, ServeError> {
+    fn boot(
+        spec: &'a GameSpec,
+        cfg: &'a ServeConfig,
+        shared: SharedCounters,
+    ) -> Result<Self, ServeError> {
         let fingerprint = cfg.fingerprint();
+        let metrics = Registry::new();
+        let clock: Box<dyn Clock> = Box::new(WallClock::new());
         let Some(dir) = &cfg.state_dir else {
             if cfg.restore {
                 return Err(ServeError::Config(
@@ -485,6 +567,10 @@ impl<'a> OwnerState<'a> {
                 journal: None,
                 journal_gen: 0,
                 events_since_settle: 0,
+                metrics,
+                clock,
+                shared,
+                requests_handled: 0,
             });
         };
         fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
@@ -506,6 +592,10 @@ impl<'a> OwnerState<'a> {
                 journal: loaded.journal,
                 journal_gen: loaded.journal_gen,
                 events_since_settle: 0,
+                metrics,
+                clock,
+                shared,
+                requests_handled: 0,
             });
         }
         if has_state {
@@ -526,12 +616,27 @@ impl<'a> OwnerState<'a> {
             journal: Some(journal),
             journal_gen: 1,
             events_since_settle: 0,
+            metrics,
+            clock,
+            shared,
+            requests_handled: 0,
         })
     }
 
     fn handle(&mut self, frame: RequestFrame) -> ReplyFrame {
         let seq = frame.seq;
+        let kind = op_kind(&frame.op);
+        let begin = self.clock.now_ns();
         let reply = self.dispatch(frame);
+        let elapsed = self.clock.now_ns().saturating_sub(begin);
+        self.metrics
+            .observe(&format!("serve/op_latency/{kind}"), elapsed);
+        self.metrics.add_counter("serve/requests", 1);
+        if matches!(reply, Reply::Error { .. }) {
+            self.metrics.add_counter("serve/replies_error", 1);
+        }
+        self.requests_handled += 1;
+        self.maybe_dump_metrics();
         ReplyFrame { seq, reply }
     }
 
@@ -664,6 +769,57 @@ impl<'a> OwnerState<'a> {
                 client: *client,
                 seq: self.seqs.get(client).copied().unwrap_or(0),
             },
+            Probe::Metrics => match serde_json::from_str(&self.metrics_document()) {
+                Ok(metrics) => Reply::Metrics { metrics },
+                Err(e) => Reply::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("metrics document failed to re-parse: {e}"),
+                },
+            },
+        }
+    }
+
+    /// Folds the engine counters and the caller-side atomics into the
+    /// registry, then renders the versioned JSON document. Point-in-time
+    /// reads only; nothing here touches engine state.
+    fn metrics_document(&mut self) -> String {
+        self.refresh_metrics();
+        self.metrics.to_json()
+    }
+
+    fn refresh_metrics(&mut self) {
+        self.walk.publish_metrics(&mut self.metrics);
+        self.metrics.set_counter(
+            "serve/busy_rejections",
+            self.shared.busy.load(Ordering::Relaxed),
+        );
+        self.metrics.set_gauge(
+            "serve/queue_depth",
+            self.shared.in_flight.load(Ordering::Relaxed),
+        );
+        self.metrics
+            .set_gauge("serve/queue_capacity", self.cfg.queue_depth as u64);
+        self.metrics
+            .set_gauge("serve/journal_gen", self.journal_gen);
+    }
+
+    /// The deterministic Prometheus dump: every `metrics_every` handled
+    /// requests, atomically (tmp + rename). Best-effort by design — a full
+    /// disk must not turn an otherwise-valid request into an error reply.
+    fn maybe_dump_metrics(&mut self) {
+        let Some(path) = self.cfg.metrics_file.clone() else {
+            return;
+        };
+        if self.cfg.metrics_every == 0
+            || !self.requests_handled.is_multiple_of(self.cfg.metrics_every)
+        {
+            return;
+        }
+        self.refresh_metrics();
+        let text = self.metrics.to_prometheus();
+        let tmp = path.with_extension("tmp");
+        if fs::write(&tmp, text).is_ok() {
+            let _ = fs::rename(&tmp, &path);
         }
     }
 
@@ -677,13 +833,17 @@ impl<'a> OwnerState<'a> {
             op: op.clone(),
         })
         .map_err(ServeError::Config)?;
-        journal
+        let begin = self.clock.now_ns();
+        let result = journal
             .write_all(line.as_bytes())
             .and_then(|()| journal.flush())
             .map_err(|e| ServeError::Io {
                 path: journal_file(self.journal_gen),
                 message: e.to_string(),
-            })
+            });
+        let elapsed = self.clock.now_ns().saturating_sub(begin);
+        self.metrics.observe("serve/journal_append_ns", elapsed);
+        result
     }
 
     /// Writes `snapshot.jsonl` atomically and rotates the journal to the
@@ -694,6 +854,7 @@ impl<'a> OwnerState<'a> {
                 "snapshot requires a state directory".to_string(),
             ));
         };
+        let rotate_begin = self.clock.now_ns();
         let digest = digest_hex(self.walk.state_digest());
         let next_gen = self.journal_gen + 1;
         // New journal first: a crash between here and the rename leaves the
@@ -746,6 +907,8 @@ impl<'a> OwnerState<'a> {
         self.journal = Some(new_journal);
         self.journal_gen = next_gen;
         let _ = fs::remove_file(old); // best-effort: superseded by the snapshot
+        let elapsed = self.clock.now_ns().saturating_sub(rotate_begin);
+        self.metrics.observe("serve/journal_rotate_ns", elapsed);
         Ok(Reply::Snapshotted {
             rows,
             journal_gen: next_gen,
@@ -800,6 +963,24 @@ fn create_journal(
         .and_then(|()| file.flush())
         .map_err(|e| io_err(&path, &e))?;
     Ok(file)
+}
+
+/// The fixed label an op's dispatch latency is recorded under
+/// (`serve/op_latency/<kind>`). Static strings keep the metric namespace
+/// bounded regardless of payload.
+fn op_kind(op: &Op) -> &'static str {
+    match op {
+        Op::Join { .. } => "join",
+        Op::Leave { .. } => "leave",
+        Op::Shock { .. } => "shock",
+        Op::Query(_) => "query",
+        Op::Advise { .. } => "advise",
+        Op::Step { .. } => "step",
+        Op::Settle { .. } => "settle",
+        Op::Snapshot => "snapshot",
+        Op::Restore => "restore",
+        Op::Shutdown => "shutdown",
+    }
 }
 
 /// The state transition of one mutating op — shared verbatim by the live
@@ -1142,7 +1323,7 @@ pub fn oracle_digest(cfg: &ServeConfig, frames: &[RequestFrame]) -> Result<Strin
     memory_cfg.restore = false;
     memory_cfg.validate()?;
     let spec = GameSpec::uniform(memory_cfg.peers, memory_cfg.budget);
-    let mut state = OwnerState::boot(&spec, &memory_cfg)?;
+    let mut state = OwnerState::boot(&spec, &memory_cfg, SharedCounters::default())?;
     for frame in frames {
         let _ = state.handle(frame.clone());
     }
@@ -1543,6 +1724,12 @@ mod tests {
             ..ServeConfig::default()
         };
         assert!(matches!(bad.validate(), Err(ServeError::Config(_))));
+        let bad = ServeConfig {
+            metrics_file: Some(PathBuf::from("/tmp/m.prom")),
+            metrics_every: 0,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(bad.validate(), Err(ServeError::Config(_))));
         assert!(ServeConfig::default().validate().is_ok());
     }
 
@@ -1561,10 +1748,13 @@ mod tests {
         .fingerprint();
         assert_ne!(a, b);
         assert_ne!(a, c);
-        // Runtime knobs are not part of the identity.
+        // Runtime knobs are not part of the identity — metrics included:
+        // turning observation on must not orphan persisted state.
         let d = ServeConfig {
             queue_depth: 1,
             auto_settle_every: 10,
+            metrics_file: Some(PathBuf::from("/tmp/m.prom")),
+            metrics_every: 7,
             ..ServeConfig::default()
         }
         .fingerprint();

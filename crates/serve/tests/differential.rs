@@ -170,6 +170,33 @@ proptest! {
         prop_assert_eq!(service_digest_of(&frames), oracle_digest(&cfg(), &frames).expect("valid cfg"));
     }
 
+    /// Metrics are observational only: a [`Probe::Metrics`] wedged after
+    /// EVERY frame of a k-client interleaving leaves the digest exactly
+    /// where the metrics-free oracle replay of the same mutating sequence
+    /// lands. A metrics read that leaked into engine state, the journal,
+    /// or the scheduler phase would diverge here.
+    #[test]
+    fn metrics_probes_never_perturb_the_digest(
+        seed in any::<u64>(),
+        k in 2u64..5,
+        merge_seed in any::<u64>(),
+    ) {
+        let frames = interleave(seed, k, 6, merge_seed, false);
+        let mut with_metrics = Vec::with_capacity(frames.len() * 2);
+        for frame in &frames {
+            with_metrics.push(frame.clone());
+            with_metrics.push(RequestFrame {
+                client: 0,
+                seq: 0,
+                op: Op::Query(Probe::Metrics),
+            });
+        }
+        prop_assert_eq!(
+            service_digest_of(&with_metrics),
+            oracle_digest(&cfg(), &frames).expect("valid cfg")
+        );
+    }
+
     /// Two different interleavings of the same client streams generally
     /// reach different states (churn ops do not commute) — but each one
     /// matches ITS OWN single-threaded replay. Checking both halves guards

@@ -25,6 +25,15 @@ fn unique_path(tag: &str) -> PathBuf {
 }
 
 fn spawn_daemon(socket: &Path, state_dir: Option<&Path>, restore: bool) -> Child {
+    spawn_daemon_metrics(socket, state_dir, restore, None)
+}
+
+fn spawn_daemon_metrics(
+    socket: &Path,
+    state_dir: Option<&Path>,
+    restore: bool,
+    metrics: Option<(&Path, u64)>,
+) -> Child {
     // A SIGKILLed daemon leaves its socket file behind; unlink it so the
     // existence poll below sees the NEW daemon's bind, not the corpse.
     let _ = std::fs::remove_file(socket);
@@ -42,6 +51,12 @@ fn spawn_daemon(socket: &Path, state_dir: Option<&Path>, restore: bool) -> Child
     }
     if restore {
         cmd.arg("--restore");
+    }
+    if let Some((file, every)) = metrics {
+        cmd.arg("--metrics-file")
+            .arg(file)
+            .arg("--metrics-every")
+            .arg(every.to_string());
     }
     let mut child = cmd.spawn().expect("daemon spawns");
     // Wait for the socket (the daemon unlinks any stale file first, so
@@ -125,6 +140,19 @@ impl SeqTracker {
     }
 }
 
+/// Connects with a short retry loop: the socket file appears at `bind()`,
+/// a moment before `listen()`, so a fast client under load can catch
+/// ECONNREFUSED on a daemon that is in fact coming up.
+fn connect(socket: &Path) -> Client {
+    for _ in 0..5000 {
+        match Client::connect(socket, 0) {
+            Ok(conn) => return conn,
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(2)),
+        }
+    }
+    panic!("could not connect to {}", socket.display());
+}
+
 fn send(conn: &mut Client, client: u64, seq: u64, op: Op) -> Reply {
     conn.client = client;
     conn.request_seq(seq, op).expect("request round-trips")
@@ -152,7 +180,7 @@ fn sigkill_restore_resumes_to_the_uninterrupted_digest() {
     let ref_socket = unique_path("ref.sock");
     let ref_dir = unique_path("ref-state");
     let mut ref_daemon = spawn_daemon(&ref_socket, Some(&ref_dir), false);
-    let mut conn = Client::connect(&ref_socket, 0).expect("connect");
+    let mut conn = connect(&ref_socket);
     let mut seqs = SeqTracker::new();
     for (client, op) in &ops {
         let seq = seqs.assign(*client, op);
@@ -170,7 +198,7 @@ fn sigkill_restore_resumes_to_the_uninterrupted_digest() {
     let socket = unique_path("kill.sock");
     let dir = unique_path("kill-state");
     let mut daemon = spawn_daemon(&socket, Some(&dir), false);
-    let mut conn = Client::connect(&socket, 0).expect("connect");
+    let mut conn = connect(&socket);
     let mut seqs = SeqTracker::new();
     for (client, op) in &ops[..kill_at] {
         let seq = seqs.assign(*client, op);
@@ -193,7 +221,7 @@ fn sigkill_restore_resumes_to_the_uninterrupted_digest() {
 
     // Restart from the journal.
     let mut daemon = spawn_daemon(&socket, Some(&dir), true);
-    let mut conn = Client::connect(&socket, 0).expect("reconnect");
+    let mut conn = connect(&socket);
 
     // ClientSeq resume: the journaled high-water mark for the in-flight
     // client is either just-before or just-including the in-flight op.
@@ -249,13 +277,80 @@ fn sigkill_restore_resumes_to_the_uninterrupted_digest() {
 }
 
 #[test]
+fn metrics_on_off_and_sampled_runs_share_one_digest_across_sigkill() {
+    // The observational-only invariant under crash recovery: the same
+    // workload through (a) a bare daemon, (b) a daemon dumping Prometheus
+    // text every 3 requests with metrics probes interleaved, both SIGKILLed
+    // and restored mid-run, must land on identical digests.
+    let ops = workload();
+    let kill_at = ops.len() / 2;
+
+    // --- Reference: metrics off, uninterrupted. ---
+    let ref_socket = unique_path("mref.sock");
+    let ref_dir = unique_path("mref-state");
+    let mut ref_daemon = spawn_daemon(&ref_socket, Some(&ref_dir), false);
+    let mut conn = connect(&ref_socket);
+    let mut seqs = SeqTracker::new();
+    for (client, op) in &ops {
+        let seq = seqs.assign(*client, op);
+        send(&mut conn, *client, seq, op.clone());
+    }
+    let want = final_digest(&mut conn);
+    send_shutdown(&mut conn);
+    let _ = ref_daemon.wait();
+
+    // --- Metrics on (sampled dump), metrics probes interleaved, SIGKILL
+    // halfway, restore with metrics still on. ---
+    let socket = unique_path("mkill.sock");
+    let dir = unique_path("mkill-state");
+    let prom = unique_path("mkill.prom");
+    let mut daemon = spawn_daemon_metrics(&socket, Some(&dir), false, Some((&prom, 3)));
+    let mut conn = connect(&socket);
+    let mut seqs = SeqTracker::new();
+    for (client, op) in &ops[..kill_at] {
+        let seq = seqs.assign(*client, op);
+        send(&mut conn, *client, seq, op.clone());
+        // A metrics read between every op: must be pure.
+        assert!(matches!(
+            send(&mut conn, 0, 0, Op::Query(Probe::Metrics)),
+            Reply::Metrics { .. }
+        ));
+    }
+    daemon.kill().expect("SIGKILL delivered");
+    let _ = daemon.wait();
+
+    let mut daemon = spawn_daemon_metrics(&socket, Some(&dir), true, Some((&prom, 3)));
+    let mut conn = connect(&socket);
+    for (client, op) in &ops[kill_at..] {
+        let seq = seqs.assign(*client, op);
+        send(&mut conn, *client, seq, op.clone());
+    }
+    let got = final_digest(&mut conn);
+    assert_eq!(got, want, "metrics-on run diverged from the bare reference");
+
+    // The sampled dump fired and rendered Prometheus text.
+    let text = std::fs::read_to_string(&prom).expect("metrics file written");
+    assert!(text.contains("# TYPE"), "not Prometheus text: {text:?}");
+    assert!(text.contains("serve_requests"), "missing counter: {text:?}");
+
+    send_shutdown(&mut conn);
+    let _ = daemon.wait();
+    for p in [&ref_socket, &socket, &prom] {
+        let _ = std::fs::remove_file(p);
+    }
+    for d in [&ref_dir, &dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
 fn second_restore_after_clean_shutdown_is_stable() {
     // Restore is not a one-shot: kill → restore → shutdown → restore again
     // must keep producing the same digest (journal generations chain).
     let socket = unique_path("stable.sock");
     let dir = unique_path("stable-state");
     let mut daemon = spawn_daemon(&socket, Some(&dir), false);
-    let mut conn = Client::connect(&socket, 0).expect("connect");
+    let mut conn = connect(&socket);
     let mut seqs = SeqTracker::new();
     for (client, op) in workload() {
         let seq = seqs.assign(client, &op);
@@ -269,7 +364,7 @@ fn second_restore_after_clean_shutdown_is_stable() {
 
     for round in 0..2 {
         let mut daemon = spawn_daemon(&socket, Some(&dir), true);
-        let mut conn = Client::connect(&socket, 0).expect("reconnect");
+        let mut conn = connect(&socket);
         let got = final_digest(&mut conn);
         assert_eq!(got, want, "restore round {round} diverged");
         if round == 0 {

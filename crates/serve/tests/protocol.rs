@@ -70,6 +70,18 @@ fn malformed_corpus_yields_typed_errors_and_keeps_the_connection() {
             ErrorCode::Request,
             4,
         ),
+        // Metrics is a unit probe: payload-bearing shapes are misshapen
+        // requests, never panics.
+        (
+            br#"{"client":1,"seq":6,"op":{"Query":{"Metrics":{}}}}"#.to_vec(),
+            ErrorCode::Request,
+            6,
+        ),
+        (
+            br#"{"client":1,"seq":8,"op":{"Query":{"Metrics":[1,2]}}}"#.to_vec(),
+            ErrorCode::Request,
+            8,
+        ),
         // Empty line.
         (Vec::new(), ErrorCode::Json, 0),
     ];
@@ -106,6 +118,65 @@ fn malformed_corpus_yields_typed_errors_and_keeps_the_connection() {
         );
     }
 
+    shutdown(&path, service);
+}
+
+#[test]
+fn metrics_probe_returns_a_versioned_document_without_touching_state() {
+    let (path, service) = start_daemon("metrics");
+    let mut client = Client::connect(&path, 1).expect("connect");
+
+    // Generate some traffic so the histograms have samples.
+    for op in [
+        Op::Leave { node: 2 },
+        Op::Settle { max_steps: 10_000 },
+        Op::Advise { node: 0 },
+    ] {
+        let _ = client.request(op).expect("request");
+    }
+    let digest_before = match client.request(Op::Query(Probe::Digest)).expect("digest") {
+        Reply::Digest { digest } => digest,
+        other => panic!("{other:?}"),
+    };
+
+    let metrics = match client.request(Op::Query(Probe::Metrics)).expect("metrics") {
+        Reply::Metrics { metrics } => metrics,
+        other => panic!("metrics probe got {other:?}"),
+    };
+    let doc = metrics.as_map().expect("metrics document is an object");
+    match serde::map_get(doc, "version") {
+        Some(serde_json::Value::U64(v)) => assert_eq!(*v, bbc_obs::METRICS_SCHEMA_VERSION),
+        other => panic!("missing/mis-typed version field: {other:?}"),
+    }
+    let counters = serde::map_get(doc, "counters")
+        .and_then(|v| v.as_map())
+        .expect("counters section");
+    match serde::map_get(counters, "serve/requests") {
+        Some(serde_json::Value::U64(n)) => assert!(*n >= 4, "saw {n} requests"),
+        other => panic!("serve/requests counter missing: {other:?}"),
+    }
+    assert!(
+        serde::map_get(counters, "engine/searches_run").is_some(),
+        "engine counters folded in"
+    );
+    let histograms = serde::map_get(doc, "histograms")
+        .and_then(|v| v.as_map())
+        .expect("histograms section");
+    assert!(
+        histograms
+            .iter()
+            .any(|(k, _)| k == "serve/op_latency/settle"),
+        "settle latency histogram present, got {:?}",
+        histograms.iter().map(|(k, _)| k).collect::<Vec<_>>()
+    );
+
+    // Observational only: reading metrics (twice) moves no state.
+    let _ = client.request(Op::Query(Probe::Metrics)).expect("again");
+    let digest_after = match client.request(Op::Query(Probe::Digest)).expect("digest") {
+        Reply::Digest { digest } => digest,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(digest_before, digest_after, "metrics probes must be pure");
     shutdown(&path, service);
 }
 

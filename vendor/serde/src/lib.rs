@@ -113,6 +113,21 @@ pub trait Deserialize: Sized {
     fn from_value(value: &Value) -> Result<Self, DeError>;
 }
 
+// A `Value` is already the serialized form, so it passes through both
+// traits unchanged — this is what lets frames carry pre-rendered documents
+// (e.g. a metrics report) as an opaque JSON payload.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

@@ -7,7 +7,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize, Value};
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
 
 /// A serialization or parse error.
 #[derive(Clone, Debug)]
